@@ -1,0 +1,352 @@
+(* xpest: command-line front end to the estimation system.
+
+   Subcommands:
+     generate    write a synthetic dataset as XML
+     stats       show document / synopsis statistics
+     estimate    estimate the selectivity of XPath patterns
+     workload    generate and summarize a query workload
+     experiment  reproduce the paper's tables and figures *)
+
+module Registry = Xpest_datasets.Registry
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Summary = Xpest_synopsis.Summary
+module Labeler = Xpest_encoding.Labeler
+module Encoding_table = Xpest_encoding.Encoding_table
+module Pid_tree = Xpest_encoding.Pid_tree
+module Estimator = Xpest_estimator.Estimator
+module Workload = Xpest_workload.Workload
+module Tablefmt = Xpest_util.Tablefmt
+module Env = Xpest_harness.Env
+module Experiments = Xpest_harness.Experiments
+
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let source_conv =
+  let parse s =
+    match Registry.of_string s with
+    | Some name -> Ok (`Dataset name)
+    | None ->
+        if Sys.file_exists s then Ok (`File s)
+        else
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "%S is neither a dataset (ssplays|dblp|xmark) nor a file" s))
+  in
+  let print ppf = function
+    | `Dataset name -> Format.pp_print_string ppf (Registry.to_string name)
+    | `File f -> Format.pp_print_string ppf f
+  in
+  Arg.conv (parse, print)
+
+let source =
+  Arg.(
+    required
+    & pos 0 (some source_conv) None
+    & info [] ~docv:"SOURCE" ~doc:"Dataset name (ssplays|dblp|xmark) or an XML file.")
+
+let scale =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale" ] ~docv:"S"
+        ~doc:"Scale factor for synthetic datasets (1.0 = paper-size).")
+
+let seed =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"N" ~doc:"Generator seed (default per dataset).")
+
+let load_doc source ~scale ~seed =
+  match source with
+  | `Dataset name -> Registry.generate ~scale ?seed name
+  | `File path -> Doc.of_tree (Xpest_xml.Parser.parse_file path)
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let run source scale seed output =
+    let tree =
+      match source with
+      | `Dataset name -> Registry.generate_tree ~scale ?seed name
+      | `File path -> Xpest_xml.Parser.parse_file path
+    in
+    match output with
+    | Some path ->
+        Xpest_xml.Printer.to_file path tree;
+        Printf.printf "wrote %s (%d elements)\n" path (Xpest_xml.Tree.size tree)
+    | None -> print_string (Xpest_xml.Printer.to_string tree)
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic dataset as XML.")
+    Term.(const run $ source $ scale $ seed $ output)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let run source scale seed p_variance o_variance =
+    let doc = load_doc source ~scale ~seed in
+    let s = Summary.build ~p_variance ~o_variance doc in
+    let labeler = Summary.labeler s in
+    let pid_tree =
+      Pid_tree.build (Array.to_list (Labeler.distinct_pids labeler))
+    in
+    let rows =
+      [
+        [ "elements"; string_of_int (Doc.size doc) ];
+        [ "distinct tags"; string_of_int (Doc.num_tags doc) ];
+        [ "serialized size"; Tablefmt.fmt_bytes (Doc.serialized_byte_size doc) ];
+        [ "max depth"; string_of_int (Doc.max_depth doc) ];
+        [
+          "distinct root-to-leaf paths";
+          string_of_int (Encoding_table.num_paths (Summary.encoding_table s));
+        ];
+        [ "path id size"; Printf.sprintf "%d bytes" (Labeler.pid_byte_size labeler) ];
+        [ "distinct path ids"; string_of_int (Labeler.num_distinct labeler) ];
+        [ "encoding table"; Tablefmt.fmt_bytes (Summary.encoding_table_bytes s) ];
+        [ "path id table"; Tablefmt.fmt_bytes (Labeler.pid_table_byte_size labeler) ];
+        [
+          "pid binary tree";
+          Printf.sprintf "%s (uncompressed %s)"
+            (Tablefmt.fmt_bytes (Pid_tree.byte_size pid_tree))
+            (Tablefmt.fmt_bytes (Pid_tree.uncompressed_byte_size pid_tree));
+        ];
+        [
+          Printf.sprintf "p-histograms (v=%g)" p_variance;
+          Tablefmt.fmt_bytes (Summary.p_histogram_bytes s);
+        ];
+        [
+          Printf.sprintf "o-histograms (v=%g)" o_variance;
+          Tablefmt.fmt_bytes (Summary.o_histogram_bytes s);
+        ];
+        [ "total (enc + tree + p-histo)"; Tablefmt.fmt_bytes (Summary.total_bytes s) ];
+      ]
+    in
+    print_endline
+      (Tablefmt.render_table ~header:[ "statistic"; "value" ]
+         ~align:[ Tablefmt.Left; Tablefmt.Right ]
+         rows)
+  in
+  let p_variance =
+    Arg.(value & opt float 0.0 & info [ "p-variance" ] ~docv:"V" ~doc:"P-histogram variance.")
+  in
+  let o_variance =
+    Arg.(value & opt float 0.0 & info [ "o-variance" ] ~docv:"V" ~doc:"O-histogram variance.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show document and synopsis statistics.")
+    Term.(const run $ source $ scale $ seed $ p_variance $ o_variance)
+
+(* ---------------- build-synopsis ---------------- *)
+
+let build_synopsis_cmd =
+  let run source scale seed p_variance o_variance output =
+    let doc = load_doc source ~scale ~seed in
+    let s = Summary.build ~p_variance ~o_variance doc in
+    Summary.save s output;
+    Printf.printf "wrote %s (%s: p-histograms %s, o-histograms %s)\n" output
+      (Tablefmt.fmt_bytes
+         (let st = Unix.stat output in
+          st.Unix.st_size))
+      (Tablefmt.fmt_bytes (Summary.p_histogram_bytes s))
+      (Tablefmt.fmt_bytes (Summary.o_histogram_bytes s))
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Synopsis output file.")
+  in
+  let p_variance =
+    Arg.(value & opt float 0.0 & info [ "p-variance" ] ~docv:"V" ~doc:"P-histogram variance.")
+  in
+  let o_variance =
+    Arg.(value & opt float 0.0 & info [ "o-variance" ] ~docv:"V" ~doc:"O-histogram variance.")
+  in
+  Cmd.v
+    (Cmd.info "build-synopsis"
+       ~doc:"Build the estimation synopsis and persist it to disk.")
+    Term.(const run $ source $ scale $ seed $ p_variance $ o_variance $ output)
+
+(* ---------------- estimate ---------------- *)
+
+let estimate_cmd =
+  let run source scale seed p_variance o_variance synopsis check explain queries =
+    (* the document itself is only needed to build a fresh synopsis or
+       to compute exact answers for --check *)
+    let doc = lazy (load_doc source ~scale ~seed) in
+    let s =
+      match synopsis with
+      | Some path -> Summary.load path
+      | None -> Summary.build ~p_variance ~o_variance (Lazy.force doc)
+    in
+    let est = Estimator.create s in
+    let rows =
+      List.map
+        (fun qs ->
+          let q = Pattern.of_string qs in
+          let estimate = Estimator.estimate est q in
+          let base = [ Pattern.to_string q; Tablefmt.fmt_float estimate ] in
+          if check then
+            let actual = Truth.selectivity (Lazy.force doc) q in
+            let err =
+              Xpest_util.Stats.relative_error ~actual:(Float.of_int actual)
+                ~estimate
+            in
+            base @ [ string_of_int actual; Printf.sprintf "%.1f%%" (100.0 *. err) ]
+          else base)
+        queries
+    in
+    let header =
+      if check then [ "query"; "estimate"; "actual"; "rel. error" ]
+      else [ "query"; "estimate" ]
+    in
+    print_endline
+      (Tablefmt.render_table ~header
+         ~align:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+         rows);
+    if explain then
+      List.iter
+        (fun qs ->
+          let q = Pattern.of_string qs in
+          let e = Estimator.explain est q in
+          Printf.printf "\n%s  ->  %s\n" (Pattern.to_string q)
+            (Tablefmt.fmt_float e.Estimator.value);
+          List.iter (fun line -> Printf.printf "  - %s\n" line)
+            e.Estimator.derivation)
+        queries
+  in
+  let queries =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "XPath patterns in the paper's fragment; mark the target node \
+             with braces, e.g. //A[/C/folls::{B}/D].")
+  in
+  let p_variance =
+    Arg.(value & opt float 0.0 & info [ "p-variance" ] ~docv:"V" ~doc:"P-histogram variance.")
+  in
+  let o_variance =
+    Arg.(value & opt float 0.0 & info [ "o-variance" ] ~docv:"V" ~doc:"O-histogram variance.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Also compute the exact selectivity.")
+  in
+  let synopsis =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "synopsis" ] ~docv:"FILE"
+          ~doc:"Estimate from a synopsis saved by build-synopsis instead of \
+                building one from the source document.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the estimation derivation (which equations fired).")
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate the selectivity of XPath patterns.")
+    Term.(
+      const run $ source $ scale $ seed $ p_variance $ o_variance $ synopsis
+      $ check $ explain $ queries)
+
+(* ---------------- workload ---------------- *)
+
+let workload_cmd =
+  let run source scale seed wseed attempts =
+    let doc = load_doc source ~scale ~seed in
+    let config =
+      { Workload.default_config with seed = wseed; num_simple = attempts; num_branch = attempts }
+    in
+    let w = Workload.generate ~config doc in
+    let show name items =
+      Printf.printf "%s: %d queries\n" name (List.length items);
+      List.iteri
+        (fun i (it : Workload.item) ->
+          if i < 5 then
+            Printf.printf "  %s  (selectivity %d)\n"
+              (Pattern.to_string it.pattern)
+              it.actual)
+        items
+    in
+    show "simple" w.simple;
+    show "branch" w.branch;
+    show "order (branch target)" w.order_branch_target;
+    show "order (trunk target)" w.order_trunk_target
+  in
+  let wseed =
+    Arg.(value & opt int Workload.default_config.seed
+         & info [ "workload-seed" ] ~docv:"N" ~doc:"Workload generator seed.")
+  in
+  let attempts =
+    Arg.(value & opt int 1000
+         & info [ "attempts" ] ~docv:"N" ~doc:"Generation attempts per class.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a query workload and print a sample.")
+    Term.(const run $ source $ scale $ seed $ wseed $ attempts)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let run scale cap ids =
+    let ids = match ids with [] -> Experiments.all_ids | ids -> ids in
+    let config =
+      { Env.default_config with scale; max_queries_per_class = cap }
+    in
+    let envs =
+      List.map
+        (fun name ->
+          Printf.printf "preparing %s (scale %g)...\n%!" (Registry.to_string name)
+            scale;
+          Env.prepare ~config name)
+        Registry.all
+    in
+    List.iter
+      (fun id ->
+        let artefact, seconds = Env.time (fun () -> Experiments.run envs id) in
+        Printf.printf "%s\n(%s computed in %s)\n\n%!"
+          (Experiments.render artefact)
+          id
+          (Tablefmt.fmt_seconds seconds))
+      ids
+  in
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (t1..t5, f9..f13); default all.")
+  in
+  let cap =
+    Arg.(
+      value
+      & opt (some int) (Some 500)
+      & info [ "cap" ] ~docv:"N"
+          ~doc:"Max queries evaluated per class (use --cap 0 for no cap).")
+  in
+  let cap = Term.(const (function Some 0 -> None | c -> c) $ cap) in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures.")
+    Term.(const run $ scale $ cap $ ids)
+
+let () =
+  let doc = "Selectivity estimation for XPath expressions with order axes (ICDE 2006)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "xpest" ~version:"1.0.0" ~doc)
+          [
+            generate_cmd; stats_cmd; build_synopsis_cmd; estimate_cmd;
+            workload_cmd; experiment_cmd;
+          ]))

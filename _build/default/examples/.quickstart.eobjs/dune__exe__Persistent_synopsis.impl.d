@@ -1,0 +1,1 @@
+examples/persistent_synopsis.ml: Filename Float List Printf Sys Unix Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_util Xpest_xml Xpest_xpath

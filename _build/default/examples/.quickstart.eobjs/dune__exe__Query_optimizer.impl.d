@@ -1,0 +1,1 @@
+examples/query_optimizer.ml: Float List Printf Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_util Xpest_xml Xpest_xpath

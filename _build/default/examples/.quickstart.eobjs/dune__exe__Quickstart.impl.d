@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Xpest_estimator Xpest_synopsis Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+examples/synopsis_tuning.ml: Array Float Int List Printf Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_util Xpest_workload Xpest_xml

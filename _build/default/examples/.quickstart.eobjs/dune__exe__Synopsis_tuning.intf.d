@@ -1,0 +1,1 @@
+examples/synopsis_tuning.mli:

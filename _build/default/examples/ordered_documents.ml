@@ -1,0 +1,74 @@
+(* Order-axis estimation on intrinsically ordered documents — the
+   paper's motivating scenario (Section 1): when document order carries
+   meaning (chapters of a book, scenes of a play, events in time),
+   queries constrain it with preceding/following axes, and a useful
+   estimator must summarize order statistics.
+
+   This example builds the synthetic Shakespeare corpus and compares
+   the order-aware estimates against exact answers and against the
+   order-blind upper bound (the order-free counterpart query).
+
+   Run with:  dune exec examples/ordered_documents.exe *)
+
+module Registry = Xpest_datasets.Registry
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Summary = Xpest_synopsis.Summary
+module Estimator = Xpest_estimator.Estimator
+module Tablefmt = Xpest_util.Tablefmt
+
+let () =
+  let doc = Registry.generate ~scale:0.3 Registry.Ssplays in
+  Printf.printf "SSPlays: %d elements\n%!" (Doc.size doc);
+  let summary = Summary.build doc in
+  let estimator = Estimator.create summary in
+
+  let queries =
+    [
+      (* speeches whose SPEAKER is followed by a STAGEDIR among its
+         siblings: stage business right after the attribution *)
+      "//SPEECH[/SPEAKER/folls::{STAGEDIR}]";
+      (* scene titles preceded by a stage direction *)
+      "//SCENE[/TITLE/pres::{STAGEDIR}]";
+      (* plays where the front matter is followed (anywhere later in
+         the play) by an epilogue speech *)
+      "//PLAY[/FM/foll::{EPILOGUE}]";
+      (* acts whose title precedes a prologue *)
+      "//ACT[/TITLE/folls::{PROLOGUE}]";
+      (* lines spoken after a stage direction within the same speech *)
+      "//SPEECH[/STAGEDIR/folls::{LINE}]";
+    ]
+  in
+  let rows =
+    List.map
+      (fun qs ->
+        let q = Pattern.of_string qs in
+        let actual = Truth.selectivity doc q in
+        let with_order = Estimator.estimate estimator q in
+        (* the order-blind view of the same query *)
+        let counterpart =
+          Pattern.v
+            (Pattern.counterpart (Pattern.shape q))
+            (Pattern.counterpart_position (Pattern.target q))
+        in
+        let without_order = Estimator.estimate estimator counterpart in
+        [
+          qs;
+          string_of_int actual;
+          Tablefmt.fmt_float with_order;
+          Tablefmt.fmt_float without_order;
+        ])
+      queries
+  in
+  print_endline
+    (Tablefmt.render_table
+       ~title:"Order-aware vs order-blind estimates (SSPlays)"
+       ~header:[ "query"; "actual"; "order-aware"; "order-blind" ]
+       ~align:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+       rows);
+  print_endline
+    "\nThe order-blind column estimates the counterpart query without the\n\
+     order axis: it systematically over-estimates whenever the document\n\
+     order actually filters results, which is exactly the gap the\n\
+     o-histogram closes."

@@ -1,0 +1,66 @@
+(* Persisting the synopsis and explaining estimates.
+
+   A cardinality estimator lives inside a query optimizer: the synopsis
+   is built once (offline, from a document scan) and then shipped —
+   without the document — to wherever plans are costed.  This example
+   builds a synopsis for the XMark auction site, saves it, reloads it,
+   shows that the loaded synopsis answers identically, and prints the
+   derivation of one estimate.
+
+   Run with:  dune exec examples/persistent_synopsis.exe *)
+
+module Registry = Xpest_datasets.Registry
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Estimator = Xpest_estimator.Estimator
+module Tablefmt = Xpest_util.Tablefmt
+
+let () =
+  let doc = Registry.generate ~scale:0.1 Registry.Xmark in
+  Printf.printf "XMark: %d elements (%s serialized)\n%!" (Doc.size doc)
+    (Tablefmt.fmt_bytes (Doc.serialized_byte_size doc));
+
+  (* offline: scan the document once, persist the synopsis *)
+  let summary = Summary.build ~p_variance:1.0 ~o_variance:2.0 doc in
+  let path = Filename.temp_file "xmark_synopsis" ".bin" in
+  Summary.save summary path;
+  let file_bytes = (Unix.stat path).Unix.st_size in
+  Printf.printf "synopsis file: %s — %.4f%% of the document\n\n"
+    (Tablefmt.fmt_bytes file_bytes)
+    (100.0 *. Float.of_int file_bytes
+    /. Float.of_int (Doc.serialized_byte_size doc));
+
+  (* online: the optimizer loads the synopsis; no document needed *)
+  let loaded = Summary.load path in
+  Sys.remove path;
+  let offline = Estimator.create summary in
+  let online = Estimator.create loaded in
+  let queries =
+    [
+      "//item/{incategory}";
+      "//open_auction[/bidder]/{annotation}";
+      "//person[/address/folls::{profile}]";
+      "//closed_auction[/seller/foll::{annotation}]";
+    ]
+  in
+  print_endline
+    (Tablefmt.render_table
+       ~header:[ "query"; "offline estimate"; "loaded estimate" ]
+       ~align:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right ]
+       (List.map
+          (fun qs ->
+            let q = Pattern.of_string qs in
+            [
+              qs;
+              Tablefmt.fmt_float (Estimator.estimate offline q);
+              Tablefmt.fmt_float (Estimator.estimate online q);
+            ])
+          queries));
+
+  (* and the estimator can show its work *)
+  let q = Pattern.of_string "//person[/address/folls::{profile}]" in
+  let e = Estimator.explain online q in
+  Printf.printf "\nderivation of %s -> %s\n" (Pattern.to_string q)
+    (Tablefmt.fmt_float e.Estimator.value);
+  List.iter (fun line -> Printf.printf "  - %s\n" line) e.Estimator.derivation

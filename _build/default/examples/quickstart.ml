@@ -1,0 +1,54 @@
+(* Quickstart: parse a document, build the synopsis, estimate queries.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Summary = Xpest_synopsis.Summary
+module Estimator = Xpest_estimator.Estimator
+
+let document =
+  {|<library>
+      <shelf>
+        <book><title/><author/><author/><chapter/><chapter/><chapter/></book>
+        <book><title/><author/><chapter/><chapter/></book>
+        <magazine><title/><issue/></magazine>
+      </shelf>
+      <shelf>
+        <book><title/><chapter/><appendix/><chapter/></book>
+        <magazine><title/><issue/><issue/></magazine>
+      </shelf>
+    </library>|}
+
+let () =
+  (* 1. Parse (or build) an ordered XML document. *)
+  let doc = Doc.of_tree (Xpest_xml.Parser.parse_string document) in
+  Printf.printf "document: %d elements, %d distinct tags\n\n" (Doc.size doc)
+    (Doc.num_tags doc);
+
+  (* 2. Build the estimation synopsis.  Variance 0 keeps the summaries
+     exact; higher values trade accuracy for memory. *)
+  let summary = Summary.build ~p_variance:0.0 ~o_variance:0.0 doc in
+  Printf.printf "synopsis: %d B p-histograms + %d B o-histograms\n\n"
+    (Summary.p_histogram_bytes summary)
+    (Summary.o_histogram_bytes summary);
+
+  (* 3. Estimate.  Queries are written in the paper's fragment; the
+     braces mark the target node whose cardinality is estimated. *)
+  let estimator = Estimator.create summary in
+  let show q =
+    let pattern = Pattern.of_string q in
+    Printf.printf "%-40s estimate %6.2f   actual %d\n" q
+      (Estimator.estimate estimator pattern)
+      (Truth.selectivity doc pattern)
+  in
+  List.iter show
+    [
+      "//book/{chapter}";
+      "//shelf/{book}";
+      "//book[/author]/{chapter}";
+      "//book[/title/folls::{chapter}]";
+      "//book[/chapter/folls::{appendix}]";
+      "//shelf[/book/foll::{magazine}]";
+    ]

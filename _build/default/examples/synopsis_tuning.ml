@@ -1,0 +1,79 @@
+(* Tuning the synopsis: the variance knobs trade memory for accuracy.
+
+   The intra-bucket variance thresholds of the p- and o-histograms are
+   the system's only tuning parameters (paper Section 6).  This example
+   sweeps them on the DBLP-like dataset, reports memory and accuracy
+   at each setting, and picks the smallest synopsis that stays within
+   an error budget — the workflow a DBA would follow.
+
+   Run with:  dune exec examples/synopsis_tuning.exe *)
+
+module Registry = Xpest_datasets.Registry
+module Doc = Xpest_xml.Doc
+module Summary = Xpest_synopsis.Summary
+module Estimator = Xpest_estimator.Estimator
+module Workload = Xpest_workload.Workload
+module Stats = Xpest_util.Stats
+module Tablefmt = Xpest_util.Tablefmt
+
+let () =
+  let doc = Registry.generate ~scale:0.05 Registry.Dblp in
+  Printf.printf "DBLP: %d elements\n%!" (Doc.size doc);
+
+  (* A validation workload with known exact selectivities. *)
+  let config =
+    { Workload.default_config with num_simple = 400; num_branch = 400 }
+  in
+  let workload = Workload.generate ~config doc in
+  let queries = workload.Workload.simple @ workload.Workload.branch in
+  Printf.printf "validation workload: %d positive queries\n\n%!"
+    (List.length queries);
+
+  let base = Summary.collect doc in
+  let evaluate p_variance =
+    let summary = Summary.assemble ~p_variance ~o_variance:p_variance base in
+    let estimator = Estimator.create summary in
+    let errors =
+      Array.of_list
+        (List.map
+           (fun (it : Workload.item) ->
+             Stats.relative_error
+               ~actual:(Float.of_int it.actual)
+               ~estimate:(Estimator.estimate estimator it.pattern))
+           queries)
+    in
+    let bytes =
+      Summary.total_bytes summary + Summary.o_histogram_bytes summary
+    in
+    (bytes, Stats.mean errors, Stats.percentile errors 90.0)
+  in
+
+  let sweep = [ 0.0; 1.0; 2.0; 4.0; 8.0; 14.0; 20.0 ] in
+  let results = List.map (fun v -> (v, evaluate v)) sweep in
+  print_endline
+    (Tablefmt.render_table
+       ~title:"Variance sweep on DBLP"
+       ~header:[ "variance"; "total synopsis"; "mean error"; "p90 error" ]
+       ~align:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+       (List.map
+          (fun (v, (bytes, mean, p90)) ->
+            [
+              Tablefmt.fmt_float v;
+              Tablefmt.fmt_bytes bytes;
+              Printf.sprintf "%.2f%%" (100.0 *. mean);
+              Printf.sprintf "%.2f%%" (100.0 *. p90);
+            ])
+          results));
+
+  (* Pick the smallest synopsis within a 5% mean-error budget. *)
+  let budget = 0.05 in
+  let within = List.filter (fun (_, (_, mean, _)) -> mean <= budget) results in
+  match
+    List.sort (fun (_, (b1, _, _)) (_, (b2, _, _)) -> Int.compare b1 b2) within
+  with
+  | (v, (bytes, mean, _)) :: _ ->
+      Printf.printf
+        "\nsmallest synopsis within a %.0f%% budget: variance %g (%s, mean \
+         error %.2f%%)\n"
+        (100.0 *. budget) v (Tablefmt.fmt_bytes bytes) (100.0 *. mean)
+  | [] -> Printf.printf "\nno setting met the %.0f%% budget\n" (100.0 *. budget)

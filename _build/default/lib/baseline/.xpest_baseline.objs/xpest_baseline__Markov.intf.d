@@ -1,0 +1,1 @@
+lib/baseline/markov.mli: Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+lib/baseline/position_histogram.ml: Float Hashtbl List Option Xpest_xml Xpest_xpath

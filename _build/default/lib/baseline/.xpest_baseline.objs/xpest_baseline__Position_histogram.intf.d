@@ -1,0 +1,1 @@
+lib/baseline/position_histogram.mli: Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+lib/baseline/xsketch.ml: Array Float Fun Hashtbl List Option Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+lib/baseline/xsketch.mli: Xpest_xml Xpest_xpath

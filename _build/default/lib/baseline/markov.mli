@@ -1,0 +1,14 @@
+(** Second-order Markov path model (McHugh & Widom, VLDB 1999 style).
+
+    Stores tag frequencies and parent-child tag-pair frequencies and
+    estimates by multiplying conditional traversal ratios — exactly
+    the label-split special case of the XSketch synopsis, so this
+    module is a thin wrapper over {!Xsketch} built with no refinement.
+    It provides the "Markov-table" baseline of the related-work
+    comparison at minimal memory. *)
+
+type t
+
+val build : Xpest_xml.Doc.t -> t
+val byte_size : t -> int
+val estimate : t -> Xpest_xpath.Pattern.t -> float

@@ -1,0 +1,176 @@
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+
+type cell = {
+  s_lo : float;
+  s_hi : float;
+  count : int;
+  avg_width : float; (* mean subtree width (end - start) of members *)
+}
+
+type t = {
+  grid : int;
+  cells : (string, cell list) Hashtbl.t; (* per tag, non-empty cells *)
+  totals : (string, int) Hashtbl.t;
+}
+
+let build ?(grid = 8) doc =
+  let n = Doc.size doc in
+  let width = Float.of_int n /. Float.of_int grid in
+  let buckets = Hashtbl.create 64 in
+  Doc.iter doc (fun node ->
+      let tag = Doc.tag doc node in
+      let s = node and e = Doc.subtree_last doc node in
+      let si = min (grid - 1) (int_of_float (Float.of_int s /. width)) in
+      let ei = min (grid - 1) (int_of_float (Float.of_int e /. width)) in
+      let key = (tag, si, ei) in
+      let count, wsum =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt buckets key)
+      in
+      Hashtbl.replace buckets key (count + 1, wsum +. Float.of_int (e - s)));
+  let cells = Hashtbl.create 64 in
+  let totals = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (tag, si, _ei) (count, wsum) ->
+      let cell =
+        {
+          s_lo = Float.of_int si *. width;
+          s_hi = Float.of_int (si + 1) *. width;
+          count;
+          avg_width = wsum /. Float.of_int count;
+        }
+      in
+      Hashtbl.replace cells tag
+        (cell :: Option.value ~default:[] (Hashtbl.find_opt cells tag));
+      Hashtbl.replace totals tag
+        (count + Option.value ~default:0 (Hashtbl.find_opt totals tag)))
+    buckets;
+  { grid; cells; totals }
+
+let byte_size t =
+  Hashtbl.fold (fun _ cs acc -> acc + 8 + (4 * List.length cs)) t.cells 0
+
+(* P[x contains y]: model x as the interval [sx, sx + wA] with sx
+   uniform over A's start range (wA = A's mean subtree width), y
+   likewise.  Containment needs sx <= sy and sy + wB <= sx + wA, i.e.
+   sy - d <= sx <= sy with d = wA - wB (impossible when wA < wB).
+   Integrated numerically over sy.  Treating intervals through their
+   cell's mean width is what keeps tree data — whose points hug the
+   s = e diagonal — from being wildly overestimated by independent-
+   coordinate cell uniformity. *)
+let pair_probability (a : cell) (b : cell) =
+  let d = a.avg_width -. b.avg_width in
+  if d < 0.0 then 0.0
+  else
+    let wa = a.s_hi -. a.s_lo and wb = b.s_hi -. b.s_lo in
+    if wa <= 0.0 || wb <= 0.0 then if d > 0.0 then 1.0 else 0.0
+    else
+      let samples = 32 in
+      let acc = ref 0.0 in
+      for i = 0 to samples - 1 do
+        let sy = b.s_lo +. ((Float.of_int i +. 0.5) /. Float.of_int samples *. wb) in
+        let lo = Float.max a.s_lo (sy -. d) and hi = Float.min a.s_hi sy in
+        if hi > lo then acc := !acc +. ((hi -. lo) /. wa)
+      done;
+      !acc /. Float.of_int samples
+
+let estimate_pairs t ~anc ~desc =
+  match (Hashtbl.find_opt t.cells anc, Hashtbl.find_opt t.cells desc) with
+  | Some acs, Some bcs ->
+      List.fold_left
+        (fun acc a ->
+          List.fold_left
+            (fun acc b ->
+              acc
+              +. (Float.of_int a.count *. Float.of_int b.count
+                 *. pair_probability a b))
+            acc bcs)
+        0.0 acs
+  | None, _ | _, None -> 0.0
+
+let total t tag = Option.value ~default:0 (Hashtbl.find_opt t.totals tag)
+
+(* Chain the spine with distinct-count capping: est elements of step i
+   ~ min(count_i, pairs(i-1, i) * est_{i-1} / count_{i-1}). *)
+let chain_estimate t spine =
+  match (spine : Pattern.spine) with
+  | [] -> 0.0
+  | head :: rest ->
+      let est_head = Float.of_int (total t head.tag) in
+      let rec go prev_tag prev_est = function
+        | [] -> prev_est
+        | (s : Pattern.step) :: rest ->
+            let pairs = estimate_pairs t ~anc:prev_tag ~desc:s.tag in
+            let prev_total = Float.of_int (total t prev_tag) in
+            let scaled =
+              if prev_total <= 0.0 then 0.0 else pairs *. prev_est /. prev_total
+            in
+            let est = Float.min (Float.of_int (total t s.tag)) scaled in
+            if est <= 0.0 then 0.0 else go s.tag est rest
+      in
+      go head.tag est_head rest
+
+(* Satisfaction fraction of a branch below the attach tag. *)
+let branch_fraction t attach_tag spine =
+  match (spine : Pattern.spine) with
+  | [] -> 1.0
+  | _ ->
+      let est = chain_estimate t ({ Pattern.axis = Descendant; tag = attach_tag } :: spine) in
+      let tot = Float.of_int (total t attach_tag) in
+      if tot <= 0.0 then 0.0 else Float.min 1.0 (est /. tot)
+
+let estimate t (q : Pattern.t) =
+  let shape =
+    match Pattern.shape q with
+    | (Pattern.Simple _ | Pattern.Branch _) as s -> s
+    | Pattern.Ordered _ as s -> Pattern.counterpart s
+  in
+  let position = Pattern.counterpart_position (Pattern.target q) in
+  let prefix_upto spine i = List.filteri (fun j _ -> j <= i) spine in
+  let suffix_from spine i = List.filteri (fun j _ -> j > i) spine in
+  let cap_suffix tag_ est spine =
+    (* remaining steps below the target act as a satisfaction filter *)
+    est *. branch_fraction t tag_ spine
+  in
+  match (shape, position) with
+  | Pattern.Simple spine, Pattern.In_trunk i ->
+      let target_tag = (List.nth spine i).Pattern.tag in
+      cap_suffix target_tag (chain_estimate t (prefix_upto spine i)) (suffix_from spine i)
+  | Pattern.Branch { trunk; branch; tail }, pos ->
+      let attach_tag = (List.nth trunk (List.length trunk - 1)).Pattern.tag in
+      let attach_est = chain_estimate t trunk in
+      let attach_total = Float.of_int (total t attach_tag) in
+      let with_branch spine est =
+        est *. branch_fraction t attach_tag spine
+      in
+      (match pos with
+      | Pattern.In_trunk i ->
+          let target_tag = (List.nth trunk i).Pattern.tag in
+          let est = chain_estimate t (prefix_upto trunk i) in
+          let est = cap_suffix target_tag est (suffix_from trunk i) in
+          with_branch branch (with_branch tail est)
+      | Pattern.In_branch i ->
+          let attach = with_branch tail attach_est in
+          let scale = if attach_total <= 0.0 then 0.0 else attach /. attach_total in
+          let est =
+            chain_estimate t
+              (({ Pattern.axis = Descendant; tag = attach_tag } : Pattern.step)
+              :: prefix_upto branch i)
+          in
+          let target_tag = (List.nth branch i).Pattern.tag in
+          cap_suffix target_tag (est *. scale) (suffix_from branch i)
+      | Pattern.In_tail i ->
+          let attach = with_branch branch attach_est in
+          let scale = if attach_total <= 0.0 then 0.0 else attach /. attach_total in
+          let est =
+            chain_estimate t
+              (({ Pattern.axis = Descendant; tag = attach_tag } : Pattern.step)
+              :: prefix_upto tail i)
+          in
+          let target_tag = (List.nth tail i).Pattern.tag in
+          cap_suffix target_tag (est *. scale) (suffix_from tail i)
+      | Pattern.In_first _ | Pattern.In_second _ ->
+          invalid_arg "Position_histogram.estimate: unlowered order position")
+  | Pattern.Simple _, _ ->
+      invalid_arg "Position_histogram.estimate: position not in shape"
+  | Pattern.Ordered _, _ -> assert false

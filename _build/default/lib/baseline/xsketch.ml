@@ -1,0 +1,429 @@
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+
+type cls = {
+  tag : int; (* tag code *)
+  count : int;
+  edges : (int * int) array; (* (child class, #children of members there) *)
+}
+
+type t = {
+  doc_max_depth : int;
+  root_class : int;
+  classes : cls array;
+  by_tag : int list array; (* tag code -> classes with that tag *)
+  tag_of_name : (string, int) Hashtbl.t;
+  steps : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction: label split + greedy backward-stability refinement.   *)
+
+type build_state = {
+  doc : Doc.t;
+  mutable class_of : int array;
+  mutable num_classes : int;
+  mutable class_tag : int array;
+}
+
+let grow a n default =
+  if n <= Array.length a then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) default in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* members per class, recomputed on demand *)
+let members st =
+  let m = Array.make st.num_classes [] in
+  for node = Doc.size st.doc - 1 downto 0 do
+    let c = st.class_of.(node) in
+    m.(c) <- node :: m.(c)
+  done;
+  m
+
+let edge_counts st =
+  let tbl = Hashtbl.create 256 in
+  Doc.iter st.doc (fun node ->
+      match Doc.parent st.doc node with
+      | None -> ()
+      | Some p ->
+          let key = (st.class_of.(p), st.class_of.(node)) in
+          Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)));
+  tbl
+
+let byte_size_of ~num_classes ~num_edges = (6 * num_classes) + (8 * num_edges)
+
+(* Heterogeneity of a class: summed per-child-class variance of its
+   members' fan-outs.  0 means the class is child-stable. *)
+let heterogeneity st member_lists c =
+  let mem = member_lists.(c) in
+  let n = List.length mem in
+  if n < 2 then 0.0
+  else begin
+    (* accumulate per-child-class sum and sum of squares of fan-outs *)
+    let sums = Hashtbl.create 8 in
+    List.iter
+      (fun x ->
+        let local = Hashtbl.create 8 in
+        List.iter
+          (fun ch ->
+            let cc = st.class_of.(ch) in
+            Hashtbl.replace local cc
+              (1 + Option.value ~default:0 (Hashtbl.find_opt local cc)))
+          (Doc.children st.doc x);
+        Hashtbl.iter
+          (fun cc k ->
+            let s, s2 = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt sums cc) in
+            Hashtbl.replace sums cc (s +. Float.of_int k, s2 +. Float.of_int (k * k)))
+          local)
+      mem;
+    let fn = Float.of_int n in
+    Hashtbl.fold
+      (fun _cc (s, s2) acc ->
+        let mean = s /. fn in
+        acc +. Float.max 0.0 ((s2 /. fn) -. (mean *. mean)))
+      sums 0.0
+  end
+
+(* Split class c by the parent class of each member.  Returns true if
+   an actual split happened. *)
+let split_by_parent st member_lists c =
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun x ->
+      let key =
+        match Doc.parent st.doc x with Some p -> st.class_of.(p) | None -> -1
+      in
+      Hashtbl.replace groups key (x :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    member_lists.(c);
+  if Hashtbl.length groups < 2 then false
+  else begin
+    (* first group keeps id c, the rest get fresh ids *)
+    let first = ref true in
+    Hashtbl.iter
+      (fun _key nodes ->
+        if !first then first := false
+        else begin
+          let fresh = st.num_classes in
+          st.num_classes <- st.num_classes + 1;
+          st.class_tag <- grow st.class_tag st.num_classes 0;
+          st.class_tag.(fresh) <- st.class_tag.(c);
+          List.iter (fun x -> st.class_of.(x) <- fresh) nodes
+        end)
+      groups;
+    true
+  end
+
+let build ?(budget_bytes = 16384) doc =
+  let st =
+    {
+      doc;
+      class_of = Array.make (Doc.size doc) 0;
+      num_classes = Doc.num_tags doc;
+      class_tag = Array.init (Doc.num_tags doc) Fun.id;
+    }
+  in
+  Doc.iter doc (fun n -> st.class_of.(n) <- Doc.tag_code doc n);
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let edges = edge_counts st in
+    let size =
+      byte_size_of ~num_classes:st.num_classes ~num_edges:(Hashtbl.length edges)
+    in
+    if size >= budget_bytes then continue := false
+    else begin
+      (* rank classes by heterogeneity and split the best splittable
+         one; a class whose members cannot be distinguished by parent
+         class is halved in document order (positional refinement) *)
+      let member_lists = members st in
+      let candidates =
+        List.init st.num_classes (fun c -> (c, heterogeneity st member_lists c))
+        |> List.filter (fun (_, h) -> h > 0.0)
+        |> List.sort (fun (_, h1) (_, h2) -> Float.compare h2 h1)
+      in
+      let split_halves c =
+        let mem = member_lists.(c) in
+        let n = List.length mem in
+        if n < 2 then false
+        else begin
+          let fresh = st.num_classes in
+          st.num_classes <- st.num_classes + 1;
+          st.class_tag <- grow st.class_tag st.num_classes 0;
+          st.class_tag.(fresh) <- st.class_tag.(c);
+          List.iteri (fun i x -> if i >= n / 2 then st.class_of.(x) <- fresh) mem;
+          true
+        end
+      in
+      let rec try_candidates = function
+        | [] -> false
+        | (c, _) :: rest ->
+            split_by_parent st member_lists c
+            || split_halves c
+            || try_candidates rest
+      in
+      if try_candidates candidates then incr steps else continue := false
+    end
+  done;
+  (* freeze *)
+  let counts = Array.make st.num_classes 0 in
+  Doc.iter doc (fun n -> counts.(st.class_of.(n)) <- counts.(st.class_of.(n)) + 1);
+  let edges = edge_counts st in
+  let edge_lists = Array.make st.num_classes [] in
+  Hashtbl.iter
+    (fun (p, c) k -> edge_lists.(p) <- (c, k) :: edge_lists.(p))
+    edges;
+  let classes =
+    Array.init st.num_classes (fun c ->
+        {
+          tag = st.class_tag.(c);
+          count = counts.(c);
+          edges = Array.of_list edge_lists.(c);
+        })
+  in
+  let by_tag = Array.make (Doc.num_tags doc) [] in
+  Array.iteri (fun c (cl : cls) -> by_tag.(cl.tag) <- c :: by_tag.(cl.tag)) classes;
+  let tag_of_name = Hashtbl.create 64 in
+  for code = 0 to Doc.num_tags doc - 1 do
+    Hashtbl.replace tag_of_name (Doc.tag_name doc code) code
+  done;
+  {
+    doc_max_depth = Doc.max_depth doc;
+    root_class = st.class_of.(Doc.root doc);
+    classes;
+    by_tag;
+    tag_of_name;
+    steps = !steps;
+  }
+
+let num_classes t = Array.length t.classes
+let refinement_steps t = t.steps
+
+let byte_size t =
+  let num_edges =
+    Array.fold_left (fun acc (c : cls) -> acc + Array.length c.edges) 0 t.classes
+  in
+  byte_size_of ~num_classes:(Array.length t.classes) ~num_edges
+
+(* ------------------------------------------------------------------ *)
+(* Estimation.                                                          *)
+
+(* Push one child step: dist'[w] = sum_v dist[v] * edge(v,w)/count(v). *)
+let push_children t dist =
+  let out = Array.make (Array.length t.classes) 0.0 in
+  Array.iteri
+    (fun v dv ->
+      if dv > 0.0 then
+        let cl = t.classes.(v) in
+        let cv = Float.of_int cl.count in
+        Array.iter
+          (fun (w, k) -> out.(w) <- out.(w) +. (dv *. Float.of_int k /. cv))
+          cl.edges)
+    dist;
+  out
+
+(* Expected number of distinct elements matching a step from dist. *)
+let step_dist t dist (s : Pattern.step) =
+  let tag = Hashtbl.find_opt t.tag_of_name s.tag in
+  let matches w =
+    match tag with Some code -> t.classes.(w).tag = code | None -> false
+  in
+  match s.axis with
+  | Pattern.Child ->
+      let pushed = push_children t dist in
+      Array.mapi
+        (fun w x ->
+          if matches w then Float.min x (Float.of_int t.classes.(w).count)
+          else 0.0)
+        pushed
+  | Pattern.Descendant ->
+      let acc = Array.make (Array.length t.classes) 0.0 in
+      let level = ref dist in
+      for _depth = 1 to t.doc_max_depth do
+        level := push_children t !level;
+        Array.iteri (fun w x -> if matches w then acc.(w) <- acc.(w) +. x) !level
+      done;
+      Array.mapi
+        (fun w x -> Float.min x (Float.of_int t.classes.(w).count))
+        acc
+
+(* Expected number of embeddings of [spine] strictly below one element
+   of class [v]. *)
+let rec expect_spine t v (spine : Pattern.spine) =
+  match spine with
+  | [] -> 1.0
+  | _ ->
+      let unit_dist = Array.make (Array.length t.classes) 0.0 in
+      unit_dist.(v) <- 1.0;
+      expect_from t unit_dist spine
+
+and expect_from t dist = function
+  | [] -> Array.fold_left ( +. ) 0.0 dist
+  | s :: rest ->
+      (* no capping inside expectations: these are embedding counts *)
+      let tag = Hashtbl.find_opt t.tag_of_name s.Pattern.tag in
+      let matches w =
+        match tag with Some code -> t.classes.(w).tag = code | None -> false
+      in
+      let next =
+        match s.Pattern.axis with
+        | Pattern.Child ->
+            let pushed = push_children t dist in
+            Array.mapi (fun w x -> if matches w then x else 0.0) pushed
+        | Pattern.Descendant ->
+            let acc = Array.make (Array.length t.classes) 0.0 in
+            let level = ref dist in
+            for _depth = 1 to t.doc_max_depth do
+              level := push_children t !level;
+              Array.iteri
+                (fun w x -> if matches w then acc.(w) <- acc.(w) +. x)
+                !level
+            done;
+            acc
+      in
+      expect_from t next rest
+
+(* Satisfaction probability of a branch below one element of class v. *)
+let sat t v spine = Float.min 1.0 (expect_spine t v spine)
+
+let anchor_dist t (spine : Pattern.spine) =
+  match spine with
+  | [] -> Array.make (Array.length t.classes) 0.0
+  | s :: _ ->
+      let dist = Array.make (Array.length t.classes) 0.0 in
+      (match s.axis with
+      | Pattern.Child ->
+          if
+            Hashtbl.find_opt t.tag_of_name s.tag
+            = Some t.classes.(t.root_class).tag
+          then dist.(t.root_class) <- 1.0
+      | Pattern.Descendant -> (
+          match Hashtbl.find_opt t.tag_of_name s.tag with
+          | Some code ->
+              List.iter
+                (fun c -> dist.(c) <- Float.of_int t.classes.(c).count)
+                t.by_tag.(code)
+          | None -> ()));
+      dist
+
+(* Forward distribution after binding the first (i+1) steps of spine,
+   starting from the anchored head. *)
+let forward t spine upto =
+  let rec go dist i = function
+    | [] -> dist
+    | s :: rest -> if i >= upto then dist else go (step_dist t dist s) (i + 1) rest
+  in
+  match spine with
+  | [] -> Array.make (Array.length t.classes) 0.0
+  | _ :: rest -> go (anchor_dist t spine) 0 rest
+
+let total = Array.fold_left ( +. ) 0.0
+
+(* Weighted satisfaction of extra constraints at the attach point. *)
+let apply_sat t dist spine =
+  Array.mapi (fun v x -> if x > 0.0 then x *. sat t v spine else 0.0) dist
+
+(* Remaining trunk below a trunk target, terminated by the branch
+   constraints: expected embeddings below one element of v. *)
+let expect_continuation t v ~rest_trunk ~branch ~tail =
+  match rest_trunk with
+  | [] ->
+      (* v itself is the attach point *)
+      sat t v branch *. sat t v tail
+  | _ ->
+      (* push the remaining trunk from a unit element, then weigh the
+         attach distribution by both branch satisfactions *)
+      let unit_dist = Array.make (Array.length t.classes) 0.0 in
+      unit_dist.(v) <- 1.0;
+      let rec go dist = function
+        | [] -> dist
+        | (s : Pattern.step) :: rest ->
+            let tag = Hashtbl.find_opt t.tag_of_name s.tag in
+            let matches w =
+              match tag with Some code -> t.classes.(w).tag = code | None -> false
+            in
+            let next =
+              match s.axis with
+              | Pattern.Child ->
+                  let pushed = push_children t dist in
+                  Array.mapi (fun w x -> if matches w then x else 0.0) pushed
+              | Pattern.Descendant ->
+                  let acc = Array.make (Array.length t.classes) 0.0 in
+                  let level = ref dist in
+                  for _ = 1 to t.doc_max_depth do
+                    level := push_children t !level;
+                    Array.iteri
+                      (fun w x -> if matches w then acc.(w) <- acc.(w) +. x)
+                      !level
+                  done;
+                  acc
+            in
+            go next rest
+      in
+      let attach = go unit_dist rest_trunk in
+      let weighted = apply_sat t (apply_sat t attach branch) tail in
+      Float.min 1.0 (total weighted)
+
+let split_at i l =
+  let rec go acc i = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (i - 1) rest
+  in
+  go [] i l
+
+let estimate_shape t (shape : Pattern.shape) (position : Pattern.position) =
+  match (shape, position) with
+  | Simple spine, In_trunk i ->
+      let dist = forward t spine (i + 1) in
+      let _, rest = split_at (i + 1) spine in
+      total
+        (Array.mapi
+           (fun v x -> if x > 0.0 then x *. sat t v rest else 0.0)
+           dist)
+  | Branch { trunk; branch; tail }, In_trunk i ->
+      let dist = forward t trunk (i + 1) in
+      let _, rest_trunk = split_at (i + 1) trunk in
+      total
+        (Array.mapi
+           (fun v x ->
+             if x > 0.0 then x *. expect_continuation t v ~rest_trunk ~branch ~tail
+             else 0.0)
+           dist)
+  | Branch { trunk; branch; tail }, In_branch i ->
+      let attach = apply_sat t (forward t trunk (List.length trunk)) tail in
+      let rec walk dist j = function
+        | [] -> dist
+        | s :: rest ->
+            if j > i then dist else walk (step_dist t dist s) (j + 1) rest
+      in
+      let dist = walk attach 0 branch in
+      let _, rest = split_at (i + 1) branch in
+      total
+        (Array.mapi (fun v x -> if x > 0.0 then x *. sat t v rest else 0.0) dist)
+  | Branch { trunk; branch; tail }, In_tail i ->
+      let attach = apply_sat t (forward t trunk (List.length trunk)) branch in
+      let rec walk dist j = function
+        | [] -> dist
+        | s :: rest ->
+            if j > i then dist else walk (step_dist t dist s) (j + 1) rest
+      in
+      let dist = walk attach 0 tail in
+      let _, rest = split_at (i + 1) tail in
+      total
+        (Array.mapi (fun v x -> if x > 0.0 then x *. sat t v rest else 0.0) dist)
+  | Simple _, (In_branch _ | In_tail _ | In_first _ | In_second _)
+  | Branch _, (In_first _ | In_second _) ->
+      invalid_arg "Xsketch.estimate: position not in shape"
+  | Ordered _, _ -> invalid_arg "Xsketch.estimate: unlowered ordered shape"
+
+let estimate t (q : Pattern.t) =
+  match Pattern.shape q with
+  | (Pattern.Simple _ | Pattern.Branch _) as shape ->
+      estimate_shape t shape (Pattern.target q)
+  | Pattern.Ordered _ as shape ->
+      estimate_shape t (Pattern.counterpart shape)
+        (Pattern.counterpart_position (Pattern.target q))

@@ -1,0 +1,1 @@
+lib/datasets/dblp.ml: Array List String Xpest_util Xpest_xml

@@ -1,0 +1,1 @@
+lib/datasets/registry.ml: Dblp Float Ssplays String Xmark Xpest_xml

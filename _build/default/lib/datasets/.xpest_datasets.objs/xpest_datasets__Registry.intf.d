@@ -1,0 +1,1 @@
+lib/datasets/registry.mli: Xpest_xml

@@ -1,0 +1,1 @@
+lib/datasets/ssplays.ml: List Xpest_util Xpest_xml

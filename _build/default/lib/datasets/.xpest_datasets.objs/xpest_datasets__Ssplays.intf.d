@@ -1,0 +1,1 @@
+lib/datasets/ssplays.mli: Xpest_xml

@@ -1,0 +1,1 @@
+lib/datasets/xmark.ml: Float List Xpest_util Xpest_xml

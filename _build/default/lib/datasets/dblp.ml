@@ -1,0 +1,136 @@
+module Tree = Xpest_xml.Tree
+module Prng = Xpest_util.Prng
+
+(* Field layout per record type.  The sums are chosen so that the
+   number of distinct root-to-leaf paths (dblp/<type>/<field>) is 87,
+   matching the profile the paper reports for DBLP (Table 3). *)
+
+type record_type = {
+  rtype : string;
+  weight : float; (* relative frequency in the mix *)
+  lead : string; (* repeated leading field: author or editor *)
+  core : string list; (* always present, after the lead fields *)
+  optional : string list; (* independently present with probability ~0.45 *)
+}
+
+let record_types =
+  [
+    {
+      rtype = "article";
+      weight = 40.0;
+      lead = "author";
+      core = [ "title"; "journal"; "volume"; "year" ];
+      optional = [ "pages"; "number"; "month"; "url"; "ee"; "cdrom"; "cite"; "note"; "crossref" ];
+    };
+    {
+      rtype = "inproceedings";
+      weight = 45.0;
+      lead = "author";
+      core = [ "title"; "booktitle"; "year" ];
+      optional = [ "pages"; "url"; "ee"; "cdrom"; "cite"; "note"; "crossref"; "month"; "number" ];
+    };
+    {
+      rtype = "proceedings";
+      weight = 3.0;
+      lead = "editor";
+      core = [ "title"; "booktitle"; "publisher"; "year" ];
+      optional = [ "isbn"; "series"; "volume"; "url"; "ee"; "address"; "note" ];
+    };
+    {
+      rtype = "book";
+      weight = 3.0;
+      lead = "author";
+      core = [ "editor"; "title"; "publisher"; "year" ];
+      optional = [ "isbn"; "series"; "volume"; "url"; "ee"; "cite"; "note"; "month" ];
+    };
+    {
+      rtype = "incollection";
+      weight = 4.0;
+      lead = "author";
+      core = [ "title"; "booktitle"; "year" ];
+      optional = [ "pages"; "publisher"; "url"; "ee"; "cite"; "note"; "crossref"; "chapter" ];
+    };
+    {
+      rtype = "phdthesis";
+      weight = 1.5;
+      lead = "author";
+      core = [ "title"; "year"; "school" ];
+      optional = [ "publisher"; "isbn"; "url"; "month" ];
+    };
+    {
+      rtype = "mastersthesis";
+      weight = 0.5;
+      lead = "author";
+      core = [ "title"; "year"; "school" ];
+      optional = [ "url"; "note" ];
+    };
+    {
+      rtype = "www";
+      weight = 3.0;
+      lead = "author";
+      core = [ "title"; "url" ];
+      optional = [ "ee"; "note"; "year"; "crossref"; "cite"; "editor" ];
+    };
+  ]
+
+let tag_universe =
+  let fields =
+    List.concat_map (fun rt -> (rt.lead :: rt.core) @ rt.optional) record_types
+  in
+  List.sort_uniq String.compare (("dblp" :: List.map (fun rt -> rt.rtype) record_types) @ fields)
+
+(* Real DBLP records cluster into a handful of field layouts per type
+   (bibliographies are produced by a few tools), which keeps the number
+   of distinct path ids low (paper Table 3: 327 for DBLP).  We draw a
+   small per-type set of optional-field profiles once, then records
+   pick a profile with Zipf-skewed popularity. *)
+let make_profiles rng rt =
+  let subset () = List.filter (fun _ -> Prng.float rng 1.0 < 0.45) rt.optional in
+  Array.init 8 (fun i -> if i = 0 then rt.optional else subset ())
+
+let record rng rt profiles =
+  let leads =
+    List.init
+      (1 + Prng.geometric rng 0.45)
+      (fun _ -> Tree.leaf rt.lead)
+  in
+  let profile = profiles.(Prng.zipf rng (Array.length profiles) 1.2 - 1) in
+  let opts =
+    List.concat_map
+      (fun f ->
+        if String.equal f "cite" then
+          (* citations repeat, adding same-tag sibling runs *)
+          List.init (1 + Prng.int rng 3) (fun _ -> Tree.leaf f)
+        else [ Tree.leaf f ])
+      profile
+  in
+  Tree.elem rt.rtype (leads @ List.map Tree.leaf rt.core @ opts)
+
+(* One record per type with every field present, so that all 87 root-
+   to-leaf paths occur regardless of seed or scale. *)
+let coverage_records =
+  List.map
+    (fun rt ->
+      Tree.elem rt.rtype
+        (List.map Tree.leaf ((rt.lead :: rt.core) @ rt.optional)))
+    record_types
+
+let generate ?(records = 180_000) ~seed () =
+  let rng = Prng.create seed in
+  let weighted =
+    Array.of_list (List.map (fun rt -> (rt, rt.weight)) record_types)
+  in
+  let profiles =
+    List.map (fun rt -> (rt.rtype, make_profiles rng rt)) record_types
+  in
+  let body =
+    List.init records (fun _ ->
+        let rt = Prng.choose_weighted rng weighted in
+        record rng rt (List.assoc rt.rtype profiles))
+  in
+  (* scatter the coverage records across the body: clustering them at
+     the front would skew every sibling-order statistic involving a
+     rare record type *)
+  let all = Array.of_list (coverage_records @ body) in
+  Prng.shuffle rng all;
+  Tree.elem "dblp" (Array.to_list all)

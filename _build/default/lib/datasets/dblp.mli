@@ -1,0 +1,18 @@
+(** Synthetic DBLP bibliography.
+
+    Mirrors the structural profile of the DBLP dump in the paper
+    (Table 1: 65.2 MB, 31 distinct tags, 1,711,542 elements, 87
+    distinct root-to-leaf paths): extremely shallow and wide — one
+    [dblp] root with hundreds of thousands of flat publication records.
+    The enormous number of sibling pairs directly under each record is
+    what makes DBLP's order information disproportionately expensive to
+    summarize (paper Figure 9b, Table 5). *)
+
+val tag_universe : string list
+(** The 31 element tags (root + 8 record types + 22 field tags). *)
+
+val generate : ?records:int -> seed:int -> unit -> Xpest_xml.Tree.t
+(** [generate ~seed ()] builds the bibliography.  [records] defaults
+    to 180_000, which yields on the order of 1.7M elements (the paper's
+    scale); tests and the default bench profile pass a smaller value.
+    Deterministic in [seed] and [records]. *)

@@ -1,0 +1,28 @@
+type name = Ssplays | Dblp | Xmark
+
+let all = [ Ssplays; Dblp; Xmark ]
+
+let to_string = function
+  | Ssplays -> "SSPlays"
+  | Dblp -> "DBLP"
+  | Xmark -> "XMark"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "ssplays" | "plays" | "shakespeare" -> Some Ssplays
+  | "dblp" -> Some Dblp
+  | "xmark" -> Some Xmark
+  | _ -> None
+
+let default_seed = function Ssplays -> 1601 | Dblp -> 1901 | Xmark -> 2001
+
+let generate_tree ?(scale = 1.0) ?seed name =
+  let seed = match seed with Some s -> s | None -> default_seed name in
+  let scaled base = max 1 (int_of_float (Float.of_int base *. scale)) in
+  match name with
+  | Ssplays -> Ssplays.generate ~plays:(scaled 37) ~seed ()
+  | Dblp -> Dblp.generate ~records:(scaled 155_000) ~seed ()
+  | Xmark -> Xmark.generate ~scale ~seed ()
+
+let generate ?scale ?seed name =
+  Xpest_xml.Doc.of_tree (generate_tree ?scale ?seed name)

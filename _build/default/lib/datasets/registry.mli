@@ -1,0 +1,23 @@
+(** Uniform access to the three evaluation datasets.
+
+    The paper's experiments run over SSPlays, DBLP and XMark; the
+    harness iterates this registry so every experiment automatically
+    covers all three.  [scale] multiplies dataset cardinality: 1.0
+    approximates the paper's element counts (Table 1), smaller values
+    give proportionally smaller documents for fast test/bench runs. *)
+
+type name = Ssplays | Dblp | Xmark
+
+val all : name list
+(** [Ssplays; Dblp; Xmark] — the harness iteration order. *)
+
+val to_string : name -> string
+val of_string : string -> name option
+(** Case-insensitive. *)
+
+val generate_tree : ?scale:float -> ?seed:int -> name -> Xpest_xml.Tree.t
+(** [scale] defaults to [1.0], [seed] to a per-dataset constant, so two
+    calls with equal arguments build identical documents. *)
+
+val generate : ?scale:float -> ?seed:int -> name -> Xpest_xml.Doc.t
+(** [Doc.of_tree (generate_tree ...)]. *)

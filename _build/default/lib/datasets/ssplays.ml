@@ -1,0 +1,107 @@
+module Tree = Xpest_xml.Tree
+module Prng = Xpest_util.Prng
+
+let tag_universe =
+  [
+    "PLAYS"; "PLAY"; "TITLE"; "FM"; "P"; "PERSONAE"; "PERSONA"; "PGROUP";
+    "GRPDESCR"; "SCNDESCR"; "PLAYSUBT"; "INDUCT"; "PROLOGUE"; "EPILOGUE";
+    "ACT"; "SCENE"; "SPEECH"; "SPEAKER"; "LINE"; "STAGEDIR"; "SUBHEAD";
+  ]
+
+let repeat rng ~lo ~hi make =
+  List.init (Prng.int_in_range rng lo hi) (fun _ -> make ())
+
+let speech rng =
+  (* SPEAKER(s) first, then LINEs, occasionally a STAGEDIR in between:
+     this is the sibling-order texture order queries probe. *)
+  let subhead = if Prng.int rng 40 = 0 then [ Tree.leaf "SUBHEAD" ] else [] in
+  let speakers =
+    subhead @ repeat rng ~lo:1 ~hi:2 (fun () -> Tree.leaf "SPEAKER")
+  in
+  let lines =
+    List.concat
+      (repeat rng ~lo:3 ~hi:14 (fun () ->
+           if Prng.int rng 12 = 0 then [ Tree.leaf "STAGEDIR"; Tree.leaf "LINE" ]
+           else [ Tree.leaf "LINE" ]))
+  in
+  Tree.elem "SPEECH" (speakers @ lines)
+
+let scene rng =
+  let body =
+    List.concat
+      (repeat rng ~lo:14 ~hi:26 (fun () ->
+           if Prng.int rng 8 = 0 then [ Tree.leaf "STAGEDIR"; speech rng ]
+           else [ speech rng ]))
+  in
+  let subhead = if Prng.int rng 6 = 0 then [ Tree.leaf "SUBHEAD" ] else [] in
+  Tree.elem "SCENE" ((Tree.leaf "TITLE" :: Tree.leaf "STAGEDIR" :: subhead) @ body)
+
+let prologue_or_epilogue rng tag =
+  Tree.elem tag (Tree.leaf "TITLE" :: repeat rng ~lo:1 ~hi:2 (fun () -> speech rng))
+
+let act rng ~with_prologue =
+  let prologue =
+    if with_prologue && Prng.int rng 4 = 0 then
+      [ prologue_or_epilogue rng "PROLOGUE" ]
+    else []
+  in
+  let scenes = repeat rng ~lo:3 ~hi:5 (fun () -> scene rng) in
+  let epilogue =
+    if Prng.int rng 10 = 0 then [ prologue_or_epilogue rng "EPILOGUE" ] else []
+  in
+  Tree.elem "ACT" ((Tree.leaf "TITLE" :: prologue) @ scenes @ epilogue)
+
+let personae rng =
+  let persona () = Tree.leaf "PERSONA" in
+  let pgroup () =
+    Tree.elem "PGROUP"
+      (repeat rng ~lo:2 ~hi:4 persona @ [ Tree.leaf "GRPDESCR" ])
+  in
+  let members =
+    List.concat
+      (repeat rng ~lo:8 ~hi:18 (fun () ->
+           if Prng.int rng 5 = 0 then [ pgroup () ] else [ persona () ]))
+  in
+  Tree.elem "PERSONAE" (Tree.leaf "TITLE" :: members)
+
+let front_matter rng =
+  Tree.elem "FM" (repeat rng ~lo:3 ~hi:4 (fun () -> Tree.leaf "P"))
+
+(* [coverage] forces every optional construct so the full 21-tag
+   vocabulary and its root-to-leaf paths exist at any scale (the first
+   play of each corpus is generated with it). *)
+let play ?(coverage = false) rng =
+  let induct =
+    if coverage || Prng.int rng 12 = 0 then
+      [ Tree.elem "INDUCT"
+          (Tree.leaf "TITLE"
+          :: (if coverage then scene rng :: repeat rng ~lo:2 ~hi:4 (fun () -> speech rng)
+              else if Prng.bool rng then [ scene rng ]
+              else repeat rng ~lo:2 ~hi:4 (fun () -> speech rng))) ]
+    else []
+  in
+  let play_prologue =
+    if coverage || Prng.int rng 10 = 0 then
+      [ prologue_or_epilogue rng "PROLOGUE" ]
+    else []
+  in
+  let play_epilogue =
+    if coverage || Prng.int rng 10 = 0 then
+      [ prologue_or_epilogue rng "EPILOGUE" ]
+    else []
+  in
+  Tree.elem "PLAY"
+    ([
+       Tree.leaf "TITLE";
+       front_matter rng;
+       personae rng;
+       Tree.leaf "SCNDESCR";
+       Tree.leaf "PLAYSUBT";
+     ]
+    @ induct @ play_prologue
+    @ List.init 5 (fun i -> act rng ~with_prologue:(i = 0))
+    @ play_epilogue)
+
+let generate ?(plays = 37) ~seed () =
+  let rng = Prng.create seed in
+  Tree.elem "PLAYS" (List.init plays (fun i -> play ~coverage:(i = 0) rng))

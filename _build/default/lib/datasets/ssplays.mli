@@ -1,0 +1,17 @@
+(** Synthetic Shakespeare's Plays.
+
+    Mirrors the structural profile of the ibiblio Shakespeare corpus
+    used in the paper (Table 1: 7.5 MB, 21 distinct tags, 179,690
+    elements, 40 distinct root-to-leaf paths): a regular, moderately
+    deep document of plays, acts, scenes and speeches, with the
+    characteristic sibling-order texture (SPEAKER before LINEs,
+    STAGEDIRs interleaved) that order queries exercise. *)
+
+val tag_universe : string list
+(** The 21 element tags the generator can emit. *)
+
+val generate : ?plays:int -> seed:int -> unit -> Xpest_xml.Tree.t
+(** [generate ~seed ()] builds the corpus under a single [PLAYS] root.
+    [plays] defaults to 37 (the historical corpus), which yields on
+    the order of 170k elements.  Deterministic in [seed] and
+    [plays]. *)

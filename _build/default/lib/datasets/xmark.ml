@@ -1,0 +1,244 @@
+module Tree = Xpest_xml.Tree
+module Prng = Xpest_util.Prng
+
+let continents =
+  [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ]
+
+let tag_universe =
+  [
+    "site"; "regions"; "africa"; "asia"; "australia"; "europe"; "namerica";
+    "samerica"; "item"; "location"; "quantity"; "name"; "payment";
+    "description"; "text"; "parlist"; "listitem"; "shipping"; "incategory";
+    "mailbox"; "mail"; "from"; "to"; "date"; "itemref"; "categories";
+    "category"; "catgraph"; "edge"; "people"; "person"; "emailaddress";
+    "phone"; "homepage"; "creditcard"; "profile"; "interest"; "education";
+    "gender"; "business"; "age"; "watches"; "watch"; "address"; "street";
+    "city"; "country"; "province"; "zipcode"; "open_auctions";
+    "open_auction"; "initial"; "reserve"; "bidder"; "increase"; "current";
+    "privacy"; "seller"; "annotation"; "author"; "happiness";
+    "closed_auctions"; "closed_auction"; "price"; "buyer"; "type";
+    "interval"; "start"; "end"; "time"; "status"; "amount";
+    "keyword"; "bold";
+  ]
+
+let maybe rng p tree = if Prng.float rng 1.0 < p then [ tree ] else []
+
+let repeat rng ~lo ~hi make =
+  List.init (Prng.int_in_range rng lo hi) (fun _ -> make ())
+
+(* text with optional inline markup; sometimes a bare leaf *)
+let text rng =
+  let inline =
+    List.concat
+      [
+        maybe rng 0.25 (Tree.leaf "keyword"); maybe rng 0.2 (Tree.leaf "bold");
+      ]
+  in
+  Tree.elem "text" inline
+
+(* The recursive core: parlist -> listitem -> (text | parlist). *)
+let rec parlist rng depth =
+  let listitem () =
+    if depth > 0 && Prng.float rng 1.0 < 0.3 then
+      Tree.elem "listitem" [ parlist rng (depth - 1) ]
+    else Tree.elem "listitem" [ text rng ]
+  in
+  Tree.elem "parlist" (repeat rng ~lo:1 ~hi:3 (fun () -> listitem ()))
+
+let description rng =
+  if Prng.float rng 1.0 < 0.6 then Tree.elem "description" [ text rng ]
+  else Tree.elem "description" [ parlist rng 2 ]
+
+(* Deterministic fully-nested description: guarantees the deepest
+   recursion paths exist at every anchor regardless of seed/scale. *)
+let full_description () =
+  let text_full = Tree.elem "text" [ Tree.leaf "keyword"; Tree.leaf "bold" ] in
+  let rec deep d =
+    if d = 0 then Tree.elem "listitem" [ text_full ]
+    else
+      Tree.elem "listitem"
+        [ Tree.elem "parlist" [ deep (d - 1); Tree.elem "listitem" [ text_full ] ] ]
+  in
+  Tree.elem "description" [ Tree.elem "parlist" [ deep 2 ] ]
+
+let mail rng =
+  Tree.elem "mail"
+    [ Tree.leaf "from"; Tree.leaf "to"; Tree.leaf "date"; text rng ]
+
+let item rng =
+  let mailbox =
+    if Prng.float rng 1.0 < 0.35 then
+      [ Tree.elem "mailbox" (repeat rng ~lo:1 ~hi:3 (fun () -> mail rng)) ]
+    else []
+  in
+  Tree.elem "item"
+    ([ Tree.leaf "location"; Tree.leaf "quantity"; Tree.leaf "name";
+       Tree.leaf "payment"; description rng; Tree.leaf "shipping" ]
+    @ repeat rng ~lo:1 ~hi:3 (fun () -> Tree.leaf "incategory")
+    @ mailbox)
+
+let full_item () =
+  Tree.elem "item"
+    [
+      Tree.leaf "location"; Tree.leaf "quantity"; Tree.leaf "name";
+      Tree.leaf "payment"; full_description (); Tree.leaf "shipping";
+      Tree.leaf "incategory";
+      Tree.elem "mailbox"
+        [ Tree.elem "mail"
+            [ Tree.leaf "from"; Tree.leaf "to"; Tree.leaf "date";
+              Tree.elem "text" [ Tree.leaf "keyword"; Tree.leaf "bold" ] ] ];
+    ]
+
+let address rng =
+  Tree.elem "address"
+    ([ Tree.leaf "street"; Tree.leaf "city"; Tree.leaf "country" ]
+    @ maybe rng 0.4 (Tree.leaf "province")
+    @ [ Tree.leaf "zipcode" ])
+
+let profile rng =
+  Tree.elem "profile"
+    (repeat rng ~lo:0 ~hi:3 (fun () -> Tree.leaf "interest")
+    @ maybe rng 0.5 (Tree.leaf "education")
+    @ maybe rng 0.7 (Tree.leaf "gender")
+    @ [ Tree.leaf "business" ]
+    @ maybe rng 0.6 (Tree.leaf "age"))
+
+let person rng =
+  Tree.elem "person"
+    ([ Tree.leaf "name"; Tree.leaf "emailaddress" ]
+    @ maybe rng 0.5 (Tree.leaf "phone")
+    @ maybe rng 0.3 (Tree.leaf "homepage")
+    @ maybe rng 0.4 (Tree.leaf "creditcard")
+    @ maybe rng 0.6 (address rng)
+    @ maybe rng 0.7 (profile rng)
+    @
+    if Prng.float rng 1.0 < 0.4 then
+      [ Tree.elem "watches"
+          (repeat rng ~lo:1 ~hi:4 (fun () -> Tree.leaf "watch")) ]
+    else [])
+
+let full_person () =
+  Tree.elem "person"
+    [
+      Tree.leaf "name"; Tree.leaf "emailaddress"; Tree.leaf "phone";
+      Tree.leaf "homepage"; Tree.leaf "creditcard";
+      Tree.elem "address"
+        [ Tree.leaf "street"; Tree.leaf "city"; Tree.leaf "country";
+          Tree.leaf "province"; Tree.leaf "zipcode" ];
+      Tree.elem "profile"
+        [ Tree.leaf "interest"; Tree.leaf "education"; Tree.leaf "gender";
+          Tree.leaf "business"; Tree.leaf "age" ];
+      Tree.elem "watches" [ Tree.leaf "watch" ];
+    ]
+
+let annotation rng =
+  Tree.elem "annotation"
+    (maybe rng 0.7 (Tree.leaf "author")
+    @ [ description rng ]
+    @ maybe rng 0.5 (Tree.leaf "happiness"))
+
+let full_annotation () =
+  Tree.elem "annotation"
+    [ Tree.leaf "author"; full_description (); Tree.leaf "happiness" ]
+
+let bidder () =
+  Tree.elem "bidder"
+    [ Tree.leaf "date"; Tree.leaf "time"; Tree.leaf "increase" ]
+
+let open_auction rng =
+  Tree.elem "open_auction"
+    ([ Tree.leaf "initial" ]
+    @ maybe rng 0.5 (Tree.leaf "reserve")
+    @ repeat rng ~lo:0 ~hi:5 (fun () -> bidder ())
+    @ [ Tree.leaf "current" ]
+    @ maybe rng 0.4 (Tree.leaf "privacy")
+    @ [ Tree.leaf "itemref"; Tree.leaf "seller"; annotation rng;
+        Tree.leaf "quantity"; Tree.leaf "type";
+        Tree.elem "interval" [ Tree.leaf "start"; Tree.leaf "end" ] ]
+    @ maybe rng 0.3 (Tree.leaf "status"))
+
+let full_open_auction () =
+  Tree.elem "open_auction"
+    [
+      Tree.leaf "initial"; Tree.leaf "reserve";
+      Tree.elem "bidder"
+        [ Tree.leaf "date"; Tree.leaf "time"; Tree.leaf "increase" ];
+      Tree.leaf "current"; Tree.leaf "privacy"; Tree.leaf "itemref";
+      Tree.leaf "seller"; full_annotation (); Tree.leaf "quantity";
+      Tree.leaf "type";
+      Tree.elem "interval" [ Tree.leaf "start"; Tree.leaf "end" ];
+      Tree.leaf "status";
+    ]
+
+let closed_auction rng =
+  Tree.elem "closed_auction"
+    ([ Tree.leaf "seller"; Tree.leaf "buyer"; Tree.leaf "itemref";
+       Tree.leaf "price"; Tree.leaf "date"; Tree.leaf "quantity";
+       Tree.leaf "type" ]
+    @ maybe rng 0.4 (Tree.leaf "amount")
+    @ maybe rng 0.6 (annotation rng))
+
+let full_closed_auction () =
+  Tree.elem "closed_auction"
+    [
+      Tree.leaf "seller"; Tree.leaf "buyer"; Tree.leaf "itemref";
+      Tree.leaf "price"; Tree.leaf "date"; Tree.leaf "quantity";
+      Tree.leaf "type"; Tree.leaf "amount"; full_annotation ();
+    ]
+
+let category rng =
+  Tree.elem "category" [ Tree.leaf "name"; description rng ]
+
+let scaled scale base = max 1 (int_of_float (Float.of_int base *. scale))
+
+let generate ?(scale = 1.0) ~seed () =
+  let rng = Prng.create seed in
+  let regions =
+    Tree.elem "regions"
+      (List.map
+         (fun continent ->
+           Tree.elem continent
+             (full_item ()
+             :: repeat rng ~lo:(scaled scale 1000) ~hi:(scaled scale 1300)
+                  (fun () -> item rng)))
+         continents)
+  in
+  let categories =
+    Tree.elem "categories"
+      (Tree.elem "category" [ Tree.leaf "name"; full_description () ]
+      :: repeat rng
+           ~lo:(scaled scale 270)
+           ~hi:(scaled scale 340)
+           (fun () -> category rng))
+  in
+  let catgraph =
+    Tree.elem "catgraph"
+      (repeat rng ~lo:(scaled scale 340) ~hi:(scaled scale 410) (fun () ->
+           Tree.leaf "edge"))
+  in
+  let people =
+    Tree.elem "people"
+      (full_person ()
+      :: repeat rng
+           ~lo:(scaled scale 5400)
+           ~hi:(scaled scale 6100)
+           (fun () -> person rng))
+  in
+  let open_auctions =
+    Tree.elem "open_auctions"
+      (full_open_auction ()
+      :: repeat rng
+           ~lo:(scaled scale 2700)
+           ~hi:(scaled scale 3100)
+           (fun () -> open_auction rng))
+  in
+  let closed_auctions =
+    Tree.elem "closed_auctions"
+      (full_closed_auction ()
+      :: repeat rng
+           ~lo:(scaled scale 2000)
+           ~hi:(scaled scale 2400)
+           (fun () -> closed_auction rng))
+  in
+  Tree.elem "site"
+    [ regions; categories; catgraph; people; open_auctions; closed_auctions ]

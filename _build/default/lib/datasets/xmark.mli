@@ -1,0 +1,17 @@
+(** Synthetic XMark auction site.
+
+    Mirrors the structural profile of the XMark benchmark document in
+    the paper (Table 1: 20.4 MB, 74 distinct tags, 319,815 elements,
+    344 distinct root-to-leaf paths): six regional item collections,
+    people, categories and open/closed auctions, with the recursive
+    [description / parlist / listitem] subtree that multiplies distinct
+    paths and makes XMark's path ids long (Table 3). *)
+
+val tag_universe : string list
+(** The 74 element tags the generator can emit. *)
+
+val generate : ?scale:float -> seed:int -> unit -> Xpest_xml.Tree.t
+(** [generate ~seed ()] builds the auction site.  [scale] (default
+    [1.0]) multiplies all collection cardinalities; the default yields
+    on the order of 300k elements.  Deterministic in [seed] and
+    [scale]. *)

@@ -1,0 +1,1 @@
+lib/encoding/encoding_table.ml: Array Hashtbl Int List Printf String Xpest_xml

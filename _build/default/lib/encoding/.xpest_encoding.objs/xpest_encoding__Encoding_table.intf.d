@@ -1,0 +1,1 @@
+lib/encoding/encoding_table.mli: Xpest_xml

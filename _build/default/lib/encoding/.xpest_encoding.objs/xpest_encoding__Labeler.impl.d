@@ -1,0 +1,1 @@
+lib/encoding/labeler.ml: Array Encoding_table Hashtbl List Xpest_util Xpest_xml

@@ -1,0 +1,1 @@
+lib/encoding/labeler.mli: Encoding_table Xpest_util Xpest_xml

@@ -1,0 +1,1 @@
+lib/encoding/pid_tree.ml: Array Hashtbl List Printf String Xpest_util

@@ -1,0 +1,1 @@
+lib/encoding/pid_tree.mli: Xpest_util

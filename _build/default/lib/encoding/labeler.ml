@@ -1,0 +1,71 @@
+module Doc = Xpest_xml.Doc
+module Bitvec = Xpest_util.Bitvec
+
+module Pid_table = Hashtbl.Make (struct
+  type t = Bitvec.t
+
+  let equal = Bitvec.equal
+  let hash = Bitvec.hash
+end)
+
+type t = {
+  doc : Doc.t;
+  table : Encoding_table.t;
+  node_pid : int array; (* node -> interned pid index *)
+  pids : Bitvec.t array; (* interned index -> path id *)
+  index_of : int Pid_table.t; (* path id -> interned index *)
+}
+
+let label doc table =
+  let n = Doc.size doc in
+  let width = Encoding_table.num_paths table in
+  let node_pid = Array.make n (-1) in
+  let intern_tbl = Pid_table.create 256 in
+  (* Growable store of interned pids so intermediate lookups can be
+     made during the bottom-up pass. *)
+  let store = ref (Array.make 256 (Bitvec.zero 0)) in
+  let count = ref 0 in
+  let intern pid =
+    match Pid_table.find_opt intern_tbl pid with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        if i >= Array.length !store then begin
+          let bigger = Array.make (2 * Array.length !store) (Bitvec.zero 0) in
+          Array.blit !store 0 bigger 0 (Array.length !store);
+          store := bigger
+        end;
+        !store.(i) <- pid;
+        Pid_table.add intern_tbl pid i;
+        i
+  in
+  (* Children have larger pre-order ids than their parent, so a
+     descending scan is a bottom-up pass. *)
+  for node = n - 1 downto 0 do
+    let pid =
+      if Doc.is_leaf doc node then
+        match Encoding_table.encoding_of_path table (Doc.path_to doc node) with
+        | Some e -> Bitvec.singleton width (e - 1)
+        | None ->
+            invalid_arg
+              "Labeler.label: encoding table does not cover this document"
+      else
+        List.fold_left
+          (fun acc child -> Bitvec.logor acc !store.(node_pid.(child)))
+          (Bitvec.zero width) (Doc.children doc node)
+    in
+    node_pid.(node) <- intern pid
+  done;
+  { doc; table; node_pid; pids = Array.sub !store 0 !count; index_of = intern_tbl }
+
+let doc t = t.doc
+let table t = t.table
+let pid_index t node = t.node_pid.(node)
+let pid t node = t.pids.(t.node_pid.(node))
+let distinct_pids t = t.pids
+let num_distinct t = Array.length t.pids
+let index_of_pid t pid = Pid_table.find_opt t.index_of pid
+let pid_bit_width t = Encoding_table.num_paths t.table
+let pid_byte_size t = max 1 ((pid_bit_width t + 7) / 8)
+let pid_table_byte_size t = num_distinct t * pid_byte_size t

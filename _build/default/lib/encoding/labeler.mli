@@ -1,0 +1,45 @@
+(** Path-id assignment (paper Section 2).
+
+    Every element node gets a path id: a bitvector with one bit per
+    distinct root-to-leaf path.  A leaf's path id has exactly the bit
+    of the path it sits on; an internal node's path id is the bit-or of
+    its children's path ids.  Path ids repeat massively across nodes
+    (a few hundred distinct values for millions of nodes), so the
+    labeler interns them: each node stores a small integer index into
+    the table of distinct path ids. *)
+
+type t
+
+val label : Xpest_xml.Doc.t -> Encoding_table.t -> t
+(** Single bottom-up pass over the document.
+
+    @raise Invalid_argument if the table does not cover some leaf path
+    of the document (i.e. it was built from a different document). *)
+
+val doc : t -> Xpest_xml.Doc.t
+val table : t -> Encoding_table.t
+
+val pid : t -> Xpest_xml.Doc.node -> Xpest_util.Bitvec.t
+(** The node's path id. *)
+
+val pid_index : t -> Xpest_xml.Doc.node -> int
+(** Interned index of the node's path id, [0 .. num_distinct - 1]. *)
+
+val distinct_pids : t -> Xpest_util.Bitvec.t array
+(** All distinct path ids, indexed by interned index.  Shared array —
+    do not mutate. *)
+
+val num_distinct : t -> int
+
+val index_of_pid : t -> Xpest_util.Bitvec.t -> int option
+(** Interned index of a path id value; [None] if no node carries it. *)
+
+val pid_bit_width : t -> int
+(** Width of every path id = number of distinct root-to-leaf paths. *)
+
+val pid_byte_size : t -> int
+(** Bytes to store one path id: [ceil (width / 8)] (Table 3). *)
+
+val pid_table_byte_size : t -> int
+(** Modeled size of the path-id table: [num_distinct * pid_byte_size]
+    (Table 3 accounting). *)

@@ -1,0 +1,120 @@
+module Bitvec = Xpest_util.Bitvec
+
+type node =
+  | Leaf of int
+  | Node of { id : int; left : node; right : node }
+  | Absent
+  | Zeros of int (* compressed: all-0 suffix leading to this leaf id *)
+  | Ones of int (* compressed: all-1 suffix *)
+
+type t = {
+  root : node;
+  width : int;
+  pids : Bitvec.t array; (* index i = path id with integer id i+1 *)
+  ids : (Bitvec.t, int) Hashtbl.t;
+  uncompressed_nodes : int;
+  compressed_nodes : int;
+}
+
+(* Lexicographic bit-string order: 0 before 1, position 0 first. *)
+let lex_compare a b = String.compare (Bitvec.to_string a) (Bitvec.to_string b)
+
+let rec build_trie ~width ~depth items =
+  match items with
+  | [] -> Absent
+  | [ (pid, id) ] when depth = width ->
+      ignore pid;
+      Leaf id
+  | _ when depth >= width ->
+      invalid_arg "Pid_tree.build: duplicate bit sequences"
+  | _ ->
+      let zeros, ones =
+        List.partition (fun (pid, _) -> not (Bitvec.get pid depth)) items
+      in
+      let left = build_trie ~width ~depth:(depth + 1) zeros in
+      let right = build_trie ~width ~depth:(depth + 1) ones in
+      let id =
+        match List.rev zeros with
+        | (_, last_zero_id) :: _ -> last_zero_id
+        | [] -> (
+            match ones with
+            | (_, first_one_id) :: _ -> first_one_id - 1
+            | [] -> assert false (* items is non-empty *))
+      in
+      Node { id; left; right }
+
+let rec count_nodes = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> 1 + count_nodes left + count_nodes right
+  | Absent | Zeros _ | Ones _ -> 0
+
+(* Replace pure-left (pure-right) chains by markers, bottom-up. *)
+let rec compress = function
+  | (Leaf _ | Absent | Zeros _ | Ones _) as n -> n
+  | Node { id; left; right } -> (
+      let left = compress left and right = compress right in
+      match (left, right) with
+      | Leaf lid, Absent | Zeros lid, Absent -> Zeros lid
+      | Absent, Leaf lid | Absent, Ones lid -> Ones lid
+      | _, _ -> Node { id; left; right })
+
+let build pid_list =
+  let distinct =
+    List.sort_uniq Bitvec.compare pid_list |> List.sort lex_compare
+  in
+  (match distinct with
+  | [] -> invalid_arg "Pid_tree.build: no path ids"
+  | first :: rest ->
+      if Bitvec.width first = 0 then
+        invalid_arg "Pid_tree.build: zero-width path id";
+      if List.exists (fun v -> Bitvec.width v <> Bitvec.width first) rest then
+        invalid_arg "Pid_tree.build: mixed widths");
+  let width = Bitvec.width (List.hd distinct) in
+  let items = List.mapi (fun i pid -> (pid, i + 1)) distinct in
+  let trie = build_trie ~width ~depth:0 items in
+  let root = compress trie in
+  let pids = Array.of_list distinct in
+  let ids = Hashtbl.create (Array.length pids) in
+  Array.iteri (fun i pid -> Hashtbl.replace ids pid (i + 1)) pids;
+  {
+    root;
+    width;
+    pids;
+    ids;
+    uncompressed_nodes = count_nodes trie;
+    compressed_nodes = count_nodes root;
+  }
+
+let num_pids t = Array.length t.pids
+let bit_width t = t.width
+
+let id_of_pid t pid = Hashtbl.find_opt t.ids pid
+
+let pid_of_id t id =
+  if id < 1 || id > num_pids t then
+    invalid_arg (Printf.sprintf "Pid_tree.pid_of_id: %d out of range" id);
+  (* Reconstruct by navigation, exercising the tree structure (the
+     [pids] array is only the reverse index). *)
+  let bits = Array.make t.width false in
+  let rec go depth = function
+    | Leaf _ -> ()
+    | Absent -> assert false
+    | Zeros _ -> () (* bits already false *)
+    | Ones _ ->
+        for i = depth to t.width - 1 do
+          bits.(i) <- true
+        done
+    | Node { id = nid; left; right } ->
+        if id <= nid then go (depth + 1) left
+        else begin
+          bits.(depth) <- true;
+          go (depth + 1) right
+        end
+  in
+  go 0 t.root;
+  Bitvec.of_bits bits
+
+let uncompressed_node_count t = t.uncompressed_nodes
+let node_count t = t.compressed_nodes
+let byte_size t = 5 * t.compressed_nodes
+let uncompressed_byte_size t = 5 * t.uncompressed_nodes

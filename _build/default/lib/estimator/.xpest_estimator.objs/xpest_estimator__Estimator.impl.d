@@ -1,0 +1,1 @@
+lib/estimator/estimator.ml: Float Fun List Path_join Printf String Xpest_encoding Xpest_synopsis Xpest_util Xpest_xpath

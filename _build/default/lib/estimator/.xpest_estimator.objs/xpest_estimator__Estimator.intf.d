@@ -1,0 +1,1 @@
+lib/estimator/estimator.mli: Xpest_synopsis Xpest_xpath

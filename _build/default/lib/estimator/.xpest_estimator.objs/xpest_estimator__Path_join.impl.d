@@ -1,0 +1,1 @@
+lib/estimator/path_join.ml: Array Fun Hashtbl List String Xpest_encoding Xpest_synopsis Xpest_util Xpest_xpath

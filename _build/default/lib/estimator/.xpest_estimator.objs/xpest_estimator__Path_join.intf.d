@@ -1,0 +1,1 @@
+lib/estimator/path_join.mli: Xpest_synopsis Xpest_util Xpest_xpath

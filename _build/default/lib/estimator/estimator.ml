@@ -1,0 +1,242 @@
+module Bitvec = Xpest_util.Bitvec
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Po_table = Xpest_synopsis.Po_table
+module Encoding_table = Xpest_encoding.Encoding_table
+
+type t = {
+  summary : Summary.t;
+  join : Path_join.t;
+  mutable tracing : string list ref option;
+}
+
+let create ?chain_pruning summary =
+  { summary; join = Path_join.create ?chain_pruning summary; tracing = None }
+
+let summary t = t.summary
+
+(* Derivation tracing for [explain]: estimation functions [note] their
+   key intermediate values; outside [explain] this is a no-op. *)
+let note t fmt =
+  Printf.ksprintf
+    (fun line ->
+      match t.tracing with Some acc -> acc := line :: !acc | None -> ())
+    fmt
+
+let guard x = if Float.is_finite x && x > 0.0 then x else 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Branch-query estimation (Section 4).                                *)
+
+(* Selectivity of [position] in a Simple/Branch shape.  Equation (2):
+   when the target sits on a branch part, estimate through the simple
+   query Q' that drops the other branch. *)
+let rec estimate_plain t (shape : Pattern.shape) position =
+  match (shape, position) with
+  | Simple _, _ ->
+      (* Theorem 4.1. *)
+      let f = Path_join.frequency (Path_join.run t.join shape) position in
+      note t "theorem 4.1: f_Q(n) = %g after the path join" f;
+      f
+  | Branch _, Pattern.In_trunk _ ->
+      let f = Path_join.frequency (Path_join.run t.join shape) position in
+      note t "trunk target: f_Q(n) = %g after the path join" f;
+      f
+  | Branch { trunk; branch; tail }, Pattern.In_branch i ->
+      estimate_off_trunk t ~trunk ~own:branch ~own_index:i
+        ~full:(Pattern.Branch { trunk; branch; tail })
+  | Branch { trunk; branch; tail }, Pattern.In_tail i ->
+      estimate_off_trunk t ~trunk ~own:tail ~own_index:i
+        ~full:(Pattern.Branch { trunk; branch; tail })
+  | Branch _, (Pattern.In_first _ | Pattern.In_second _) ->
+      invalid_arg "Estimator: order position in a branch shape"
+  | Ordered _, _ ->
+      invalid_arg "Estimator.estimate_plain: ordered shape"
+
+(* Equation (2): S_Q(n) ~ f_Q'(n) * f_Q(ni) / f_Q'(ni), with Q' the
+   simple query [trunk/own] and ni the last trunk node. *)
+and estimate_off_trunk t ~trunk ~own ~own_index ~full =
+  let ni = Pattern.In_trunk (List.length trunk - 1) in
+  let q' = Pattern.Simple (trunk @ own) in
+  let q'_result = Path_join.run t.join q' in
+  let pos_in_q' = Pattern.In_trunk (List.length trunk + own_index) in
+  let f_q'_n = Path_join.frequency q'_result pos_in_q' in
+  let f_q'_ni = Path_join.frequency q'_result ni in
+  let f_q_ni = Path_join.frequency (Path_join.run t.join full) ni in
+  note t
+    "equation 2: S_Q(n) ~ f_Q'(n) * f_Q(ni) / f_Q'(ni) = %g * %g / %g (Q' \
+     drops the other branch; ni = last trunk node)"
+    f_q'_n f_q_ni f_q'_ni;
+  if f_q'_ni <= 0.0 then 0.0 else guard (f_q'_n *. f_q_ni /. f_q'_ni)
+
+(* ------------------------------------------------------------------ *)
+(* Order-query estimation (Section 5).                                 *)
+
+(* S_{Q⃗'}(head): o-histogram sum over the head's surviving pids after
+   the path join on Q' (the counterpart where the *other* branch is
+   reduced to its head).  [head_of] selects which branch head we read
+   ([`First] or [`Second]); the region encodes on which side of the
+   other head it must fall. *)
+let order_head_selectivity t ~trunk ~first ~second
+    ~(axis : Pattern.order_axis) ~head_of =
+  let head spine = match spine with s :: _ -> [ s ] | [] -> [] in
+  let first_tag = (List.hd first).Pattern.tag in
+  let second_tag = (List.hd second).Pattern.tag in
+  let first', second', own_tag, other_tag, own_pos =
+    match head_of with
+    | `Second -> (head first, second, second_tag, first_tag, Pattern.In_tail 0)
+    | `First -> (first, head second, first_tag, second_tag, Pattern.In_branch 0)
+  in
+  let counterpart' =
+    Pattern.counterpart (Pattern.Ordered { trunk; first = first'; axis; second = second' })
+  in
+  let result = Path_join.run t.join counterpart' in
+  let region : Po_table.region =
+    (* Region is from the point of view of [own]: After = own occurs
+       after the other head. *)
+    match (axis, head_of) with
+    | (Following_sibling | Following), `Second -> After
+    | (Following_sibling | Following), `First -> Before
+    | (Preceding_sibling | Preceding), `Second -> Before
+    | (Preceding_sibling | Preceding), `First -> After
+  in
+  let s_arrow =
+    List.fold_left
+      (fun acc (pid, _) ->
+        acc
+        +. Summary.order_frequency t.summary ~tag:own_tag ~pid ~other:other_tag
+             ~region)
+      0.0
+      (Path_join.pids result own_pos)
+  in
+  (* S_{Q'}(head): branch estimate of the head in the counterpart. *)
+  let s_q' =
+    match counterpart' with
+    | Pattern.Branch _ as shape ->
+        estimate_plain t shape (Pattern.counterpart_position own_pos)
+    | Pattern.Simple _ | Pattern.Ordered _ -> assert false
+  in
+  (s_arrow, s_q')
+
+(* Sibling-axis order estimation for a target position.  Assumes
+   [axis] is Following_sibling or Preceding_sibling (callers convert
+   Following/Preceding first). *)
+let estimate_sibling_order t ~trunk ~first ~second ~axis position =
+  let counterpart = Pattern.counterpart (Pattern.Ordered { trunk; first; axis; second }) in
+  let s_q n = estimate_plain t counterpart (Pattern.counterpart_position n) in
+  let ratio head_of =
+    let s_arrow', s_q' =
+      order_head_selectivity t ~trunk ~first ~second ~axis ~head_of
+    in
+    note t
+      "order survival of the %s head: S⃗_Q'(head) = %g from the o-histogram, \
+       S_Q'(head) = %g, ratio %g"
+      (match head_of with `First -> "first" | `Second -> "second")
+      s_arrow' s_q'
+      (if s_q' <= 0.0 then 0.0 else s_arrow' /. s_q');
+    if s_q' <= 0.0 then 0.0 else s_arrow' /. s_q'
+  in
+  match (position : Pattern.position) with
+  | In_second 0 ->
+      (* Equation (3). *)
+      guard (s_q (Pattern.In_second 0) *. ratio `Second)
+  | In_second _ ->
+      (* Equation (4): scale the order-free estimate by the head's
+         order survival ratio. *)
+      guard (s_q position *. ratio `Second)
+  | In_first 0 -> guard (s_q (Pattern.In_first 0) *. ratio `First)
+  | In_first _ -> guard (s_q position *. ratio `First)
+  | In_trunk _ ->
+      (* Equation (5): min of the order-free estimate and both sibling
+         heads' order estimates. *)
+      let s_plain = s_q position in
+      let s_first = guard (s_q (Pattern.In_first 0) *. ratio `First) in
+      let s_second = guard (s_q (Pattern.In_second 0) *. ratio `Second) in
+      note t "equation 5: min(S_Q(n)=%g, S⃗_Q(first head)=%g, S⃗_Q(second head)=%g)"
+        s_plain s_first s_second;
+      Float.min s_plain (Float.min s_first s_second)
+  | In_branch _ | In_tail _ ->
+      invalid_arg "Estimator: branch position in an ordered shape"
+
+(* ------------------------------------------------------------------ *)
+(* Following / Preceding conversion (paper Example 5.3).               *)
+
+(* Distinct tag chains between the trunk tag and the second head's tag
+   along the second head's surviving pids. *)
+let conversion_gaps t ~trunk ~first ~second ~axis =
+  let shape = Pattern.Ordered { trunk; first; axis; second } in
+  (* run joins Ordered shapes through the counterpart internally but
+     keeps In_first/In_second positions *)
+  let result = Path_join.run t.join shape in
+  let trunk_tag = (List.nth trunk (List.length trunk - 1)).Pattern.tag in
+  let head_tag = (List.hd second).Pattern.tag in
+  let table = Summary.encoding_table t.summary in
+  let gaps = ref [] in
+  List.iter
+    (fun (pid, _) ->
+      Bitvec.iter_set_bits pid (fun bit ->
+          List.iter
+            (fun gap -> if not (List.mem gap !gaps) then gaps := gap :: !gaps)
+            (Encoding_table.gap_tags table ~encoding:(bit + 1) ~anc:trunk_tag
+               ~desc:head_tag)))
+    (Path_join.pids result (Pattern.In_second 0));
+  List.rev !gaps
+
+let estimate_ordered t ~trunk ~first ~second ~(axis : Pattern.order_axis)
+    position =
+  match axis with
+  | Following_sibling | Preceding_sibling ->
+      estimate_sibling_order t ~trunk ~first ~second ~axis position
+  | Following | Preceding ->
+      let sibling_axis : Pattern.order_axis =
+        match axis with
+        | Following -> Following_sibling
+        | Preceding -> Preceding_sibling
+        | Following_sibling | Preceding_sibling -> assert false
+      in
+      let gaps = conversion_gaps t ~trunk ~first ~second ~axis in
+      note t
+        "%s-axis conversion (example 5.3): %d sibling-axis querie(s) via gaps [%s]"
+        (match axis with Pattern.Following -> "following" | _ -> "preceding")
+        (List.length gaps)
+        (String.concat "; " (List.map (String.concat "/") gaps));
+      List.fold_left
+        (fun acc gap ->
+          (* Rebuild [second] as a child chain through the gap. *)
+          let chain =
+            List.map (fun tag -> Pattern.{ axis = Child; tag }) gap
+            @ Pattern.
+                { axis = Child; tag = (List.hd second).Pattern.tag }
+              :: List.tl second
+          in
+          let position' =
+            match position with
+            | Pattern.In_second i -> Pattern.In_second (List.length gap + i)
+            | p -> p
+          in
+          acc
+          +. estimate_sibling_order t ~trunk ~first ~second:chain
+               ~axis:sibling_axis position')
+        0.0 gaps
+
+(* ------------------------------------------------------------------ *)
+
+let estimate_position t (q : Pattern.t) position =
+  match Pattern.shape q with
+  | (Pattern.Simple _ | Pattern.Branch _) as shape ->
+      guard (estimate_plain t shape position)
+  | Pattern.Ordered { trunk; first; axis; second } ->
+      guard (estimate_ordered t ~trunk ~first ~second ~axis position)
+
+let estimate t q = estimate_position t q (Pattern.target q)
+
+type explanation = { value : float; derivation : string list }
+
+let explain t q =
+  let acc = ref [] in
+  t.tracing <- Some acc;
+  Fun.protect
+    ~finally:(fun () -> t.tracing <- None)
+    (fun () ->
+      let value = estimate t q in
+      { value; derivation = List.rev !acc })

@@ -1,0 +1,45 @@
+(** Selectivity estimation for the full query fragment (paper
+    Sections 4 and 5).
+
+    - Simple queries: Theorem 4.1 — the joined frequency is the
+      selectivity.
+    - Branch queries, target on the trunk: joined frequency.
+    - Branch queries, target on a branch/tail: Equation (2) under the
+      Node Independence Assumption.
+    - Order queries (sibling axes): Equations (3) and (4) under the
+      Node Order Uniformity and Node Containment Uniformity
+      Assumptions, reading the o-histogram for the sibling heads;
+      Equation (5) (a min over upper bounds) for trunk targets.
+    - [following] / [preceding] axes: converted into sets of
+      sibling-axis queries along the encoding-table gap between the
+      trunk tag and the target head (paper Example 5.3), summing the
+      per-conversion estimates. *)
+
+type t
+
+val create : ?chain_pruning:bool -> Xpest_synopsis.Summary.t -> t
+(** Estimation caches (tag relationships) persist across queries.
+    [chain_pruning] is forwarded to {!Path_join.create}. *)
+
+val summary : t -> Xpest_synopsis.Summary.t
+
+val estimate : t -> Xpest_xpath.Pattern.t -> float
+(** Estimated selectivity of the pattern's target node.  Always
+    non-negative and finite; 0 when the join empties a required node
+    or a ratio denominator vanishes. *)
+
+val estimate_position : t -> Xpest_xpath.Pattern.t -> Xpest_xpath.Pattern.position -> float
+(** Estimate for an arbitrary node of the pattern (ignoring the
+    pattern's own target designation).
+    @raise Invalid_argument if the position is not in the pattern. *)
+
+type explanation = {
+  value : float;  (** same value [estimate] returns *)
+  derivation : string list;
+      (** one human-readable line per estimation step: which theorem /
+          equation fired and with which intermediate quantities *)
+}
+
+val explain : t -> Xpest_xpath.Pattern.t -> explanation
+(** Like {!estimate} but records the derivation.  Not reentrant: one
+    [explain] at a time per estimator. *)

@@ -1,0 +1,42 @@
+(** The path (id) join (paper Section 4).
+
+    Given a query shape, every query node starts with the full pid row
+    of its tag from the p-histogram.  Pids are then pruned to a
+    fixpoint: a pid survives an adjacent query edge (X, axis, Y) only
+    if it has a partner on the other side such that (a) the partner
+    relation [Pid_X ⊒ Pid_Y] holds (path-id containment, Section 2)
+    and (b) the two tags stand in the axis's relation (parent-child
+    adjacency for [/], ancestor order for [//]) on at least one shared
+    root-to-leaf path.  Because [Pid_Y ⊆ Pid_X], the shared paths are
+    exactly [Pid_Y]'s bits, so (b) only depends on the descendant-side
+    pid; the implementation precomputes it per pid.
+
+    An anchored head step ([/n1] from the document node) keeps only
+    the document root's pid on a matching tag. *)
+
+type t
+(** Join machinery for one summary; holds the tag-relationship cache
+    shared across queries. *)
+
+val create : ?chain_pruning:bool -> Xpest_synopsis.Summary.t -> t
+(** [chain_pruning] (default true) additionally prunes each node's
+    pids by full-chain embeddability into the pid's path types before
+    the pairwise fixpoint — see DESIGN.md "known deviations"; pass
+    [false] to reproduce the paper's literal pairwise join (the A2
+    ablation). *)
+
+type result
+
+val run : t -> Xpest_xpath.Pattern.shape -> result
+(** Runs the join to fixpoint.  [Ordered] shapes are joined through
+    their order-free counterpart (order axes do not constrain pids). *)
+
+val pids :
+  result -> Xpest_xpath.Pattern.position -> (Xpest_util.Bitvec.t * float) list
+(** Surviving pids of a query node with their frequency estimates.
+    For [Ordered] shapes, use the original positions ([In_first] /
+    [In_second]); they are translated internally.
+    @raise Invalid_argument if the position is not in the shape. *)
+
+val frequency : result -> Xpest_xpath.Pattern.position -> float
+(** [f_Q(n)]: the summed frequency of the surviving pids. *)

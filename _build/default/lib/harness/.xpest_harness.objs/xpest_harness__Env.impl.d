@@ -1,0 +1,1 @@
+lib/harness/env.ml: Float Hashtbl List Unix Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_workload Xpest_xml

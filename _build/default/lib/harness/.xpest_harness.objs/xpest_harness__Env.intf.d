@@ -1,0 +1,1 @@
+lib/harness/env.mli: Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_workload Xpest_xml

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Env Float List Metrics Printf String Xpest_baseline Xpest_datasets Xpest_encoding Xpest_estimator Xpest_synopsis Xpest_util Xpest_workload Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Experiments Float List Printf String Xpest_util

@@ -1,0 +1,107 @@
+module Registry = Xpest_datasets.Registry
+module Summary = Xpest_synopsis.Summary
+module Workload = Xpest_workload.Workload
+module Estimator = Xpest_estimator.Estimator
+
+type config = {
+  scale : float;
+  workload : Workload.config;
+  max_queries_per_class : int option;
+}
+
+let default_config =
+  { scale = 1.0; workload = Workload.default_config; max_queries_per_class = None }
+
+let quick_config =
+  {
+    scale = 0.02;
+    workload =
+      { Workload.default_config with num_simple = 300; num_branch = 300 };
+    max_queries_per_class = Some 100;
+  }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type t = {
+  name : Registry.name;
+  config : config;
+  doc : Xpest_xml.Doc.t;
+  base : Summary.base;
+  base_paths_only : Summary.base;
+  collect_paths_seconds : float;
+  collect_order_seconds : float;
+  workload : Workload.t;
+  summaries : (float * float * bool, Summary.t) Hashtbl.t;
+  estimators : (float * float * bool, Estimator.t) Hashtbl.t;
+}
+
+let prepare ?(config = default_config) name =
+  let doc = Registry.generate ~scale:config.scale name in
+  (* time the path side and the order side separately, reusing the
+     path side's work for the full base *)
+  let base_paths_only, collect_paths_seconds =
+    time (fun () -> Summary.collect_paths_only doc)
+  in
+  let base, collect_order_seconds =
+    (* the order sweep is the only extra work in [collect]; measure it
+       by differencing a full collection *)
+    let full, full_time = time (fun () -> Summary.collect doc) in
+    (full, Float.max 0.0 (full_time -. collect_paths_seconds))
+  in
+  let workload =
+    Workload.generate ~config:{ config.workload with seed = config.workload.seed } doc
+  in
+  {
+    name;
+    config;
+    doc;
+    base;
+    base_paths_only;
+    collect_paths_seconds;
+    collect_order_seconds;
+    workload;
+    summaries = Hashtbl.create 16;
+    estimators = Hashtbl.create 16;
+  }
+
+let name t = t.name
+let config t = t.config
+let doc t = t.doc
+let base t = t.base
+let workload t = t.workload
+let collect_paths_seconds t = t.collect_paths_seconds
+let collect_order_seconds t = t.collect_order_seconds
+
+let summary t ~p_variance ~o_variance ~with_order =
+  let key = (p_variance, o_variance, with_order) in
+  match Hashtbl.find_opt t.summaries key with
+  | Some s -> s
+  | None ->
+      let base = if with_order then t.base else t.base_paths_only in
+      let s = Summary.assemble ~p_variance ~o_variance base in
+      Hashtbl.add t.summaries key s;
+      s
+
+let estimator t ~p_variance ~o_variance ~with_order =
+  let key = (p_variance, o_variance, with_order) in
+  match Hashtbl.find_opt t.estimators key with
+  | Some e -> e
+  | None ->
+      let e = Estimator.create (summary t ~p_variance ~o_variance ~with_order) in
+      Hashtbl.add t.estimators key e;
+      e
+
+let queries t cls =
+  let items =
+    match cls with
+    | `Simple -> t.workload.Workload.simple
+    | `Branch -> t.workload.Workload.branch
+    | `Order_branch -> t.workload.Workload.order_branch_target
+    | `Order_trunk -> t.workload.Workload.order_trunk_target
+  in
+  match t.config.max_queries_per_class with
+  | None -> items
+  | Some cap -> List.filteri (fun i _ -> i < cap) items

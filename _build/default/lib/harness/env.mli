@@ -1,0 +1,59 @@
+(** Prepared per-dataset experiment state.
+
+    Generating a dataset, collecting its statistics and evaluating the
+    ground truth of a workload is by far the expensive part of every
+    experiment, so the harness prepares it once per dataset and shares
+    it across all tables and figures.  Assembled summaries are memoized
+    per (p-variance, o-variance, with-order) triple. *)
+
+type config = {
+  scale : float;  (** dataset scale factor (1.0 = paper-size) *)
+  workload : Xpest_workload.Workload.config;
+  max_queries_per_class : int option;
+      (** deterministic cap on queries evaluated per class; [None] =
+          the full workload *)
+}
+
+val default_config : config
+(** [scale = 1.0], the paper's workload parameters, no cap. *)
+
+val quick_config : config
+(** Small scale and workload for smoke tests. *)
+
+type t
+
+val prepare : ?config:config -> Xpest_datasets.Registry.name -> t
+
+val name : t -> Xpest_datasets.Registry.name
+val config : t -> config
+val doc : t -> Xpest_xml.Doc.t
+val base : t -> Xpest_synopsis.Summary.base
+val workload : t -> Xpest_workload.Workload.t
+
+val collect_paths_seconds : t -> float
+(** Wall-clock time of the path-statistics collection (encoding table
+    + labeling + pathId-frequency table) — Table 4's "Collecting Path
+    Time". *)
+
+val collect_order_seconds : t -> float
+(** Wall-clock time of the path-order sweep — Table 5's "Collecting
+    Order Time". *)
+
+val summary :
+  t -> p_variance:float -> o_variance:float -> with_order:bool ->
+  Xpest_synopsis.Summary.t
+(** Memoized assembly. *)
+
+val estimator :
+  t -> p_variance:float -> o_variance:float -> with_order:bool ->
+  Xpest_estimator.Estimator.t
+(** Memoized estimator over {!summary}. *)
+
+val queries :
+  t -> [ `Simple | `Branch | `Order_branch | `Order_trunk ] ->
+  Xpest_workload.Workload.item list
+(** The workload class, capped per [max_queries_per_class]
+    (deterministic prefix). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock timing helper. *)

@@ -1,0 +1,20 @@
+module Stats = Xpest_util.Stats
+module Workload = Xpest_workload.Workload
+
+let errors items estimate =
+  Array.of_list
+    (List.map
+       (fun (it : Workload.item) ->
+         Stats.relative_error
+           ~actual:(Float.of_int it.actual)
+           ~estimate:(estimate it.pattern))
+       items)
+
+let mean_rel_error items estimate =
+  let errs = errors items estimate in
+  if Array.length errs = 0 then 0.0 else Stats.mean errs
+
+let percentile_errors items estimate =
+  let errs = errors items estimate in
+  if Array.length errs = 0 then (0.0, 0.0, 0.0)
+  else (Stats.mean errs, Stats.percentile errs 50.0, Stats.percentile errs 90.0)

@@ -1,0 +1,16 @@
+(** Error metrics over workload items. *)
+
+val mean_rel_error :
+  Xpest_workload.Workload.item list ->
+  (Xpest_xpath.Pattern.t -> float) ->
+  float
+(** Average relative error [|est - actual| / actual] of an estimator
+    over a workload class (the y-axis of Figures 10-13); 0 for the
+    empty list. *)
+
+val percentile_errors :
+  Xpest_workload.Workload.item list ->
+  (Xpest_xpath.Pattern.t -> float) ->
+  float * float * float
+(** [(mean, median, p90)] of the relative errors; all 0 for the empty
+    list. *)

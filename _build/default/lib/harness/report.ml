@@ -1,0 +1,55 @@
+let fmt = Xpest_util.Tablefmt.fmt_float
+
+(* Escape the characters that break GFM pipe tables. *)
+let cell s =
+  String.concat "\\|" (String.split_on_char '|' s)
+  |> String.map (function '\n' -> ' ' | c -> c)
+
+let pipe_table header rows =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " (List.map cell cells));
+    Buffer.add_string buf " |\n"
+  in
+  row header;
+  row (List.map (fun _ -> "---") header);
+  List.iter row rows;
+  Buffer.contents buf
+
+let table_md (t : Experiments.table) =
+  Printf.sprintf "### %s %s\n\n%s" t.id t.title (pipe_table t.header t.rows)
+
+let figure_md (f : Experiments.figure) =
+  let xs =
+    List.concat_map (fun (_, pts) -> List.map fst pts) f.series
+    |> List.sort_uniq Float.compare
+  in
+  let header = f.x_label :: List.map fst f.series in
+  let rows =
+    List.map
+      (fun x ->
+        fmt x
+        :: List.map
+             (fun (_, pts) ->
+               match List.assoc_opt x pts with Some y -> fmt y | None -> "-")
+             f.series)
+      xs
+  in
+  Printf.sprintf "### %s %s\n\n*y = %s*\n\n%s" f.fid f.ftitle f.y_label
+    (pipe_table header rows)
+
+let artefact_md = function
+  | Experiments.Table t -> table_md t
+  | Experiments.Figures figs -> String.concat "\n" (List.map figure_md figs)
+
+let document ~title ~preamble artefacts =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" title);
+  List.iter (fun p -> Buffer.add_string buf (p ^ "\n\n")) preamble;
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (artefact_md a);
+      Buffer.add_char buf '\n')
+    artefacts;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Markdown rendering of experiment artefacts.
+
+    The bench harness prints ASCII tables for terminals; this module
+    renders the same artefacts as GitHub-flavored markdown so a full
+    run can be committed as a report (bench `--markdown`). *)
+
+val table_md : Experiments.table -> string
+(** One pipe-table with a [### id title] heading. *)
+
+val figure_md : Experiments.figure -> string
+(** A figure as a pipe-table keyed on x, one column per series. *)
+
+val artefact_md : Experiments.artefact -> string
+
+val document :
+  title:string -> preamble:string list -> Experiments.artefact list -> string
+(** A complete markdown document: title, preamble paragraphs, one
+    section per artefact. *)

@@ -1,0 +1,1 @@
+lib/synopsis/o_histogram.ml: Array Float Hashtbl List Option Po_table

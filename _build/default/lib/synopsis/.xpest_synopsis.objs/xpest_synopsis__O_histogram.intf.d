@@ -1,0 +1,1 @@
+lib/synopsis/o_histogram.mli: Po_table

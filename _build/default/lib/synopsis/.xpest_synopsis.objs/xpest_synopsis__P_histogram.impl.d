@@ -1,0 +1,1 @@
+lib/synopsis/p_histogram.ml: Array Float Hashtbl Int List Pf_table Xpest_util

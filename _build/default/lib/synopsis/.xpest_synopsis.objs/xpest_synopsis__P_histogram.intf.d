@@ -1,0 +1,1 @@
+lib/synopsis/p_histogram.mli: Pf_table

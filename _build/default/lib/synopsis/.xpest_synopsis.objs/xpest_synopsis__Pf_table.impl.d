@@ -1,0 +1,1 @@
+lib/synopsis/pf_table.ml: Array Hashtbl Int List Option Xpest_encoding Xpest_xml

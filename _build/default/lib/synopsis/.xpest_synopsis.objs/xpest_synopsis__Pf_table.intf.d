@@ -1,0 +1,1 @@
+lib/synopsis/pf_table.mli: Xpest_encoding

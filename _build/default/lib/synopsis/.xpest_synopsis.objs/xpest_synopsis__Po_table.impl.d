@@ -1,0 +1,1 @@
+lib/synopsis/po_table.ml: Array Hashtbl List Option Xpest_encoding Xpest_xml

@@ -1,0 +1,1 @@
+lib/synopsis/po_table.mli: Xpest_encoding

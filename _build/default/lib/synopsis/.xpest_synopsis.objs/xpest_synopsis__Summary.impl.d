@@ -1,0 +1,1 @@
+lib/synopsis/summary.ml: Array Buffer Char Fun Hashtbl Int64 List O_histogram P_histogram Pf_table Po_table Printf String Xpest_encoding Xpest_util Xpest_xml

@@ -1,0 +1,1 @@
+lib/synopsis/summary.mli: Pf_table Po_table Xpest_encoding Xpest_util Xpest_xml

@@ -1,0 +1,57 @@
+module Doc = Xpest_xml.Doc
+module Labeler = Xpest_encoding.Labeler
+
+type entry = { pid_index : int; frequency : int }
+
+type t = {
+  tag_names : string array; (* by tag code *)
+  rows : entry array array; (* tag code -> entries *)
+  totals : int array;
+  code_of : (string, int) Hashtbl.t;
+}
+
+let build labeler =
+  let doc = Labeler.doc labeler in
+  let ntags = Doc.num_tags doc in
+  (* counts.(tag) : pid index -> frequency *)
+  let counts = Array.init ntags (fun _ -> Hashtbl.create 16) in
+  Doc.iter doc (fun node ->
+      let tbl = counts.(Doc.tag_code doc node) in
+      let pid = Labeler.pid_index labeler node in
+      Hashtbl.replace tbl pid (1 + Option.value ~default:0 (Hashtbl.find_opt tbl pid)));
+  let rows =
+    Array.map
+      (fun tbl ->
+        let entries =
+          Hashtbl.fold
+            (fun pid_index frequency acc -> { pid_index; frequency } :: acc)
+            tbl []
+        in
+        Array.of_list
+          (List.sort (fun a b -> Int.compare a.pid_index b.pid_index) entries))
+      counts
+  in
+  let totals =
+    Array.map (Array.fold_left (fun acc e -> acc + e.frequency) 0) rows
+  in
+  let code_of = Hashtbl.create ntags in
+  let tag_names = Array.init ntags (Doc.tag_name doc) in
+  Array.iteri (fun code name -> Hashtbl.replace code_of name code) tag_names;
+  { tag_names; rows; totals; code_of }
+
+let tags t = Array.to_list t.tag_names
+
+let entries t tag =
+  match Hashtbl.find_opt t.code_of tag with
+  | Some code -> t.rows.(code)
+  | None -> [||]
+
+let total_frequency t tag =
+  match Hashtbl.find_opt t.code_of tag with
+  | Some code -> t.totals.(code)
+  | None -> 0
+
+let num_entries t =
+  Array.fold_left (fun acc row -> acc + Array.length row) 0 t.rows
+
+let byte_size t = 6 * num_entries t

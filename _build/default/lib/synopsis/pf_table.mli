@@ -1,0 +1,30 @@
+(** The pathId-frequency table (paper Section 3).
+
+    One row per distinct element tag, aggregating the distinct path
+    ids carried by elements with that tag together with their
+    frequencies — e.g. for the paper's Figure 2(a), the row for [C] is
+    [{(p2, 1), (p3, 1)}].  This is the exact table; the p-histogram
+    compresses it. *)
+
+type t
+
+type entry = { pid_index : int; frequency : int }
+
+val build : Xpest_encoding.Labeler.t -> t
+
+val tags : t -> string list
+(** Distinct tags in document tag-code order. *)
+
+val entries : t -> string -> entry array
+(** Rows for a tag, in interned-pid-index order; [|]| for unknown
+    tags.  Shared array — do not mutate. *)
+
+val total_frequency : t -> string -> int
+(** Total number of elements with the tag. *)
+
+val num_entries : t -> int
+(** Total number of (tag, path id) pairs in the table. *)
+
+val byte_size : t -> int
+(** Modeled exact-table storage: 6 bytes per entry (2-byte pid id +
+    4-byte frequency). *)

@@ -1,0 +1,98 @@
+module Doc = Xpest_xml.Doc
+module Labeler = Xpest_encoding.Labeler
+
+type region = Before | After
+
+type cell = {
+  pid_index : int;
+  other_tag : int;
+  region : region;
+  count : int;
+}
+
+(* Per-X sparse cells keyed by (pid_index, other_tag_code, region). *)
+type key = int * int * region
+
+type t = {
+  tables : (key, int) Hashtbl.t array; (* indexed by X's tag code *)
+  code_of : (string, int) Hashtbl.t;
+}
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let build labeler =
+  let doc = Labeler.doc labeler in
+  let ntags = Doc.num_tags doc in
+  let tables = Array.init ntags (fun _ -> Hashtbl.create 64) in
+  (* Distinct sibling tags strictly before / after each child, via a
+     forward and a backward sweep over each sibling group.  [seen]
+     counts occurrences of each tag so far in the sweep. *)
+  let seen = Array.make ntags 0 in
+  let touched = ref [] in
+  let reset () =
+    List.iter (fun c -> seen.(c) <- 0) !touched;
+    touched := []
+  in
+  let note code =
+    if seen.(code) = 0 then touched := code :: !touched;
+    seen.(code) <- seen.(code) + 1
+  in
+  let record region child =
+    let x_code = Doc.tag_code doc child in
+    let pid = Labeler.pid_index labeler child in
+    (* [seen] holds only siblings strictly on one side of [child]
+       because [note child] runs after [record]. *)
+    List.iter
+      (fun other ->
+        if seen.(other) > 0 then bump tables.(x_code) (pid, other, region))
+      !touched
+  in
+  Doc.iter doc (fun parent ->
+      let children = Doc.children doc parent in
+      match children with
+      | [] | [ _ ] -> ()
+      | _ ->
+          (* forward: siblings before the child -> region After
+             ("X occurs after tag") *)
+          reset ();
+          List.iter
+            (fun child ->
+              record After child;
+              note (Doc.tag_code doc child))
+            children;
+          (* backward: siblings after the child -> region Before *)
+          reset ();
+          List.iter
+            (fun child ->
+              record Before child;
+              note (Doc.tag_code doc child))
+            (List.rev children);
+          reset ());
+  let code_of = Hashtbl.create ntags in
+  for code = 0 to ntags - 1 do
+    Hashtbl.replace code_of (Doc.tag_name doc code) code
+  done;
+  { tables; code_of }
+
+let cells t tag =
+  match Hashtbl.find_opt t.code_of tag with
+  | None -> []
+  | Some code ->
+      Hashtbl.fold
+        (fun (pid_index, other_tag, region) count acc ->
+          { pid_index; other_tag; region; count } :: acc)
+        t.tables.(code) []
+
+let lookup t ~tag ~pid_index ~other ~region =
+  match
+    (Hashtbl.find_opt t.code_of tag, Hashtbl.find_opt t.code_of other)
+  with
+  | Some code, Some other_code ->
+      Option.value ~default:0
+        (Hashtbl.find_opt t.tables.(code) (pid_index, other_code, region))
+  | None, _ | _, None -> 0
+
+let num_cells t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
+
+let byte_size t = 9 * num_cells t

@@ -1,0 +1,39 @@
+(** Path-order tables (paper Section 3).
+
+    One table per distinct element tag [X].  A cell
+    [g (pathid, tag, region)] counts the elements [X] carrying
+    [pathid] that occur before ([`Before], the paper's "+element"
+    region) or after ([`After], the "element+" region) at least one
+    sibling element with tag [tag].  An [X] element with such siblings
+    on both sides is counted in both regions (paper Section 3, note
+    after Example 3.2). *)
+
+type t
+
+type region = Before | After
+
+type cell = {
+  pid_index : int;
+  other_tag : int; (* tag code of the sibling tag *)
+  region : region;
+  count : int;
+}
+
+val build : Xpest_encoding.Labeler.t -> t
+(** One forward and one backward sweep per sibling group. *)
+
+val cells : t -> string -> cell list
+(** All non-zero cells of the table for tag [X], unordered; [\[\]] for
+    unknown tags. *)
+
+val lookup :
+  t -> tag:string -> pid_index:int -> other:string -> region:region -> int
+(** Exact cell value; 0 when absent. *)
+
+val num_cells : t -> int
+(** Total non-zero cells across all tags — the raw volume of order
+    information (cf. paper Table 5). *)
+
+val byte_size : t -> int
+(** Modeled exact-table storage: 9 bytes per non-zero cell (2-byte pid
+    id, 2-byte tag id, 1-byte region, 4-byte count). *)

@@ -1,0 +1,383 @@
+module Doc = Xpest_xml.Doc
+module Bitvec = Xpest_util.Bitvec
+module Encoding_table = Xpest_encoding.Encoding_table
+module Labeler = Xpest_encoding.Labeler
+module Pid_tree = Xpest_encoding.Pid_tree
+
+type base = {
+  doc : Doc.t;
+  table : Encoding_table.t;
+  labeler : Labeler.t;
+  pid_tree : Pid_tree.t;
+  pf : Pf_table.t;
+  po : Po_table.t option;
+}
+
+module Pid_tbl = Hashtbl.Make (struct
+  type t = Bitvec.t
+
+  let equal = Bitvec.equal
+  let hash = Bitvec.hash
+end)
+
+(* Everything estimation needs, independent of the document: this is
+   what [save]/[load] persist. *)
+type core = {
+  table : Encoding_table.t;
+  pids : Bitvec.t array;
+  pid_index : int Pid_tbl.t;
+  root_pid : Bitvec.t;
+  tag_names : string array;
+  code_of : (string, int) Hashtbl.t;
+  pid_tree : Pid_tree.t;
+  p_variance : float;
+  o_variance : float;
+  p_histos : (string, P_histogram.t) Hashtbl.t;
+  o_histos : (string, O_histogram.t) Hashtbl.t;
+}
+
+type t = { core : core; b : base option }
+
+let collect_with ~order doc =
+  let table = Encoding_table.build doc in
+  let labeler = Labeler.label doc table in
+  let pid_tree = Pid_tree.build (Array.to_list (Labeler.distinct_pids labeler)) in
+  let pf = Pf_table.build labeler in
+  let po = if order then Some (Po_table.build labeler) else None in
+  { doc; table; labeler; pid_tree; pf; po }
+
+let collect doc = collect_with ~order:true doc
+let collect_paths_only doc = collect_with ~order:false doc
+let without_order b = { b with po = None }
+
+let alpha_ranks_of_names names =
+  let sorted = Array.copy names in
+  Array.sort String.compare sorted;
+  let rank_of_name = Hashtbl.create (Array.length names) in
+  Array.iteri (fun rank name -> Hashtbl.replace rank_of_name name rank) sorted;
+  Array.map (fun name -> Hashtbl.find rank_of_name name) names
+
+let build_histos ~p_variance ~o_variance ~pf ~po ~ntags ~alpha_ranks =
+  let p_histos = Hashtbl.create 64 in
+  List.iter
+    (fun (tag, h) -> Hashtbl.replace p_histos tag h)
+    (P_histogram.build_all ~variance:p_variance pf);
+  let o_histos = Hashtbl.create 64 in
+  (match po with
+  | None -> ()
+  | Some po ->
+      let tag_alpha_rank code = alpha_ranks.(code) in
+      List.iter
+        (fun tag ->
+          match Hashtbl.find_opt p_histos tag with
+          | None -> ()
+          | Some ph ->
+              let cells = Po_table.cells po tag in
+              let histo =
+                O_histogram.build ~variance:o_variance ~ntags ~tag_alpha_rank
+                  ~pid_order:(P_histogram.pid_order ph) cells
+              in
+              Hashtbl.replace o_histos tag histo)
+        (Pf_table.tags pf));
+  (p_histos, o_histos)
+
+let assemble ?(p_variance = 0.0) ?(o_variance = 0.0) (b : base) =
+  let doc = b.doc in
+  let ntags = Doc.num_tags doc in
+  let tag_names = Array.init ntags (Doc.tag_name doc) in
+  let alpha_ranks = alpha_ranks_of_names tag_names in
+  let p_histos, o_histos =
+    build_histos ~p_variance ~o_variance ~pf:b.pf ~po:b.po ~ntags ~alpha_ranks
+  in
+  let pids = Labeler.distinct_pids b.labeler in
+  let pid_index = Pid_tbl.create (Array.length pids) in
+  Array.iteri (fun i pid -> Pid_tbl.replace pid_index pid i) pids;
+  let code_of = Hashtbl.create ntags in
+  Array.iteri (fun code name -> Hashtbl.replace code_of name code) tag_names;
+  {
+    core =
+      {
+        table = b.table;
+        pids;
+        pid_index;
+        root_pid = Labeler.pid b.labeler (Doc.root doc);
+        tag_names;
+        code_of;
+        pid_tree = b.pid_tree;
+        p_variance;
+        o_variance;
+        p_histos;
+        o_histos;
+      };
+    b = Some b;
+  }
+
+let build ?p_variance ?o_variance doc =
+  assemble ?p_variance ?o_variance (collect doc)
+
+let from_document_error what =
+  invalid_arg
+    (Printf.sprintf
+       "Summary.%s: not available on a synopsis loaded from disk" what)
+
+let doc t = match t.b with Some b -> b.doc | None -> from_document_error "doc"
+let base t = match t.b with Some b -> b | None -> from_document_error "base"
+
+let labeler t =
+  match t.b with Some b -> b.labeler | None -> from_document_error "labeler"
+
+let encoding_table t = t.core.table
+let root_pid t = t.core.root_pid
+let tags t = Array.copy t.core.tag_names
+let pf_table (b : base) = b.pf
+let po_table (b : base) = b.po
+let p_variance t = t.core.p_variance
+let o_variance t = t.core.o_variance
+
+let tag_pids t tag =
+  match Hashtbl.find_opt t.core.p_histos tag with
+  | None -> []
+  | Some h ->
+      Array.to_list (P_histogram.pid_order h)
+      |> List.filter_map (fun idx ->
+             match P_histogram.frequency h idx with
+             | Some f -> Some (t.core.pids.(idx), f)
+             | None -> None)
+
+let tag_total t tag =
+  List.fold_left (fun acc (_, f) -> acc +. f) 0.0 (tag_pids t tag)
+
+let order_frequency t ~tag ~pid ~other ~region =
+  match
+    (Hashtbl.find_opt t.core.o_histos tag, Pid_tbl.find_opt t.core.pid_index pid)
+  with
+  | Some h, Some pid_index -> (
+      match Hashtbl.find_opt t.core.code_of other with
+      | Some other_tag -> O_histogram.lookup h ~pid_index ~other_tag ~region
+      | None -> 0.0)
+  | None, _ | Some _, None -> 0.0
+
+let p_histogram_bytes t =
+  Hashtbl.fold (fun _ h acc -> acc + P_histogram.byte_size h) t.core.p_histos 0
+
+let o_histogram_bytes t =
+  Hashtbl.fold (fun _ h acc -> acc + O_histogram.byte_size h) t.core.o_histos 0
+
+let encoding_table_bytes t = Encoding_table.byte_size t.core.table
+let pid_tree_bytes t = Pid_tree.byte_size t.core.pid_tree
+
+let total_bytes t =
+  encoding_table_bytes t + pid_tree_bytes t + p_histogram_bytes t
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a small explicit binary format (no Marshal, so files
+   are stable across compiler versions).                               *)
+
+module Wire = struct
+  let magic = "XPESTSYN2"
+
+  (* non-negative ints as LEB128 varints: counts and ids are small, so
+     this keeps synopsis files a few percent of the document *)
+  let rec put_int buf n =
+    assert (n >= 0);
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      put_int buf (n lsr 7)
+    end
+
+  (* floats as their 8 raw IEEE-754 bytes, big-endian *)
+  let put_float buf f =
+    let bits = Int64.bits_of_float f in
+    for byte = 7 downto 0 do
+      Buffer.add_char buf
+        (Char.chr
+           (Int64.to_int (Int64.shift_right_logical bits (8 * byte)) land 0xff))
+    done
+
+  let put_string buf s =
+    put_int buf (String.length s);
+    Buffer.add_string buf s
+
+  let put_list buf put items =
+    put_int buf (List.length items);
+    List.iter (put buf) items
+
+  let put_array buf put items =
+    put_int buf (Array.length items);
+    Array.iter (put buf) items
+
+  let put_bitvec buf v =
+    put_int buf (Bitvec.width v);
+    put_string buf (Bitvec.to_packed_string v)
+
+  type reader = { data : string; mutable pos : int }
+
+  let fail r msg =
+    invalid_arg (Printf.sprintf "Summary.load: %s at offset %d" msg r.pos)
+
+  let get_int r =
+    let rec go shift acc =
+      if shift > 62 then fail r "varint too long";
+      if r.pos >= String.length r.data then fail r "truncated int";
+      let b = Char.code r.data.[r.pos] in
+      r.pos <- r.pos + 1;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let get_float r =
+    if r.pos + 8 > String.length r.data then fail r "truncated float";
+    let bits = ref 0L in
+    for _ = 1 to 8 do
+      bits :=
+        Int64.logor (Int64.shift_left !bits 8)
+          (Int64.of_int (Char.code r.data.[r.pos]));
+      r.pos <- r.pos + 1
+    done;
+    Int64.float_of_bits !bits
+
+  let get_string r =
+    let n = get_int r in
+    if n < 0 || r.pos + n > String.length r.data then fail r "truncated string";
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let get_list r get =
+    let n = get_int r in
+    List.init n (fun _ -> get r)
+
+  let get_array r get =
+    let n = get_int r in
+    Array.init n (fun _ -> get r)
+
+  let get_bitvec r =
+    let width = get_int r in
+    Bitvec.of_packed_string ~width (get_string r)
+end
+
+let save t path =
+  let open Wire in
+  let c = t.core in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_float buf c.p_variance;
+  put_float buf c.o_variance;
+  (* encoding table *)
+  put_list buf (fun buf p -> put_list buf put_string p) (Encoding_table.paths c.table);
+  (* pids + root pid *)
+  put_array buf put_bitvec c.pids;
+  put_bitvec buf c.root_pid;
+  (* tags *)
+  put_array buf put_string c.tag_names;
+  (* p-histograms *)
+  put_int buf (Hashtbl.length c.p_histos);
+  Hashtbl.iter
+    (fun tag h ->
+      put_string buf tag;
+      put_list buf
+        (fun buf (b : P_histogram.bucket) ->
+          put_array buf put_int b.pid_indices;
+          put_array buf put_int b.frequencies)
+        (P_histogram.buckets h))
+    c.p_histos;
+  (* o-histograms: boxes + the column order they were built with *)
+  put_int buf (Hashtbl.length c.o_histos);
+  Hashtbl.iter
+    (fun tag h ->
+      put_string buf tag;
+      (match Hashtbl.find_opt c.p_histos tag with
+      | Some ph -> put_array buf put_int (P_histogram.pid_order ph)
+      | None -> put_int buf 0);
+      put_list buf
+        (fun buf (b : O_histogram.box) ->
+          put_int buf b.x_start;
+          put_int buf b.y_start;
+          put_int buf b.x_end;
+          put_int buf b.y_end;
+          put_float buf b.frequency)
+        (O_histogram.boxes h))
+    c.o_histos;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let load path =
+  let open Wire in
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = { data; pos = 0 } in
+  if
+    String.length data < String.length magic
+    || String.sub data 0 (String.length magic) <> magic
+  then invalid_arg "Summary.load: not a synopsis file";
+  r.pos <- String.length magic;
+  let p_variance = get_float r in
+  let o_variance = get_float r in
+  let paths = get_list r (fun r -> get_list r get_string) in
+  let table = Encoding_table.of_paths paths in
+  let pids = get_array r get_bitvec in
+  let root_pid = get_bitvec r in
+  let tag_names = get_array r get_string in
+  let ntags = Array.length tag_names in
+  let alpha_ranks = alpha_ranks_of_names tag_names in
+  let p_histos = Hashtbl.create 64 in
+  let np = get_int r in
+  for _ = 1 to np do
+    let tag = get_string r in
+    let buckets =
+      get_list r (fun r ->
+          let pid_indices = get_array r get_int in
+          let frequencies = get_array r get_int in
+          P_histogram.bucket_of_parts ~pid_indices ~frequencies)
+    in
+    Hashtbl.replace p_histos tag (P_histogram.of_buckets buckets)
+  done;
+  let o_histos = Hashtbl.create 64 in
+  let no = get_int r in
+  for _ = 1 to no do
+    let tag = get_string r in
+    let pid_order = get_array r get_int in
+    let boxes =
+      get_list r (fun r ->
+          let x_start = get_int r in
+          let y_start = get_int r in
+          let x_end = get_int r in
+          let y_end = get_int r in
+          let frequency = get_float r in
+          { O_histogram.x_start; y_start; x_end; y_end; frequency })
+    in
+    Hashtbl.replace o_histos tag
+      (O_histogram.of_boxes ~ntags
+         ~tag_alpha_rank:(fun code -> alpha_ranks.(code))
+         ~pid_order boxes)
+  done;
+  let pid_index = Pid_tbl.create (Array.length pids) in
+  Array.iteri (fun i pid -> Pid_tbl.replace pid_index pid i) pids;
+  let code_of = Hashtbl.create ntags in
+  Array.iteri (fun code name -> Hashtbl.replace code_of name code) tag_names;
+  let pid_tree = Pid_tree.build (Array.to_list pids) in
+  {
+    core =
+      {
+        table;
+        pids;
+        pid_index;
+        root_pid;
+        tag_names;
+        code_of;
+        pid_tree;
+        p_variance;
+        o_variance;
+        p_histos;
+        o_histos;
+      };
+    b = None;
+  }

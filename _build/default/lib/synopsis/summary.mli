@@ -1,0 +1,109 @@
+(** The complete estimation synopsis for one document.
+
+    Bundles everything the estimator reads: the encoding table, the
+    path-id labeling, the p-histograms (path information) and the
+    o-histograms (order information), built at given variance
+    thresholds.  Construction is staged so the harness can time and
+    size each stage separately (paper Tables 4 and 5):
+
+    {[
+      let base  = Summary.collect doc in          (* paths + order *)
+      let s     = Summary.assemble ~p_variance:0. ~o_variance:0. base
+    ]}
+
+    [Summary.build] composes both stages. *)
+
+type base
+(** Variance-independent statistics: encoding table, labeling,
+    pathId-frequency and path-order tables. *)
+
+type t
+
+val collect : Xpest_xml.Doc.t -> base
+val collect_paths_only : Xpest_xml.Doc.t -> base
+(** Like {!collect} but skips the path-order sweep; {!assemble} on the
+    result supports only order-free estimation (order lookups return
+    0).  Used when benchmarking path collection in isolation. *)
+
+val assemble : ?p_variance:float -> ?o_variance:float -> base -> t
+(** Variances default to 0 (exact summaries). *)
+
+val without_order : base -> base
+(** Drop the path-order statistics (subsequent {!assemble} calls skip
+    o-histogram construction; order lookups return 0).  Shares the
+    path-side components with the input. *)
+
+val build :
+  ?p_variance:float -> ?o_variance:float -> Xpest_xml.Doc.t -> t
+
+(** {1 Accessors} *)
+
+val doc : t -> Xpest_xml.Doc.t
+(** @raise Invalid_argument on a synopsis loaded with {!load} (the
+    document is not persisted — that is the point of a synopsis). *)
+
+val base : t -> base
+(** @raise Invalid_argument on a loaded synopsis. *)
+
+val labeler : t -> Xpest_encoding.Labeler.t
+(** @raise Invalid_argument on a loaded synopsis. *)
+
+val encoding_table : t -> Xpest_encoding.Encoding_table.t
+
+val root_pid : t -> Xpest_util.Bitvec.t
+(** Path id of the document root (the all-paths vector); anchors
+    absolute [/n1] steps in the path join. *)
+
+val tags : t -> string array
+(** All element tags the synopsis knows, by tag code. *)
+
+val pf_table : base -> Pf_table.t
+val po_table : base -> Po_table.t option
+val p_variance : t -> float
+val o_variance : t -> float
+
+val tag_pids : t -> string -> (Xpest_util.Bitvec.t * float) list
+(** Distinct path ids carried by a tag with their p-histogram
+    frequency estimates — the input rows of the path join.  Empty for
+    unknown tags. *)
+
+val tag_total : t -> string -> float
+(** Estimated total frequency of a tag (sum of its pid estimates). *)
+
+val order_frequency :
+  t ->
+  tag:string ->
+  pid:Xpest_util.Bitvec.t ->
+  other:string ->
+  region:Po_table.region ->
+  float
+(** o-histogram estimate of the path-order cell
+    [g (pid, other, region)] in [tag]'s table (0 when uncovered or
+    when order statistics were not collected). *)
+
+(** {1 Memory accounting (modeled bytes, cf. Tables 3-5 and Fig. 9)} *)
+
+val p_histogram_bytes : t -> int
+val o_histogram_bytes : t -> int
+val encoding_table_bytes : t -> int
+val pid_tree_bytes : t -> int
+
+val total_bytes : t -> int
+(** encoding table + pid binary tree + p-histograms (the paper's
+    "total memory usage" in Figure 11). *)
+
+(** {1 Persistence}
+
+    A synopsis file holds exactly the document-independent core —
+    encoding table, distinct path ids, tag vocabulary and the two
+    histogram families — in an explicit binary format (no [Marshal],
+    so files survive compiler upgrades).  A loaded synopsis estimates
+    identically to the saved one but cannot answer document-level
+    queries ({!doc}/{!base}/{!labeler} raise). *)
+
+val save : t -> string -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val load : string -> t
+(** @raise Invalid_argument on malformed input, [Sys_error] on I/O
+    failure. *)

@@ -1,0 +1,1 @@
+lib/util/bitvec.ml: Array Char Format Hashtbl Int List Printf Stdlib String

@@ -1,0 +1,151 @@
+(* Immutable fixed-width bitvectors backed by an int array.  Each array
+   cell holds [bits_per_word] payload bits; unused high bits of the last
+   word are kept at zero so that [equal]/[compare]/[hash] can work on
+   the raw words. *)
+
+let bits_per_word = 62
+
+type t = { width : int; words : int array }
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let width v = v.width
+
+let zero w =
+  if w < 0 then invalid_arg "Bitvec.zero: negative width";
+  { width = w; words = Array.make (max 1 (nwords w)) 0 }
+
+let check_index v i =
+  if i < 0 || i >= v.width then
+    invalid_arg
+      (Printf.sprintf "Bitvec: index %d out of bounds (width %d)" i v.width)
+
+let singleton w i =
+  let v = zero w in
+  check_index v i;
+  v.words.(i / bits_per_word) <- 1 lsl (i mod bits_per_word);
+  v
+
+let is_zero v = Array.for_all (fun w -> w = 0) v.words
+
+let get v i =
+  check_index v i;
+  v.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set v i =
+  check_index v i;
+  let words = Array.copy v.words in
+  words.(i / bits_per_word) <-
+    words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+  { v with words }
+
+let check_same_width a b op =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let logor a b =
+  check_same_width a b "logor";
+  { width = a.width; words = Array.map2 ( lor ) a.words b.words }
+
+let logand a b =
+  check_same_width a b "logand";
+  { width = a.width; words = Array.map2 ( land ) a.words b.words }
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash v = Hashtbl.hash (v.width, v.words)
+
+let contains a b =
+  check_same_width a b "contains";
+  (not (equal a b)) && equal (logand a b) b
+
+let contains_or_equal a b = equal a b || contains a b
+
+let intersects a b =
+  check_same_width a b "intersects";
+  let n = Array.length a.words in
+  let rec loop i = i < n && (a.words.(i) land b.words.(i) <> 0 || loop (i + 1)) in
+  loop 0
+
+let popcount_word w =
+  let rec loop w acc = if w = 0 then acc else loop (w lsr 1) (acc + (w land 1)) in
+  loop w 0
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let iter_set_bits v f =
+  for wi = 0 to Array.length v.words - 1 do
+    let w = v.words.(wi) in
+    if w <> 0 then
+      for bi = 0 to bits_per_word - 1 do
+        if w land (1 lsl bi) <> 0 then f ((wi * bits_per_word) + bi)
+      done
+  done
+
+let set_bits v =
+  let acc = ref [] in
+  iter_set_bits v (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let first_set_bit v =
+  let exception Found of int in
+  try
+    iter_set_bits v (fun i -> raise (Found i));
+    None
+  with Found i -> Some i
+
+let of_bits a =
+  let v = zero (Array.length a) in
+  Array.iteri
+    (fun i b ->
+      if b then
+        v.words.(i / bits_per_word) <-
+          v.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+    a;
+  v
+
+let of_string s =
+  of_bits
+    (Array.init (String.length s) (fun i ->
+         match s.[i] with
+         | '0' -> false
+         | '1' -> true
+         | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad char %c" c)))
+
+let to_string v = String.init v.width (fun i -> if get v i then '1' else '0')
+
+let to_packed_string v =
+  let nbytes = (v.width + 7) / 8 in
+  String.init nbytes (fun byte ->
+      let acc = ref 0 in
+      for bit = 0 to 7 do
+        let i = (byte * 8) + bit in
+        if i < v.width && get v i then acc := !acc lor (1 lsl bit)
+      done;
+      Char.chr !acc)
+
+let of_packed_string ~width s =
+  let nbytes = (width + 7) / 8 in
+  if String.length s <> nbytes then
+    invalid_arg "Bitvec.of_packed_string: length mismatch";
+  let v =
+    of_bits
+      (Array.init width (fun i ->
+           Char.code s.[i / 8] land (1 lsl (i mod 8)) <> 0))
+  in
+  (* padding bits beyond [width] must be clear *)
+  if width mod 8 <> 0 then begin
+    let last = Char.code s.[nbytes - 1] in
+    if last lsr (width mod 8) <> 0 then
+      invalid_arg "Bitvec.of_packed_string: nonzero padding bits"
+  end;
+  v
+
+let byte_size v = max 1 ((v.width + 7) / 8)
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

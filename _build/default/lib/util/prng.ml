@@ -1,0 +1,82 @@
+(* splitmix64: tiny, fast, high-quality for non-cryptographic use, and
+   trivially portable, which is what reproducible experiments need. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = Int64.logxor (bits64 t) 0xA5A5A5A5DEADBEEFL }
+
+(* Non-negative 62-bit int from the raw stream. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+(* 2^62 as a float; [bits] values lie in [0, 2^62). *)
+let two_pow_62 = Float.ldexp 1.0 62
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias.  max_int = 2^62 - 1. *)
+  let limit = max_int - (max_int mod bound) in
+  let rec loop () =
+    let v = bits t in
+    if v >= limit then loop () else v mod bound
+  in
+  loop ()
+
+let int_in_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Float.of_int (bits t) /. two_pow_62 *. bound
+
+let bool t = bits t land 1 = 1
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let choose_weighted t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose_weighted: empty array";
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 a in
+  if total <= 0.0 then invalid_arg "Prng.choose_weighted: zero total weight";
+  let target = float t total in
+  let rec loop i acc =
+    if i = Array.length a - 1 then fst a.(i)
+    else
+      let acc = acc +. snd a.(i) in
+      if target < acc then fst a.(i) else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p out of (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = Float.max 1e-18 (float t 1.0) in
+    Int.of_float (Float.log u /. Float.log (1.0 -. p))
+
+let zipf t n s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let weights = Array.init n (fun i -> (i + 1, 1.0 /. Float.pow (Float.of_int (i + 1)) s)) in
+  choose_weighted t weights

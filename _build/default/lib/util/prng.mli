@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All synthetic data generation and workload sampling in this
+    repository flows through this module so that datasets, workloads
+    and therefore experiment results are exactly reproducible from a
+    seed, independent of the OCaml stdlib [Random] implementation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** Derive an independent generator; advances the parent. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in_range : t -> int -> int -> int
+(** [int_in_range t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform pick.  @raise Invalid_argument on empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** Pick proportionally to the (non-negative) weights.
+    @raise Invalid_argument if the array is empty or all weights are 0. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts failures before the first success of a
+    Bernoulli(p) trial; mean [(1-p)/p].  Used for skewed fan-outs.
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val zipf : t -> int -> float -> int
+(** [zipf t n s] samples from a Zipf distribution over [\[1, n\]] with
+    exponent [s] via inverse-CDF on precomputed weights (small [n]). *)

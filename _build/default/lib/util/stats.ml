@@ -1,0 +1,61 @@
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else sum a /. Float.of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let avg = mean a in
+    let sq = Array.fold_left (fun acc f -> acc +. ((f -. avg) ** 2.0)) 0.0 a in
+    Float.sqrt (sq /. Float.of_int n)
+
+let min_max a =
+  if Array.length a = 0 then None
+  else
+    Some
+      (Array.fold_left
+         (fun (lo, hi) f -> (Float.min lo f, Float.max hi f))
+         (a.(0), a.(0)) a)
+
+let relative_error ~actual ~estimate =
+  if actual = 0.0 then Float.abs estimate
+  else Float.abs (estimate -. actual) /. actual
+
+let mean_relative_error pairs =
+  match pairs with
+  | [] -> 0.0
+  | _ ->
+      let errs =
+        List.map (fun (actual, estimate) -> relative_error ~actual ~estimate) pairs
+      in
+      mean (Array.of_list errs)
+
+let percentile a p =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. Float.of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+module Accumulator = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. Float.of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+
+  let variance t =
+    if t.n = 0 then 0.0 else Float.sqrt (t.m2 /. Float.of_int t.n)
+end

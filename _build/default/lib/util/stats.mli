@@ -1,0 +1,38 @@
+(** Descriptive statistics used across the synopsis and the harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val variance : float array -> float
+(** The paper's "frequency variance" from Section 6:
+    [sqrt (sum (fi - avg)^2 / k)] — a population standard deviation,
+    but we keep the paper's name.  0 for the empty array. *)
+
+val sum : float array -> float
+val min_max : float array -> (float * float) option
+
+val relative_error : actual:float -> estimate:float -> float
+(** [|estimate - actual| / actual].  The workload generator guarantees
+    [actual > 0] (negative queries are removed), but for robustness a
+    zero actual yields [abs estimate]. *)
+
+val mean_relative_error : (float * float) list -> float
+(** Mean of {!relative_error} over [(actual, estimate)] pairs; 0 for
+    the empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]]; nearest-rank on a sorted
+    copy.  @raise Invalid_argument on empty input or [p] out of range. *)
+
+(** Online mean/deviation accumulator (Welford). *)
+module Accumulator : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val variance : t -> float
+  (** Population standard deviation, matching {!Stats.variance}. *)
+end

@@ -1,0 +1,109 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render_table ?title ~header ~align rows =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    let n = List.length align in
+    if n >= ncols then List.filteri (fun i _ -> i < ncols) align
+    else align @ List.init (ncols - n) (fun _ -> Left)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let render_row cells =
+    let padded =
+      List.map2
+        (fun (w, a) c -> " " ^ pad a w c ^ " ")
+        (List.combine widths aligns)
+        cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.4f" f in
+    (* strip trailing zeros but keep at least one decimal *)
+    let rec strip i = if i > 0 && s.[i] = '0' then strip (i - 1) else i in
+    let last = strip (String.length s - 1) in
+    let last = if s.[last] = '.' then last + 1 else last in
+    String.sub s 0 (last + 1)
+
+let render_series ?title ~x_label ~y_label ~series () =
+  let xs =
+    List.concat_map (fun (_, pts) -> List.map fst pts) series
+    |> List.sort_uniq Float.compare
+  in
+  let header = x_label :: List.map fst series in
+  let align = List.init (List.length header) (fun _ -> Right) in
+  let rows =
+    List.map
+      (fun x ->
+        fmt_float x
+        :: List.map
+             (fun (_, pts) ->
+               match List.assoc_opt x pts with
+               | Some y -> fmt_float y
+               | None -> "-")
+             series)
+      xs
+  in
+  let title =
+    match title with
+    | Some t -> Some (Printf.sprintf "%s  [y = %s]" t y_label)
+    | None -> Some (Printf.sprintf "[y = %s]" y_label)
+  in
+  render_table ?title ~header ~align rows
+
+let fmt_bytes n =
+  let f = Float.of_int n in
+  if f >= 1048576.0 then Printf.sprintf "%.2f MB" (f /. 1048576.0)
+  else if f >= 1024.0 then Printf.sprintf "%.2f KB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let fmt_seconds s =
+  if s < 0.001 then Printf.sprintf "%.1f us" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.2f s" s

@@ -1,0 +1,33 @@
+(** ASCII rendering of tables and line series for the benchmark
+    harness.  The bench executable reproduces the paper's tables and
+    figures as text; this module owns all the layout. *)
+
+type align = Left | Right
+
+val render_table :
+  ?title:string -> header:string list -> align:align list -> string list list -> string
+(** [render_table ~header ~align rows] lays out rows under a header
+    with per-column alignment (the alignment list is padded with [Left]
+    if short, truncated if long) and column-width auto-sizing.  Rows
+    shorter than the header are padded with empty cells. *)
+
+val render_series :
+  ?title:string ->
+  x_label:string ->
+  y_label:string ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string
+(** Render one "figure": for each named series, its (x, y) points as a
+    compact aligned listing, series side by side keyed on x.  Points
+    are keyed by x value; missing y values print as "-". *)
+
+val fmt_float : float -> string
+(** Compact float formatting used in all reports: up to 4 significant
+    decimals, no trailing zeros. *)
+
+val fmt_bytes : int -> string
+(** Human-readable byte count ("1.2 KB", "3.4 MB"). *)
+
+val fmt_seconds : float -> string
+(** Human-readable duration ("12.3 ms", "4.5 s"). *)

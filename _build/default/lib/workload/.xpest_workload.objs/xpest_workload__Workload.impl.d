@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Fun Hashtbl Int List String Xpest_encoding Xpest_util Xpest_xml Xpest_xpath

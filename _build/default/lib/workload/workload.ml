@@ -1,0 +1,227 @@
+module Prng = Xpest_util.Prng
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Encoding_table = Xpest_encoding.Encoding_table
+
+type item = { pattern : Pattern.t; actual : int }
+
+type t = {
+  simple : item list;
+  branch : item list;
+  order_branch_target : item list;
+  order_trunk_target : item list;
+}
+
+type config = {
+  seed : int;
+  num_simple : int;
+  num_branch : int;
+  min_size : int;
+  max_size : int;
+  nonsibling_fraction : float;
+}
+
+let default_config =
+  {
+    seed = 7001;
+    num_simple = 4000;
+    num_branch = 4000;
+    min_size = 3;
+    max_size = 12;
+    nonsibling_fraction = 0.0;
+  }
+
+(* Sorted random combination of k positions out of n. *)
+let pick_positions rng ~n ~k =
+  let positions = Array.init n Fun.id in
+  Prng.shuffle rng positions;
+  let picked = Array.sub positions 0 k in
+  Array.sort Int.compare picked;
+  picked
+
+(* Subsequence of [path] (an array of tags) at sorted [positions],
+   rendered as pattern steps: a pick adjacent to the previous one is a
+   child step, a gap a descendant step.  The first step is a child
+   step only when it picks the path root. *)
+let steps_of_positions path positions =
+  let prev = ref (-1) in
+  Array.to_list
+    (Array.map
+       (fun p ->
+         let axis = if p = !prev + 1 then Pattern.Child else Pattern.Descendant in
+         prev := p;
+         Pattern.{ axis; tag = path.(p) })
+       positions)
+
+let random_subsequence rng path ~min_size ~max_size =
+  let n = Array.length path in
+  let k = min n (Prng.int_in_range rng min_size max_size) in
+  steps_of_positions path (pick_positions rng ~n ~k)
+
+(* Merge two paths sharing a prefix into a branch shape. *)
+let random_branch_shape rng p1 p2 ~min_size ~max_size =
+  let common = ref 0 in
+  while
+    !common < Array.length p1
+    && !common < Array.length p2
+    && String.equal p1.(!common) p2.(!common)
+  do
+    incr common
+  done;
+  if !common = 0 then None
+  else
+    (* split point: trunk covers positions < c on both paths *)
+    let c = Prng.int_in_range rng 1 !common in
+    if c >= Array.length p1 || c >= Array.length p2 then None
+    else
+      let budget = max min_size (Prng.int_in_range rng min_size max_size) in
+      let pick_part lo hi want =
+        (* want >=1 positions within [lo..hi] *)
+        let n = hi - lo + 1 in
+        if n <= 0 || want <= 0 then None
+        else
+          let k = min n want in
+          Some (Array.map (fun p -> p + lo) (pick_positions rng ~n ~k))
+      in
+      let trunk_want = max 1 (Prng.int_in_range rng 1 (min c (budget - 2))) in
+      let rest = max 2 (budget - trunk_want) in
+      let branch_want = max 1 (rest / 2) in
+      let tail_want = max 1 (rest - branch_want) in
+      match
+        ( pick_part 0 (c - 1) trunk_want,
+          pick_part c (Array.length p1 - 1) branch_want,
+          pick_part c (Array.length p2 - 1) tail_want )
+      with
+      | Some tpos, Some bpos, Some apos ->
+          let trunk = steps_of_positions p1 tpos in
+          let last_trunk_pos = tpos.(Array.length tpos - 1) in
+          let part_steps path pos =
+            let prev = ref last_trunk_pos in
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   let axis =
+                     if p = !prev + 1 then Pattern.Child else Pattern.Descendant
+                   in
+                   prev := p;
+                   Pattern.{ axis; tag = path.(p) })
+                 pos)
+          in
+          let branch = part_steps p1 bpos in
+          let tail = part_steps p2 apos in
+          Some (Pattern.Branch { trunk; branch; tail })
+      | _, _, _ -> None
+
+let dedup_and_filter doc patterns =
+  let seen = Hashtbl.create 256 in
+  List.filter_map
+    (fun pattern ->
+      let key = Pattern.to_string pattern in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        let actual = Truth.selectivity doc pattern in
+        if actual > 0 then Some { pattern; actual } else None
+      end)
+    patterns
+
+let generate ?(config = default_config) doc =
+  let rng = Prng.create config.seed in
+  let table = Encoding_table.build doc in
+  let paths =
+    Array.of_list (List.map Array.of_list (Encoding_table.paths table))
+  in
+  (* --- simple --- *)
+  let simple_raw =
+    List.init config.num_simple (fun _ ->
+        let path = Prng.choose rng paths in
+        let spine =
+          random_subsequence rng path ~min_size:config.min_size
+            ~max_size:config.max_size
+        in
+        Pattern.v (Pattern.Simple spine)
+          (Pattern.In_trunk (List.length spine - 1)))
+  in
+  let simple = dedup_and_filter doc simple_raw in
+  (* --- branch --- *)
+  let branch_raw =
+    List.filter_map
+      (fun _ ->
+        let p1 = Prng.choose rng paths and p2 = Prng.choose rng paths in
+        match
+          random_branch_shape rng p1 p2 ~min_size:config.min_size
+            ~max_size:config.max_size
+        with
+        | Some (Pattern.Branch { tail; _ } as shape) ->
+            Some (Pattern.v shape (Pattern.In_tail (List.length tail - 1)))
+        | Some _ | None -> None)
+      (List.init config.num_branch Fun.id)
+  in
+  let branch = dedup_and_filter doc branch_raw in
+  (* --- order: fix sibling order between the two branch heads --- *)
+  let to_ordered rng (it : item) =
+    match Pattern.shape it.pattern with
+    | Pattern.Branch { trunk; branch; tail }
+      when branch <> [] && tail <> []
+           && (List.hd branch).Pattern.axis = Pattern.Child
+           && (List.hd tail).Pattern.axis = Pattern.Child ->
+        let axis =
+          if Prng.bool rng then Pattern.Following_sibling
+          else Pattern.Preceding_sibling
+        in
+        let axis, second =
+          if Prng.float rng 1.0 < config.nonsibling_fraction then
+            let widened : Pattern.order_axis =
+              match axis with
+              | Pattern.Following_sibling -> Pattern.Following
+              | Pattern.Preceding_sibling -> Pattern.Preceding
+              | (Pattern.Following | Pattern.Preceding) as a -> a
+            in
+            match tail with
+            | s :: rest -> (widened, { s with Pattern.axis = Pattern.Descendant } :: rest)
+            | [] -> (axis, tail)
+          else (axis, tail)
+        in
+        Some (Pattern.Ordered { trunk; first = branch; axis; second })
+    | Pattern.Branch _ | Pattern.Simple _ | Pattern.Ordered _ -> None
+  in
+  let ordered_shapes = List.filter_map (to_ordered rng) branch in
+  let with_target pick_position shapes =
+    List.filter_map
+      (fun shape ->
+        match pick_position shape with
+        | Some pos -> Some (Pattern.v shape pos)
+        | None -> None)
+      shapes
+  in
+  let order_branch_target =
+    dedup_and_filter doc
+      (with_target
+         (fun shape ->
+           match shape with
+           | Pattern.Ordered { first; second; _ } ->
+               (* alternate between the two branch parts *)
+               let in_first = Prng.bool rng in
+               if in_first then
+                 Some (Pattern.In_first (Prng.int rng (List.length first)))
+               else Some (Pattern.In_second (Prng.int rng (List.length second)))
+           | Pattern.Simple _ | Pattern.Branch _ -> None)
+         ordered_shapes)
+  in
+  let order_trunk_target =
+    dedup_and_filter doc
+      (with_target
+         (fun shape ->
+           match shape with
+           | Pattern.Ordered { trunk; _ } ->
+               Some (Pattern.In_trunk (Prng.int rng (List.length trunk)))
+           | Pattern.Simple _ | Pattern.Branch _ -> None)
+         ordered_shapes)
+  in
+  { simple; branch; order_branch_target; order_trunk_target }
+
+let total_without_order t = List.length t.simple + List.length t.branch
+
+let total_with_order t =
+  List.length t.order_branch_target + List.length t.order_trunk_target

@@ -1,0 +1,52 @@
+(** Query workload generation (paper Section 7).
+
+    Following the paper's recipe:
+
+    - {e simple} queries are random subsequences of the document's
+      root-to-leaf paths (consecutive picks become [/] steps, gaps
+      become [//] steps, an initial pick at the path root anchors with
+      [/]);
+    - {e branch} queries merge two subsequences of two paths that
+      share a prefix: the shared part becomes the trunk, the remainders
+      become branch and tail;
+    - {e order} queries fix the sibling order between the two branch
+      heads of branch queries whose heads are both child steps, giving
+      [folls]/[pres] queries; optionally a fraction is widened to
+      [following]/[preceding] by re-anchoring the second head as a
+      descendant.
+
+    Duplicate queries and negative queries (true selectivity 0) are
+    removed; each surviving query carries its exact selectivity so
+    experiments never recompute ground truth. *)
+
+type item = { pattern : Xpest_xpath.Pattern.t; actual : int }
+
+type t = {
+  simple : item list;
+  branch : item list;  (** targets on the tail (the paper's default) *)
+  order_branch_target : item list;
+      (** order queries with the target in a branch part (Figure 12) *)
+  order_trunk_target : item list;
+      (** the same order constraints with trunk targets (Figure 13) *)
+}
+
+type config = {
+  seed : int;
+  num_simple : int;  (** generation attempts, before dedup/negatives *)
+  num_branch : int;
+  min_size : int;  (** min query size in nodes *)
+  max_size : int;
+  nonsibling_fraction : float;
+      (** fraction of order queries converted to [following]/[preceding];
+          0 reproduces the paper's workload *)
+}
+
+val default_config : config
+(** [seed=7001; num_simple=4000; num_branch=4000; min_size=3;
+    max_size=12; nonsibling_fraction=0.] — the paper's parameters. *)
+
+val generate : ?config:config -> Xpest_xml.Doc.t -> t
+
+val total_without_order : t -> int
+val total_with_order : t -> int
+(** The two totals of the paper's Table 2. *)

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Fun List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xml/printer.ml: Buffer Fun List Printf String Tree

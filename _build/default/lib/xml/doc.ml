@@ -1,0 +1,158 @@
+type node = int
+
+type t = {
+  tag_codes : int array;
+  tag_names : string array;
+  code_of_tag : (string, int) Hashtbl.t;
+  parents : int array; (* -1 for the root *)
+  first_children : int array; (* -1 if leaf *)
+  next_siblings : int array; (* -1 if last child *)
+  prev_siblings : int array; (* -1 if first child *)
+  sibling_positions : int array;
+  posts : int array;
+  depths : int array;
+  by_tag : int array array; (* tag code -> document-ordered node ids *)
+  subtree_lasts : int array;
+}
+
+let of_tree tree =
+  let n = Tree.size tree in
+  let tag_codes = Array.make n 0 in
+  let parents = Array.make n (-1) in
+  let first_children = Array.make n (-1) in
+  let next_siblings = Array.make n (-1) in
+  let prev_siblings = Array.make n (-1) in
+  let sibling_positions = Array.make n 0 in
+  let posts = Array.make n 0 in
+  let depths = Array.make n 0 in
+  let subtree_lasts = Array.make n 0 in
+  let code_of_tag = Hashtbl.create 64 in
+  let tag_names = ref [] in
+  let num_tags = ref 0 in
+  let intern tag =
+    match Hashtbl.find_opt code_of_tag tag with
+    | Some c -> c
+    | None ->
+        let c = !num_tags in
+        Hashtbl.add code_of_tag tag c;
+        tag_names := tag :: !tag_names;
+        incr num_tags;
+        c
+  in
+  let next_pre = ref 0 in
+  let next_post = ref 0 in
+  (* Recursion depth is bounded by tree depth, which stays small (<100)
+     for every dataset this system targets. *)
+  let rec assign parent depth sib_pos prev_sib (Tree.E (tag, cs)) =
+    let me = !next_pre in
+    incr next_pre;
+    tag_codes.(me) <- intern tag;
+    parents.(me) <- parent;
+    depths.(me) <- depth;
+    sibling_positions.(me) <- sib_pos;
+    prev_siblings.(me) <- prev_sib;
+    (if prev_sib >= 0 then next_siblings.(prev_sib) <- me);
+    (if sib_pos = 0 && parent >= 0 then first_children.(parent) <- me);
+    let _last_child =
+      List.fold_left
+        (fun (pos, prev) c ->
+          let child = assign me (depth + 1) pos prev c in
+          (pos + 1, child))
+        (0, -1) cs
+    in
+    posts.(me) <- !next_post;
+    incr next_post;
+    subtree_lasts.(me) <- !next_pre - 1;
+    me
+  in
+  let (_ : int) = assign (-1) 1 0 (-1) tree in
+  let tag_names = Array.of_list (List.rev !tag_names) in
+  let counts = Array.make (Array.length tag_names) 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) tag_codes;
+  let by_tag = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (Array.length tag_names) 0 in
+  Array.iteri
+    (fun node c ->
+      by_tag.(c).(fill.(c)) <- node;
+      fill.(c) <- fill.(c) + 1)
+    tag_codes;
+  {
+    tag_codes;
+    tag_names;
+    code_of_tag;
+    parents;
+    first_children;
+    next_siblings;
+    prev_siblings;
+    sibling_positions;
+    posts;
+    depths;
+    by_tag;
+    subtree_lasts;
+  }
+
+let size d = Array.length d.tag_codes
+let root (_ : t) = 0
+let tag_code d n = d.tag_codes.(n)
+let tag d n = d.tag_names.(d.tag_codes.(n))
+let num_tags d = Array.length d.tag_names
+
+let tag_name d c =
+  if c < 0 || c >= Array.length d.tag_names then
+    invalid_arg "Doc.tag_name: code out of range";
+  d.tag_names.(c)
+
+let code_of_tag d tag = Hashtbl.find_opt d.code_of_tag tag
+let tags d = Array.copy d.tag_names
+let parent d n = if d.parents.(n) < 0 then None else Some d.parents.(n)
+
+let children d n =
+  let rec collect c acc =
+    if c < 0 then List.rev acc else collect d.next_siblings.(c) (c :: acc)
+  in
+  collect d.first_children.(n) []
+
+let first_child d n = if d.first_children.(n) < 0 then None else Some d.first_children.(n)
+let next_sibling d n = if d.next_siblings.(n) < 0 then None else Some d.next_siblings.(n)
+let prev_sibling d n = if d.prev_siblings.(n) < 0 then None else Some d.prev_siblings.(n)
+let sibling_pos d n = d.sibling_positions.(n)
+let post d n = d.posts.(n)
+let is_leaf d n = d.first_children.(n) < 0
+
+let is_ancestor d ~anc ~desc = anc < desc && d.posts.(anc) > d.posts.(desc)
+
+let subtree_last d n = d.subtree_lasts.(n)
+let depth d n = d.depths.(n)
+let max_depth d = Array.fold_left max 0 d.depths
+
+let nodes_with_tag d tag =
+  match Hashtbl.find_opt d.code_of_tag tag with
+  | None -> [||]
+  | Some c -> d.by_tag.(c)
+
+let nodes_with_tag_code d c = d.by_tag.(c)
+
+let iter d f =
+  for n = 0 to size d - 1 do
+    f n
+  done
+
+let path_to d n =
+  let rec up n acc = if n < 0 then acc else up d.parents.(n) (tag d n :: acc) in
+  up n []
+
+let to_tree d =
+  let rec build n = Tree.E (tag d n, List.map build (children d n)) in
+  build 0
+
+let serialized_byte_size d =
+  (* Mirrors Printer's indented format: a leaf renders as "<tag/>\n"
+     with a 2-space-per-level indent; an internal node adds "<tag>\n"
+     and "</tag>\n" lines, both indented. *)
+  let total = ref 0 in
+  iter d (fun n ->
+      let pad = 2 * (d.depths.(n) - 1) in
+      let len = String.length (tag d n) in
+      total :=
+        !total + (if is_leaf d n then pad + len + 4 else (2 * pad) + (2 * len) + 7));
+  !total

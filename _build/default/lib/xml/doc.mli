@@ -1,0 +1,80 @@
+(** Frozen ordered XML documents.
+
+    A document freezes a {!Tree.t} into struct-of-arrays form keyed by
+    pre-order (= document-order) node identifiers, supporting the
+    traversals the labeler, the ground-truth evaluator and the
+    statistics collectors need: parent/child navigation, per-tag node
+    lists, ancestor tests in O(1), and sibling positions. *)
+
+type node = int
+(** Node identifier = pre-order rank; the root is node [0].
+    Comparing identifiers compares document order. *)
+
+type t
+
+val of_tree : Tree.t -> t
+
+val size : t -> int
+(** Number of element nodes. *)
+
+val root : t -> node
+
+val tag : t -> node -> string
+val tag_code : t -> node -> int
+(** Dense integer code for the node's tag ([0 .. num_tags - 1]). *)
+
+val num_tags : t -> int
+val tag_name : t -> int -> string
+(** @raise Invalid_argument if the code is out of range. *)
+
+val code_of_tag : t -> string -> int option
+val tags : t -> string array
+(** All tag names indexed by code. *)
+
+val parent : t -> node -> node option
+val children : t -> node -> node list
+val first_child : t -> node -> node option
+val next_sibling : t -> node -> node option
+val prev_sibling : t -> node -> node option
+
+val sibling_pos : t -> node -> int
+(** 0-based position among the parent's children (0 for the root). *)
+
+val post : t -> node -> int
+(** Post-order rank. *)
+
+val is_leaf : t -> node -> bool
+
+val is_ancestor : t -> anc:node -> desc:node -> bool
+(** Strict ancestorship via pre/post intervals. *)
+
+val subtree_last : t -> node -> node
+(** Largest (pre-order) node id inside [n]'s subtree, [n] included;
+    the subtree of [n] is exactly the id interval
+    [\[n, subtree_last n\]]. *)
+
+val depth : t -> node -> int
+(** Number of nodes on the root-to-node chain ([1] for the root). *)
+
+val max_depth : t -> int
+
+val nodes_with_tag : t -> string -> node array
+(** Document-ordered ids of all nodes with the given tag; [|]| if the
+    tag does not occur.  The returned array is shared: do not mutate. *)
+
+val nodes_with_tag_code : t -> int -> node array
+
+val iter : t -> (node -> unit) -> unit
+(** Pre-order (document order) iteration. *)
+
+val path_to : t -> node -> string list
+(** Tags on the root-to-node chain, root first. *)
+
+val to_tree : t -> Tree.t
+(** Reconstruct the constructor form (inverse of {!of_tree}). *)
+
+val serialized_byte_size : t -> int
+(** Length of the indented XML serialization, computed analytically;
+    equals [Printer.byte_size (to_tree doc)] without materializing
+    anything (tests assert the equality).  This is the "document size"
+    of the paper's Table 1. *)

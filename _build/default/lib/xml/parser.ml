@@ -1,0 +1,215 @@
+exception Syntax_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let error st message = raise (Syntax_error { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input
+  && String.sub st.input st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else error st (Printf.sprintf "expected %S" prefix)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> error st "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Skip until [stop] (inclusive); for comments, CDATA, PIs, DOCTYPE. *)
+let skip_until st stop =
+  match
+    if String.length stop = 0 then None
+    else
+      let rec search from =
+        if from + String.length stop > String.length st.input then None
+        else if String.sub st.input from (String.length stop) = stop then Some from
+        else search (from + 1)
+      in
+      search st.pos
+  with
+  | Some at -> st.pos <- at + String.length stop
+  | None -> error st (Printf.sprintf "unterminated construct, expected %S" stop)
+
+(* DOCTYPE may contain a bracketed internal subset. *)
+let skip_doctype st =
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None -> error st "unterminated DOCTYPE"
+    | Some '[' ->
+        incr depth;
+        advance st
+    | Some ']' ->
+        decr depth;
+        advance st
+    | Some '>' when !depth = 0 ->
+        advance st;
+        continue := false
+    | Some _ -> advance st
+  done
+
+let parse_attribute st =
+  let (_ : string) = parse_name st in
+  skip_spaces st;
+  (match peek st with
+  | Some '=' -> (
+      advance st;
+      skip_spaces st;
+      match peek st with
+      | Some (('"' | '\'') as quote) ->
+          advance st;
+          let rec skip () =
+            match peek st with
+            | Some c when c = quote -> advance st
+            | Some _ ->
+                advance st;
+                skip ()
+            | None -> error st "unterminated attribute value"
+          in
+          skip ()
+      | _ -> error st "expected quoted attribute value")
+  | _ -> error st "expected '=' after attribute name")
+
+(* Parse the inside of a start tag after the name; returns true if the
+   element is self-closing. *)
+let parse_tag_tail st =
+  let rec loop () =
+    skip_spaces st;
+    match peek st with
+    | Some '>' ->
+        advance st;
+        false
+    | Some '/' ->
+        advance st;
+        expect st ">";
+        true
+    | Some c when is_name_start c ->
+        parse_attribute st;
+        loop ()
+    | Some c -> error st (Printf.sprintf "unexpected %C in tag" c)
+    | None -> error st "unterminated tag"
+  in
+  loop ()
+
+(* Skip misc content between/inside elements: text, comments, CDATA,
+   PIs.  Stops at '<' that begins a start or end tag, or at EOF. *)
+let rec skip_misc st =
+  match peek st with
+  | None -> ()
+  | Some '<' ->
+      if looking_at st "<!--" then begin
+        st.pos <- st.pos + 4;
+        skip_until st "-->";
+        skip_misc st
+      end
+      else if looking_at st "<![CDATA[" then begin
+        st.pos <- st.pos + 9;
+        skip_until st "]]>";
+        skip_misc st
+      end
+      else if looking_at st "<?" then begin
+        st.pos <- st.pos + 2;
+        skip_until st "?>";
+        skip_misc st
+      end
+      else if looking_at st "<!DOCTYPE" then begin
+        st.pos <- st.pos + 9;
+        skip_doctype st;
+        skip_misc st
+      end
+      else () (* start or end tag: caller handles *)
+  | Some _ ->
+      advance st;
+      skip_misc st
+
+let rec parse_element st =
+  expect st "<";
+  let name = parse_name st in
+  let self_closing = parse_tag_tail st in
+  if self_closing then Tree.E (name, [])
+  else begin
+    let children = ref [] in
+    let rec content () =
+      skip_misc st;
+      if looking_at st "</" then begin
+        st.pos <- st.pos + 2;
+        let close = parse_name st in
+        if not (String.equal close name) then
+          error st
+            (Printf.sprintf "mismatched end tag: expected </%s>, got </%s>" name
+               close);
+        skip_spaces st;
+        expect st ">"
+      end
+      else if looking_at st "<" then begin
+        children := parse_element st :: !children;
+        content ()
+      end
+      else error st (Printf.sprintf "unterminated element <%s>" name)
+    in
+    content ();
+    Tree.E (name, List.rev !children)
+  end
+
+(* Between the prolog/epilog only whitespace, comments, PIs and DOCTYPE
+   are allowed; bare text there is an error. *)
+let rec skip_prolog st =
+  skip_spaces st;
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    skip_until st "-->";
+    skip_prolog st
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    skip_until st "?>";
+    skip_prolog st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    st.pos <- st.pos + 9;
+    skip_doctype st;
+    skip_prolog st
+  end
+
+let parse_string input =
+  let st = { input; pos = 0 } in
+  skip_prolog st;
+  if not (looking_at st "<") then error st "expected a root element";
+  let tree = parse_element st in
+  skip_prolog st;
+  if st.pos < String.length input then error st "trailing content after root element";
+  tree
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))

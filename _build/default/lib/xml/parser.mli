@@ -1,0 +1,24 @@
+(** A from-scratch parser for the XML subset the estimation system
+    consumes.
+
+    Handles: element nesting, attributes (parsed and discarded),
+    self-closing tags, character data (discarded), comments, CDATA
+    sections, processing instructions, DOCTYPE declarations and
+    standard entity references inside discarded text.  Namespaces are
+    treated as part of the tag name.  The estimator is purely
+    structural, so everything except the element skeleton is dropped.
+
+    This is not a conforming XML processor; it accepts the documents
+    produced by {!Printer} and by common dataset dumps (Shakespeare,
+    DBLP, XMark style). *)
+
+exception Syntax_error of { position : int; message : string }
+(** [position] is a 0-based byte offset into the input. *)
+
+val parse_string : string -> Tree.t
+(** @raise Syntax_error on malformed input (including mismatched or
+    missing tags and trailing non-whitespace content). *)
+
+val parse_file : string -> Tree.t
+(** Reads the whole file then delegates to {!parse_string}.
+    @raise Sys_error on I/O failure. *)

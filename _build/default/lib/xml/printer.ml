@@ -1,0 +1,30 @@
+let render ~indent emit tree =
+  let rec go depth (Tree.E (tag, cs)) =
+    let pad = if indent then String.make (2 * depth) ' ' else "" in
+    let nl = if indent then "\n" else "" in
+    match cs with
+    | [] -> emit (Printf.sprintf "%s<%s/>%s" pad tag nl)
+    | _ ->
+        emit (Printf.sprintf "%s<%s>%s" pad tag nl);
+        List.iter (go (depth + 1)) cs;
+        emit (Printf.sprintf "%s</%s>%s" pad tag nl)
+  in
+  go 0 tree
+
+let to_string ?(indent = true) tree =
+  let buf = Buffer.create 4096 in
+  render ~indent (Buffer.add_string buf) tree;
+  Buffer.contents buf
+
+let to_file ?(indent = true) path tree =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "<?xml version=\"1.0\"?>\n";
+      render ~indent (output_string oc) tree)
+
+let byte_size tree =
+  let n = ref 0 in
+  render ~indent:true (fun s -> n := !n + String.length s) tree;
+  !n

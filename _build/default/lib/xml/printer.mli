@@ -1,0 +1,16 @@
+(** XML serialization of element trees. *)
+
+val to_string : ?indent:bool -> Tree.t -> string
+(** Serialize a tree.  With [indent] (default [true]) each element
+    starts on its own line, indented two spaces per depth; without it
+    the output is a single line.  Output is always re-parseable by
+    {!Parser.parse_string}. *)
+
+val to_file : ?indent:bool -> string -> Tree.t -> unit
+(** [to_file path tree] writes {!to_string} with an XML declaration.
+    @raise Sys_error on I/O failure. *)
+
+val byte_size : Tree.t -> int
+(** Length in bytes of the indented serialization — the "document
+    size" reported in Table 1 without materializing intermediate
+    strings repeatedly. *)

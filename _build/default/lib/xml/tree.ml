@@ -1,0 +1,52 @@
+type t = E of string * t list
+
+let elem tag children = E (tag, children)
+let leaf tag = E (tag, [])
+let tag (E (t, _)) = t
+let children (E (_, cs)) = cs
+
+let rec size (E (_, cs)) = List.fold_left (fun acc c -> acc + size c) 1 cs
+
+let rec depth (E (_, cs)) =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 cs
+
+let rec fold f acc (E (tag, cs)) =
+  List.fold_left (fold f) (f acc tag) cs
+
+let distinct_tags t =
+  let module S = Set.Make (String) in
+  S.elements (fold (fun s tag -> S.add tag s) S.empty t)
+
+let root_to_leaf_paths t =
+  (* Collect distinct paths in first-occurrence order so that path
+     encodings are stable across runs. *)
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let rec go prefix (E (tag, cs)) =
+    let prefix = tag :: prefix in
+    match cs with
+    | [] ->
+        let path = List.rev prefix in
+        if not (Hashtbl.mem seen path) then begin
+          Hashtbl.add seen path ();
+          out := path :: !out
+        end
+    | _ -> List.iter (go prefix) cs
+  in
+  go [] t;
+  List.rev !out
+
+let rec equal (E (t1, cs1)) (E (t2, cs2)) =
+  String.equal t1 t2
+  && List.length cs1 = List.length cs2
+  && List.for_all2 equal cs1 cs2
+
+let rec pp ppf (E (tag, cs)) =
+  match cs with
+  | [] -> Format.fprintf ppf "%s" tag
+  | _ ->
+      Format.fprintf ppf "%s(%a)" tag
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           pp)
+        cs

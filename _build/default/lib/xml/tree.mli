@@ -1,0 +1,39 @@
+(** Constructor-style ordered XML element trees.
+
+    This is the lightweight representation used while *building*
+    documents (generators, parser).  Analysis and estimation work on
+    the frozen {!Doc.t} form.  Only element structure is modeled:
+    the estimation system of the paper is purely structural, so
+    attributes and character data are dropped at parse time. *)
+
+type t = E of string * t list
+(** [E (tag, children)]; children are in document (sibling) order. *)
+
+val elem : string -> t list -> t
+(** [elem tag children] is [E (tag, children)]. *)
+
+val leaf : string -> t
+(** [leaf tag] is [E (tag, [])]. *)
+
+val tag : t -> string
+val children : t -> t list
+
+val size : t -> int
+(** Number of element nodes. *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf node chain ([1] for a leaf). *)
+
+val distinct_tags : t -> string list
+(** Sorted list of distinct element tags. *)
+
+val root_to_leaf_paths : t -> string list list
+(** Distinct root-to-leaf tag sequences in first-occurrence order —
+    the raw material of the paper's encoding table (Section 2). *)
+
+val fold : ('a -> string -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over tags. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** One-line s-expression-ish rendering for debugging. *)

@@ -1,0 +1,1 @@
+lib/xpath/ast.ml: Bool Buffer Format List String

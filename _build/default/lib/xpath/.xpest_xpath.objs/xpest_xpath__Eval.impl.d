@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Fun Int List Set String Xpest_xml

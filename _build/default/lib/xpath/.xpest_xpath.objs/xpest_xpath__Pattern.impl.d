@@ -1,0 +1,1 @@
+lib/xpath/pattern.ml: Ast Buffer Format List Option Parser Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/xpath/truth.ml: Array Bytes Char Hashtbl Lazy List Pattern Xpest_xml

@@ -1,0 +1,1 @@
+lib/xpath/truth.mli: Pattern Xpest_xml

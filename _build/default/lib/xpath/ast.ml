@@ -1,0 +1,86 @@
+type axis =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+type node_test = Name of string | Wildcard
+
+type step = { axis : axis; test : node_test; predicates : path list }
+and path = { absolute : bool; steps : step list }
+
+let axis_name = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+
+let step ?(predicates = []) axis test = { axis; test; predicates }
+let path ?(absolute = true) steps = { absolute; steps }
+
+let equal_test a b =
+  match (a, b) with
+  | Name x, Name y -> String.equal x y
+  | Wildcard, Wildcard -> true
+  | Name _, Wildcard | Wildcard, Name _ -> false
+
+let rec equal_step a b =
+  a.axis = b.axis
+  && equal_test a.test b.test
+  && List.length a.predicates = List.length b.predicates
+  && List.for_all2 equal_path a.predicates b.predicates
+
+and equal_path a b =
+  Bool.equal a.absolute b.absolute
+  && List.length a.steps = List.length b.steps
+  && List.for_all2 equal_step a.steps b.steps
+
+let test_string = function Name n -> n | Wildcard -> "*"
+
+let to_string p =
+  let buf = Buffer.create 64 in
+  let rec render_path ~leading p =
+    List.iteri
+      (fun i s ->
+        let sep_needed = i > 0 || leading in
+        (match s.axis with
+        | Child -> if sep_needed then Buffer.add_char buf '/'
+        | Descendant ->
+            if sep_needed then Buffer.add_string buf "//"
+            else Buffer.add_string buf "descendant::"
+        | axis ->
+            if sep_needed then Buffer.add_char buf '/';
+            Buffer.add_string buf (axis_name axis);
+            Buffer.add_string buf "::");
+        (* A descendant step rendered as "//" already carries its axis;
+           otherwise child steps are bare names. *)
+        (match s.axis with
+        | Descendant when sep_needed -> Buffer.add_string buf (test_string s.test)
+        | Child | Descendant -> Buffer.add_string buf (test_string s.test)
+        | Self | Descendant_or_self | Parent | Ancestor | Following_sibling
+        | Preceding_sibling | Following | Preceding ->
+            Buffer.add_string buf (test_string s.test));
+        List.iter
+          (fun pred ->
+            Buffer.add_char buf '[';
+            render_path ~leading:pred.absolute pred;
+            Buffer.add_char buf ']')
+          s.predicates)
+      p.steps
+  in
+  render_path ~leading:p.absolute p;
+  Buffer.contents buf
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,47 @@
+(** Abstract syntax of the XPath fragment used by the paper.
+
+    [PathExpr ::= /Step1/Step2/.../Stepn]
+    [Step ::= Axis :: NodeTest Predicate*]
+
+    Predicates are path-existence tests (the paper has no value
+    predicates).  The estimation system proper consumes the normalized
+    {!Pattern} forms; this AST is what the parser produces and what the
+    set-based {!Eval} evaluator runs. *)
+
+type axis =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+type node_test = Name of string | Wildcard
+
+type step = { axis : axis; test : node_test; predicates : path list }
+
+and path = { absolute : bool; steps : step list }
+(** [absolute] paths start at the (virtual) document node: [/A] selects
+    the root element when it is named [A]; [//A] every [A].  Relative
+    paths (inside predicates) start at the context node. *)
+
+val axis_name : axis -> string
+(** Full XPath axis name, e.g. ["following-sibling"]. *)
+
+val step : ?predicates:path list -> axis -> node_test -> step
+
+val path : ?absolute:bool -> step list -> path
+(** [absolute] defaults to [true]. *)
+
+val equal_path : path -> path -> bool
+
+val to_string : path -> string
+(** Canonical rendering with [/], [//] abbreviations where possible and
+    explicit [axis::] otherwise; predicates as [\[...\]].  Re-parseable
+    by {!Parser.parse_string}. *)
+
+val pp : Format.formatter -> path -> unit

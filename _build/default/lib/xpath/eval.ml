@@ -1,0 +1,102 @@
+module Doc = Xpest_xml.Doc
+module Iset = Set.Make (Int)
+
+let rec descendants d n acc =
+  List.fold_left (fun acc c -> descendants d c (c :: acc)) acc (Doc.children d n)
+
+let ancestors d n =
+  let rec up n acc =
+    match Doc.parent d n with Some p -> up p (p :: acc) | None -> acc
+  in
+  up n []
+
+let axis_nodes d axis n =
+  match axis with
+  | Ast.Self -> [ n ]
+  | Ast.Child -> Doc.children d n
+  | Ast.Descendant -> List.sort Int.compare (descendants d n [])
+  | Ast.Descendant_or_self -> List.sort Int.compare (descendants d n [ n ])
+  | Ast.Parent -> ( match Doc.parent d n with Some p -> [ p ] | None -> [])
+  | Ast.Ancestor -> ancestors d n
+  | Ast.Following_sibling ->
+      let rec collect m acc =
+        match Doc.next_sibling d m with
+        | Some s -> collect s (s :: acc)
+        | None -> List.rev acc
+      in
+      collect n []
+  | Ast.Preceding_sibling ->
+      let rec collect m acc =
+        match Doc.prev_sibling d m with
+        | Some s -> collect s (s :: acc)
+        | None -> acc
+      in
+      collect n []
+  | Ast.Following ->
+      (* Everything after n's subtree in document order. *)
+      let first = Doc.subtree_last d n + 1 in
+      List.init (Doc.size d - first) (fun i -> first + i)
+  | Ast.Preceding ->
+      (* Nodes strictly before n in document order, minus ancestors. *)
+      let rec collect m acc =
+        if m >= n then List.rev acc
+        else if Doc.is_ancestor d ~anc:m ~desc:n then collect (m + 1) acc
+        else collect (m + 1) (m :: acc)
+      in
+      collect 0 []
+
+let test_ok d test n =
+  match test with
+  | Ast.Wildcard -> true
+  | Ast.Name name -> String.equal (Doc.tag d n) name
+
+(* Evaluate one step from a context set; deduplicate with a set. *)
+let rec eval_step d context (step : Ast.step) =
+  let hits = ref Iset.empty in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun m ->
+          if test_ok d step.test m && satisfies_predicates d m step.predicates
+          then hits := Iset.add m !hits)
+        (axis_nodes d step.axis n))
+    context;
+  Iset.elements !hits
+
+and satisfies_predicates d n predicates =
+  List.for_all (fun p -> eval_path d [ n ] p <> []) predicates
+
+and eval_path d context (path : Ast.path) =
+  (* Absolute paths restart at the virtual document node, whose only
+     child is the root element; we model the first Child step against
+     it by seeding the context appropriately. *)
+  match path.steps with
+  | [] -> context
+  | first :: rest ->
+      let seed =
+        if path.absolute then
+          match first.axis with
+          | Ast.Child ->
+              (* children of the document node = the root element *)
+              if
+                test_ok d first.test 0
+                && satisfies_predicates d 0 first.predicates
+              then [ 0 ]
+              else []
+          | Ast.Descendant | Ast.Descendant_or_self ->
+              List.filter
+                (fun n ->
+                  test_ok d first.test n
+                  && satisfies_predicates d n first.predicates)
+                (List.init (Doc.size d) Fun.id)
+          | Ast.Self | Ast.Parent | Ast.Ancestor | Ast.Following_sibling
+          | Ast.Preceding_sibling | Ast.Following | Ast.Preceding ->
+              (* No sensible meaning from the document node. *)
+              []
+        else eval_step d context first
+      in
+      List.fold_left (eval_step d) seed rest
+
+let eval_from d context path = eval_path d context path
+let eval d path = eval_path d [ Doc.root d ] path
+let count d path = List.length (eval d path)

@@ -1,0 +1,25 @@
+(** Set-based XPath evaluation over a frozen document.
+
+    This is the reference evaluator: simple, obviously-correct
+    semantics, used by the examples, by tests as an oracle for the
+    faster {!Truth} matcher, and to cross-check estimates.  Node sets
+    are returned in document order without duplicates. *)
+
+val eval : Xpest_xml.Doc.t -> Ast.path -> Xpest_xml.Doc.node list
+(** Evaluate an absolute path from the virtual document node (so
+    [/A] yields the root element when named [A]).  A relative path is
+    evaluated from the root element. *)
+
+val eval_from :
+  Xpest_xml.Doc.t -> Xpest_xml.Doc.node list -> Ast.path -> Xpest_xml.Doc.node list
+(** Evaluate a relative path from an explicit context node set.
+    Absolute paths ignore the context and restart at the document
+    node. *)
+
+val count : Xpest_xml.Doc.t -> Ast.path -> int
+(** [List.length (eval doc path)]. *)
+
+val axis_nodes :
+  Xpest_xml.Doc.t -> Ast.axis -> Xpest_xml.Doc.node -> Xpest_xml.Doc.node list
+(** All nodes reachable from a context node via an axis, in document
+    order.  Exposed for tests. *)

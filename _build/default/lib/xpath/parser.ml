@@ -1,0 +1,139 @@
+exception Syntax_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let error st message = raise (Syntax_error { position = st.pos; message })
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+(* Longest-match over the axis table; names containing '-' (e.g.
+   "following-sibling") must come before their prefixes. *)
+let axes : (string * Ast.axis) list =
+  [
+    ("descendant-or-self", Ast.Descendant_or_self);
+    ("descendant", Ast.Descendant);
+    ("following-sibling", Ast.Following_sibling);
+    ("preceding-sibling", Ast.Preceding_sibling);
+    ("following", Ast.Following);
+    ("preceding", Ast.Preceding);
+    ("ancestor", Ast.Ancestor);
+    ("parent", Ast.Parent);
+    ("child", Ast.Child);
+    ("self", Ast.Self);
+    (* The paper's abbreviations. *)
+    ("folls", Ast.Following_sibling);
+    ("pres", Ast.Preceding_sibling);
+    ("foll", Ast.Following);
+    ("prec", Ast.Preceding);
+  ]
+
+let try_axis st =
+  let rest = String.length st.input - st.pos in
+  let found =
+    List.find_opt
+      (fun (name, _) ->
+        let n = String.length name in
+        n + 2 <= rest
+        && String.sub st.input st.pos n = name
+        && String.sub st.input (st.pos + n) 2 = "::")
+      axes
+  in
+  match found with
+  | Some (name, axis) ->
+      st.pos <- st.pos + String.length name + 2;
+      Some axis
+  | None -> None
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> error st "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_test st =
+  match peek st with
+  | Some '*' ->
+      advance st;
+      Ast.Wildcard
+  | _ -> Ast.Name (parse_name st)
+
+(* leading_axis: the axis implied by the separator seen before this
+   step ('/' -> Child, '//' -> Descendant, None for a bare first step
+   of a relative path, which defaults to Child). *)
+let rec parse_step st default_axis =
+  let axis = match try_axis st with Some a -> a | None -> default_axis in
+  let test = parse_test st in
+  let predicates = parse_predicates st [] in
+  Ast.{ axis; test; predicates }
+
+and parse_predicates st acc =
+  match peek st with
+  | Some '[' ->
+      advance st;
+      let pred = parse_relative_path st in
+      (match peek st with
+      | Some ']' -> advance st
+      | _ -> error st "expected ']'");
+      parse_predicates st (pred :: acc)
+  | _ -> List.rev acc
+
+and parse_steps st first_axis =
+  let first = parse_step st first_axis in
+  let rec more acc =
+    if looking_at st "//" then begin
+      st.pos <- st.pos + 2;
+      more (parse_step st Ast.Descendant :: acc)
+    end
+    else if looking_at st "/" then begin
+      advance st;
+      more (parse_step st Ast.Child :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+(* Relative path: used inside predicates.  A leading '/' or '//' is
+   interpreted relative to the context node (paper notation). *)
+and parse_relative_path st =
+  let first_axis =
+    if looking_at st "//" then begin
+      st.pos <- st.pos + 2;
+      Ast.Descendant
+    end
+    else if looking_at st "/" then begin
+      advance st;
+      Ast.Child
+    end
+    else Ast.Child
+  in
+  Ast.{ absolute = false; steps = parse_steps st first_axis }
+
+let parse_string input =
+  let st = { input; pos = 0 } in
+  let path =
+    if looking_at st "//" then begin
+      st.pos <- st.pos + 2;
+      Ast.{ absolute = true; steps = parse_steps st Ast.Descendant }
+    end
+    else if looking_at st "/" then begin
+      advance st;
+      Ast.{ absolute = true; steps = parse_steps st Ast.Child }
+    end
+    else Ast.{ absolute = false; steps = parse_steps st Ast.Child }
+  in
+  if st.pos < String.length input then error st "trailing characters after path";
+  path

@@ -1,0 +1,20 @@
+(** Parser for the XPath fragment.
+
+    Grammar accepted (paper notation and standard abbreviations):
+
+    - [/] and [//] abbreviate child and descendant axes;
+    - explicit axes: [child::], [descendant::], [descendant-or-self::],
+      [self::], [parent::], [ancestor::], [following-sibling::],
+      [preceding-sibling::], [following::], [preceding::];
+    - the paper's short axis names [folls::], [pres::], [foll::],
+      [prec::] for the four order axes;
+    - node tests: names and [*];
+    - predicates: [\[relative-path\]]; a predicate path may start with
+      [/] or [//] which — following the paper's notation
+      [//A\[/C/F\]/B/D] — denote child/descendant steps relative to the
+      context node, not document-rooted paths. *)
+
+exception Syntax_error of { position : int; message : string }
+
+val parse_string : string -> Ast.path
+(** @raise Syntax_error on malformed input. *)

@@ -1,0 +1,440 @@
+module Doc = Xpest_xml.Doc
+
+(* ------------------------------------------------------------------ *)
+(* Dense bitsets over document nodes.                                  *)
+
+module Bits = struct
+  type t = Bytes.t
+
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+
+  let get t i = Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let set t i =
+    let b = i lsr 3 in
+    Bytes.set t b (Char.chr (Char.code (Bytes.get t b) lor (1 lsl (i land 7))))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Pattern graph.                                                      *)
+
+type pnode = {
+  tag : string;
+  axis : Pattern.axis; (* relation to the parent pattern node / anchor *)
+  parent : int; (* -1 = anchored at the virtual document node *)
+  position : Pattern.position;
+  mutable children : int list;
+}
+
+type order_constraint = {
+  kind : Pattern.order_axis;
+  attach : int; (* pnode that both heads hang off *)
+  first_head : int;
+  second_head : int;
+}
+
+type graph = { pnodes : pnode array; order : order_constraint option }
+
+let build_graph (q : Pattern.t) : graph =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let add tag axis parent position =
+    let id = !count in
+    incr count;
+    nodes := { tag; axis; parent; position; children = [] } :: !nodes;
+    (match parent with
+    | -1 -> ()
+    | p ->
+        let pn = List.nth !nodes (!count - 1 - p) in
+        pn.children <- id :: pn.children);
+    id
+  in
+  let add_spine spine ~anchor ~pos_of ~head_axis =
+    let _, last =
+      List.fold_left
+        (fun (i, parent) (s : Pattern.step) ->
+          let axis =
+            match (i, head_axis) with 0, Some a -> a | _ -> s.axis
+          in
+          (i + 1, add s.tag axis parent (pos_of i)))
+        (0, anchor) spine
+    in
+    last
+  in
+  let order = ref None in
+  (match q.shape with
+  | Pattern.Simple spine ->
+      let (_ : int) =
+        add_spine spine ~anchor:(-1)
+          ~pos_of:(fun i -> Pattern.In_trunk i)
+          ~head_axis:None
+      in
+      ()
+  | Pattern.Branch { trunk; branch; tail } ->
+      let attach =
+        add_spine trunk ~anchor:(-1)
+          ~pos_of:(fun i -> Pattern.In_trunk i)
+          ~head_axis:None
+      in
+      let (_ : int) =
+        add_spine branch ~anchor:attach
+          ~pos_of:(fun i -> Pattern.In_branch i)
+          ~head_axis:None
+      in
+      if tail <> [] then
+        ignore
+          (add_spine tail ~anchor:attach
+             ~pos_of:(fun i -> Pattern.In_tail i)
+             ~head_axis:None)
+  | Pattern.Ordered { trunk; first; axis; second } ->
+      let attach =
+        add_spine trunk ~anchor:(-1)
+          ~pos_of:(fun i -> Pattern.In_trunk i)
+          ~head_axis:None
+      in
+      let first_last =
+        add_spine first ~anchor:attach
+          ~pos_of:(fun i -> Pattern.In_first i)
+          ~head_axis:None
+      in
+      let first_head = first_last - List.length first + 1 in
+      let second_last =
+        add_spine second ~anchor:attach
+          ~pos_of:(fun i -> Pattern.In_second i)
+          ~head_axis:None
+      in
+      let second_head = second_last - List.length second + 1 in
+      order := Some { kind = axis; attach; first_head; second_head });
+  let arr = Array.of_list (List.rev !nodes) in
+  { pnodes = arr; order = !order }
+
+(* ------------------------------------------------------------------ *)
+(* Two-pass matcher.                                                   *)
+
+type run = {
+  doc : Doc.t;
+  graph : graph;
+  d_sets : int list array; (* downward-qualified candidates, doc order *)
+  d_bits : Bits.t array;
+  a_sets : int list array; (* fully-allowed bindings, doc order *)
+  a_bits : Bits.t array;
+}
+
+(* For a sorted int array, index of the first element > key. *)
+let upper_bound a key =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First child of x (document order) that is in [bits]; None if none.
+   The order-constraint checks call these for every candidate under
+   the same parent (e.g. every element under a wide root), so both are
+   memoized per run — without the memo a 40k-child root makes the
+   top-down pass quadratic. *)
+let memoize tbl f x =
+  match Hashtbl.find_opt tbl x with
+  | Some v -> v
+  | None ->
+      let v = f x in
+      Hashtbl.add tbl x v;
+      v
+
+let first_marked_child doc bits =
+  let tbl = Hashtbl.create 64 in
+  memoize tbl (fun x ->
+      let rec loop = function
+        | None -> None
+        | Some c ->
+            if Bits.get bits c then Some c else loop (Doc.next_sibling doc c)
+      in
+      loop (Doc.first_child doc x))
+
+let last_marked_child doc bits =
+  let tbl = Hashtbl.create 64 in
+  memoize tbl (fun x ->
+      let rec loop best = function
+        | None -> best
+        | Some c ->
+            loop
+              (if Bits.get bits c then Some c else best)
+              (Doc.next_sibling doc c)
+      in
+      loop None (Doc.first_child doc x))
+
+(* Per-run order machinery: memoized child scans over the first and
+   second head candidate sets, and the sorted second-head candidate
+   array for the document-order axes. *)
+type order_ctx = {
+  oc : order_constraint;
+  fh_first : Doc.node -> Doc.node option;
+  fh_last : Doc.node -> Doc.node option;
+  sh_first : Doc.node -> Doc.node option;
+  sh_last : Doc.node -> Doc.node option;
+  sh_arr : int array Lazy.t;
+}
+
+(* Does x, with first-head candidates among its children and
+   second-head candidates in [sh_arr] (restricted to x's subtree via
+   the range), admit an order-satisfying pair? *)
+let order_pair_exists run octx x =
+  let doc = run.doc in
+  match octx.oc.kind with
+  | Pattern.Following_sibling | Pattern.Preceding_sibling ->
+      (* Both heads are children of x.  Following_sibling: exists
+         first-head child strictly before a second-head child. *)
+      let fwd = octx.oc.kind = Pattern.Following_sibling in
+      let earliest, latest =
+        if fwd then (octx.fh_first, octx.sh_last) else (octx.sh_first, octx.fh_last)
+      in
+      (match (earliest x, latest x) with
+      | Some e, Some l -> e < l
+      | None, _ | Some _, None -> false)
+  | Pattern.Following -> (
+      (* exists y1 child of x in fh, y2 in sh inside x's subtree with
+         pre(y2) > subtree_last(y1).  The first fh child minimizes
+         subtree_last among fh children. *)
+      match octx.fh_first x with
+      | None -> false
+      | Some y1 ->
+          let sh_arr = Lazy.force octx.sh_arr in
+          let lo = Doc.subtree_last doc y1 in
+          let hi = Doc.subtree_last doc x in
+          let i = upper_bound sh_arr lo in
+          i < Array.length sh_arr && sh_arr.(i) <= hi)
+  | Pattern.Preceding -> (
+      (* exists y1 child of x in fh, y2 in x's subtree with
+         subtree_last(y2) < pre(y1).  The last fh child maximizes
+         pre(y1).  Candidates with pre < pre(y1) that are not ancestors
+         of y1 qualify; at most depth-many ancestors can be skipped. *)
+      match octx.fh_last x with
+      | None -> false
+      | Some y1 ->
+          let sh_arr = Lazy.force octx.sh_arr in
+          let i0 = upper_bound sh_arr x in
+          let rec scan i =
+            if i >= Array.length sh_arr then false
+            else
+              let y2 = sh_arr.(i) in
+              if y2 >= y1 then false
+              else if Doc.subtree_last doc y2 < y1 then true
+              else scan (i + 1) (* y2 is an ancestor of y1: skip *)
+          in
+          scan i0)
+
+(* Allowed-pair checks for the top-down pass: is THIS y1 (first head,
+   child of allowed x) part of some order-satisfying pair?  And
+   symmetrically for y2. *)
+let first_head_ok run octx x y1 =
+  let doc = run.doc in
+  match octx.oc.kind with
+  | Pattern.Following_sibling -> (
+      match octx.sh_last x with Some l -> y1 < l | None -> false)
+  | Pattern.Preceding_sibling -> (
+      match octx.sh_first x with Some e -> e < y1 | None -> false)
+  | Pattern.Following ->
+      let sh_arr = Lazy.force octx.sh_arr in
+      let lo = Doc.subtree_last doc y1 in
+      let hi = Doc.subtree_last doc x in
+      let i = upper_bound sh_arr lo in
+      i < Array.length sh_arr && sh_arr.(i) <= hi
+  | Pattern.Preceding ->
+      let sh_arr = Lazy.force octx.sh_arr in
+      let i0 = upper_bound sh_arr x in
+      let rec scan i =
+        if i >= Array.length sh_arr then false
+        else
+          let y2 = sh_arr.(i) in
+          if y2 >= y1 then false
+          else if Doc.subtree_last doc y2 < y1 then true
+          else scan (i + 1)
+      in
+      scan i0
+
+let second_head_ok run octx x y2 =
+  let doc = run.doc in
+  match octx.oc.kind with
+  | Pattern.Following_sibling -> (
+      match octx.fh_first x with Some e -> e < y2 | None -> false)
+  | Pattern.Preceding_sibling -> (
+      match octx.fh_last x with Some l -> y2 < l | None -> false)
+  | Pattern.Following -> (
+      (* need y1 child of x with subtree_last(y1) < pre(y2) *)
+      match octx.fh_first x with
+      | Some y1 -> Doc.subtree_last doc y1 < y2
+      | None -> false)
+  | Pattern.Preceding -> (
+      (* need y1 child of x with pre(y1) > subtree_last(y2) *)
+      match octx.fh_last x with
+      | Some y1 -> y1 > Doc.subtree_last doc y2
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let run_pattern doc (q : Pattern.t) : run =
+  let graph = build_graph q in
+  let m = Array.length graph.pnodes in
+  let n = Doc.size doc in
+  let run =
+    {
+      doc;
+      graph;
+      d_sets = Array.make m [];
+      d_bits = Array.init m (fun _ -> Bits.create n);
+      a_sets = Array.make m [];
+      a_bits = Array.init m (fun _ -> Bits.create n);
+    }
+  in
+  (* Memoized order context; safe to build eagerly because the head
+     d_bits arrays are mutated in place and fully populated before the
+     attach node (a smaller pnode id) is processed, and the sorted
+     second-head array is forced lazily at that point. *)
+  let octx =
+    match graph.order with
+    | None -> None
+    | Some oc ->
+        Some
+          {
+            oc;
+            fh_first = first_marked_child doc run.d_bits.(oc.first_head);
+            fh_last = last_marked_child doc run.d_bits.(oc.first_head);
+            sh_first = first_marked_child doc run.d_bits.(oc.second_head);
+            sh_last = last_marked_child doc run.d_bits.(oc.second_head);
+            sh_arr = lazy (Array.of_list run.d_sets.(oc.second_head));
+          }
+  in
+  (* ---- bottom-up: D sets (children have larger pnode ids? no:
+     children always added after parents, so iterate ids downward). *)
+  for p = m - 1 downto 0 do
+    let pn = graph.pnodes.(p) in
+    (* Marks from each pattern child: node x is marked iff it has a
+       suitable child/descendant in D(c). *)
+    let child_marks =
+      List.map
+        (fun c ->
+          let marks = Bits.create n in
+          let cn = graph.pnodes.(c) in
+          List.iter
+            (fun y ->
+              match cn.axis with
+              | Pattern.Child -> (
+                  match Doc.parent doc y with
+                  | Some x -> Bits.set marks x
+                  | None -> ())
+              | Pattern.Descendant ->
+                  let rec up node =
+                    match Doc.parent doc node with
+                    | Some x ->
+                        if not (Bits.get marks x) then begin
+                          Bits.set marks x;
+                          up x
+                        end
+                    | None -> ()
+                  in
+                  up y)
+            run.d_sets.(c);
+          marks)
+        pn.children
+    in
+    (* Order constraint pre-computation if p is the attach node. *)
+    let order_here =
+      match octx with
+      | Some octx when octx.oc.attach = p -> Some octx
+      | Some _ | None -> None
+    in
+    let candidates = Doc.nodes_with_tag doc pn.tag in
+    let accepted = ref [] in
+    Array.iter
+      (fun x ->
+        let down_ok = List.for_all (fun marks -> Bits.get marks x) child_marks in
+        let order_ok =
+          match order_here with
+          | None -> true
+          | Some octx -> order_pair_exists run octx x
+        in
+        if down_ok && order_ok then begin
+          Bits.set run.d_bits.(p) x;
+          accepted := x :: !accepted
+        end)
+      candidates;
+    run.d_sets.(p) <- List.rev !accepted
+  done;
+  (* ---- top-down: A sets. *)
+  for p = 0 to m - 1 do
+    let pn = graph.pnodes.(p) in
+    let order_role =
+      match octx with
+      | Some octx when octx.oc.first_head = p -> `First octx
+      | Some octx when octx.oc.second_head = p -> `Second octx
+      | Some _ | None -> `Plain
+    in
+    let allowed_parent x = x >= 0 && Bits.get run.a_bits.(pn.parent) x in
+    let keep y =
+      if pn.parent = -1 then
+        (* Anchored at the virtual document node. *)
+        match pn.axis with
+        | Pattern.Child -> y = Doc.root doc
+        | Pattern.Descendant -> true
+      else
+        match pn.axis with
+        | Pattern.Child -> (
+            match Doc.parent doc y with
+            | Some x -> (
+                allowed_parent x
+                &&
+                match order_role with
+                | `Plain -> true
+                | `First octx -> first_head_ok run octx x y
+                | `Second octx -> second_head_ok run octx x y)
+            | None -> false)
+        | Pattern.Descendant -> (
+            match order_role with
+            | `Plain ->
+                let rec up node =
+                  match Doc.parent doc node with
+                  | Some x -> allowed_parent x || up x
+                  | None -> false
+                in
+                up y
+            | `First _ -> false (* first head is always a Child step *)
+            | `Second octx ->
+                (* y2 must have an allowed attach ancestor with a
+                   suitable y1. *)
+                let rec up node =
+                  match Doc.parent doc node with
+                  | Some x -> (allowed_parent x && second_head_ok run octx x y) || up x
+                  | None -> false
+                in
+                up y)
+    in
+    let accepted = List.filter keep run.d_sets.(p) in
+    List.iter (fun y -> Bits.set run.a_bits.(p) y) accepted;
+    run.a_sets.(p) <- accepted
+  done;
+  run
+
+let find_pnode graph position =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (pn : pnode) -> if pn.position = position then found := i)
+    graph.pnodes;
+  !found
+
+let matches doc q =
+  let run = run_pattern doc q in
+  let p = find_pnode run.graph (Pattern.target q) in
+  assert (p >= 0);
+  run.a_sets.(p)
+
+let selectivity doc q = List.length (matches doc q)
+
+let all_selectivities doc q =
+  let run = run_pattern doc q in
+  Array.to_list
+    (Array.mapi
+       (fun i (pn : pnode) -> (pn.position, List.length run.a_sets.(i)))
+       run.graph.pnodes)
+
+let is_positive doc q = selectivity doc q > 0

@@ -1,0 +1,32 @@
+(** Exact selectivity of normalized patterns — the ground-truth oracle.
+
+    The paper defines the selectivity [S_Q(n)] of a node [n] in a query
+    [Q] as the number of distinct document elements that [n] binds to
+    across all embeddings of the whole pattern.  This module computes
+    it exactly with a two-pass algorithm: a bottom-up pass computes for
+    every pattern node the documents nodes satisfying all constraints
+    *below* it, a top-down pass restricts to nodes reachable from an
+    allowed binding of the pattern node *above* it.  Order constraints
+    between the two branch heads are enforced jointly per candidate
+    parent.
+
+    Complexity is near-linear in document size per query, which is what
+    makes evaluating workloads of thousands of queries over
+    hundred-thousand-node documents practical. *)
+
+val matches : Xpest_xml.Doc.t -> Pattern.t -> Xpest_xml.Doc.node list
+(** Distinct bindings of the pattern's target node, in document
+    order. *)
+
+val selectivity : Xpest_xml.Doc.t -> Pattern.t -> int
+(** [List.length (matches doc q)]. *)
+
+val all_selectivities :
+  Xpest_xml.Doc.t -> Pattern.t -> (Pattern.position * int) list
+(** Exact selectivity of *every* node position of the pattern, one
+    entry per pattern node, in trunk-branch-tail order.  Computed in
+    one two-pass run. *)
+
+val is_positive : Xpest_xml.Doc.t -> Pattern.t -> bool
+(** Whether the query has at least one result ([selectivity > 0]);
+    used by the workload generator to discard negative queries. *)

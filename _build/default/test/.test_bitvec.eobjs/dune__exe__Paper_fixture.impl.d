@@ -1,0 +1,1 @@
+test/paper_fixture.ml: Xpest_util Xpest_xml

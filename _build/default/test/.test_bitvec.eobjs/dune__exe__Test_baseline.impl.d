@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Float List Printf Xpest_baseline Xpest_datasets Xpest_util Xpest_workload Xpest_xml Xpest_xpath

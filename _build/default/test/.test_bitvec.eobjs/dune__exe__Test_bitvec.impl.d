@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Int List QCheck QCheck_alcotest String Xpest_util

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Filename Fun List Paper_fixture Sys Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_util Xpest_xml Xpest_xpath

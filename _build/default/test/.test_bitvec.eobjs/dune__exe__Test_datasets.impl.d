@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array List Xpest_datasets Xpest_xml

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Format List Paper_fixture QCheck QCheck_alcotest Xpest_encoding Xpest_util Xpest_xml

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float List String Xpest_datasets Xpest_harness Xpest_workload Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Float Fun List Printf Sys Xpest_baseline Xpest_datasets Xpest_estimator Xpest_synopsis Xpest_util Xpest_workload Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+test/test_o_histogram.ml: Alcotest Array Float Hashtbl List Printf QCheck QCheck_alcotest Xpest_synopsis

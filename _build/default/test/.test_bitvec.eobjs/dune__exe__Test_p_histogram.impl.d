@@ -1,0 +1,1 @@
+test/test_p_histogram.ml: Alcotest Array Float Hashtbl Int List Printf QCheck QCheck_alcotest String Xpest_synopsis Xpest_util

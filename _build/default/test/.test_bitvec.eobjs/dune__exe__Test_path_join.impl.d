@@ -1,0 +1,1 @@
+test/test_path_join.ml: Alcotest Float Format Fun List Paper_fixture Printf QCheck QCheck_alcotest Xpest_datasets Xpest_encoding Xpest_estimator Xpest_synopsis Xpest_util Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Xpest_xpath

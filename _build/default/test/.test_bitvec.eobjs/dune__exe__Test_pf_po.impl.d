@@ -1,0 +1,1 @@
+test/test_pf_po.ml: Alcotest Array Format Fun List Paper_fixture QCheck QCheck_alcotest Xpest_encoding Xpest_synopsis Xpest_util Xpest_xml

@@ -1,0 +1,1 @@
+test/test_pid_tree.ml: Alcotest Array Int List Printf QCheck QCheck_alcotest String Xpest_datasets Xpest_encoding Xpest_util Xpest_xml

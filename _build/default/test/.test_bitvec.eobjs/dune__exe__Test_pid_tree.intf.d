@@ -1,0 +1,1 @@
+test/test_pid_tree.mli:

@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Float List Paper_fixture Xpest_datasets Xpest_synopsis Xpest_util Xpest_xml

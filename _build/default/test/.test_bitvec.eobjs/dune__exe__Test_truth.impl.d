@@ -1,0 +1,1 @@
+test/test_truth.ml: Alcotest Format Fun Int List QCheck QCheck_alcotest Set Xpest_xml Xpest_xpath

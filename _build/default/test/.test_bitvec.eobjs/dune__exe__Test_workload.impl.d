@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Printf String Xpest_datasets Xpest_workload Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Format List QCheck QCheck_alcotest String Xpest_xml

@@ -1,0 +1,1 @@
+test/test_xpath_eval.ml: Alcotest Int List Xpest_xml Xpest_xpath

@@ -1,0 +1,1 @@
+test/test_xpath_parser.ml: Alcotest List Printf Xpest_xpath

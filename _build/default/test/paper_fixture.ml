@@ -1,0 +1,47 @@
+(* The running example of the paper (Figure 1), reconstructed from its
+   pathId-frequency table (Figure 2a) and path-order table (Figure 2b):
+
+     Root
+     +- A(p8): B(p8): [D(p5); E(p4)]
+     +- A(p7): [B(p5): D(p5);  C(p3): [E(p2); F(p1)];  B(p5): D(p5)]
+     +- A(p6): [C(p2): E(p2);  B(p5): D(p5)]
+
+   Root-to-leaf paths in document order give the paper's encodings:
+     1 = Root/A/B/D, 2 = Root/A/B/E, 3 = Root/A/C/E, 4 = Root/A/C/F.
+
+   This yields exactly the paper's tables: A {(p6,1)(p7,1)(p8,1)},
+   B {(p8,1)(p5,3)}, C {(p2,1)(p3,1)}, D {(p5,4)}, E {(p4,1)(p2,2)},
+   F {(p1,1)}, and for B's path-order table: one B(p5) before C, two
+   B(p5) after C. *)
+
+module Tree = Xpest_xml.Tree
+
+let tree =
+  let e = Tree.elem and l = Tree.leaf in
+  e "Root"
+    [
+      e "A" [ e "B" [ e "D" []; e "E" [] ] ];
+      e "A"
+        [
+          e "B" [ l "D" ];
+          e "C" [ l "E"; l "F" ];
+          e "B" [ l "D" ];
+        ];
+      e "A" [ e "C" [ l "E" ]; e "B" [ l "D" ] ];
+    ]
+
+let doc = Xpest_xml.Doc.of_tree tree
+
+(* Path ids as written in the paper (Figure 1c).  Bit 0 is the paper's
+   leftmost bit, i.e. encoding 1. *)
+let p1 = "0001"
+let p2 = "0010"
+let p3 = "0011"
+let p4 = "0100"
+let p5 = "1000"
+let p6 = "1010"
+let p7 = "1011"
+let p8 = "1100"
+let p9 = "1111"
+
+let bv = Xpest_util.Bitvec.of_string

@@ -1,0 +1,175 @@
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Xsketch = Xpest_baseline.Xsketch
+module Markov = Xpest_baseline.Markov
+module Workload = Xpest_workload.Workload
+module Stats = Xpest_util.Stats
+
+let doc = Doc.of_tree (Xpest_datasets.Ssplays.generate ~plays:2 ~seed:4 ())
+
+let test_label_split_exact_tag_counts () =
+  (* with no refinement, a one-step //tag query is exact: counts per
+     class are exact *)
+  let sk = Xsketch.build ~budget_bytes:0 doc in
+  List.iter
+    (fun tag ->
+      let q = Pattern.of_string (Printf.sprintf "//{%s}" tag) in
+      Alcotest.(check (float 1e-6))
+        tag
+        (Float.of_int (Truth.selectivity doc q))
+        (Xsketch.estimate sk q))
+    [ "PLAY"; "ACT"; "SCENE"; "SPEECH"; "LINE" ]
+
+let test_budget_grows_classes () =
+  let small = Xsketch.build ~budget_bytes:0 doc in
+  let big = Xsketch.build ~budget_bytes:8192 doc in
+  Alcotest.(check bool) "more classes" true
+    (Xsketch.num_classes big > Xsketch.num_classes small);
+  Alcotest.(check bool) "within ~budget+1 split" true
+    (Xsketch.byte_size small < 8192);
+  Alcotest.(check bool) "steps counted" true (Xsketch.refinement_steps big > 0)
+
+let test_estimates_well_formed () =
+  let sk = Xsketch.build ~budget_bytes:4096 doc in
+  List.iter
+    (fun q ->
+      let v = Xsketch.estimate sk (Pattern.of_string q) in
+      Alcotest.(check bool) (q ^ " finite >= 0") true
+        (Float.is_finite v && v >= 0.0))
+    [
+      "//{SPEECH}";
+      "//ACT/SCENE/{SPEECH}";
+      "//SPEECH[/SPEAKER]/{LINE}";
+      "//{PLAY}[/TITLE]/ACT";
+      "//PLAY//{LINE}";
+      "//SPEECH[/STAGEDIR/folls::{LINE}]";
+      "//{zzz}";
+    ]
+
+let test_refinement_improves_accuracy () =
+  (* refinement should not make a simple child-path workload worse *)
+  let config =
+    { Workload.default_config with num_simple = 120; num_branch = 0 }
+  in
+  let w = Workload.generate ~config doc in
+  let mre sk =
+    Stats.mean
+      (Array.of_list
+         (List.map
+            (fun (it : Workload.item) ->
+              Stats.relative_error
+                ~actual:(Float.of_int it.actual)
+                ~estimate:(Xsketch.estimate sk it.pattern))
+            w.Workload.simple))
+  in
+  let coarse = mre (Xsketch.build ~budget_bytes:0 doc) in
+  let fine = mre (Xsketch.build ~budget_bytes:32768 doc) in
+  Alcotest.(check bool)
+    (Printf.sprintf "refined %.4f <= coarse %.4f + slack" fine coarse)
+    true
+    (fine <= coarse +. 0.02)
+
+let test_markov_is_label_split () =
+  let mk = Markov.build doc in
+  let sk = Xsketch.build ~budget_bytes:0 doc in
+  Alcotest.(check int) "same size" (Xsketch.byte_size sk) (Markov.byte_size mk);
+  List.iter
+    (fun q ->
+      let q = Pattern.of_string q in
+      Alcotest.(check (float 1e-9)) "same estimate" (Xsketch.estimate sk q)
+        (Markov.estimate mk q))
+    [ "//ACT/SCENE/{SPEECH}"; "//SPEECH/{LINE}"; "//PLAY//{SPEAKER}" ]
+
+let test_ordered_estimated_via_counterpart () =
+  let sk = Xsketch.build ~budget_bytes:0 doc in
+  let ordered = Pattern.of_string "//SPEECH[/SPEAKER/folls::{LINE}]" in
+  let counterpart =
+    Pattern.v
+      (Pattern.counterpart (Pattern.shape ordered))
+      (Pattern.counterpart_position (Pattern.target ordered))
+  in
+  Alcotest.(check (float 1e-9)) "order-blind"
+    (Xsketch.estimate sk counterpart)
+    (Xsketch.estimate sk ordered)
+
+(* ---------------- position histograms ---------------- *)
+
+module Ph = Xpest_baseline.Position_histogram
+
+let test_ph_single_tag_counts () =
+  let ph = Ph.build doc in
+  List.iter
+    (fun tag ->
+      let q = Pattern.of_string (Printf.sprintf "//{%s}" tag) in
+      Alcotest.(check (float 1e-6))
+        tag
+        (Float.of_int (Truth.selectivity doc q))
+        (Ph.estimate ph q))
+    [ "PLAY"; "SPEECH"; "LINE" ]
+
+let test_ph_pairs_reasonable () =
+  (* every LINE has exactly one SPEECH ancestor, so the pair count is
+     the LINE count; the histogram should land within a factor ~2 *)
+  let ph = Ph.build ~grid:16 doc in
+  let actual =
+    Float.of_int
+      (Truth.selectivity doc (Pattern.of_string "//SPEECH//{LINE}"))
+  in
+  let est = Ph.estimate_pairs ph ~anc:"SPEECH" ~desc:"LINE" in
+  Alcotest.(check bool)
+    (Printf.sprintf "pairs %.0f vs actual %.0f" est actual)
+    true
+    (est > actual /. 2.0 && est < actual *. 2.0)
+
+let test_ph_well_formed () =
+  let ph = Ph.build doc in
+  List.iter
+    (fun q ->
+      let v = Ph.estimate ph (Pattern.of_string q) in
+      Alcotest.(check bool) (q ^ " finite >= 0") true
+        (Float.is_finite v && v >= 0.0))
+    [
+      "//ACT/SCENE/{SPEECH}";
+      "//SPEECH[/SPEAKER]/{LINE}";
+      "//{PLAY}[/TITLE]/ACT";
+      "//SPEECH[/STAGEDIR/folls::{LINE}]";
+      "//{zzz}";
+    ]
+
+let test_ph_byte_size () =
+  let small = Ph.build ~grid:2 doc in
+  let big = Ph.build ~grid:16 doc in
+  Alcotest.(check bool) "finer grid costs more" true
+    (Ph.byte_size big >= Ph.byte_size small);
+  Alcotest.(check bool) "non-trivial" true (Ph.byte_size small > 0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "xsketch",
+        [
+          Alcotest.test_case "label-split tag counts" `Quick
+            test_label_split_exact_tag_counts;
+          Alcotest.test_case "budget grows classes" `Quick
+            test_budget_grows_classes;
+          Alcotest.test_case "estimates well-formed" `Quick
+            test_estimates_well_formed;
+          Alcotest.test_case "refinement improves accuracy" `Quick
+            test_refinement_improves_accuracy;
+          Alcotest.test_case "ordered via counterpart" `Quick
+            test_ordered_estimated_via_counterpart;
+        ] );
+      ( "markov",
+        [
+          Alcotest.test_case "markov = label split" `Quick
+            test_markov_is_label_split;
+        ] );
+      ( "position_histogram",
+        [
+          Alcotest.test_case "single tag counts" `Quick test_ph_single_tag_counts;
+          Alcotest.test_case "pair estimates" `Quick test_ph_pairs_reasonable;
+          Alcotest.test_case "well-formed" `Quick test_ph_well_formed;
+          Alcotest.test_case "byte size" `Quick test_ph_byte_size;
+        ] );
+    ]

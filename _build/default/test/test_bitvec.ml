@@ -1,0 +1,150 @@
+module Bitvec = Xpest_util.Bitvec
+
+let bv = Bitvec.of_string
+
+(* qcheck generator for bitvectors of a given width *)
+let bitvec_gen width =
+  QCheck.Gen.(
+    array_size (return width) bool >|= fun bits -> Bitvec.of_bits bits)
+
+let arb_pair_same_width =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 1 200 >>= fun w ->
+      pair (bitvec_gen w) (bitvec_gen w))
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ " / " ^ Bitvec.to_string b)
+
+let test_basics () =
+  let v = Bitvec.zero 10 in
+  Alcotest.(check int) "width" 10 (Bitvec.width v);
+  Alcotest.(check bool) "zero is zero" true (Bitvec.is_zero v);
+  let v = Bitvec.set v 3 in
+  Alcotest.(check bool) "bit 3 set" true (Bitvec.get v 3);
+  Alcotest.(check bool) "bit 4 unset" false (Bitvec.get v 4);
+  Alcotest.(check int) "popcount" 1 (Bitvec.popcount v);
+  Alcotest.(check (list int)) "set_bits" [ 3 ] (Bitvec.set_bits v)
+
+let test_string_roundtrip () =
+  let s = "10110010011" in
+  Alcotest.(check string) "roundtrip" s (Bitvec.to_string (bv s))
+
+let test_wide_vectors () =
+  (* widths beyond one word (62 bits) *)
+  let v = Bitvec.singleton 200 199 in
+  Alcotest.(check bool) "high bit" true (Bitvec.get v 199);
+  Alcotest.(check int) "popcount" 1 (Bitvec.popcount v);
+  let w = Bitvec.logor v (Bitvec.singleton 200 0) in
+  Alcotest.(check (list int)) "bits" [ 0; 199 ] (Bitvec.set_bits w);
+  Alcotest.(check int) "byte_size" 25 (Bitvec.byte_size v)
+
+let test_paper_containment () =
+  (* Section 2, Example 2.3: p3 (0011) contains p2 (0010). *)
+  Alcotest.(check bool) "p3 contains p2" true (Bitvec.contains (bv "0011") (bv "0010"));
+  Alcotest.(check bool) "p2 not contains p3" false
+    (Bitvec.contains (bv "0010") (bv "0011"));
+  Alcotest.(check bool) "no self containment" false
+    (Bitvec.contains (bv "0011") (bv "0011"));
+  Alcotest.(check bool) "contains_or_equal self" true
+    (Bitvec.contains_or_equal (bv "0011") (bv "0011"))
+
+let test_errors () =
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitvec.logor: width mismatch (3 vs 4)") (fun () ->
+      ignore (Bitvec.logor (bv "000") (bv "0000")));
+  Alcotest.check_raises "index out of bounds"
+    (Invalid_argument "Bitvec: index 3 out of bounds (width 3)") (fun () ->
+      ignore (Bitvec.get (bv "000") 3))
+
+let test_first_set_bit () =
+  Alcotest.(check (option int)) "none" None (Bitvec.first_set_bit (Bitvec.zero 5));
+  Alcotest.(check (option int)) "some" (Some 2) (Bitvec.first_set_bit (bv "00101"))
+
+(* properties *)
+
+let prop_or_commutative =
+  QCheck.Test.make ~name:"logor commutative" ~count:200 arb_pair_same_width
+    (fun (a, b) -> Bitvec.equal (Bitvec.logor a b) (Bitvec.logor b a))
+
+let prop_and_below_or =
+  QCheck.Test.make ~name:"or contains_or_equal and" ~count:200
+    arb_pair_same_width (fun (a, b) ->
+      Bitvec.contains_or_equal (Bitvec.logor a b) (Bitvec.logand a b))
+
+let prop_containment_def =
+  QCheck.Test.make ~name:"containment matches and-definition" ~count:500
+    arb_pair_same_width (fun (a, b) ->
+      Bitvec.contains a b
+      = ((not (Bitvec.equal a b)) && Bitvec.equal (Bitvec.logand a b) b))
+
+let prop_popcount_or =
+  QCheck.Test.make ~name:"popcount or = pa + pb - pand" ~count:200
+    arb_pair_same_width (fun (a, b) ->
+      Bitvec.popcount (Bitvec.logor a b)
+      = Bitvec.popcount a + Bitvec.popcount b
+        - Bitvec.popcount (Bitvec.logand a b))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(int_range 1 150 >>= bitvec_gen)
+       ~print:Bitvec.to_string)
+    (fun v -> Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)))
+
+let prop_packed_roundtrip =
+  QCheck.Test.make ~name:"packed string roundtrip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(int_range 1 200 >>= bitvec_gen)
+       ~print:Bitvec.to_string)
+    (fun v ->
+      Bitvec.equal v
+        (Bitvec.of_packed_string ~width:(Bitvec.width v)
+           (Bitvec.to_packed_string v)))
+
+let test_packed_validation () =
+  Alcotest.(check bool) "length mismatch rejected" true
+    (match Bitvec.of_packed_string ~width:9 "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "padding bits rejected" true
+    (match Bitvec.of_packed_string ~width:4 "\xf0" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check int) "packed length" 2
+    (String.length (Bitvec.to_packed_string (Bitvec.zero 9)))
+
+let prop_set_bits_sorted =
+  QCheck.Test.make ~name:"set_bits increasing and consistent" ~count:200
+    (QCheck.make
+       QCheck.Gen.(int_range 1 150 >>= bitvec_gen)
+       ~print:Bitvec.to_string)
+    (fun v ->
+      let bits = Bitvec.set_bits v in
+      List.sort_uniq Int.compare bits = bits
+      && List.length bits = Bitvec.popcount v
+      && List.for_all (Bitvec.get v) bits)
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "wide vectors" `Quick test_wide_vectors;
+          Alcotest.test_case "paper containment" `Quick test_paper_containment;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "first_set_bit" `Quick test_first_set_bit;
+          Alcotest.test_case "packed validation" `Quick test_packed_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_or_commutative;
+            prop_and_below_or;
+            prop_containment_def;
+            prop_popcount_or;
+            prop_roundtrip;
+            prop_packed_roundtrip;
+            prop_set_bits_sorted;
+          ] );
+    ]

@@ -1,0 +1,175 @@
+(* Round-trip tests for the synopsis persistence format. *)
+
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Po_table = Xpest_synopsis.Po_table
+module Estimator = Xpest_estimator.Estimator
+module Bitvec = Xpest_util.Bitvec
+
+let temp_file () = Filename.temp_file "xpest_synopsis" ".bin"
+
+let with_roundtrip summary f =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Summary.save summary path;
+      f (Summary.load path))
+
+let queries =
+  [
+    "//{D}";
+    "//B/{D}";
+    "/Root/{A}";
+    "//A[/C/F]/B/{D}";
+    "//A[/C/{F}]/B/D";
+    "//A[/C/folls::{B}/D]";
+    "//A[/C/pres::{B}]";
+    "//A[/C/foll::{D}]";
+    "//{A}[/C/folls::B/D]";
+  ]
+
+let test_estimates_survive () =
+  let summary = Summary.build Paper_fixture.doc in
+  with_roundtrip summary (fun loaded ->
+      let est0 = Estimator.create summary in
+      let est1 = Estimator.create loaded in
+      List.iter
+        (fun q ->
+          let q = Pattern.of_string q in
+          Alcotest.(check (float 1e-9))
+            (Pattern.to_string q)
+            (Estimator.estimate est0 q)
+            (Estimator.estimate est1 q))
+        queries)
+
+let test_estimates_survive_with_variance () =
+  let summary = Summary.build ~p_variance:2.0 ~o_variance:3.0 Paper_fixture.doc in
+  with_roundtrip summary (fun loaded ->
+      Alcotest.(check (float 1e-9)) "p variance" 2.0 (Summary.p_variance loaded);
+      Alcotest.(check (float 1e-9)) "o variance" 3.0 (Summary.o_variance loaded);
+      let est0 = Estimator.create summary in
+      let est1 = Estimator.create loaded in
+      List.iter
+        (fun q ->
+          let q = Pattern.of_string q in
+          Alcotest.(check (float 1e-9))
+            (Pattern.to_string q)
+            (Estimator.estimate est0 q)
+            (Estimator.estimate est1 q))
+        queries)
+
+let test_accounting_survives () =
+  let summary = Summary.build Paper_fixture.doc in
+  with_roundtrip summary (fun loaded ->
+      Alcotest.(check int) "p bytes" (Summary.p_histogram_bytes summary)
+        (Summary.p_histogram_bytes loaded);
+      Alcotest.(check int) "o bytes" (Summary.o_histogram_bytes summary)
+        (Summary.o_histogram_bytes loaded);
+      Alcotest.(check int) "total bytes" (Summary.total_bytes summary)
+        (Summary.total_bytes loaded))
+
+let test_core_accessors_survive () =
+  let summary = Summary.build Paper_fixture.doc in
+  with_roundtrip summary (fun loaded ->
+      Alcotest.(check string) "root pid"
+        (Bitvec.to_string (Summary.root_pid summary))
+        (Bitvec.to_string (Summary.root_pid loaded));
+      Alcotest.(check (array string)) "tags" (Summary.tags summary)
+        (Summary.tags loaded);
+      Alcotest.(check (float 1e-9)) "tag_total" (Summary.tag_total summary "B")
+        (Summary.tag_total loaded "B");
+      Alcotest.(check (float 1e-9)) "order_frequency"
+        (Summary.order_frequency summary ~tag:"B"
+           ~pid:(Paper_fixture.bv Paper_fixture.p5)
+           ~other:"C" ~region:Po_table.After)
+        (Summary.order_frequency loaded ~tag:"B"
+           ~pid:(Paper_fixture.bv Paper_fixture.p5)
+           ~other:"C" ~region:Po_table.After))
+
+let test_document_accessors_raise () =
+  let summary = Summary.build Paper_fixture.doc in
+  with_roundtrip summary (fun loaded ->
+      let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+      Alcotest.(check bool) "doc raises" true (raises (fun () -> Summary.doc loaded));
+      Alcotest.(check bool) "base raises" true (raises (fun () -> Summary.base loaded));
+      Alcotest.(check bool) "labeler raises" true
+        (raises (fun () -> Summary.labeler loaded)))
+
+let test_reject_garbage () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a synopsis";
+      close_out oc;
+      Alcotest.(check bool) "rejected" true
+        (match Summary.load path with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_reject_truncated () =
+  let summary = Summary.build Paper_fixture.doc in
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Summary.save summary path;
+      (* truncate to half *)
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let half = really_input_string ic (n / 2) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc half;
+      close_out oc;
+      Alcotest.(check bool) "rejected" true
+        (match Summary.load path with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_roundtrip_on_generated_dataset () =
+  let doc = Doc.of_tree (Xpest_datasets.Xmark.generate ~scale:0.005 ~seed:3 ()) in
+  let summary = Summary.build ~p_variance:1.0 ~o_variance:2.0 doc in
+  with_roundtrip summary (fun loaded ->
+      let est0 = Estimator.create summary in
+      let est1 = Estimator.create loaded in
+      List.iter
+        (fun q ->
+          let q = Pattern.of_string q in
+          Alcotest.(check (float 1e-9))
+            (Pattern.to_string q)
+            (Estimator.estimate est0 q)
+            (Estimator.estimate est1 q))
+        [
+          "//item/{description}";
+          "//item[/mailbox]//{text}";
+          "//open_auction[/bidder/folls::{annotation}]";
+          "//site//{parlist}";
+        ])
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "estimates survive" `Quick test_estimates_survive;
+          Alcotest.test_case "estimates survive (variance)" `Quick
+            test_estimates_survive_with_variance;
+          Alcotest.test_case "memory accounting survives" `Quick
+            test_accounting_survives;
+          Alcotest.test_case "core accessors survive" `Quick
+            test_core_accessors_survive;
+          Alcotest.test_case "generated dataset" `Quick
+            test_roundtrip_on_generated_dataset;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "document accessors raise" `Quick
+            test_document_accessors_raise;
+          Alcotest.test_case "garbage rejected" `Quick test_reject_garbage;
+          Alcotest.test_case "truncation rejected" `Quick test_reject_truncated;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Registry = Xpest_datasets.Registry
+module Ssplays = Xpest_datasets.Ssplays
+module Dblp = Xpest_datasets.Dblp
+module Xmark = Xpest_datasets.Xmark
+
+let tags_subset tree universe =
+  List.for_all (fun t -> List.mem t universe) (Tree.distinct_tags tree)
+
+let test_determinism () =
+  List.iter
+    (fun name ->
+      let a = Registry.generate_tree ~scale:0.01 name in
+      let b = Registry.generate_tree ~scale:0.01 name in
+      Alcotest.(check bool)
+        (Registry.to_string name ^ " deterministic")
+        true (Tree.equal a b))
+    Registry.all
+
+let test_seed_changes_content () =
+  let a = Registry.generate_tree ~scale:0.01 ~seed:1 Registry.Ssplays in
+  let b = Registry.generate_tree ~scale:0.01 ~seed:2 Registry.Ssplays in
+  Alcotest.(check bool) "different seeds differ" false (Tree.equal a b)
+
+let test_ssplays_profile () =
+  let t = Ssplays.generate ~plays:4 ~seed:11 () in
+  Alcotest.(check bool) "tags within universe" true
+    (tags_subset t Ssplays.tag_universe);
+  Alcotest.(check int) "21-tag universe" 21 (List.length Ssplays.tag_universe);
+  let doc = Doc.of_tree t in
+  Alcotest.(check string) "root" "PLAYS" (Doc.tag doc (Doc.root doc));
+  Alcotest.(check int) "4 plays" 4 (Array.length (Doc.nodes_with_tag doc "PLAY"));
+  Alcotest.(check bool) "roughly 4-5k elements per play" true
+    (Doc.size doc > 10_000 && Doc.size doc < 30_000);
+  Alcotest.(check int) "depth 6 (PLAYS..LINE)" 6 (Doc.max_depth doc)
+
+let test_ssplays_speaker_before_line () =
+  (* the generator's key order property: within a SPEECH the first
+     SPEAKER precedes every LINE *)
+  let doc = Doc.of_tree (Ssplays.generate ~plays:2 ~seed:3 ()) in
+  Array.iter
+    (fun speech ->
+      let children = Doc.children doc speech in
+      let first_speaker =
+        List.find_opt (fun c -> Doc.tag doc c = "SPEAKER") children
+      in
+      let first_line = List.find_opt (fun c -> Doc.tag doc c = "LINE") children in
+      match (first_speaker, first_line) with
+      | Some s, Some l ->
+          Alcotest.(check bool) "speaker before line" true (s < l)
+      | _ -> Alcotest.fail "speech without speaker or line")
+    (Doc.nodes_with_tag doc "SPEECH")
+
+let test_dblp_profile () =
+  let t = Dblp.generate ~records:500 ~seed:5 () in
+  Alcotest.(check bool) "tags within universe" true
+    (tags_subset t Dblp.tag_universe);
+  Alcotest.(check int) "31-tag universe" 31 (List.length Dblp.tag_universe);
+  let doc = Doc.of_tree t in
+  Alcotest.(check int) "shallow: depth 3" 3 (Doc.max_depth doc);
+  (* all 87 paths occur at any scale thanks to the coverage records *)
+  Alcotest.(check int) "87 distinct paths" 87
+    (List.length (Tree.root_to_leaf_paths t))
+
+let test_dblp_record_shape () =
+  let doc = Doc.of_tree (Dblp.generate ~records:200 ~seed:5 ()) in
+  (* every record starts with its lead field (author/editor) *)
+  List.iter
+    (fun record ->
+      match Doc.children doc record with
+      | first :: _ ->
+          Alcotest.(check bool) "lead field first" true
+            (List.mem (Doc.tag doc first) [ "author"; "editor" ])
+      | [] -> Alcotest.fail "empty record")
+    (Doc.children doc (Doc.root doc))
+
+let test_xmark_profile () =
+  let t = Xmark.generate ~scale:0.02 ~seed:7 () in
+  Alcotest.(check bool) "tags within universe" true
+    (tags_subset t Xmark.tag_universe);
+  Alcotest.(check int) "74-tag universe" 74 (List.length Xmark.tag_universe);
+  let doc = Doc.of_tree t in
+  Alcotest.(check bool) "recursive: depth > 8" true (Doc.max_depth doc > 8);
+  (* recursion: some parlist has a parlist strict descendant *)
+  let parlists = Doc.nodes_with_tag doc "parlist" in
+  Alcotest.(check bool) "nested parlists" true
+    (Array.exists
+       (fun p ->
+         Array.exists
+           (fun q -> Doc.is_ancestor doc ~anc:p ~desc:q)
+           parlists)
+       parlists);
+  Alcotest.(check bool) "hundreds of distinct paths" true
+    (List.length (Tree.root_to_leaf_paths t) > 100)
+
+let test_registry_roundtrip () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) "of_string . to_string" true
+        (Registry.of_string (Registry.to_string name) = Some name))
+    Registry.all;
+  Alcotest.(check bool) "unknown" true (Registry.of_string "nope" = None)
+
+let test_scaling () =
+  let small = Doc.of_tree (Registry.generate_tree ~scale:0.01 Registry.Xmark) in
+  let bigger = Doc.of_tree (Registry.generate_tree ~scale:0.05 Registry.Xmark) in
+  Alcotest.(check bool) "scale grows the document" true
+    (Doc.size bigger > 2 * Doc.size small)
+
+let () =
+  Alcotest.run "datasets"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_content;
+          Alcotest.test_case "ssplays profile" `Quick test_ssplays_profile;
+          Alcotest.test_case "ssplays order texture" `Quick
+            test_ssplays_speaker_before_line;
+          Alcotest.test_case "dblp profile" `Quick test_dblp_profile;
+          Alcotest.test_case "dblp record shape" `Quick test_dblp_record_shape;
+          Alcotest.test_case "xmark profile" `Quick test_xmark_profile;
+          Alcotest.test_case "registry roundtrip" `Quick test_registry_roundtrip;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+        ] );
+    ]

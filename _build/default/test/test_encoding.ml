@@ -1,0 +1,205 @@
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Bitvec = Xpest_util.Bitvec
+module Encoding_table = Xpest_encoding.Encoding_table
+module Labeler = Xpest_encoding.Labeler
+
+let doc = Paper_fixture.doc
+let table = Encoding_table.build doc
+let labeler = Labeler.label doc table
+
+let test_encoding_lookup () =
+  Alcotest.(check (option int)) "Root/A/B/D = 1" (Some 1)
+    (Encoding_table.encoding_of_path table [ "Root"; "A"; "B"; "D" ]);
+  Alcotest.(check (option int)) "Root/A/C/F = 4" (Some 4)
+    (Encoding_table.encoding_of_path table [ "Root"; "A"; "C"; "F" ]);
+  Alcotest.(check (option int)) "unknown" None
+    (Encoding_table.encoding_of_path table [ "Root"; "X" ]);
+  Alcotest.(check (list string)) "path_of_encoding" [ "Root"; "A"; "C"; "E" ]
+    (Encoding_table.path_of_encoding table 3);
+  Alcotest.check_raises "encoding out of range"
+    (Invalid_argument "Encoding_table.path_of_encoding: 9") (fun () ->
+      ignore (Encoding_table.path_of_encoding table 9))
+
+let test_tags_on_path () =
+  Alcotest.(check bool) "A parent of B on path 1" true
+    (Encoding_table.tags_on_path table ~encoding:1 ~anc:"A" ~desc:"B"
+    = `Parent_child);
+  Alcotest.(check bool) "Root anc of D on path 1" true
+    (Encoding_table.tags_on_path table ~encoding:1 ~anc:"Root" ~desc:"D"
+    = `Ancestor_descendant);
+  Alcotest.(check bool) "no relation D..A" true
+    (Encoding_table.tags_on_path table ~encoding:1 ~anc:"D" ~desc:"A" = `Neither);
+  Alcotest.(check bool) "child axis requires adjacency" false
+    (Encoding_table.axis_holds table ~encoding:1 ~axis:`Child ~anc:"Root"
+       ~desc:"B");
+  Alcotest.(check bool) "descendant axis includes parent" true
+    (Encoding_table.axis_holds table ~encoding:1 ~axis:`Descendant ~anc:"A"
+       ~desc:"B")
+
+let test_gap_tags () =
+  (* paper Example 5.3: between A and D on Root/A/B/D the gap is [B] *)
+  Alcotest.(check (list (list string))) "A..D gap" [ [ "B" ] ]
+    (Encoding_table.gap_tags table ~encoding:1 ~anc:"A" ~desc:"D");
+  Alcotest.(check (list (list string))) "A..B empty gap" [ [] ]
+    (Encoding_table.gap_tags table ~encoding:1 ~anc:"A" ~desc:"B");
+  Alcotest.(check (list (list string))) "no occurrence" []
+    (Encoding_table.gap_tags table ~encoding:1 ~anc:"A" ~desc:"F")
+
+let test_recursive_path_relations () =
+  (* recursion: tags repeating on one path *)
+  let t = Encoding_table.of_paths [ [ "a"; "b"; "a"; "c" ] ] in
+  Alcotest.(check bool) "a//a holds" true
+    (Encoding_table.axis_holds t ~encoding:1 ~axis:`Descendant ~anc:"a" ~desc:"a");
+  Alcotest.(check bool) "a/c via second a" true
+    (Encoding_table.axis_holds t ~encoding:1 ~axis:`Child ~anc:"a" ~desc:"c");
+  Alcotest.(check (list (list string))) "a..c gaps (shortest first)"
+    [ []; [ "b"; "a" ] ]
+    (Encoding_table.gap_tags t ~encoding:1 ~anc:"a" ~desc:"c")
+
+let test_labeler_paper_values () =
+  (* already covered in test_paper_examples; here: structural laws *)
+  Alcotest.(check int) "9 distinct pids" 9 (Labeler.num_distinct labeler);
+  Alcotest.(check int) "width 4" 4 (Labeler.pid_bit_width labeler);
+  Alcotest.(check int) "pid byte size" 1 (Labeler.pid_byte_size labeler);
+  Alcotest.(check int) "pid table bytes" 9 (Labeler.pid_table_byte_size labeler)
+
+let test_labeler_index_roundtrip () =
+  Doc.iter doc (fun n ->
+      let pid = Labeler.pid labeler n in
+      Alcotest.(check (option int)) "index_of_pid"
+        (Some (Labeler.pid_index labeler n))
+        (Labeler.index_of_pid labeler pid))
+
+let test_labeler_wrong_table () =
+  let other = Encoding_table.of_paths [ [ "X" ] ] in
+  Alcotest.(check bool) "raises on foreign table" true
+    (match Labeler.label doc other with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* properties on random documents *)
+
+let tree_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "d" ] in
+  sized_size (int_range 1 60) @@ fix (fun self n ->
+      if n <= 1 then tag >|= Tree.leaf
+      else
+        tag >>= fun t ->
+        list_size (int_range 0 4) (self (n / 4)) >|= fun cs -> Tree.elem t cs)
+
+let arb_tree = QCheck.make tree_gen ~print:(Format.asprintf "%a" Tree.pp)
+
+let prop_pid_is_or_of_children =
+  QCheck.Test.make ~name:"internal pid = or of child pids" ~count:200 arb_tree
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let table = Encoding_table.build doc in
+      let lab = Labeler.label doc table in
+      let ok = ref true in
+      Doc.iter doc (fun n ->
+          match Doc.children doc n with
+          | [] -> ()
+          | cs ->
+              let expected =
+                List.fold_left
+                  (fun acc c -> Bitvec.logor acc (Labeler.pid lab c))
+                  (Bitvec.zero (Labeler.pid_bit_width lab))
+                  cs
+              in
+              if not (Bitvec.equal expected (Labeler.pid lab n)) then ok := false);
+      !ok)
+
+let prop_ancestor_pid_contains_descendant =
+  QCheck.Test.make ~name:"ancestor pid contains-or-equals descendant pid"
+    ~count:200 arb_tree (fun t ->
+      let doc = Doc.of_tree t in
+      let table = Encoding_table.build doc in
+      let lab = Labeler.label doc table in
+      let ok = ref true in
+      Doc.iter doc (fun n ->
+          match Doc.parent doc n with
+          | Some p ->
+              if
+                not
+                  (Bitvec.contains_or_equal (Labeler.pid lab p)
+                     (Labeler.pid lab n))
+              then ok := false
+          | None -> ());
+      !ok)
+
+let prop_containment_implies_path_coverage =
+  (* The sound core of Section 2, Case 2: a node's pid lists exactly
+     the path types of the leaves in its subtree, so if Pid_X contains
+     Pid_Y then every node with Pid_X has, for every path type of
+     Pid_Y, a descendant leaf of that type.  (The paper's stronger
+     phrasing — a descendant carrying pid Pid_Y itself — does not hold
+     in general; the estimator relies only on this coverage form plus
+     the tag-relationship test.) *)
+  QCheck.Test.make ~name:"pid containment implies path-type coverage"
+    ~count:100 arb_tree (fun t ->
+      let doc = Doc.of_tree t in
+      let table = Encoding_table.build doc in
+      let lab = Labeler.label doc table in
+      let ok = ref true in
+      Doc.iter doc (fun x ->
+          let px = Labeler.pid lab x in
+          (* every bit of px is witnessed by a leaf below (or at) x *)
+          Bitvec.iter_set_bits px (fun bit ->
+              let witnessed = ref false in
+              for n = x to Doc.subtree_last doc x do
+                if
+                  Doc.is_leaf doc n
+                  && Encoding_table.encoding_of_path table (Doc.path_to doc n)
+                     = Some (bit + 1)
+                then witnessed := true
+              done;
+              if not !witnessed then ok := false));
+      !ok)
+
+let prop_leaf_pid_singleton =
+  QCheck.Test.make ~name:"leaf pid = its path's bit" ~count:200 arb_tree
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let table = Encoding_table.build doc in
+      let lab = Labeler.label doc table in
+      let ok = ref true in
+      Doc.iter doc (fun n ->
+          if Doc.is_leaf doc n then
+            match Encoding_table.encoding_of_path table (Doc.path_to doc n) with
+            | Some e ->
+                if
+                  not
+                    (Bitvec.equal (Labeler.pid lab n)
+                       (Bitvec.singleton (Labeler.pid_bit_width lab) (e - 1)))
+                then ok := false
+            | None -> ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "encoding"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "encoding lookup" `Quick test_encoding_lookup;
+          Alcotest.test_case "tags_on_path / axis_holds" `Quick test_tags_on_path;
+          Alcotest.test_case "gap_tags" `Quick test_gap_tags;
+          Alcotest.test_case "recursive paths" `Quick
+            test_recursive_path_relations;
+          Alcotest.test_case "labeler on paper fixture" `Quick
+            test_labeler_paper_values;
+          Alcotest.test_case "pid index roundtrip" `Quick
+            test_labeler_index_roundtrip;
+          Alcotest.test_case "foreign table rejected" `Quick
+            test_labeler_wrong_table;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pid_is_or_of_children;
+            prop_ancestor_pid_contains_descendant;
+            prop_containment_implies_path_coverage;
+            prop_leaf_pid_singleton;
+          ] );
+    ]

@@ -1,0 +1,140 @@
+module Env = Xpest_harness.Env
+module Experiments = Xpest_harness.Experiments
+module Metrics = Xpest_harness.Metrics
+module Workload = Xpest_workload.Workload
+module Pattern = Xpest_xpath.Pattern
+
+(* One tiny shared environment: preparing it covers Env end to end. *)
+let config =
+  {
+    Env.scale = 0.01;
+    workload = { Workload.default_config with num_simple = 120; num_branch = 120 };
+    max_queries_per_class = Some 40;
+  }
+
+let envs = List.map (fun n -> Env.prepare ~config n) Xpest_datasets.Registry.all
+
+let test_env_basics () =
+  List.iter
+    (fun env ->
+      Alcotest.(check bool) "doc non-empty" true (Xpest_xml.Doc.size (Env.doc env) > 0);
+      Alcotest.(check bool) "collect times non-negative" true
+        (Env.collect_paths_seconds env >= 0.0 && Env.collect_order_seconds env >= 0.0);
+      Alcotest.(check bool) "cap respected" true
+        (List.length (Env.queries env `Simple) <= 40))
+    envs
+
+let test_summary_memoization () =
+  let env = List.hd envs in
+  let a = Env.summary env ~p_variance:0.0 ~o_variance:0.0 ~with_order:true in
+  let b = Env.summary env ~p_variance:0.0 ~o_variance:0.0 ~with_order:true in
+  Alcotest.(check bool) "physically equal" true (a == b);
+  let e1 = Env.estimator env ~p_variance:0.0 ~o_variance:0.0 ~with_order:true in
+  let e2 = Env.estimator env ~p_variance:0.0 ~o_variance:0.0 ~with_order:true in
+  Alcotest.(check bool) "estimator memoized" true (e1 == e2)
+
+let test_metrics () =
+  let items =
+    [
+      { Workload.pattern = Pattern.of_string "//{a}"; actual = 4 };
+      { Workload.pattern = Pattern.of_string "//{b}"; actual = 2 };
+    ]
+  in
+  let estimate _ = 4.0 in
+  (* errors: 0 and 1 -> mean 0.5 *)
+  Alcotest.(check (float 1e-9)) "mean rel error" 0.5
+    (Metrics.mean_rel_error items estimate);
+  let mean, p50, p90 = Metrics.percentile_errors items estimate in
+  Alcotest.(check (float 1e-9)) "mean" 0.5 mean;
+  Alcotest.(check bool) "percentiles ordered" true (p50 <= p90);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Metrics.mean_rel_error [] estimate)
+
+let test_all_experiments_run () =
+  List.iter
+    (fun id ->
+      let artefact = Experiments.run envs id in
+      let rendered = Experiments.render artefact in
+      Alcotest.(check bool) (id ^ " renders") true (String.length rendered > 0);
+      match artefact with
+      | Experiments.Table t ->
+          Alcotest.(check bool) (id ^ " has rows") true (t.rows <> [])
+      | Experiments.Figures figs ->
+          Alcotest.(check int) (id ^ " one figure per dataset") 3
+            (List.length figs);
+          List.iter
+            (fun (f : Experiments.figure) ->
+              Alcotest.(check bool) (id ^ " has series") true (f.series <> []);
+              List.iter
+                (fun (_, points) ->
+                  List.iter
+                    (fun (x, y) ->
+                      Alcotest.(check bool) "finite points" true
+                        (Float.is_finite x && Float.is_finite y && y >= 0.0))
+                    points)
+                f.series)
+            figs)
+    Experiments.all_ids
+
+let test_figure10_exact_at_variance0 () =
+  (* the rightmost (largest-memory) point of every simple-query series
+     must be exact on non-recursive datasets *)
+  match Experiments.figure10 [ List.hd envs (* SSPlays *) ] with
+  | Experiments.Figures [ f ] ->
+      let simple = List.assoc "simple queries" f.series in
+      let _, err_at_v0 = List.hd simple in
+      Alcotest.(check (float 1e-9)) "simple exact at v=0" 0.0 err_at_v0
+  | _ -> Alcotest.fail "expected one figure"
+
+let test_report_markdown () =
+  let t1 = Experiments.table1 envs in
+  let md = Xpest_harness.Report.artefact_md t1 in
+  Alcotest.(check bool) "heading" true
+    (String.length md > 4 && String.sub md 0 4 = "### ");
+  Alcotest.(check bool) "pipe table" true
+    (List.exists
+       (fun l -> String.length l > 0 && l.[0] = '|')
+       (String.split_on_char '\n' md));
+  let fig = Experiments.figure9 envs in
+  let md = Xpest_harness.Report.artefact_md fig in
+  Alcotest.(check bool) "figures render" true (String.length md > 0);
+  let docmd =
+    Xpest_harness.Report.document ~title:"t" ~preamble:[ "p" ] [ t1; fig ]
+  in
+  Alcotest.(check bool) "document starts with title" true
+    (String.length docmd > 4 && String.sub docmd 0 4 = "# t\n");
+  (* cells containing pipes are escaped *)
+  let table_with_pipe =
+    Xpest_harness.Report.table_md
+      { Experiments.id = "X"; title = "t"; header = [ "a" ]; rows = [ [ "x|y" ] ] }
+  in
+  Alcotest.(check bool) "pipes escaped" true
+    (let needle = "x\\|y" in
+     let n = String.length needle in
+     let rec go i =
+       i + n <= String.length table_with_pipe
+       && (String.sub table_with_pipe i n = needle || go (i + 1))
+     in
+     go 0)
+
+let test_unknown_id () =
+  Alcotest.(check bool) "raises" true
+    (match Experiments.run envs "f99" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "env basics" `Quick test_env_basics;
+          Alcotest.test_case "memoization" `Quick test_summary_memoization;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "figure 10 exact at v=0" `Quick
+            test_figure10_exact_at_variance0;
+          Alcotest.test_case "markdown report" `Quick test_report_markdown;
+          Alcotest.test_case "unknown id" `Quick test_unknown_id;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "all experiments run" `Slow test_all_experiments_run ] );
+    ]

@@ -1,0 +1,129 @@
+(* End-to-end pipeline checks on a mid-size document: generation ->
+   collection -> assembly across variances -> estimation vs ground
+   truth, including the memory/accuracy trade-off directions the whole
+   system is built around. *)
+
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Estimator = Xpest_estimator.Estimator
+module Workload = Xpest_workload.Workload
+module Stats = Xpest_util.Stats
+module Xsketch = Xpest_baseline.Xsketch
+
+let doc = Doc.of_tree (Xpest_datasets.Ssplays.generate ~plays:3 ~seed:17 ())
+let base = Summary.collect doc
+
+let workload =
+  Workload.generate
+    ~config:{ Workload.default_config with num_simple = 250; num_branch = 250 }
+    doc
+
+let order_free = workload.Workload.simple @ workload.Workload.branch
+
+let mre estimator items =
+  match items with
+  | [] -> 0.0
+  | _ ->
+      Stats.mean
+        (Array.of_list
+           (List.map
+              (fun (it : Workload.item) ->
+                Stats.relative_error
+                  ~actual:(Float.of_int it.actual)
+                  ~estimate:(Estimator.estimate estimator it.pattern))
+              items))
+
+let summaries =
+  List.map
+    (fun v -> (v, Summary.assemble ~p_variance:v ~o_variance:v base))
+    [ 0.0; 2.0; 8.0; 20.0 ]
+
+let test_memory_decreases_with_variance () =
+  let sizes =
+    List.map (fun (_, s) -> Summary.p_histogram_bytes s) summaries
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "p memory non-increasing" true (non_increasing sizes);
+  let exact = List.assoc 0.0 summaries and coarse = List.assoc 20.0 summaries in
+  Alcotest.(check bool) "coarse strictly smaller" true
+    (Summary.p_histogram_bytes coarse < Summary.p_histogram_bytes exact)
+
+let test_exact_beats_coarse () =
+  let err v = mre (Estimator.create (List.assoc v summaries)) order_free in
+  let e0 = err 0.0 and e20 = err 20.0 in
+  (* branch queries go through Equation 2's independence assumption,
+     so even exact summaries leave a small residual *)
+  Alcotest.(check bool)
+    (Printf.sprintf "exact-summary error %.4f small" e0)
+    true (e0 < 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "exact %.4f <= coarse %.4f" e0 e20)
+    true (e0 <= e20)
+
+let test_order_workloads_accurate_at_v0 () =
+  let est = Estimator.create (List.assoc 0.0 summaries) in
+  Alcotest.(check bool) "branch-target order error < 15%" true
+    (mre est workload.Workload.order_branch_target < 0.15);
+  Alcotest.(check bool) "trunk-target order error < 10%" true
+    (mre est workload.Workload.order_trunk_target < 0.10)
+
+let test_beats_xsketch_at_matching_memory () =
+  let s = List.assoc 0.0 summaries in
+  let est = Estimator.create s in
+  let sk = Xsketch.build ~budget_bytes:(Summary.total_bytes s) doc in
+  let ours = mre est order_free in
+  let theirs =
+    match order_free with
+    | [] -> 0.0
+    | items ->
+        Stats.mean
+          (Array.of_list
+             (List.map
+                (fun (it : Workload.item) ->
+                  Stats.relative_error
+                    ~actual:(Float.of_int it.actual)
+                    ~estimate:(Xsketch.estimate sk it.pattern))
+                items))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ours %.4f <= xsketch %.4f at equal memory" ours theirs)
+    true (ours <= theirs)
+
+let test_synopsis_roundtrip_in_pipeline () =
+  let s = List.assoc 2.0 summaries in
+  let path = Filename.temp_file "xpest_integration" ".syn" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Summary.save s path;
+      let est0 = Estimator.create s in
+      let est1 = Estimator.create (Summary.load path) in
+      List.iteri
+        (fun i (it : Workload.item) ->
+          if i < 50 then
+            Alcotest.(check (float 1e-9))
+              (Pattern.to_string it.pattern)
+              (Estimator.estimate est0 it.pattern)
+              (Estimator.estimate est1 it.pattern))
+        (order_free @ workload.Workload.order_branch_target))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "memory vs variance" `Quick
+            test_memory_decreases_with_variance;
+          Alcotest.test_case "exact beats coarse" `Quick test_exact_beats_coarse;
+          Alcotest.test_case "order accuracy at v=0" `Quick
+            test_order_workloads_accurate_at_v0;
+          Alcotest.test_case "beats xsketch at equal memory" `Quick
+            test_beats_xsketch_at_matching_memory;
+          Alcotest.test_case "synopsis roundtrip" `Quick
+            test_synopsis_roundtrip_in_pipeline;
+        ] );
+    ]

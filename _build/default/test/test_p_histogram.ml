@@ -1,0 +1,174 @@
+module Pf_table = Xpest_synopsis.Pf_table
+module P_histogram = Xpest_synopsis.P_histogram
+module Stats = Xpest_util.Stats
+
+let entry pid_index frequency : Pf_table.entry = { pid_index; frequency }
+
+(* the paper's Figure 7 input: (p2,2) (p3,2) (p1,5) (p5,7) using pid
+   indices 2,3,1,5 *)
+let figure7 = [| entry 2 2; entry 3 2; entry 1 5; entry 5 7 |]
+
+let bucket_sets h =
+  List.map
+    (fun (b : P_histogram.bucket) ->
+      (List.sort Int.compare (Array.to_list b.pid_indices), b.avg_frequency))
+    (P_histogram.buckets h)
+
+let test_figure7_variance0 () =
+  (* P-Histogram1: {p2,p3} freq 2; {p1} freq 5; {p5} freq 7 *)
+  let h = P_histogram.build ~variance:0.0 figure7 in
+  Alcotest.(check (list (pair (list int) (float 1e-9))))
+    "three buckets"
+    [ ([ 2; 3 ], 2.0); ([ 1 ], 5.0); ([ 5 ], 7.0) ]
+    (bucket_sets h)
+
+let test_figure7_variance1 () =
+  (* P-Histogram2: {p2,p3} freq 2 (v=0); {p1,p5} freq 6 (v=1) *)
+  let h = P_histogram.build ~variance:1.0 figure7 in
+  Alcotest.(check (list (pair (list int) (float 1e-9))))
+    "two buckets"
+    [ ([ 2; 3 ], 2.0); ([ 1; 5 ], 6.0) ]
+    (bucket_sets h)
+
+let test_lookup () =
+  let h = P_histogram.build ~variance:1.0 figure7 in
+  Alcotest.(check (option (float 1e-9))) "p1 -> 6" (Some 6.0)
+    (P_histogram.frequency h 1);
+  Alcotest.(check (option (float 1e-9))) "p2 -> 2" (Some 2.0)
+    (P_histogram.frequency h 2);
+  Alcotest.(check (option (float 1e-9))) "unknown pid" None
+    (P_histogram.frequency h 42)
+
+let test_pid_order_is_frequency_sorted () =
+  let h = P_histogram.build ~variance:0.0 figure7 in
+  Alcotest.(check (list int)) "order" [ 2; 3; 1; 5 ]
+    (Array.to_list (P_histogram.pid_order h))
+
+let test_empty () =
+  let h = P_histogram.build ~variance:0.0 [||] in
+  Alcotest.(check int) "no buckets" 0 (List.length (P_histogram.buckets h));
+  Alcotest.(check int) "no bytes" 0 (P_histogram.byte_size h)
+
+let test_negative_variance () =
+  Alcotest.(check bool) "rejected" true
+    (match P_histogram.build ~variance:(-1.0) figure7 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* properties *)
+
+let entries_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 60)
+      (pair (int_range 0 200) (int_range 1 500))
+    >|= fun l ->
+    (* pid indices must be distinct within a row *)
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun (p, f) ->
+        if Hashtbl.mem seen p then None
+        else begin
+          Hashtbl.add seen p ();
+          Some (entry p f)
+        end)
+      l
+    |> Array.of_list)
+
+let arb =
+  QCheck.make
+    QCheck.Gen.(pair entries_gen (float_range 0.0 10.0))
+    ~print:(fun (entries, v) ->
+      Printf.sprintf "v=%g [%s]" v
+        (String.concat ";"
+           (Array.to_list
+              (Array.map
+                 (fun (e : Pf_table.entry) ->
+                   Printf.sprintf "(%d,%d)" e.pid_index e.frequency)
+                 entries))))
+
+let prop_variance_bound =
+  QCheck.Test.make ~name:"every bucket within the variance threshold"
+    ~count:300 arb (fun (entries, v) ->
+      let h = P_histogram.build ~variance:v entries in
+      List.for_all
+        (fun (b : P_histogram.bucket) ->
+          Stats.variance (Array.map Float.of_int b.frequencies) <= v +. 1e-9)
+        (P_histogram.buckets h))
+
+let prop_partition =
+  QCheck.Test.make ~name:"buckets partition the input pids" ~count:300 arb
+    (fun (entries, v) ->
+      let h = P_histogram.build ~variance:v entries in
+      let covered =
+        List.concat_map
+          (fun (b : P_histogram.bucket) -> Array.to_list b.pid_indices)
+          (P_histogram.buckets h)
+      in
+      List.sort Int.compare covered
+      = List.sort Int.compare
+          (Array.to_list (Array.map (fun (e : Pf_table.entry) -> e.pid_index) entries)))
+
+let prop_variance0_exact =
+  QCheck.Test.make ~name:"variance 0 reproduces exact frequencies" ~count:300
+    (QCheck.make entries_gen ~print:(fun a -> string_of_int (Array.length a)))
+    (fun entries ->
+      let h = P_histogram.build ~variance:0.0 entries in
+      Array.for_all
+        (fun (e : Pf_table.entry) ->
+          P_histogram.frequency h e.pid_index = Some (Float.of_int e.frequency))
+        entries)
+
+let prop_total_mass_preserved =
+  QCheck.Test.make ~name:"total estimated mass = total frequency" ~count:300
+    arb (fun (entries, v) ->
+      let h = P_histogram.build ~variance:v entries in
+      let est =
+        List.fold_left
+          (fun acc (b : P_histogram.bucket) ->
+            acc +. (b.avg_frequency *. Float.of_int (Array.length b.pid_indices)))
+          0.0 (P_histogram.buckets h)
+      in
+      let exact =
+        Array.fold_left
+          (fun acc (e : Pf_table.entry) -> acc +. Float.of_int e.frequency)
+          0.0 entries
+      in
+      Float.abs (est -. exact) < 1e-6 *. (1.0 +. exact))
+
+let prop_memory_monotone =
+  QCheck.Test.make ~name:"memory non-increasing in the variance" ~count:200
+    (QCheck.make entries_gen ~print:(fun a -> string_of_int (Array.length a)))
+    (fun entries ->
+      let sizes =
+        List.map
+          (fun v -> P_histogram.byte_size (P_histogram.build ~variance:v entries))
+          [ 0.0; 1.0; 2.0; 5.0; 10.0; 100.0 ]
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      non_increasing sizes)
+
+let () =
+  Alcotest.run "p_histogram"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "figure 7, variance 0" `Quick test_figure7_variance0;
+          Alcotest.test_case "figure 7, variance 1" `Quick test_figure7_variance1;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "pid order" `Quick test_pid_order_is_frequency_sorted;
+          Alcotest.test_case "empty row" `Quick test_empty;
+          Alcotest.test_case "negative variance" `Quick test_negative_variance;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_variance_bound;
+            prop_partition;
+            prop_variance0_exact;
+            prop_total_mass_preserved;
+            prop_memory_monotone;
+          ] );
+    ]

@@ -1,0 +1,209 @@
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Bitvec = Xpest_util.Bitvec
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Summary = Xpest_synopsis.Summary
+module Labeler = Xpest_encoding.Labeler
+module Path_join = Xpest_estimator.Path_join
+
+let doc = Paper_fixture.doc
+let summary = Summary.build doc
+let join = Path_join.create summary
+
+let shape_of s = Pattern.shape (Pattern.of_string s)
+
+let pids result position =
+  Path_join.pids result position
+  |> List.map (fun (pid, _) -> Bitvec.to_string pid)
+  |> List.sort compare
+
+let test_simple_join_keeps_matching_pids () =
+  (* //A//C: A keeps {p6,p7}, C keeps {p2,p3} (paper Example 4.2) *)
+  let r = Path_join.run join (shape_of "//A//C") in
+  Alcotest.(check (list string)) "A pids"
+    (List.sort compare [ Paper_fixture.p6; Paper_fixture.p7 ])
+    (pids r (Pattern.In_trunk 0));
+  Alcotest.(check (list string)) "C pids"
+    (List.sort compare [ Paper_fixture.p2; Paper_fixture.p3 ])
+    (pids r (Pattern.In_trunk 1))
+
+let test_child_vs_descendant () =
+  (* Root/A is a parent-child edge; //Root//D descendant *)
+  let r = Path_join.run join (shape_of "/Root/A") in
+  Alcotest.(check (list string)) "Root" [ Paper_fixture.p9 ]
+    (pids r (Pattern.In_trunk 0));
+  Alcotest.(check int) "A keeps all 3" 3
+    (List.length (pids r (Pattern.In_trunk 1)));
+  (* B/C are never in a parent-child relation *)
+  let r = Path_join.run join (shape_of "//B/C") in
+  Alcotest.(check (list string)) "no B pids" [] (pids r (Pattern.In_trunk 0));
+  Alcotest.(check (list string)) "no C pids" [] (pids r (Pattern.In_trunk 1))
+
+let test_anchor_constraint () =
+  (* /A must be the document root, whose tag is Root: empty *)
+  let r = Path_join.run join (shape_of "/A") in
+  Alcotest.(check (list string)) "empty" [] (pids r (Pattern.In_trunk 0));
+  let r = Path_join.run join (shape_of "/Root") in
+  Alcotest.(check (list string)) "root pid" [ Paper_fixture.p9 ]
+    (pids r (Pattern.In_trunk 0))
+
+let test_frequency_sums () =
+  let r = Path_join.run join (shape_of "//B/D") in
+  Alcotest.(check (float 1e-9)) "f(B) = 4" 4.0
+    (Path_join.frequency r (Pattern.In_trunk 0));
+  Alcotest.(check (float 1e-9)) "f(D) = 4" 4.0
+    (Path_join.frequency r (Pattern.In_trunk 1))
+
+let test_ordered_positions () =
+  let r =
+    Path_join.run join (shape_of "//A[/C/folls::B/D]")
+  in
+  Alcotest.(check (list string)) "second-head B pids" [ Paper_fixture.p5 ]
+    (pids r (Pattern.In_second 0))
+
+let test_position_not_in_shape () =
+  let r = Path_join.run join (shape_of "//A//C") in
+  Alcotest.(check bool) "raises" true
+    (match Path_join.pids r (Pattern.In_branch 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- soundness property: the join never prunes a pid that labels an
+   actual witness of the query node. *)
+
+let tree_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  sized_size (int_range 1 30) @@ fix (fun self n ->
+      if n <= 1 then tag >|= Tree.leaf
+      else
+        tag >>= fun t ->
+        list_size (int_range 0 3) (self (n / 3)) >|= fun cs -> Tree.elem t cs)
+
+let spine_gen len =
+  let open QCheck.Gen in
+  list_size (return len)
+    (pair (oneofl [ Pattern.Child; Pattern.Descendant ]) (oneofl [ "a"; "b"; "c" ]))
+  >|= List.map (fun (axis, tag) -> Pattern.{ axis; tag })
+
+let shape_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      (int_range 1 3 >>= spine_gen >|= fun s -> Pattern.Simple s);
+      ( triple (spine_gen 1) (spine_gen 1) (spine_gen 1)
+      >|= fun (trunk, branch, tail) -> Pattern.Branch { trunk; branch; tail } );
+    ]
+
+let arb =
+  QCheck.make
+    QCheck.Gen.(pair tree_gen shape_gen)
+    ~print:(fun (t, s) ->
+      Format.asprintf "%a |- %s" Tree.pp t
+        (Pattern.to_string (Pattern.v s (Pattern.In_trunk 0))))
+
+let positions_of shape =
+  match (shape : Pattern.shape) with
+  | Simple q -> List.init (List.length q) (fun i -> Pattern.In_trunk i)
+  | Branch { trunk; branch; tail } ->
+      List.init (List.length trunk) (fun i -> Pattern.In_trunk i)
+      @ List.init (List.length branch) (fun i -> Pattern.In_branch i)
+      @ List.init (List.length tail) (fun i -> Pattern.In_tail i)
+  | Ordered _ -> []
+
+let prop_join_sound =
+  QCheck.Test.make ~name:"join keeps the pid of every true witness"
+    ~count:400 arb (fun (tree, shape) ->
+      let doc = Doc.of_tree tree in
+      let summary = Summary.build doc in
+      let labeler = Summary.labeler summary in
+      let join = Path_join.create summary in
+      let result = Path_join.run join shape in
+      List.for_all
+        (fun pos ->
+          let witnesses = Truth.matches doc (Pattern.v shape pos) in
+          let kept = List.map fst (Path_join.pids result pos) in
+          List.for_all
+            (fun w ->
+              List.exists (Bitvec.equal (Labeler.pid labeler w)) kept)
+            witnesses)
+        (positions_of shape))
+
+let prop_simple_frequency_upper_bound =
+  (* Theorem 4.1 gives equality on documents whose paths do not repeat
+     tags; on arbitrary (possibly recursive) documents the joined
+     frequency is still a sound upper bound of the exact selectivity,
+     because the join never prunes a witness pid. *)
+  QCheck.Test.make ~name:"joined frequency >= exact selectivity" ~count:400
+    (QCheck.make
+       QCheck.Gen.(pair tree_gen (int_range 1 3 >>= spine_gen))
+       ~print:(fun (t, s) ->
+         Format.asprintf "%a |- %s" Tree.pp t
+           (Pattern.to_string (Pattern.simple s))))
+    (fun (tree, spine) ->
+      let doc = Doc.of_tree tree in
+      let summary = Summary.build doc in
+      let join = Path_join.create summary in
+      let result = Path_join.run join (Pattern.Simple spine) in
+      List.for_all
+        (fun i ->
+          let pos = Pattern.In_trunk i in
+          let actual =
+            Truth.selectivity doc (Pattern.v (Pattern.Simple spine) pos)
+          in
+          Path_join.frequency result pos >= Float.of_int actual -. 1e-9)
+        (List.init (List.length spine) Fun.id))
+
+let test_theorem_4_1_exact_on_regular_data () =
+  (* DBLP-like data has strictly layered tags (no tag repeats on any
+     root-to-leaf path), where Theorem 4.1 equality holds. *)
+  let doc =
+    Doc.of_tree (Xpest_datasets.Dblp.generate ~records:120 ~seed:42 ())
+  in
+  let summary = Summary.build doc in
+  let join = Path_join.create summary in
+  List.iter
+    (fun qs ->
+      let q = Pattern.of_string qs in
+      match Pattern.shape q with
+      | Pattern.Simple spine ->
+          let result = Path_join.run join (Pattern.Simple spine) in
+          List.iteri
+            (fun i _ ->
+              let pos = Pattern.In_trunk i in
+              let actual =
+                Truth.selectivity doc (Pattern.v (Pattern.Simple spine) pos)
+              in
+              Alcotest.(check (float 1e-9))
+                (Printf.sprintf "%s @%d" qs i)
+                (Float.of_int actual)
+                (Path_join.frequency result pos))
+            spine
+      | Pattern.Branch _ | Pattern.Ordered _ -> Alcotest.fail "expected simple")
+    [
+      "/dblp/article/author";
+      "//inproceedings/booktitle";
+      "//dblp//cite";
+      "/dblp/phdthesis/school";
+      "//article/month";
+    ]
+
+let () =
+  Alcotest.run "path_join"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple join" `Quick test_simple_join_keeps_matching_pids;
+          Alcotest.test_case "child vs descendant" `Quick test_child_vs_descendant;
+          Alcotest.test_case "anchor" `Quick test_anchor_constraint;
+          Alcotest.test_case "frequencies" `Quick test_frequency_sums;
+          Alcotest.test_case "ordered positions" `Quick test_ordered_positions;
+          Alcotest.test_case "bad position" `Quick test_position_not_in_shape;
+          Alcotest.test_case "theorem 4.1 exact on layered data" `Quick
+            test_theorem_4_1_exact_on_regular_data;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_join_sound; prop_simple_frequency_upper_bound ] );
+    ]

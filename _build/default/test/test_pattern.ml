@@ -1,0 +1,190 @@
+module Pattern = Xpest_xpath.Pattern
+module Ast = Xpest_xpath.Ast
+
+let pattern_testable = Alcotest.testable Pattern.pp Pattern.equal
+let step axis tag : Pattern.step = { axis; tag }
+
+let q1 =
+  (* //A[/C/F]/B/{D} *)
+  Pattern.v
+    (Pattern.Branch
+       {
+         trunk = [ step Descendant "A" ];
+         branch = [ step Child "C"; step Child "F" ];
+         tail = [ step Child "B"; step Child "D" ];
+       })
+    (Pattern.In_tail 1)
+
+let test_of_string_simple () =
+  Alcotest.check pattern_testable "simple"
+    (Pattern.v (Pattern.Simple [ step Descendant "A"; step Child "B" ])
+       (Pattern.In_trunk 1))
+    (Pattern.of_string "//A/B");
+  Alcotest.check pattern_testable "marked target"
+    (Pattern.v (Pattern.Simple [ step Descendant "A"; step Child "B" ])
+       (Pattern.In_trunk 0))
+    (Pattern.of_string "//{A}/B")
+
+let test_of_string_branch () =
+  Alcotest.check pattern_testable "branch with marked tail target" q1
+    (Pattern.of_string "//A[/C/F]/B/{D}");
+  Alcotest.check pattern_testable "branch target in branch"
+    (Pattern.v (Pattern.shape q1) (Pattern.In_branch 1))
+    (Pattern.of_string "//A[/C/{F}]/B/D");
+  Alcotest.check pattern_testable "default target = last node" q1
+    (Pattern.of_string "//A[/C/F]/B/D")
+
+let test_of_string_ordered () =
+  let expected =
+    Pattern.v
+      (Pattern.Ordered
+         {
+           trunk = [ step Descendant "A" ];
+           first = [ step Child "C"; step Child "F" ];
+           axis = Pattern.Following_sibling;
+           second = [ step Child "B"; step Child "D" ];
+         })
+      (Pattern.In_second 0)
+  in
+  Alcotest.check pattern_testable "ordered"
+    expected
+    (Pattern.of_string "//A[/C/F/folls::{B}/D]");
+  let prec =
+    Pattern.v
+      (Pattern.Ordered
+         {
+           trunk = [ step Descendant "A" ];
+           first = [ step Child "C" ];
+           axis = Pattern.Preceding;
+           second = [ step Descendant "D" ];
+         })
+      (Pattern.In_second 0)
+  in
+  Alcotest.check pattern_testable "preceding"
+    prec
+    (Pattern.of_string "//A[/C/prec::{D}]")
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = Pattern.of_string s in
+      Alcotest.check pattern_testable s q (Pattern.of_string (Pattern.to_string q)))
+    [
+      "//A/B/C";
+      "//A[/C/F]/B/{D}";
+      "//A[/{C}/F]/B/D";
+      "//A[/C/folls::B/{D}]";
+      "//A[/C/pres::{B}]";
+      "//A[/C/foll::{D}]";
+      "/Root/A//B";
+    ]
+
+let test_validation () =
+  let fails f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "empty trunk" true
+    (fails (fun () ->
+         Pattern.v
+           (Pattern.Branch { trunk = []; branch = [ step Child "B" ]; tail = [] })
+           (Pattern.In_branch 0)));
+  Alcotest.(check bool) "target outside" true
+    (fails (fun () ->
+         Pattern.v (Pattern.Simple [ step Child "A" ]) (Pattern.In_trunk 5)));
+  Alcotest.(check bool) "ordered head must be child" true
+    (fails (fun () ->
+         Pattern.v
+           (Pattern.Ordered
+              {
+                trunk = [ step Child "A" ];
+                first = [ step Descendant "C" ];
+                axis = Pattern.Following_sibling;
+                second = [ step Child "B" ];
+              })
+           (Pattern.In_second 0)));
+  Alcotest.(check bool) "sibling-axis second head must be child" true
+    (fails (fun () ->
+         Pattern.v
+           (Pattern.Ordered
+              {
+                trunk = [ step Child "A" ];
+                first = [ step Child "C" ];
+                axis = Pattern.Following_sibling;
+                second = [ step Descendant "B" ];
+              })
+           (Pattern.In_second 0)))
+
+let test_of_string_errors () =
+  let fails s =
+    match Pattern.of_string s with
+    | exception Invalid_argument _ -> true
+    | exception Xpest_xpath.Parser.Syntax_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "two markers" true (fails "//{A}/{B}");
+  Alcotest.(check bool) "wildcard outside fragment" true (fails "//*/B");
+  Alcotest.(check bool) "order query with tail" true
+    (fails "//A[/C/folls::B]/D");
+  Alcotest.(check bool) "two predicate steps" true (fails "//A[B]/C[D]/E");
+  Alcotest.(check bool) "unsupported axis" true (fails "//A/parent::B");
+  Alcotest.(check bool) "nested predicate" true (fails "//A[B[C]]/D")
+
+let test_counterpart () =
+  let ordered =
+    Pattern.Ordered
+      {
+        trunk = [ step Descendant "A" ];
+        first = [ step Child "C" ];
+        axis = Pattern.Following_sibling;
+        second = [ step Child "B"; step Child "D" ];
+      }
+  in
+  (match Pattern.counterpart ordered with
+  | Pattern.Branch { trunk; branch; tail } ->
+      Alcotest.(check int) "trunk" 1 (List.length trunk);
+      Alcotest.(check int) "branch" 1 (List.length branch);
+      Alcotest.(check (list string)) "tail tags" [ "B"; "D" ]
+        (List.map (fun (s : Pattern.step) -> s.tag) tail)
+  | _ -> Alcotest.fail "expected branch");
+  (* following => descendant reattachment *)
+  match
+    Pattern.counterpart
+      (Pattern.Ordered
+         {
+           trunk = [ step Descendant "A" ];
+           first = [ step Child "C" ];
+           axis = Pattern.Following;
+           second = [ step Descendant "D" ];
+         })
+  with
+  | Pattern.Branch { tail = [ { axis = Pattern.Descendant; tag = "D" } ]; _ } -> ()
+  | _ -> Alcotest.fail "expected descendant tail"
+
+let test_accessors () =
+  Alcotest.(check string) "target tag" "D" (Pattern.target_tag q1);
+  Alcotest.(check int) "size" 5 (Pattern.size q1);
+  Alcotest.(check (list string)) "tags" [ "A"; "C"; "F"; "B"; "D" ]
+    (Pattern.tags q1);
+  Alcotest.(check (option string)) "tag_at" (Some "C")
+    (Pattern.tag_at q1 (Pattern.In_branch 0));
+  Alcotest.(check (option string)) "tag_at missing" None
+    (Pattern.tag_at q1 (Pattern.In_first 0))
+
+let test_to_ast () =
+  Alcotest.(check string) "lowering" "//A[C/F]/B/D"
+    (Ast.to_string (Pattern.to_ast q1))
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_string simple" `Quick test_of_string_simple;
+          Alcotest.test_case "of_string branch" `Quick test_of_string_branch;
+          Alcotest.test_case "of_string ordered" `Quick test_of_string_ordered;
+          Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+          Alcotest.test_case "counterpart" `Quick test_counterpart;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "to_ast" `Quick test_to_ast;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Bitvec = Xpest_util.Bitvec
+module Encoding_table = Xpest_encoding.Encoding_table
+module Labeler = Xpest_encoding.Labeler
+module Pf_table = Xpest_synopsis.Pf_table
+module Po_table = Xpest_synopsis.Po_table
+
+let doc = Paper_fixture.doc
+let labeler = Labeler.label doc (Encoding_table.build doc)
+let pf = Pf_table.build labeler
+let po = Po_table.build labeler
+
+let test_pf_totals () =
+  Alcotest.(check int) "A total" 3 (Pf_table.total_frequency pf "A");
+  Alcotest.(check int) "B total" 4 (Pf_table.total_frequency pf "B");
+  Alcotest.(check int) "D total" 4 (Pf_table.total_frequency pf "D");
+  Alcotest.(check int) "Root total" 1 (Pf_table.total_frequency pf "Root");
+  Alcotest.(check int) "unknown" 0 (Pf_table.total_frequency pf "Z")
+
+let test_pf_totals_equal_doc_counts () =
+  List.iter
+    (fun tag ->
+      Alcotest.(check int) tag
+        (Array.length (Doc.nodes_with_tag doc tag))
+        (Pf_table.total_frequency pf tag))
+    (Pf_table.tags pf)
+
+let test_pf_entry_count () =
+  (* 7 tags; A has 3 pids, B 2, C 2, D 1, E 2, F 1, Root 1 = 12 pairs *)
+  Alcotest.(check int) "12 entries" 12 (Pf_table.num_entries pf);
+  Alcotest.(check int) "byte size" (12 * 6) (Pf_table.byte_size pf)
+
+let test_po_both_sides () =
+  (* an element between two same-tag siblings is counted in both
+     regions (paper note after Example 3.2): C under A(p7) is between
+     two Bs *)
+  let p3 =
+    match Labeler.index_of_pid labeler (Paper_fixture.bv Paper_fixture.p3) with
+    | Some i -> i
+    | None -> Alcotest.fail "p3 missing"
+  in
+  Alcotest.(check int) "C(p3) before B" 1
+    (Po_table.lookup po ~tag:"C" ~pid_index:p3 ~other:"B" ~region:Before);
+  Alcotest.(check int) "C(p3) after B" 1
+    (Po_table.lookup po ~tag:"C" ~pid_index:p3 ~other:"B" ~region:After)
+
+let test_po_no_self_counting () =
+  (* D's are only children in B(p5) groups except B(p8)=DE: D before E
+     once (B(p8): children D then E) *)
+  let p5 =
+    match Labeler.index_of_pid labeler (Paper_fixture.bv Paper_fixture.p5) with
+    | Some i -> i
+    | None -> Alcotest.fail "p5 missing"
+  in
+  Alcotest.(check int) "D(p5) before E" 1
+    (Po_table.lookup po ~tag:"D" ~pid_index:p5 ~other:"E" ~region:Before);
+  Alcotest.(check int) "D(p5) after E" 0
+    (Po_table.lookup po ~tag:"D" ~pid_index:p5 ~other:"E" ~region:After)
+
+let test_po_cells_consistent_with_lookup () =
+  List.iter
+    (fun tag ->
+      List.iter
+        (fun (c : Po_table.cell) ->
+          Alcotest.(check int) "cell = lookup" c.count
+            (Po_table.lookup po ~tag ~pid_index:c.pid_index
+               ~other:(Doc.tag_name doc c.other_tag)
+               ~region:c.region))
+        (Po_table.cells po tag))
+    (Pf_table.tags pf)
+
+(* brute-force reference for the po-table on random docs *)
+let naive_po doc lab ~tag ~pid_index ~other ~region =
+  let count = ref 0 in
+  Doc.iter doc (fun x ->
+      if Doc.tag doc x = tag && Labeler.pid_index lab x = pid_index then begin
+        let rec siblings next acc n =
+          match next n with Some s -> siblings next (s :: acc) s | None -> acc
+        in
+        let side =
+          match (region : Po_table.region) with
+          | Before -> siblings (Doc.next_sibling doc) [] x
+          | After -> siblings (Doc.prev_sibling doc) [] x
+        in
+        if List.exists (fun s -> Doc.tag doc s = other) side then incr count
+      end);
+  !count
+
+let tree_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  sized_size (int_range 1 40) @@ fix (fun self n ->
+      if n <= 1 then tag >|= Tree.leaf
+      else
+        tag >>= fun t ->
+        list_size (int_range 0 5) (self (n / 4)) >|= fun cs -> Tree.elem t cs)
+
+let prop_po_matches_naive =
+  QCheck.Test.make ~name:"po-table = brute force" ~count:150
+    (QCheck.make tree_gen ~print:(Format.asprintf "%a" Tree.pp))
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let lab = Labeler.label doc (Encoding_table.build doc) in
+      let po = Po_table.build lab in
+      let tags = Array.to_list (Doc.tags doc) in
+      List.for_all
+        (fun tag ->
+          List.for_all
+            (fun other ->
+              List.for_all
+                (fun region ->
+                  List.init (Labeler.num_distinct lab) Fun.id
+                  |> List.for_all (fun pid_index ->
+                         Po_table.lookup po ~tag ~pid_index ~other ~region
+                         = naive_po doc lab ~tag ~pid_index ~other ~region))
+                [ Po_table.Before; Po_table.After ])
+            tags)
+        tags)
+
+let prop_pf_totals =
+  QCheck.Test.make ~name:"pf totals = tag counts" ~count:150
+    (QCheck.make tree_gen ~print:(Format.asprintf "%a" Tree.pp))
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let lab = Labeler.label doc (Encoding_table.build doc) in
+      let pf = Pf_table.build lab in
+      List.for_all
+        (fun tag ->
+          Pf_table.total_frequency pf tag
+          = Array.length (Doc.nodes_with_tag doc tag))
+        (Pf_table.tags pf))
+
+let () =
+  Alcotest.run "pf_po"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "pf totals" `Quick test_pf_totals;
+          Alcotest.test_case "pf totals = doc counts" `Quick
+            test_pf_totals_equal_doc_counts;
+          Alcotest.test_case "pf entry count" `Quick test_pf_entry_count;
+          Alcotest.test_case "po counts both sides" `Quick test_po_both_sides;
+          Alcotest.test_case "po directionality" `Quick test_po_no_self_counting;
+          Alcotest.test_case "po cells = lookup" `Quick
+            test_po_cells_consistent_with_lookup;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_po_matches_naive; prop_pf_totals ] );
+    ]

@@ -1,0 +1,125 @@
+module Prng = Xpest_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in_range rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_float_distribution () =
+  let rng = Prng.create 99 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let f = Prng.float rng 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0);
+    sum := !sum +. f
+  done;
+  let mean = !sum /. Float.of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_geometric_mean () =
+  let rng = Prng.create 5 in
+  let n = 20_000 and p = 0.45 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.geometric rng p
+  done;
+  let mean = Float.of_int !sum /. Float.of_int n in
+  let expected = (1.0 -. p) /. p in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near %.3f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.1)
+
+let test_choose_weighted () =
+  let rng = Prng.create 11 in
+  let counts = Hashtbl.create 3 in
+  let items = [| ("a", 1.0); ("b", 3.0); ("c", 0.0) |] in
+  for _ = 1 to 10_000 do
+    let k = Prng.choose_weighted rng items in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero-weight never picked" 0 (get "c");
+  Alcotest.(check bool) "b ~3x a" true
+    (let ratio = Float.of_int (get "b") /. Float.of_int (max 1 (get "a")) in
+     ratio > 2.5 && ratio < 3.6)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_zipf_skew () =
+  let rng = Prng.create 13 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Prng.zipf rng 10 1.2 in
+    counts.(k - 1) <- counts.(k - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true
+    (Array.for_all (fun c -> counts.(0) >= c) counts)
+
+let test_split_independence () =
+  let parent = Prng.create 21 in
+  let child = Prng.split parent in
+  (* both usable, and deterministic given the seed *)
+  let p2 = Prng.create 21 in
+  let c2 = Prng.split p2 in
+  Alcotest.(check int64) "split deterministic" (Prng.bits64 child) (Prng.bits64 c2);
+  Alcotest.(check int64) "parent deterministic after split" (Prng.bits64 parent)
+    (Prng.bits64 p2)
+
+let test_copy () =
+  let a = Prng.create 8 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "float distribution" `Quick test_float_distribution;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy;
+        ] );
+    ]

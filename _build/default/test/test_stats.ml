@@ -1,0 +1,82 @@
+module Stats = Xpest_util.Stats
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  checkf "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  checkf "mean empty" 0.0 (Stats.mean [||]);
+  (* paper definition: sqrt (sum (fi-avg)^2 / k) *)
+  checkf "variance of constants" 0.0 (Stats.variance [| 5.0; 5.0; 5.0 |]);
+  checkf "variance" 0.5 (Stats.variance [| 2.0; 3.0 |]);
+  checkf "variance empty" 0.0 (Stats.variance [||])
+
+let test_paper_figure7 () =
+  (* Figure 7: list (p2,2) (p3,2) (p1,5) (p5,7); buckets {2,2} v=0 and
+     {5,7}: sqrt(((5-6)^2 + (7-6)^2)/2) = 1. *)
+  checkf "bucket {5,7}" 1.0 (Stats.variance [| 5.0; 7.0 |]);
+  checkf "bucket {2,2}" 0.0 (Stats.variance [| 2.0; 2.0 |])
+
+let test_relative_error () =
+  checkf "exact" 0.0 (Stats.relative_error ~actual:4.0 ~estimate:4.0);
+  checkf "50% over" 0.5 (Stats.relative_error ~actual:4.0 ~estimate:6.0);
+  checkf "50% under" 0.5 (Stats.relative_error ~actual:4.0 ~estimate:2.0);
+  checkf "zero actual" 3.0 (Stats.relative_error ~actual:0.0 ~estimate:3.0)
+
+let test_mean_relative_error () =
+  checkf "empty" 0.0 (Stats.mean_relative_error []);
+  checkf "avg of 0 and 1" 0.5
+    (Stats.mean_relative_error [ (4.0, 4.0); (2.0, 4.0) ])
+
+let test_percentile () =
+  let a = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  checkf "median" 3.0 (Stats.percentile a 50.0);
+  checkf "min" 1.0 (Stats.percentile a 1.0);
+  checkf "max" 5.0 (Stats.percentile a 100.0)
+
+let test_min_max () =
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "min_max" (Some (1.0, 9.0))
+    (Stats.min_max [| 3.0; 9.0; 1.0 |]);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "empty" None (Stats.min_max [||])
+
+let test_accumulator_matches_batch () =
+  let values = [| 1.0; 4.0; 4.0; 9.0; 16.0; 2.5 |] in
+  let acc = Stats.Accumulator.create () in
+  Array.iter (Stats.Accumulator.add acc) values;
+  Alcotest.(check int) "count" 6 (Stats.Accumulator.count acc);
+  checkf "mean agrees" (Stats.mean values) (Stats.Accumulator.mean acc);
+  Alcotest.(check (float 1e-9)) "variance agrees" (Stats.variance values)
+    (Stats.Accumulator.variance acc)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance nonnegative" ~count:200
+    QCheck.(array_of_size Gen.(int_range 0 30) (float_range (-100.) 100.))
+    (fun a -> Stats.variance a >= 0.0)
+
+let prop_welford_agrees =
+  QCheck.Test.make ~name:"welford matches batch" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-50.) 50.))
+    (fun a ->
+      let acc = Stats.Accumulator.create () in
+      Array.iter (Stats.Accumulator.add acc) a;
+      Float.abs (Stats.Accumulator.variance acc -. Stats.variance a) < 1e-6
+      && Float.abs (Stats.Accumulator.mean acc -. Stats.mean a) < 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "paper figure 7 variances" `Quick test_paper_figure7;
+          Alcotest.test_case "relative error" `Quick test_relative_error;
+          Alcotest.test_case "mean relative error" `Quick test_mean_relative_error;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "accumulator" `Quick test_accumulator_matches_batch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_variance_nonneg; prop_welford_agrees ] );
+    ]

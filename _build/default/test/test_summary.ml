@@ -1,0 +1,97 @@
+module Doc = Xpest_xml.Doc
+module Bitvec = Xpest_util.Bitvec
+module Summary = Xpest_synopsis.Summary
+module Pf_table = Xpest_synopsis.Pf_table
+module Po_table = Xpest_synopsis.Po_table
+
+let doc = Paper_fixture.doc
+let base = Summary.collect doc
+let summary = Summary.assemble base
+
+let test_tag_pids_exact () =
+  let row tag =
+    Summary.tag_pids summary tag
+    |> List.map (fun (pid, f) -> (Bitvec.to_string pid, f))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "B row"
+    (List.sort compare [ (Paper_fixture.p8, 1.0); (Paper_fixture.p5, 3.0) ])
+    (row "B");
+  Alcotest.(check (list (pair string (float 1e-9)))) "unknown tag" [] (row "Z")
+
+let test_tag_total () =
+  Alcotest.(check (float 1e-9)) "B total" 4.0 (Summary.tag_total summary "B");
+  Alcotest.(check (float 1e-9)) "D total" 4.0 (Summary.tag_total summary "D")
+
+let test_order_frequency () =
+  let p5 = Paper_fixture.bv Paper_fixture.p5 in
+  Alcotest.(check (float 1e-9)) "B(p5) after C = 2" 2.0
+    (Summary.order_frequency summary ~tag:"B" ~pid:p5 ~other:"C"
+       ~region:Po_table.After);
+  Alcotest.(check (float 1e-9)) "B(p5) before C = 1" 1.0
+    (Summary.order_frequency summary ~tag:"B" ~pid:p5 ~other:"C"
+       ~region:Po_table.Before);
+  Alcotest.(check (float 1e-9)) "unknown tag" 0.0
+    (Summary.order_frequency summary ~tag:"Z" ~pid:p5 ~other:"C"
+       ~region:Po_table.After)
+
+let test_without_order () =
+  let s = Summary.assemble (Summary.without_order base) in
+  let p5 = Paper_fixture.bv Paper_fixture.p5 in
+  Alcotest.(check (float 1e-9)) "order lookups are 0" 0.0
+    (Summary.order_frequency s ~tag:"B" ~pid:p5 ~other:"C" ~region:Po_table.After);
+  Alcotest.(check int) "no o-histogram bytes" 0 (Summary.o_histogram_bytes s);
+  (* path side unaffected *)
+  Alcotest.(check (float 1e-9)) "tag totals intact" 4.0 (Summary.tag_total s "B")
+
+let test_memory_accounting () =
+  Alcotest.(check bool) "p-histogram bytes > 0" true
+    (Summary.p_histogram_bytes summary > 0);
+  Alcotest.(check bool) "o-histogram bytes > 0" true
+    (Summary.o_histogram_bytes summary > 0);
+  Alcotest.(check int) "total = enc + tree + p"
+    (Summary.encoding_table_bytes summary
+    + Summary.pid_tree_bytes summary
+    + Summary.p_histogram_bytes summary)
+    (Summary.total_bytes summary)
+
+let test_variance_shrinks_memory () =
+  let doc = Xpest_datasets.Registry.generate ~scale:0.02 Xpest_datasets.Registry.Xmark in
+  let base = Summary.collect doc in
+  let exact = Summary.assemble ~p_variance:0.0 ~o_variance:0.0 base in
+  let loose = Summary.assemble ~p_variance:10.0 ~o_variance:10.0 base in
+  Alcotest.(check bool) "p shrinks" true
+    (Summary.p_histogram_bytes loose <= Summary.p_histogram_bytes exact);
+  Alcotest.(check bool) "o shrinks" true
+    (Summary.o_histogram_bytes loose <= Summary.o_histogram_bytes exact);
+  Alcotest.(check bool) "p strictly shrinks on real data" true
+    (Summary.p_histogram_bytes loose < Summary.p_histogram_bytes exact)
+
+let test_estimates_at_variance0_are_exact_frequencies () =
+  (* variance-0 summaries reproduce the pf-table *)
+  let pf = Summary.pf_table base in
+  List.iter
+    (fun tag ->
+      Alcotest.(check (float 1e-9))
+        (tag ^ " total")
+        (Float.of_int (Pf_table.total_frequency pf tag))
+        (Summary.tag_total summary tag))
+    (Pf_table.tags pf)
+
+let () =
+  Alcotest.run "summary"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "tag_pids" `Quick test_tag_pids_exact;
+          Alcotest.test_case "tag_total" `Quick test_tag_total;
+          Alcotest.test_case "order_frequency" `Quick test_order_frequency;
+          Alcotest.test_case "without_order" `Quick test_without_order;
+          Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
+          Alcotest.test_case "variance shrinks memory" `Quick
+            test_variance_shrinks_memory;
+          Alcotest.test_case "variance 0 is exact" `Quick
+            test_estimates_at_variance0_are_exact_frequencies;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+module Tablefmt = Xpest_util.Tablefmt
+
+let test_render_table () =
+  let out =
+    Tablefmt.render_table ~title:"T"
+      ~header:[ "name"; "count" ]
+      ~align:[ Tablefmt.Left; Tablefmt.Right ]
+      [ [ "alpha"; "1" ]; [ "b"; "20" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check string) "title first" "T" (List.hd lines);
+  Alcotest.(check bool) "contains row" true
+    (List.exists (fun l -> l = "| alpha |     1 |") lines);
+  Alcotest.(check bool) "right aligned" true
+    (List.exists (fun l -> l = "| b     |    20 |") lines)
+
+let test_long_align_truncated () =
+  let out =
+    Tablefmt.render_table ~header:[ "a"; "b" ]
+      ~align:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      [ [ "x"; "y" ] ]
+  in
+  Alcotest.(check bool) "no exception" true (String.length out > 0)
+
+let test_short_rows_padded () =
+  let out =
+    Tablefmt.render_table ~header:[ "a"; "b"; "c" ] ~align:[] [ [ "x" ] ]
+  in
+  Alcotest.(check bool) "no exception, row padded" true
+    (String.length out > 0)
+
+let test_render_series () =
+  let out =
+    Tablefmt.render_series ~title:"fig" ~x_label:"x" ~y_label:"err"
+      ~series:[ ("s1", [ (1.0, 0.5); (2.0, 0.25) ]); ("s2", [ (1.0, 0.7) ]) ]
+      ()
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "mentions y label" true (contains out "err");
+  Alcotest.(check bool) "series columns present" true
+    (contains out "s1" && contains out "s2");
+  Alcotest.(check bool) "missing point renders dash" true (contains out "-")
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "3" (Tablefmt.fmt_float 3.0);
+  Alcotest.(check string) "decimal trimmed" "0.25" (Tablefmt.fmt_float 0.25);
+  Alcotest.(check string) "rounded" "0.3333" (Tablefmt.fmt_float (1.0 /. 3.0))
+
+let test_fmt_bytes () =
+  Alcotest.(check string) "bytes" "512 B" (Tablefmt.fmt_bytes 512);
+  Alcotest.(check string) "kb" "1.50 KB" (Tablefmt.fmt_bytes 1536);
+  Alcotest.(check string) "mb" "2.00 MB" (Tablefmt.fmt_bytes (2 * 1024 * 1024))
+
+let test_fmt_seconds () =
+  Alcotest.(check string) "us" "50.0 us" (Tablefmt.fmt_seconds 5e-5);
+  Alcotest.(check string) "ms" "12.00 ms" (Tablefmt.fmt_seconds 0.012);
+  Alcotest.(check string) "s" "2.50 s" (Tablefmt.fmt_seconds 2.5)
+
+let () =
+  Alcotest.run "tablefmt"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "render_table" `Quick test_render_table;
+          Alcotest.test_case "short rows" `Quick test_short_rows_padded;
+          Alcotest.test_case "long align truncated" `Quick
+            test_long_align_truncated;
+          Alcotest.test_case "render_series" `Quick test_render_series;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+          Alcotest.test_case "fmt_bytes" `Quick test_fmt_bytes;
+          Alcotest.test_case "fmt_seconds" `Quick test_fmt_seconds;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force reference: enumerate all embeddings explicitly.         *)
+
+let axis_candidates doc from (axis : Pattern.axis) tag =
+  match axis with
+  | Child -> List.filter (fun c -> Doc.tag doc c = tag) (Doc.children doc from)
+  | Descendant ->
+      let last = Doc.subtree_last doc from in
+      List.filter
+        (fun n -> Doc.tag doc n = tag)
+        (List.init (last - from) (fun i -> from + 1 + i))
+
+(* All embeddings of a spine starting from [from]; each embedding is
+   the list of bound nodes in step order. *)
+let rec spine_embeddings doc from (spine : Pattern.spine) =
+  match spine with
+  | [] -> [ [] ]
+  | s :: rest ->
+      List.concat_map
+        (fun n ->
+          List.map (fun tail -> n :: tail) (spine_embeddings doc n rest))
+        (axis_candidates doc from s.axis s.tag)
+
+let anchored_embeddings doc (spine : Pattern.spine) =
+  match spine with
+  | [] -> [ [] ]
+  | s :: rest ->
+      let heads =
+        match s.axis with
+        | Pattern.Child ->
+            if Doc.tag doc (Doc.root doc) = s.tag then [ Doc.root doc ] else []
+        | Pattern.Descendant ->
+            List.filter
+              (fun n -> Doc.tag doc n = s.tag)
+              (List.init (Doc.size doc) Fun.id)
+      in
+      List.concat_map
+        (fun n -> List.map (fun tail -> n :: tail) (spine_embeddings doc n rest))
+        heads
+
+let order_ok doc (axis : Pattern.order_axis) y1 y2 =
+  match axis with
+  | Following_sibling -> Doc.parent doc y1 = Doc.parent doc y2 && y1 < y2
+  | Preceding_sibling -> Doc.parent doc y1 = Doc.parent doc y2 && y2 < y1
+  | Following -> y2 > Doc.subtree_last doc y1
+  | Preceding -> Doc.subtree_last doc y2 < y1
+
+module Iset = Set.Make (Int)
+
+let naive_matches doc (q : Pattern.t) =
+  let collect = ref Iset.empty in
+  let add_embedding pick = collect := Iset.add pick !collect in
+  let target = Pattern.target q in
+  (match Pattern.shape q with
+  | Pattern.Simple spine ->
+      List.iter
+        (fun emb ->
+          match target with
+          | Pattern.In_trunk i -> add_embedding (List.nth emb i)
+          | _ -> failwith "bad position")
+        (anchored_embeddings doc spine)
+  | Pattern.Branch { trunk; branch; tail } ->
+      List.iter
+        (fun temb ->
+          let last = List.nth temb (List.length temb - 1) in
+          let bembs = spine_embeddings doc last branch in
+          let tembs = spine_embeddings doc last tail in
+          List.iter
+            (fun bemb ->
+              List.iter
+                (fun taemb ->
+                  match target with
+                  | Pattern.In_trunk i -> add_embedding (List.nth temb i)
+                  | Pattern.In_branch i -> add_embedding (List.nth bemb i)
+                  | Pattern.In_tail i -> add_embedding (List.nth taemb i)
+                  | Pattern.In_first _ | Pattern.In_second _ ->
+                      failwith "bad position")
+                tembs)
+            bembs)
+        (anchored_embeddings doc trunk)
+  | Pattern.Ordered { trunk; first; axis; second } ->
+      List.iter
+        (fun temb ->
+          let last = List.nth temb (List.length temb - 1) in
+          let fembs = spine_embeddings doc last first in
+          let sembs = spine_embeddings doc last second in
+          List.iter
+            (fun femb ->
+              List.iter
+                (fun semb ->
+                  if order_ok doc axis (List.hd femb) (List.hd semb) then
+                    match target with
+                    | Pattern.In_trunk i -> add_embedding (List.nth temb i)
+                    | Pattern.In_first i -> add_embedding (List.nth femb i)
+                    | Pattern.In_second i -> add_embedding (List.nth semb i)
+                    | Pattern.In_branch _ | Pattern.In_tail _ ->
+                        failwith "bad position")
+                sembs)
+            fembs)
+        (anchored_embeddings doc trunk));
+  Iset.elements !collect
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked cases on a small fixture.                              *)
+
+let doc =
+  Doc.of_tree
+    Tree.(
+      elem "a"
+        [
+          elem "b" [ leaf "d"; leaf "e" ];
+          elem "c" [ leaf "e"; elem "b" [ leaf "d" ] ];
+          elem "b" [ leaf "e"; leaf "d" ];
+        ])
+(* ids: a=0, b=1, d=2, e=3, c=4, e=5, b=6, d=7, b=8, e=9, d=10 *)
+
+let q s = Pattern.of_string s
+let check_sel name expected pattern =
+  Alcotest.(check int) name expected (Truth.selectivity doc (q pattern))
+
+let test_simple () =
+  check_sel "//b" 3 "//{b}";
+  check_sel "//b/d" 3 "//b/{d}";
+  check_sel "//b/d target b" 3 "//{b}/d";
+  check_sel "/a/b" 2 "/a/{b}";
+  check_sel "//c//d" 1 "//c//{d}";
+  check_sel "negative" 0 "//d/{e}"
+
+let test_branch () =
+  check_sel "//b[/e]/d target d" 2 "//b[/e]/{d}";
+  check_sel "//b[/e]/d target b" 2 "//{b}[/e]/d";
+  check_sel "//b[/e]/d target e" 2 "//b[/{e}]/d";
+  check_sel "//a[/c]/b" 2 "//a[/c]/{b}"
+
+let test_ordered_sibling () =
+  (* b(1) children: d,e ; b(8) children: e,d ; b(6): d only *)
+  check_sel "d folls e" 1 "//b[/d/folls::{e}]";
+  check_sel "e folls d" 1 "//b[/e/folls::{d}]";
+  check_sel "d pres e target e" 1 "//b[/d/pres::{e}]";
+  (* pres: d preceded by e: in b(8): e(9) d(10): target e must precede d *)
+  check_sel "target trunk folls" 1 "//{b}[/d/folls::e]";
+  check_sel "c then b siblings of a" 1 "//a[/c/folls::{b}]"
+
+let test_ordered_nonsibling () =
+  (* following: //a[/b/foll::d] : d after entire first b subtree *)
+  check_sel "foll d" 2 "//a[/b/foll::{d}]";
+  (* preceding b(8): d(2) and d(7) lie fully before it *)
+  check_sel "prec d" 2 "//a[/b/prec::{d}]"
+
+let test_matches_are_sorted_nodes () =
+  let m = Truth.matches doc (q "//b/{d}") in
+  Alcotest.(check (list int)) "document order" [ 2; 7; 10 ] m
+
+let test_all_selectivities () =
+  let all = Truth.all_selectivities doc (q "//b[/e]/{d}") in
+  Alcotest.(check int) "3 positions" 3 (List.length all);
+  List.iter
+    (fun (pos, count) ->
+      match pos with
+      | Pattern.In_trunk 0 -> Alcotest.(check int) "b" 2 count
+      | Pattern.In_branch 0 -> Alcotest.(check int) "e" 2 count
+      | Pattern.In_tail 0 -> Alcotest.(check int) "d" 2 count
+      | _ -> Alcotest.fail "unexpected position")
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Property: Truth = naive on random docs and patterns.                *)
+
+let tree_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  sized_size (int_range 1 25) @@ fix (fun self n ->
+      if n <= 1 then tag >|= Tree.leaf
+      else
+        tag >>= fun t ->
+        list_size (int_range 0 3) (self (n / 3)) >|= fun cs -> Tree.elem t cs)
+
+let spine_gen len =
+  let open QCheck.Gen in
+  list_size (return len)
+    (pair (oneofl [ Pattern.Child; Pattern.Descendant ]) (oneofl [ "a"; "b"; "c" ]))
+  >|= List.map (fun (axis, tag) -> Pattern.{ axis; tag })
+
+let pattern_gen =
+  let open QCheck.Gen in
+  let mk_child_head spine =
+    match spine with
+    | (s : Pattern.step) :: rest -> { s with Pattern.axis = Pattern.Child } :: rest
+    | [] -> []
+  in
+  oneof
+    [
+      (* simple *)
+      ( int_range 1 3 >>= fun n ->
+        spine_gen n >>= fun spine ->
+        int_range 0 (n - 1) >|= fun i ->
+        Pattern.v (Pattern.Simple spine) (Pattern.In_trunk i) );
+      (* branch *)
+      ( triple (int_range 1 2) (int_range 1 2) (int_range 0 2)
+      >>= fun (tn, bn, an) ->
+        triple (spine_gen tn) (spine_gen bn) (spine_gen an)
+        >>= fun (trunk, branch, tail) ->
+        let positions =
+          List.init tn (fun i -> Pattern.In_trunk i)
+          @ List.init bn (fun i -> Pattern.In_branch i)
+          @ List.init an (fun i -> Pattern.In_tail i)
+        in
+        oneofl positions >|= fun pos ->
+        Pattern.v (Pattern.Branch { trunk; branch; tail }) pos );
+      (* ordered *)
+      ( triple (int_range 1 2) (int_range 1 2) (int_range 1 2)
+      >>= fun (tn, fn, sn) ->
+        triple (spine_gen tn) (spine_gen fn) (spine_gen sn)
+        >>= fun (trunk, first, second) ->
+        oneofl
+          [
+            Pattern.Following_sibling;
+            Pattern.Preceding_sibling;
+            Pattern.Following;
+            Pattern.Preceding;
+          ]
+        >>= fun axis ->
+        let first = mk_child_head first in
+        let second =
+          match (axis, second) with
+          | (Pattern.Following_sibling | Pattern.Preceding_sibling), s :: rest ->
+              { s with Pattern.axis = Pattern.Child } :: rest
+          | (Pattern.Following | Pattern.Preceding), s :: rest ->
+              { s with Pattern.axis = Pattern.Descendant } :: rest
+          | _, [] -> []
+        in
+        let positions =
+          List.init tn (fun i -> Pattern.In_trunk i)
+          @ List.init fn (fun i -> Pattern.In_first i)
+          @ List.init sn (fun i -> Pattern.In_second i)
+        in
+        oneofl positions >|= fun pos ->
+        Pattern.v (Pattern.Ordered { trunk; first; axis; second }) pos );
+    ]
+
+let arb_doc_and_pattern =
+  QCheck.make
+    QCheck.Gen.(pair tree_gen pattern_gen)
+    ~print:(fun (t, p) ->
+      Format.asprintf "%a |- %s" Tree.pp t (Pattern.to_string p))
+
+let prop_truth_matches_naive =
+  QCheck.Test.make ~name:"truth = naive enumeration" ~count:600
+    arb_doc_and_pattern (fun (tree, pattern) ->
+      let doc = Doc.of_tree tree in
+      Truth.matches doc pattern = naive_matches doc pattern)
+
+(* Cross-validation against the independent set-based evaluator: for a
+   pattern whose target is the last node of the main path, the lowered
+   AST's result set equals Truth's match set. *)
+let last_main_target (pattern : Pattern.t) =
+  match Pattern.shape pattern with
+  | Pattern.Simple spine -> Some (Pattern.In_trunk (List.length spine - 1))
+  | Pattern.Branch { tail = _ :: _ as tail; _ } ->
+      Some (Pattern.In_tail (List.length tail - 1))
+  | Pattern.Branch _ | Pattern.Ordered _ -> None
+
+let prop_truth_matches_eval =
+  QCheck.Test.make ~name:"truth = set evaluator on lowered AST" ~count:400
+    arb_doc_and_pattern (fun (tree, pattern) ->
+      match last_main_target pattern with
+      | None -> QCheck.assume_fail ()
+      | Some target ->
+          let pattern = Pattern.v (Pattern.shape pattern) target in
+          let doc = Doc.of_tree tree in
+          Truth.matches doc pattern
+          = Xpest_xpath.Eval.eval doc (Pattern.to_ast pattern))
+
+let () =
+  Alcotest.run "truth"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple" `Quick test_simple;
+          Alcotest.test_case "branch" `Quick test_branch;
+          Alcotest.test_case "ordered sibling" `Quick test_ordered_sibling;
+          Alcotest.test_case "ordered nonsibling" `Quick test_ordered_nonsibling;
+          Alcotest.test_case "matches sorted" `Quick test_matches_are_sorted_nodes;
+          Alcotest.test_case "all_selectivities" `Quick test_all_selectivities;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_truth_matches_naive; prop_truth_matches_eval ] );
+    ]

@@ -1,0 +1,136 @@
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Workload = Xpest_workload.Workload
+
+let doc = Doc.of_tree (Xpest_datasets.Ssplays.generate ~plays:2 ~seed:9 ())
+
+let config =
+  { Workload.default_config with num_simple = 300; num_branch = 300 }
+
+let w = Workload.generate ~config doc
+
+let all_items =
+  w.Workload.simple @ w.Workload.branch @ w.Workload.order_branch_target
+  @ w.Workload.order_trunk_target
+
+let test_nonempty_classes () =
+  Alcotest.(check bool) "simple" true (w.Workload.simple <> []);
+  Alcotest.(check bool) "branch" true (w.Workload.branch <> []);
+  Alcotest.(check bool) "order branch" true (w.Workload.order_branch_target <> []);
+  Alcotest.(check bool) "order trunk" true (w.Workload.order_trunk_target <> [])
+
+let test_all_positive () =
+  List.iter
+    (fun (it : Workload.item) ->
+      Alcotest.(check bool)
+        (Pattern.to_string it.pattern ^ " positive")
+        true (it.actual > 0))
+    all_items
+
+let test_actuals_are_exact () =
+  List.iter
+    (fun (it : Workload.item) ->
+      Alcotest.(check int)
+        (Pattern.to_string it.pattern)
+        (Truth.selectivity doc it.pattern)
+        it.actual)
+    all_items
+
+let test_no_duplicates () =
+  let check items =
+    let keys = List.map (fun (it : Workload.item) -> Pattern.to_string it.pattern) items in
+    Alcotest.(check int) "no duplicates" (List.length keys)
+      (List.length (List.sort_uniq String.compare keys))
+  in
+  check w.Workload.simple;
+  check w.Workload.branch;
+  check w.Workload.order_branch_target;
+  check w.Workload.order_trunk_target
+
+let test_query_sizes () =
+  List.iter
+    (fun (it : Workload.item) ->
+      let size = Pattern.size it.pattern in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s size %d within [2,12]" (Pattern.to_string it.pattern) size)
+        true
+        (size >= 2 && size <= config.max_size))
+    all_items
+
+let test_class_shapes () =
+  List.iter
+    (fun (it : Workload.item) ->
+      match Pattern.shape it.pattern with
+      | Pattern.Simple _ -> ()
+      | Pattern.Branch _ | Pattern.Ordered _ -> Alcotest.fail "not simple")
+    w.Workload.simple;
+  List.iter
+    (fun (it : Workload.item) ->
+      match Pattern.shape it.pattern with
+      | Pattern.Branch _ -> ()
+      | Pattern.Simple _ | Pattern.Ordered _ -> Alcotest.fail "not branch")
+    w.Workload.branch;
+  List.iter
+    (fun (it : Workload.item) ->
+      match (Pattern.shape it.pattern, Pattern.target it.pattern) with
+      | Pattern.Ordered _, (Pattern.In_first _ | Pattern.In_second _) -> ()
+      | _ -> Alcotest.fail "order query target must be in a branch part")
+    w.Workload.order_branch_target;
+  List.iter
+    (fun (it : Workload.item) ->
+      match (Pattern.shape it.pattern, Pattern.target it.pattern) with
+      | Pattern.Ordered _, Pattern.In_trunk _ -> ()
+      | _ -> Alcotest.fail "order query target must be in the trunk")
+    w.Workload.order_trunk_target
+
+let test_determinism () =
+  let w2 = Workload.generate ~config doc in
+  Alcotest.(check int) "same simple count" (List.length w.Workload.simple)
+    (List.length w2.Workload.simple);
+  List.iter2
+    (fun (a : Workload.item) (b : Workload.item) ->
+      Alcotest.(check string) "same query"
+        (Pattern.to_string a.pattern)
+        (Pattern.to_string b.pattern))
+    w.Workload.simple w2.Workload.simple
+
+let test_totals () =
+  Alcotest.(check int) "without order"
+    (List.length w.Workload.simple + List.length w.Workload.branch)
+    (Workload.total_without_order w);
+  Alcotest.(check int) "with order"
+    (List.length w.Workload.order_branch_target
+    + List.length w.Workload.order_trunk_target)
+    (Workload.total_with_order w)
+
+let test_nonsibling_fraction () =
+  let config =
+    { config with nonsibling_fraction = 1.0; num_branch = 200 }
+  in
+  let w = Workload.generate ~config doc in
+  List.iter
+    (fun (it : Workload.item) ->
+      match Pattern.shape it.pattern with
+      | Pattern.Ordered { axis = Pattern.Following | Pattern.Preceding; _ } -> ()
+      | _ -> Alcotest.fail "expected following/preceding")
+    w.Workload.order_branch_target;
+  Alcotest.(check bool) "some survive" true
+    (w.Workload.order_branch_target <> [])
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "nonempty classes" `Quick test_nonempty_classes;
+          Alcotest.test_case "all positive" `Quick test_all_positive;
+          Alcotest.test_case "actuals exact" `Quick test_actuals_are_exact;
+          Alcotest.test_case "no duplicates" `Quick test_no_duplicates;
+          Alcotest.test_case "query sizes" `Quick test_query_sizes;
+          Alcotest.test_case "class shapes" `Quick test_class_shapes;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "nonsibling fraction" `Quick test_nonsibling_fraction;
+        ] );
+    ]

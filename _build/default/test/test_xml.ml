@@ -1,0 +1,198 @@
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Parser = Xpest_xml.Parser
+module Printer = Xpest_xml.Printer
+
+let e = Tree.elem
+let l = Tree.leaf
+let sample = e "a" [ e "b" [ l "d"; l "e" ]; l "c"; e "b" [ l "d" ] ]
+
+let tree_testable = Alcotest.testable Tree.pp Tree.equal
+
+(* random trees for property tests *)
+let tree_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "d"; "e" ] in
+  sized_size (int_range 1 80) @@ fix (fun self n ->
+      if n <= 1 then tag >|= l
+      else
+        tag >>= fun t ->
+        list_size (int_range 0 4) (self (n / 4)) >|= fun cs -> e t cs)
+
+let arb_tree = QCheck.make tree_gen ~print:(Format.asprintf "%a" Tree.pp)
+
+(* --- Tree --- *)
+
+let test_tree_stats () =
+  Alcotest.(check int) "size" 7 (Tree.size sample);
+  Alcotest.(check int) "depth" 3 (Tree.depth sample);
+  Alcotest.(check (list string)) "tags" [ "a"; "b"; "c"; "d"; "e" ]
+    (Tree.distinct_tags sample)
+
+let test_root_to_leaf_paths () =
+  Alcotest.(check (list (list string)))
+    "distinct paths, first-occurrence order"
+    [ [ "a"; "b"; "d" ]; [ "a"; "b"; "e" ]; [ "a"; "c" ] ]
+    (Tree.root_to_leaf_paths sample)
+
+(* --- Parser / Printer --- *)
+
+let test_parse_basic () =
+  let t = Parser.parse_string "<a><b><d/><e/></b><c/><b><d/></b></a>" in
+  Alcotest.check tree_testable "parsed" sample t
+
+let test_parse_with_noise () =
+  let input =
+    {|<?xml version="1.0"?>
+<!DOCTYPE a [ <!ELEMENT a ANY> ]>
+<!-- comment -->
+<a attr="v" other='w'>
+  text &amp; more
+  <b><![CDATA[ <not-a-tag/> ]]><d/><e/></b>
+  <c/>
+  <?pi data?>
+  <b><d/></b>
+</a>
+<!-- trailing comment -->|}
+  in
+  Alcotest.check tree_testable "parsed modulo noise" sample
+    (Parser.parse_string input)
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse_string s with
+    | exception Parser.Syntax_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "mismatched tag" true (fails "<a><b></a></b>");
+  Alcotest.(check bool) "unterminated" true (fails "<a><b>");
+  Alcotest.(check bool) "trailing element" true (fails "<a/><b/>");
+  Alcotest.(check bool) "empty input" true (fails "");
+  Alcotest.(check bool) "garbage" true (fails "hello")
+
+let test_print_parse_roundtrip () =
+  Alcotest.check tree_testable "indented" sample
+    (Parser.parse_string (Printer.to_string sample));
+  Alcotest.check tree_testable "compact" sample
+    (Parser.parse_string (Printer.to_string ~indent:false sample))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 arb_tree (fun t ->
+      Tree.equal t (Parser.parse_string (Printer.to_string t)))
+
+let test_byte_size () =
+  Alcotest.(check int) "byte_size = serialized length"
+    (String.length (Printer.to_string sample))
+    (Printer.byte_size sample)
+
+(* --- Doc --- *)
+
+let doc = Doc.of_tree sample
+
+let test_doc_basics () =
+  Alcotest.(check int) "size" 7 (Doc.size doc);
+  Alcotest.(check string) "root tag" "a" (Doc.tag doc (Doc.root doc));
+  Alcotest.(check int) "num_tags" 5 (Doc.num_tags doc);
+  Alcotest.check tree_testable "to_tree inverse" sample (Doc.to_tree doc)
+
+let test_doc_navigation () =
+  let root = Doc.root doc in
+  let children = Doc.children doc root in
+  Alcotest.(check int) "3 children" 3 (List.length children);
+  Alcotest.(check (list string)) "child tags" [ "b"; "c"; "b" ]
+    (List.map (Doc.tag doc) children);
+  let b1 = List.nth children 0 and c = List.nth children 1 in
+  Alcotest.(check (option int)) "parent" (Some root) (Doc.parent doc b1);
+  Alcotest.(check (option int)) "next sibling of b1" (Some c)
+    (Doc.next_sibling doc b1);
+  Alcotest.(check (option int)) "prev of c" (Some b1) (Doc.prev_sibling doc c);
+  Alcotest.(check int) "sibling pos of c" 1 (Doc.sibling_pos doc c);
+  Alcotest.(check bool) "c is leaf" true (Doc.is_leaf doc c)
+
+let test_doc_order_invariants () =
+  (* pre-order ids, post-order, ancestorship *)
+  let root = Doc.root doc in
+  Doc.iter doc (fun n ->
+      if n <> root then begin
+        Alcotest.(check bool) "parent before child in doc order" true
+          (match Doc.parent doc n with Some p -> p < n | None -> false);
+        Alcotest.(check bool) "root is ancestor" true
+          (Doc.is_ancestor doc ~anc:root ~desc:n)
+      end)
+
+let test_subtree_last () =
+  let root = Doc.root doc in
+  Alcotest.(check int) "root spans all" (Doc.size doc - 1)
+    (Doc.subtree_last doc root);
+  let b1 = List.hd (Doc.children doc root) in
+  (* b1 subtree = b1, d, e -> ids 1,2,3 *)
+  Alcotest.(check int) "b1 subtree" 3 (Doc.subtree_last doc b1)
+
+let test_by_tag () =
+  Alcotest.(check int) "two b nodes" 2 (Array.length (Doc.nodes_with_tag doc "b"));
+  Alcotest.(check int) "two d nodes" 2 (Array.length (Doc.nodes_with_tag doc "d"));
+  Alcotest.(check int) "unknown tag" 0 (Array.length (Doc.nodes_with_tag doc "zz"))
+
+let test_path_to () =
+  let d_nodes = Doc.nodes_with_tag doc "d" in
+  Alcotest.(check (list string)) "path to first d" [ "a"; "b"; "d" ]
+    (Doc.path_to doc d_nodes.(0))
+
+let prop_serialized_size_matches_printer =
+  QCheck.Test.make ~name:"Doc.serialized_byte_size = Printer.byte_size"
+    ~count:200 arb_tree (fun t ->
+      Doc.serialized_byte_size (Doc.of_tree t) = Printer.byte_size t)
+
+let prop_doc_roundtrip =
+  QCheck.Test.make ~name:"of_tree/to_tree roundtrip" ~count:200 arb_tree
+    (fun t -> Tree.equal t (Doc.to_tree (Doc.of_tree t)))
+
+let prop_doc_invariants =
+  QCheck.Test.make ~name:"pre/post interval nesting" ~count:100 arb_tree
+    (fun t ->
+      let d = Doc.of_tree t in
+      let ok = ref true in
+      Doc.iter d (fun n ->
+          List.iter
+            (fun c ->
+              (* child interval inside parent interval *)
+              if not (n < c && Doc.subtree_last d c <= Doc.subtree_last d n)
+              then ok := false;
+              if Doc.post d c >= Doc.post d n then ok := false)
+            (Doc.children d n));
+      !ok)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "stats" `Quick test_tree_stats;
+          Alcotest.test_case "root_to_leaf_paths" `Quick test_root_to_leaf_paths;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "noise" `Quick test_parse_with_noise;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip;
+          Alcotest.test_case "byte_size" `Quick test_byte_size;
+        ] );
+      ( "doc",
+        [
+          Alcotest.test_case "basics" `Quick test_doc_basics;
+          Alcotest.test_case "navigation" `Quick test_doc_navigation;
+          Alcotest.test_case "order invariants" `Quick test_doc_order_invariants;
+          Alcotest.test_case "subtree_last" `Quick test_subtree_last;
+          Alcotest.test_case "by_tag" `Quick test_by_tag;
+          Alcotest.test_case "path_to" `Quick test_path_to;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip;
+            prop_doc_roundtrip;
+            prop_doc_invariants;
+            prop_serialized_size_matches_printer;
+          ] );
+    ]

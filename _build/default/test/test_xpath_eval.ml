@@ -1,0 +1,95 @@
+module Doc = Xpest_xml.Doc
+module Ast = Xpest_xpath.Ast
+module Parser = Xpest_xpath.Parser
+module Eval = Xpest_xpath.Eval
+
+(* Fixture:
+   a
+   +- b (1)
+   |  +- d (2)
+   |  +- e (3)
+   +- c (4)
+   |  +- e (5)
+   |  +- d (6)
+   |  +- e (7)
+   +- b (8)
+      +- c (9)
+         +- d (10) *)
+let doc =
+  Doc.of_tree
+    Xpest_xml.Tree.(
+      elem "a"
+        [
+          elem "b" [ leaf "d"; leaf "e" ];
+          elem "c" [ leaf "e"; leaf "d"; leaf "e" ];
+          elem "b" [ elem "c" [ leaf "d" ] ];
+        ])
+
+let run s = Eval.eval doc (Parser.parse_string s)
+let check_ids = Alcotest.(check (list int))
+
+let test_absolute_child () =
+  check_ids "/a" [ 0 ] (run "/a");
+  check_ids "/b (root not named b)" [] (run "/b");
+  check_ids "/a/b" [ 1; 8 ] (run "/a/b");
+  (* d at 10 is under c, not directly under b *)
+  check_ids "/a/b/d" [ 2 ] (run "/a/b/d")
+
+let test_descendant () =
+  check_ids "//d" [ 2; 6; 10 ] (run "//d");
+  check_ids "//b//d" [ 2; 10 ] (run "//b//d");
+  check_ids "//c/d" [ 6; 10 ] (run "//c/d")
+
+let test_predicates () =
+  check_ids "//b[d]" [ 1 ] (run "//b[d]");
+  check_ids "//b[c/d]" [ 8 ] (run "//b[c/d]");
+  check_ids "//c[e]/d" [ 6 ] (run "//c[e]/d");
+  check_ids "//b[z]" [] (run "//b[z]")
+
+let test_order_axes () =
+  check_ids "//b/following-sibling::c" [ 4 ] (run "//b/following-sibling::c");
+  check_ids "//c/folls::b" [ 8 ] (run "//c/folls::b");
+  check_ids "//c/pres::b" [ 1 ] (run "//c/pres::b");
+  check_ids "//e/folls::d" [ 6 ] (run "//e/folls::d");
+  (* following: everything after in document order, minus descendants *)
+  check_ids "//b/following::d" [ 6; 10 ] (run "//b/following::d");
+  check_ids "//d/preceding::e" [ 3; 5; 7 ] (run "//d/preceding::e")
+
+let test_other_axes () =
+  check_ids "parent" [ 4 ] (run "//e/parent::c" |> List.sort_uniq Int.compare);
+  check_ids "ancestor" [ 0; 8; 9 ]
+    (run "//d/ancestor::*" |> List.filter (fun n -> n = 0 || n = 8 || n = 9));
+  check_ids "self" [ 2; 6; 10 ] (run "//d/self::d")
+
+let test_wildcard () =
+  check_ids "/a/*" [ 1; 4; 8 ] (run "/a/*");
+  Alcotest.(check int) "//* counts all" (Doc.size doc) (Eval.count doc (Parser.parse_string "//*"))
+
+let test_axis_nodes_following () =
+  (* node 1 (first b): following = 4..10 *)
+  check_ids "following of b1" [ 4; 5; 6; 7; 8; 9; 10 ]
+    (Eval.axis_nodes doc Ast.Following 1);
+  check_ids "preceding of node 9" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (Eval.axis_nodes doc Ast.Preceding 9)
+
+let test_eval_from () =
+  let res =
+    Eval.eval_from doc [ 4 ] (Parser.parse_string "e")
+  in
+  check_ids "relative from c" [ 5; 7 ] res
+
+let () =
+  Alcotest.run "xpath_eval"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "absolute/child" `Quick test_absolute_child;
+          Alcotest.test_case "descendant" `Quick test_descendant;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "order axes" `Quick test_order_axes;
+          Alcotest.test_case "other axes" `Quick test_other_axes;
+          Alcotest.test_case "wildcard" `Quick test_wildcard;
+          Alcotest.test_case "axis_nodes" `Quick test_axis_nodes_following;
+          Alcotest.test_case "eval_from" `Quick test_eval_from;
+        ] );
+    ]
