@@ -1,0 +1,30 @@
+# Convenience targets; `make check` is what CI runs.
+
+DUNE ?= dune
+
+.PHONY: all build test check differential bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# Full verification: compile everything, run the unit suites, then run
+# the randomized differential suite explicitly.  The differential
+# tests use fixed seeds (see test/test_differential.ml), so this
+# target is deterministic and reproducible in CI.
+check: build
+	$(DUNE) runtest
+	$(DUNE) exec test/test_differential.exe
+
+differential:
+	$(DUNE) exec test/test_differential.exe
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

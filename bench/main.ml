@@ -72,6 +72,14 @@ let microbenches () =
         (Staged.stage (fun () -> ignore (Estimator.estimate estimator order_q)));
       Test.make ~name:"truth(branch)"
         (Staged.stage (fun () -> ignore (Truth.selectivity doc branch_q)));
+      (* persistence: full codec round-trip costs, the cold-start
+         alternative to collect+assemble *)
+      Test.make ~name:"synopsis_encode"
+        (Staged.stage (fun () -> ignore (Summary.encode summary)));
+      Test.make ~name:"synopsis_decode"
+        (Staged.stage
+           (let bytes = Summary.encode summary in
+            fun () -> ignore (Summary.decode bytes)));
       Test.make ~name:"xsketch_estimate(branch)"
         (Staged.stage
            (let sk = Xsketch.build ~budget_bytes:8192 doc in

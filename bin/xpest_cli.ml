@@ -18,8 +18,12 @@ module Pid_tree = Xpest_encoding.Pid_tree
 module Estimator = Xpest_estimator.Estimator
 module Workload = Xpest_workload.Workload
 module Tablefmt = Xpest_util.Tablefmt
+module Counters = Xpest_util.Counters
+module Synopsis_io = Xpest_synopsis.Synopsis_io
 module Env = Xpest_harness.Env
 module Experiments = Xpest_harness.Experiments
+module Metrics = Xpest_harness.Metrics
+module Report = Xpest_harness.Report
 
 open Cmdliner
 
@@ -145,47 +149,287 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Show document and synopsis statistics.")
     Term.(const run $ source $ scale $ seed $ p_variance $ o_variance)
 
-(* ---------------- build-synopsis ---------------- *)
+(* ---------------- synopsis save / load / info / bench ---------------- *)
+
+let synopsis_save run_name source scale seed p_variance o_variance output =
+  ignore run_name;
+  let doc = load_doc source ~scale ~seed in
+  let s = Summary.build ~p_variance ~o_variance doc in
+  Summary.save s output;
+  Printf.printf "wrote %s (%s: p-histograms %s, o-histograms %s)\n" output
+    (Tablefmt.fmt_bytes
+       (let st = Unix.stat output in
+        st.Unix.st_size))
+    (Tablefmt.fmt_bytes (Summary.p_histogram_bytes s))
+    (Tablefmt.fmt_bytes (Summary.o_histogram_bytes s))
+
+let p_variance_arg =
+  Arg.(value & opt float 0.0 & info [ "p-variance" ] ~docv:"V" ~doc:"P-histogram variance.")
+
+let o_variance_arg =
+  Arg.(value & opt float 0.0 & info [ "o-variance" ] ~docv:"V" ~doc:"O-histogram variance.")
+
+let synopsis_output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Synopsis output file.")
 
 let build_synopsis_cmd =
-  let run source scale seed p_variance o_variance output =
-    let doc = load_doc source ~scale ~seed in
-    let s = Summary.build ~p_variance ~o_variance doc in
-    Summary.save s output;
-    Printf.printf "wrote %s (%s: p-histograms %s, o-histograms %s)\n" output
-      (Tablefmt.fmt_bytes
-         (let st = Unix.stat output in
-          st.Unix.st_size))
-      (Tablefmt.fmt_bytes (Summary.p_histogram_bytes s))
-      (Tablefmt.fmt_bytes (Summary.o_histogram_bytes s))
-  in
-  let output =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Synopsis output file.")
-  in
-  let p_variance =
-    Arg.(value & opt float 0.0 & info [ "p-variance" ] ~docv:"V" ~doc:"P-histogram variance.")
-  in
-  let o_variance =
-    Arg.(value & opt float 0.0 & info [ "o-variance" ] ~docv:"V" ~doc:"O-histogram variance.")
-  in
   Cmd.v
     (Cmd.info "build-synopsis"
-       ~doc:"Build the estimation synopsis and persist it to disk.")
-    Term.(const run $ source $ scale $ seed $ p_variance $ o_variance $ output)
+       ~doc:"Build the estimation synopsis and persist it to disk (alias of \
+             `synopsis save`).")
+    Term.(
+      const (synopsis_save "build-synopsis")
+      $ source $ scale $ seed $ p_variance_arg $ o_variance_arg
+      $ synopsis_output_arg)
+
+let synopsis_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"A synopsis file written by `synopsis save`.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("xpest: " ^ msg);
+      exit 1
+
+let synopsis_info_cmd =
+  let run file =
+    let i = or_die (Synopsis_io.info_result file) in
+    let rows =
+      [
+        [ "file"; i.Synopsis_io.path ];
+        [ "format version"; string_of_int i.Synopsis_io.version ];
+        [ "supported"; (if i.Synopsis_io.supported then "yes" else "no") ];
+        [
+          "on-disk size";
+          Printf.sprintf "%s (%d bytes)"
+            (Tablefmt.fmt_bytes i.Synopsis_io.total_bytes)
+            i.Synopsis_io.total_bytes;
+        ];
+        [ "checksum (fnv1a64)"; Printf.sprintf "%016Lx" i.Synopsis_io.checksum ];
+        [ "checksum ok"; (if i.Synopsis_io.checksum_ok then "yes" else "NO") ];
+      ]
+      @ List.map
+          (fun (name, bytes) ->
+            [ "section " ^ name; Tablefmt.fmt_bytes bytes ])
+          i.Synopsis_io.sections
+      @
+      if i.Synopsis_io.checksum_ok then
+        [ [ "container overhead"; Tablefmt.fmt_bytes (Synopsis_io.overhead_bytes i) ] ]
+      else []
+    in
+    print_endline
+      (Tablefmt.render_table ~header:[ "field"; "value" ]
+         ~align:[ Tablefmt.Left; Tablefmt.Right ]
+         rows);
+    if not i.Synopsis_io.checksum_ok then begin
+      prerr_endline "xpest: checksum mismatch - file is corrupted or truncated";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Report a synopsis file's version, checksum and per-component \
+             sizes without decoding it.")
+    Term.(const run $ synopsis_file_arg)
+
+let synopsis_load_cmd =
+  let run file metrics =
+    let work () =
+      let (s, seconds) =
+        Env.time (fun () -> or_die (Synopsis_io.load_result file))
+      in
+      let rows =
+        [
+          [ "loaded in"; Tablefmt.fmt_seconds seconds ];
+          [ "distinct tags"; string_of_int (Array.length (Summary.tags s)) ];
+          [
+            "distinct root-to-leaf paths";
+            string_of_int
+              (Xpest_encoding.Encoding_table.num_paths (Summary.encoding_table s));
+          ];
+          [ "p-variance"; Printf.sprintf "%g" (Summary.p_variance s) ];
+          [ "o-variance"; Printf.sprintf "%g" (Summary.o_variance s) ];
+          [ "p-histograms"; Tablefmt.fmt_bytes (Summary.p_histogram_bytes s) ];
+          [ "o-histograms"; Tablefmt.fmt_bytes (Summary.o_histogram_bytes s) ];
+          [ "total (modeled)"; Tablefmt.fmt_bytes (Summary.total_bytes s) ];
+        ]
+      in
+      print_endline
+        (Tablefmt.render_table ~header:[ "statistic"; "value" ]
+           ~align:[ Tablefmt.Left; Tablefmt.Right ]
+           rows)
+    in
+    if metrics then begin
+      Metrics.with_counters work;
+      Printf.printf "\nObservability counters:\n%s" (Metrics.render_counters ())
+    end
+    else work ()
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print observability counters.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Load a synopsis file (verifying its checksum) and print its \
+             statistics.")
+    Term.(const run $ synopsis_file_arg $ metrics)
+
+(* Cold-build vs. load-from-disk: the paper's Tables 4-5 measure
+   construction cost; this measures what persistence buys back. *)
+let synopsis_bench_cmd =
+  let run source scale seed p_variance o_variance attempts markdown =
+    Metrics.with_counters (fun () ->
+        let doc = load_doc source ~scale ~seed in
+        let file = Filename.temp_file "xpest_synopsis" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+          (fun () ->
+            let built, build_s =
+              Env.time (fun () -> Summary.build ~p_variance ~o_variance doc)
+            in
+            let (), save_s = Env.time (fun () -> Summary.save built file) in
+            let loaded, load_s = Env.time (fun () -> Summary.load file) in
+            let config =
+              {
+                Workload.default_config with
+                num_simple = attempts;
+                num_branch = attempts;
+              }
+            in
+            let w = Workload.generate ~config doc in
+            let queries =
+              List.concat_map
+                (fun items ->
+                  List.map (fun (it : Workload.item) -> it.pattern) items)
+                [
+                  w.Workload.simple; w.Workload.branch;
+                  w.Workload.order_branch_target; w.Workload.order_trunk_target;
+                ]
+            in
+            let throughput summary =
+              let est = Estimator.create summary in
+              let estimates = ref [] in
+              let (), seconds =
+                Env.time (fun () ->
+                    List.iter
+                      (fun q ->
+                        estimates := Estimator.estimate est q :: !estimates)
+                      queries)
+              in
+              (List.rev !estimates, float_of_int (List.length queries) /. seconds)
+            in
+            let est_built, qps_built = throughput built in
+            let est_loaded, qps_loaded = throughput loaded in
+            let max_diff =
+              List.fold_left2
+                (fun acc a b -> Float.max acc (Float.abs (a -. b)))
+                0.0 est_built est_loaded
+            in
+            let file_bytes = (Unix.stat file).Unix.st_size in
+            let table =
+              {
+                Experiments.id = "SB";
+                title =
+                  Printf.sprintf
+                    "Synopsis persistence: cold build vs. load (%s, scale %g, \
+                     %d queries)"
+                    (match source with
+                    | `Dataset name -> Registry.to_string name
+                    | `File f -> f)
+                    scale (List.length queries);
+                header = [ "measure"; "cold build"; "load from disk" ];
+                rows =
+                  [
+                    [
+                      "synopsis ready (s)";
+                      Tablefmt.fmt_seconds build_s;
+                      Tablefmt.fmt_seconds load_s;
+                    ];
+                    [
+                      "speedup vs. cold build";
+                      "1.0x";
+                      Printf.sprintf "%.1fx" (build_s /. Float.max load_s 1e-9);
+                    ];
+                    [
+                      "estimation throughput (queries/s)";
+                      Printf.sprintf "%.0f" qps_built;
+                      Printf.sprintf "%.0f" qps_loaded;
+                    ];
+                    [
+                      "save time (s)";
+                      Tablefmt.fmt_seconds save_s;
+                      "-";
+                    ];
+                    [
+                      "file size";
+                      "-";
+                      Tablefmt.fmt_bytes file_bytes;
+                    ];
+                    [
+                      "max |estimate difference|";
+                      "-";
+                      Printf.sprintf "%g" max_diff;
+                    ];
+                  ];
+              }
+            in
+            if markdown then print_string (Report.table_md table)
+            else print_endline (Experiments.render (Experiments.Table table))));
+    Printf.printf "\nObservability counters:\n%s" (Metrics.render_counters ())
+  in
+  let attempts =
+    Arg.(
+      value & opt int 400
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Workload generation attempts per class.")
+  in
+  let markdown =
+    Arg.(
+      value & flag
+      & info [ "markdown" ] ~doc:"Render the comparison as a markdown table.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Compare cold-build vs. load-from-disk estimation throughput.")
+    Term.(
+      const run $ source $ scale $ seed $ p_variance_arg $ o_variance_arg
+      $ attempts $ markdown)
+
+let synopsis_cmd =
+  Cmd.group
+    (Cmd.info "synopsis"
+       ~doc:"Persist, inspect and benchmark estimation synopses.")
+    [
+      Cmd.v
+        (Cmd.info "save"
+           ~doc:"Build the estimation synopsis and persist it to disk.")
+        Term.(
+          const (synopsis_save "synopsis save")
+          $ source $ scale $ seed $ p_variance_arg $ o_variance_arg
+          $ synopsis_output_arg);
+      synopsis_load_cmd;
+      synopsis_info_cmd;
+      synopsis_bench_cmd;
+    ]
 
 (* ---------------- estimate ---------------- *)
 
 let estimate_cmd =
-  let run source scale seed p_variance o_variance synopsis check explain queries =
+  let run source scale seed p_variance o_variance synopsis check explain metrics
+      queries =
+    let work () =
     (* the document itself is only needed to build a fresh synopsis or
        to compute exact answers for --check *)
     let doc = lazy (load_doc source ~scale ~seed) in
     let s =
       match synopsis with
-      | Some path -> Summary.load path
+      | Some path -> or_die (Synopsis_io.load_result path)
       | None -> Summary.build ~p_variance ~o_variance (Lazy.force doc)
     in
     let est = Estimator.create s in
@@ -223,6 +467,13 @@ let estimate_cmd =
           List.iter (fun line -> Printf.printf "  - %s\n" line)
             e.Estimator.derivation)
         queries
+    in
+    if metrics then begin
+      Metrics.with_counters work;
+      Printf.printf "\nObservability counters:\n%s"
+        (Metrics.render_counters ())
+    end
+    else work ()
   in
   let queries =
     Arg.(
@@ -256,11 +507,19 @@ let estimate_cmd =
       & info [ "explain" ]
           ~doc:"Print the estimation derivation (which equations fired).")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Enable observability counters (cache hits, prunings, \
+                per-equation counts, build/load timers) and print them after \
+                the run.")
+  in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate the selectivity of XPath patterns.")
     Term.(
       const run $ source $ scale $ seed $ p_variance $ o_variance $ synopsis
-      $ check $ explain $ queries)
+      $ check $ explain $ metrics $ queries)
 
 (* ---------------- workload ---------------- *)
 
@@ -347,6 +606,6 @@ let () =
        (Cmd.group
           (Cmd.info "xpest" ~version:"1.0.0" ~doc)
           [
-            generate_cmd; stats_cmd; build_synopsis_cmd; estimate_cmd;
-            workload_cmd; experiment_cmd;
+            generate_cmd; stats_cmd; build_synopsis_cmd; synopsis_cmd;
+            estimate_cmd; workload_cmd; experiment_cmd;
           ]))

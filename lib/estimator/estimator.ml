@@ -1,8 +1,20 @@
 module Bitvec = Xpest_util.Bitvec
+module Counters = Xpest_util.Counters
 module Pattern = Xpest_xpath.Pattern
 module Summary = Xpest_synopsis.Summary
 module Po_table = Xpest_synopsis.Po_table
 module Encoding_table = Xpest_encoding.Encoding_table
+
+(* Observability: which estimation equations fire, and how often
+   [estimate] is called.  No-ops unless [Counters.set_enabled true]. *)
+let c_estimate = Counters.create "estimator.estimate"
+let c_theorem41 = Counters.create "estimator.eq.theorem_4_1"
+let c_equation2 = Counters.create "estimator.eq.equation_2"
+let c_equation3 = Counters.create "estimator.eq.equation_3"
+let c_equation4 = Counters.create "estimator.eq.equation_4"
+let c_equation5 = Counters.create "estimator.eq.equation_5"
+let c_conversion = Counters.create "estimator.eq.conversion_5_3"
+let t_estimate = Counters.create_timer "estimator.estimate"
 
 type t = {
   summary : Summary.t;
@@ -35,10 +47,12 @@ let rec estimate_plain t (shape : Pattern.shape) position =
   match (shape, position) with
   | Simple _, _ ->
       (* Theorem 4.1. *)
+      Counters.incr c_theorem41;
       let f = Path_join.frequency (Path_join.run t.join shape) position in
       note t "theorem 4.1: f_Q(n) = %g after the path join" f;
       f
   | Branch _, Pattern.In_trunk _ ->
+      Counters.incr c_theorem41;
       let f = Path_join.frequency (Path_join.run t.join shape) position in
       note t "trunk target: f_Q(n) = %g after the path join" f;
       f
@@ -56,6 +70,7 @@ let rec estimate_plain t (shape : Pattern.shape) position =
 (* Equation (2): S_Q(n) ~ f_Q'(n) * f_Q(ni) / f_Q'(ni), with Q' the
    simple query [trunk/own] and ni the last trunk node. *)
 and estimate_off_trunk t ~trunk ~own ~own_index ~full =
+  Counters.incr c_equation2;
   let ni = Pattern.In_trunk (List.length trunk - 1) in
   let q' = Pattern.Simple (trunk @ own) in
   let q'_result = Path_join.run t.join q' in
@@ -139,16 +154,23 @@ let estimate_sibling_order t ~trunk ~first ~second ~axis position =
   match (position : Pattern.position) with
   | In_second 0 ->
       (* Equation (3). *)
+      Counters.incr c_equation3;
       guard (s_q (Pattern.In_second 0) *. ratio `Second)
   | In_second _ ->
       (* Equation (4): scale the order-free estimate by the head's
          order survival ratio. *)
+      Counters.incr c_equation4;
       guard (s_q position *. ratio `Second)
-  | In_first 0 -> guard (s_q (Pattern.In_first 0) *. ratio `First)
-  | In_first _ -> guard (s_q position *. ratio `First)
+  | In_first 0 ->
+      Counters.incr c_equation3;
+      guard (s_q (Pattern.In_first 0) *. ratio `First)
+  | In_first _ ->
+      Counters.incr c_equation4;
+      guard (s_q position *. ratio `First)
   | In_trunk _ ->
       (* Equation (5): min of the order-free estimate and both sibling
          heads' order estimates. *)
+      Counters.incr c_equation5;
       let s_plain = s_q position in
       let s_first = guard (s_q (Pattern.In_first 0) *. ratio `First) in
       let s_second = guard (s_q (Pattern.In_second 0) *. ratio `Second) in
@@ -188,6 +210,7 @@ let estimate_ordered t ~trunk ~first ~second ~(axis : Pattern.order_axis)
   | Following_sibling | Preceding_sibling ->
       estimate_sibling_order t ~trunk ~first ~second ~axis position
   | Following | Preceding ->
+      Counters.incr c_conversion;
       let sibling_axis : Pattern.order_axis =
         match axis with
         | Following -> Following_sibling
@@ -228,7 +251,10 @@ let estimate_position t (q : Pattern.t) position =
   | Pattern.Ordered { trunk; first; axis; second } ->
       guard (estimate_ordered t ~trunk ~first ~second ~axis position)
 
-let estimate t q = estimate_position t q (Pattern.target q)
+let estimate t q =
+  Counters.incr c_estimate;
+  Counters.time t_estimate (fun () ->
+      estimate_position t q (Pattern.target q))
 
 type explanation = { value : float; derivation : string list }
 

@@ -1,8 +1,22 @@
 module Bitvec = Xpest_util.Bitvec
+module Counters = Xpest_util.Counters
 module Pattern = Xpest_xpath.Pattern
 module Summary = Xpest_synopsis.Summary
 module Encoding_table = Xpest_encoding.Encoding_table
 module Labeler = Xpest_encoding.Labeler
+
+(* Observability: cache effectiveness and pruning volume of the join.
+   All no-ops unless [Counters.set_enabled true]. *)
+let c_rel_hit = Counters.create "path_join.rel_cache.hit"
+let c_rel_miss = Counters.create "path_join.rel_cache.miss"
+let c_chain_hit = Counters.create "path_join.chain_cache.hit"
+let c_chain_miss = Counters.create "path_join.chain_cache.miss"
+let c_run_hit = Counters.create "path_join.run_cache.hit"
+let c_run_miss = Counters.create "path_join.run_cache.miss"
+let c_chain_pruned = Counters.create "path_join.pruned.chain_rows"
+let c_anchor_pruned = Counters.create "path_join.pruned.anchor_rows"
+let c_fixpoint_pruned = Counters.create "path_join.pruned.fixpoint_rows"
+let t_run = Counters.create_timer "path_join.run_uncached"
 
 type jnode = {
   tag : string;
@@ -48,8 +62,11 @@ let create ?(chain_pruning = true) summary =
    must sit at position 0. *)
 let chain_feasibility t (c : chain) encoding =
   match Hashtbl.find_opt t.chain_cache (c, encoding) with
-  | Some f -> f
+  | Some f ->
+      Counters.incr c_chain_hit;
+      f
   | None ->
+      Counters.incr c_chain_miss;
       let path =
         Array.of_list
           (Encoding_table.path_of_encoding
@@ -115,8 +132,11 @@ let chain_feasibility t (c : chain) encoding =
 let axis_on_path t ~encoding ~child ~anc ~desc =
   let key = (encoding, child, anc, desc) in
   match Hashtbl.find_opt t.rel_cache key with
-  | Some v -> v
+  | Some v ->
+      Counters.incr c_rel_hit;
+      v
   | None ->
+      Counters.incr c_rel_miss;
       let v =
         Encoding_table.axis_holds
           (Summary.encoding_table t.summary)
@@ -226,6 +246,7 @@ let run_uncached t shape =
       List.iteri
         (fun i id ->
           let node = nodes.(id) in
+          let before = Array.length node.row in
           node.row <-
             Array.of_list
               (List.filter
@@ -237,7 +258,8 @@ let run_uncached t shape =
                            raise Yes);
                      false
                    with Yes -> true)
-                 (Array.to_list node.row)))
+                 (Array.to_list node.row));
+          Counters.add c_chain_pruned (before - Array.length node.row))
         chain_ids)
     chains;
   (* Anchor: a Child first step means "child of the virtual document
@@ -248,11 +270,13 @@ let run_uncached t shape =
   | Pattern.Child ->
       let root_pid = Summary.root_pid t.summary in
       let head = nodes.(0) in
+      let before = Array.length head.row in
       head.row <-
         Array.of_list
           (List.filter
              (fun (pid, _) -> Bitvec.equal pid root_pid)
-             (Array.to_list head.row)));
+             (Array.to_list head.row));
+      Counters.add c_anchor_pruned (before - Array.length head.row));
   (* Fixpoint pruning over edges. *)
   let changed = ref true in
   while !changed do
@@ -284,6 +308,8 @@ let run_uncached t shape =
           Array.iteri (fun i e -> if keep.(i) then kept := e :: !kept) node.row;
           let kept = Array.of_list (List.rev !kept) in
           if Array.length kept <> Array.length node.row then begin
+            Counters.add c_fixpoint_pruned
+              (Array.length node.row - Array.length kept);
             node.row <- kept;
             changed := true
           end
@@ -296,9 +322,12 @@ let run_uncached t shape =
 
 let run t shape =
   match Hashtbl.find_opt t.run_cache shape with
-  | Some r -> r
+  | Some r ->
+      Counters.incr c_run_hit;
+      r
   | None ->
-      let r = run_uncached t shape in
+      Counters.incr c_run_miss;
+      let r = Counters.time t_run (fun () -> run_uncached t shape) in
       Hashtbl.add t.run_cache shape r;
       r
 

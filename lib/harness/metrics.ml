@@ -1,5 +1,7 @@
 module Stats = Xpest_util.Stats
 module Workload = Xpest_workload.Workload
+module Counters = Xpest_util.Counters
+module Tablefmt = Xpest_util.Tablefmt
 
 let errors items estimate =
   Array.of_list
@@ -18,3 +20,30 @@ let percentile_errors items estimate =
   let errs = errors items estimate in
   if Array.length errs = 0 then (0.0, 0.0, 0.0)
   else (Stats.mean errs, Stats.percentile errs 50.0, Stats.percentile errs 90.0)
+
+(* ------------------------------------------------------------------ *)
+(* Observability counters (Xpest_util.Counters re-exported with
+   rendering).  The instrumentation sites live in the estimator and
+   synopsis layers; this is the reporting side.                        *)
+
+let with_counters = Counters.with_enabled
+
+let counter_rows () =
+  List.map
+    (fun (name, count) -> [ name; string_of_int count ])
+    (Counters.counters ())
+  @ List.map
+      (fun (name, calls, seconds) ->
+        [
+          name;
+          Printf.sprintf "%d calls, %s" calls (Tablefmt.fmt_seconds seconds);
+        ])
+      (Counters.timers ())
+
+let render_counters () =
+  match counter_rows () with
+  | [] -> "(no counters recorded; were they enabled?)"
+  | rows ->
+      Tablefmt.render_table ~header:[ "counter"; "value" ]
+        ~align:[ Tablefmt.Left; Tablefmt.Right ]
+        rows

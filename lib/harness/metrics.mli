@@ -14,3 +14,23 @@ val percentile_errors :
   float * float * float
 (** [(mean, median, p90)] of the relative errors; all 0 for the empty
     list. *)
+
+(** {1 Observability counters}
+
+    Reporting side of {!Xpest_util.Counters}: the estimator's cache
+    hit/miss and pruning counters, per-equation invocation counts, and
+    synopsis build/save/load timers, rendered for the CLI and bench
+    harness.  Counting is off by default and costs one branch per
+    site when disabled. *)
+
+val with_counters : (unit -> 'a) -> 'a
+(** Reset all counters and run the thunk with counting enabled
+    ({!Xpest_util.Counters.with_enabled}). *)
+
+val counter_rows : unit -> string list list
+(** Non-zero counters and timers as [[name; value]] table rows, sorted
+    by name (counters first, then timers). *)
+
+val render_counters : unit -> string
+(** {!counter_rows} as an ASCII table, or a hint when nothing was
+    recorded. *)

@@ -1,8 +1,15 @@
 module Doc = Xpest_xml.Doc
 module Bitvec = Xpest_util.Bitvec
+module Counters = Xpest_util.Counters
 module Encoding_table = Xpest_encoding.Encoding_table
 module Labeler = Xpest_encoding.Labeler
 module Pid_tree = Xpest_encoding.Pid_tree
+
+(* Observability: synopsis construction vs. load-from-disk wall time.
+   No-ops unless [Counters.set_enabled true]. *)
+let t_build = Counters.create_timer "summary.build"
+let t_load = Counters.create_timer "summary.load"
+let t_save = Counters.create_timer "summary.save"
 
 type base = {
   doc : Doc.t;
@@ -113,7 +120,8 @@ let assemble ?(p_variance = 0.0) ?(o_variance = 0.0) (b : base) =
   }
 
 let build ?p_variance ?o_variance doc =
-  assemble ?p_variance ?o_variance (collect doc)
+  Counters.time t_build (fun () ->
+      assemble ?p_variance ?o_variance (collect doc))
 
 let from_document_error what =
   invalid_arg
@@ -170,165 +178,110 @@ let total_bytes t =
   encoding_table_bytes t + pid_tree_bytes t + p_histogram_bytes t
 
 (* ------------------------------------------------------------------ *)
-(* Persistence: a small explicit binary format (no Marshal, so files
-   are stable across compiler versions).                               *)
+(* Persistence: named sections in Wire's versioned, checksummed
+   container (no Marshal, so files are stable across compiler
+   versions).  Section payloads are written in a canonical order
+   (histograms sorted by tag), so saving, loading and saving again is
+   byte-identical.                                                     *)
 
-module Wire = struct
-  let magic = "XPESTSYN2"
+let section_meta = "meta"
+let section_table = "encoding_table"
+let section_pids = "path_ids"
+let section_tags = "tags"
+let section_phist = "p_histograms"
+let section_ohist = "o_histograms"
 
-  (* non-negative ints as LEB128 varints: counts and ids are small, so
-     this keeps synopsis files a few percent of the document *)
-  let rec put_int buf n =
-    assert (n >= 0);
-    if n < 0x80 then Buffer.add_char buf (Char.chr n)
-    else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
-      put_int buf (n lsr 7)
-    end
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-  (* floats as their 8 raw IEEE-754 bytes, big-endian *)
-  let put_float buf f =
-    let bits = Int64.bits_of_float f in
-    for byte = 7 downto 0 do
-      Buffer.add_char buf
-        (Char.chr
-           (Int64.to_int (Int64.shift_right_logical bits (8 * byte)) land 0xff))
-    done
-
-  let put_string buf s =
-    put_int buf (String.length s);
-    Buffer.add_string buf s
-
-  let put_list buf put items =
-    put_int buf (List.length items);
-    List.iter (put buf) items
-
-  let put_array buf put items =
-    put_int buf (Array.length items);
-    Array.iter (put buf) items
-
-  let put_bitvec buf v =
-    put_int buf (Bitvec.width v);
-    put_string buf (Bitvec.to_packed_string v)
-
-  type reader = { data : string; mutable pos : int }
-
-  let fail r msg =
-    invalid_arg (Printf.sprintf "Summary.load: %s at offset %d" msg r.pos)
-
-  let get_int r =
-    let rec go shift acc =
-      if shift > 62 then fail r "varint too long";
-      if r.pos >= String.length r.data then fail r "truncated int";
-      let b = Char.code r.data.[r.pos] in
-      r.pos <- r.pos + 1;
-      let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 = 0 then acc else go (shift + 7) acc
-    in
-    go 0 0
-
-  let get_float r =
-    if r.pos + 8 > String.length r.data then fail r "truncated float";
-    let bits = ref 0L in
-    for _ = 1 to 8 do
-      bits :=
-        Int64.logor (Int64.shift_left !bits 8)
-          (Int64.of_int (Char.code r.data.[r.pos]));
-      r.pos <- r.pos + 1
-    done;
-    Int64.float_of_bits !bits
-
-  let get_string r =
-    let n = get_int r in
-    if n < 0 || r.pos + n > String.length r.data then fail r "truncated string";
-    let s = String.sub r.data r.pos n in
-    r.pos <- r.pos + n;
-    s
-
-  let get_list r get =
-    let n = get_int r in
-    List.init n (fun _ -> get r)
-
-  let get_array r get =
-    let n = get_int r in
-    Array.init n (fun _ -> get r)
-
-  let get_bitvec r =
-    let width = get_int r in
-    Bitvec.of_packed_string ~width (get_string r)
-end
-
-let save t path =
+let to_sections t =
   let open Wire in
   let c = t.core in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
-  put_float buf c.p_variance;
-  put_float buf c.o_variance;
-  (* encoding table *)
-  put_list buf (fun buf p -> put_list buf put_string p) (Encoding_table.paths c.table);
-  (* pids + root pid *)
-  put_array buf put_bitvec c.pids;
-  put_bitvec buf c.root_pid;
-  (* tags *)
-  put_array buf put_string c.tag_names;
-  (* p-histograms *)
-  put_int buf (Hashtbl.length c.p_histos);
-  Hashtbl.iter
-    (fun tag h ->
-      put_string buf tag;
-      put_list buf
-        (fun buf (b : P_histogram.bucket) ->
-          put_array buf put_int b.pid_indices;
-          put_array buf put_int b.frequencies)
-        (P_histogram.buckets h))
-    c.p_histos;
-  (* o-histograms: boxes + the column order they were built with *)
-  put_int buf (Hashtbl.length c.o_histos);
-  Hashtbl.iter
-    (fun tag h ->
-      put_string buf tag;
-      (match Hashtbl.find_opt c.p_histos tag with
-      | Some ph -> put_array buf put_int (P_histogram.pid_order ph)
-      | None -> put_int buf 0);
-      put_list buf
-        (fun buf (b : O_histogram.box) ->
-          put_int buf b.x_start;
-          put_int buf b.y_start;
-          put_int buf b.x_end;
-          put_int buf b.y_end;
-          put_float buf b.frequency)
-        (O_histogram.boxes h))
-    c.o_histos;
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf)
-
-let load path =
-  let open Wire in
-  let ic = open_in_bin path in
-  let data =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+  let section f =
+    let buf = Buffer.create 1024 in
+    f buf;
+    Buffer.contents buf
   in
-  let r = { data; pos = 0 } in
-  if
-    String.length data < String.length magic
-    || String.sub data 0 (String.length magic) <> magic
-  then invalid_arg "Summary.load: not a synopsis file";
-  r.pos <- String.length magic;
+  [
+    ( section_meta,
+      section (fun buf ->
+          put_float buf c.p_variance;
+          put_float buf c.o_variance) );
+    ( section_table,
+      section (fun buf ->
+          put_list buf
+            (fun buf p -> put_list buf put_string p)
+            (Encoding_table.paths c.table)) );
+    ( section_pids,
+      section (fun buf ->
+          put_array buf put_bitvec c.pids;
+          put_bitvec buf c.root_pid) );
+    (section_tags, section (fun buf -> put_array buf put_string c.tag_names));
+    ( section_phist,
+      section (fun buf ->
+          let entries = sorted_bindings c.p_histos in
+          put_int buf (List.length entries);
+          List.iter
+            (fun (tag, h) ->
+              put_string buf tag;
+              put_list buf
+                (fun buf (b : P_histogram.bucket) ->
+                  put_array buf put_int b.pid_indices;
+                  put_array buf put_int b.frequencies)
+                (P_histogram.buckets h))
+            entries) );
+    ( section_ohist,
+      section (fun buf ->
+          (* boxes + the column order they were built with *)
+          let entries = sorted_bindings c.o_histos in
+          put_int buf (List.length entries);
+          List.iter
+            (fun (tag, h) ->
+              put_string buf tag;
+              (match Hashtbl.find_opt c.p_histos tag with
+              | Some ph -> put_array buf put_int (P_histogram.pid_order ph)
+              | None -> put_int buf 0);
+              put_list buf
+                (fun buf (b : O_histogram.box) ->
+                  put_int buf b.x_start;
+                  put_int buf b.y_start;
+                  put_int buf b.x_end;
+                  put_int buf b.y_end;
+                  put_float buf b.frequency)
+                (O_histogram.boxes h))
+            entries) );
+  ]
+
+let of_sections sections =
+  let open Wire in
+  let section name =
+    match List.assoc_opt name sections with
+    | Some payload ->
+        reader ~context:(Printf.sprintf "synopsis section %S" name) payload
+    | None ->
+        invalid_arg
+          (Printf.sprintf "synopsis file: missing section %S" name)
+  in
+  let r = section section_meta in
   let p_variance = get_float r in
   let o_variance = get_float r in
+  expect_end r;
+  let r = section section_table in
   let paths = get_list r (fun r -> get_list r get_string) in
+  expect_end r;
   let table = Encoding_table.of_paths paths in
+  let r = section section_pids in
   let pids = get_array r get_bitvec in
   let root_pid = get_bitvec r in
+  expect_end r;
+  let r = section section_tags in
   let tag_names = get_array r get_string in
+  expect_end r;
   let ntags = Array.length tag_names in
   let alpha_ranks = alpha_ranks_of_names tag_names in
   let p_histos = Hashtbl.create 64 in
+  let r = section section_phist in
   let np = get_int r in
   for _ = 1 to np do
     let tag = get_string r in
@@ -340,7 +293,9 @@ let load path =
     in
     Hashtbl.replace p_histos tag (P_histogram.of_buckets buckets)
   done;
+  expect_end r;
   let o_histos = Hashtbl.create 64 in
+  let r = section section_ohist in
   let no = get_int r in
   for _ = 1 to no do
     let tag = get_string r in
@@ -359,6 +314,7 @@ let load path =
          ~tag_alpha_rank:(fun code -> alpha_ranks.(code))
          ~pid_order boxes)
   done;
+  expect_end r;
   let pid_index = Pid_tbl.create (Array.length pids) in
   Array.iteri (fun i pid -> Pid_tbl.replace pid_index pid i) pids;
   let code_of = Hashtbl.create ntags in
@@ -381,3 +337,27 @@ let load path =
       };
     b = None;
   }
+
+let encode t = Wire.encode_container (to_sections t)
+
+let decode data =
+  (* Decode failures past the container layer would indicate a bug in
+     the codec itself (the checksum has already vouched for the bytes),
+     but still surface them as a clean error. *)
+  of_sections (Wire.decode_container data)
+
+let save t path =
+  Counters.time t_save (fun () ->
+      let data = encode t in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc data))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = Counters.time t_load (fun () -> decode (read_file path))

@@ -96,10 +96,23 @@ val total_bytes : t -> int
 
     A synopsis file holds exactly the document-independent core —
     encoding table, distinct path ids, tag vocabulary and the two
-    histogram families — in an explicit binary format (no [Marshal],
-    so files survive compiler upgrades).  A loaded synopsis estimates
-    identically to the saved one but cannot answer document-level
-    queries ({!doc}/{!base}/{!labeler} raise). *)
+    histogram families — as named sections inside {!Wire}'s versioned,
+    checksummed container (no [Marshal], so files survive compiler
+    upgrades; the checksum rejects corruption before any decoding).
+    Saves are canonical — histogram sections are written in sorted tag
+    order — so save→load→save is byte-identical.  A loaded synopsis
+    estimates identically to the saved one but cannot answer
+    document-level queries ({!doc}/{!base}/{!labeler} raise).
+
+    {!Synopsis_io} adds file-level tooling (header inspection,
+    per-section size reports) on top of this format. *)
+
+val encode : t -> string
+(** The synopsis file bytes ({!save} without the file system). *)
+
+val decode : string -> t
+(** Inverse of {!encode}.
+    @raise Invalid_argument on malformed input. *)
 
 val save : t -> string -> unit
 (** @raise Sys_error on I/O failure. *)

@@ -1,0 +1,42 @@
+type info = {
+  path : string;
+  version : int;
+  supported : bool;
+  total_bytes : int;
+  checksum : int64;
+  checksum_ok : bool;
+  sections : (string * int) list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let info path =
+  let data = read_file path in
+  let h = Wire.read_header data in
+  {
+    path;
+    version = h.Wire.version;
+    supported = h.Wire.version = Wire.format_version;
+    total_bytes = h.Wire.total_bytes;
+    checksum = h.Wire.checksum;
+    checksum_ok = h.Wire.checksum_ok;
+    sections = h.Wire.sections;
+  }
+
+let overhead_bytes i =
+  i.total_bytes - List.fold_left (fun acc (_, n) -> acc + n) 0 i.sections
+
+let save = Summary.save
+let load = Summary.load
+
+let wrap f = match f () with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
+let info_result path = wrap (fun () -> info path)
+let load_result path = wrap (fun () -> load path)

@@ -1,0 +1,41 @@
+(** File-level tooling over the synopsis persistence format.
+
+    {!Summary.save}/{!Summary.load} do the encoding; this module adds
+    what operators need around them: header inspection without
+    decoding ([xpest synopsis info]) and [result]-typed wrappers so
+    the CLI can report malformed files without catching exceptions all
+    over. *)
+
+type info = {
+  path : string;
+  version : int;  (** format version byte from the header *)
+  supported : bool;  (** [version = Wire.format_version] *)
+  total_bytes : int;  (** on-disk file size *)
+  checksum : int64;  (** stored FNV-1a 64 of the body *)
+  checksum_ok : bool;  (** stored checksum matches the body *)
+  sections : (string * int) list;
+      (** per-component payload sizes in bytes (encoding table, path
+          ids, tags, p-/o-histograms); empty if the checksum fails *)
+}
+
+val info : string -> info
+(** Parse only the container header and section table — constant work
+    in the number of sections, no histogram decoding.
+    @raise Invalid_argument if the file is not a synopsis file at all
+    (bad magic, legacy format, truncated header); [Sys_error] on I/O
+    failure. *)
+
+val overhead_bytes : info -> int
+(** Container overhead: file size minus the summed section payloads
+    (magic, version, checksum, section table). *)
+
+val save : Summary.t -> string -> unit
+(** Alias of {!Summary.save}. *)
+
+val load : string -> Summary.t
+(** Alias of {!Summary.load}. *)
+
+val info_result : string -> (info, string) result
+val load_result : string -> (Summary.t, string) result
+(** Like {!info}/{!load} but return malformed-file and I/O errors as
+    [Error] messages. *)

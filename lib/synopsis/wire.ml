@@ -1,0 +1,227 @@
+module Bitvec = Xpest_util.Bitvec
+
+(* ------------------------------------------------------------------ *)
+(* Primitives.                                                         *)
+
+(* non-negative ints as LEB128 varints: counts and ids are small, so
+   this keeps synopsis files a few percent of the document *)
+let rec put_int buf n =
+  assert (n >= 0);
+  if n < 0x80 then Buffer.add_char buf (Char.chr n)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+    put_int buf (n lsr 7)
+  end
+
+(* floats as their 8 raw IEEE-754 bytes, big-endian *)
+let put_float buf f =
+  let bits = Int64.bits_of_float f in
+  for byte = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical bits (8 * byte)) land 0xff))
+  done
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf put items =
+  put_int buf (List.length items);
+  List.iter (put buf) items
+
+let put_array buf put items =
+  put_int buf (Array.length items);
+  Array.iter (put buf) items
+
+let put_bitvec buf v =
+  put_int buf (Bitvec.width v);
+  put_string buf (Bitvec.to_packed_string v)
+
+type reader = { data : string; mutable pos : int; context : string }
+
+let reader ?(context = "synopsis") data = { data; pos = 0; context }
+
+let fail r msg =
+  invalid_arg (Printf.sprintf "%s: %s at offset %d" r.context msg r.pos)
+
+let get_int r =
+  let rec go shift acc =
+    if shift > 62 then fail r "varint too long";
+    if r.pos >= String.length r.data then fail r "truncated int";
+    let b = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_float r =
+  if r.pos + 8 > String.length r.data then fail r "truncated float";
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code r.data.[r.pos]));
+    r.pos <- r.pos + 1
+  done;
+  Int64.float_of_bits !bits
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 || r.pos + n > String.length r.data then fail r "truncated string";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r get =
+  let n = get_int r in
+  List.init n (fun _ -> get r)
+
+let get_array r get =
+  let n = get_int r in
+  Array.init n (fun _ -> get r)
+
+let get_bitvec r =
+  let width = get_int r in
+  Bitvec.of_packed_string ~width (get_string r)
+
+let expect_end r =
+  if r.pos <> String.length r.data then fail r "trailing bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Checksum: FNV-1a 64, applied to the container body so corruption and
+   truncation are rejected before any section is decoded.              *)
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Container: magic, version, checksum, section table, payloads.
+
+     bytes 0..7    magic "XPESTSYN"
+     byte  8       format version (currently 3)
+     bytes 9..16   FNV-1a 64 of the body, big-endian
+     body          varint section count,
+                   then per section: name string, payload length varint,
+                   then the payloads concatenated in table order
+
+   Older repositories wrote an unversioned format whose magic was
+   "XPESTSYN2"; its 9th byte reads back as version 0x32, which
+   [read_header] reports as the legacy format rather than garbage.     *)
+
+let magic = "XPESTSYN"
+let format_version = 3
+let header_bytes = String.length magic + 1 + 8
+
+type header = {
+  version : int;
+  checksum : int64;
+  checksum_ok : bool;
+  total_bytes : int;
+  sections : (string * int) list;
+}
+
+let put_int64_be buf v =
+  for byte = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * byte)) land 0xff))
+  done
+
+let get_int64_be data pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code data.[pos + i]))
+  done;
+  !v
+
+let encode_container sections =
+  let body = Buffer.create 4096 in
+  put_int body (List.length sections);
+  List.iter
+    (fun (name, payload) ->
+      put_string body name;
+      put_int body (String.length payload))
+    sections;
+  List.iter (fun (_, payload) -> Buffer.add_string body payload) sections;
+  let body = Buffer.contents body in
+  let out = Buffer.create (header_bytes + String.length body) in
+  Buffer.add_string out magic;
+  Buffer.add_char out (Char.chr format_version);
+  put_int64_be out (fnv1a64 body);
+  Buffer.add_string out body;
+  Buffer.contents out
+
+let check_magic data =
+  if String.length data < header_bytes then
+    invalid_arg "synopsis file: truncated header";
+  if String.sub data 0 (String.length magic) <> magic then
+    invalid_arg "synopsis file: bad magic (not a synopsis file)"
+
+let read_version data =
+  let v = Char.code data.[String.length magic] in
+  if v = Char.code '2' then
+    invalid_arg
+      "synopsis file: legacy unversioned format (XPESTSYN2); rebuild it with \
+       `xpest synopsis save`"
+  else v
+
+let read_header data =
+  check_magic data;
+  let version = read_version data in
+  let checksum = get_int64_be data (String.length magic + 1) in
+  let body = String.sub data header_bytes (String.length data - header_bytes) in
+  let checksum_ok = Int64.equal (fnv1a64 body) checksum in
+  let sections =
+    if not checksum_ok then []
+    else
+      let r = reader ~context:"synopsis file" body in
+      let n = get_int r in
+      List.init n (fun _ ->
+          let name = get_string r in
+          let len = get_int r in
+          (name, len))
+  in
+  { version; checksum; checksum_ok; total_bytes = String.length data; sections }
+
+let decode_container data =
+  check_magic data;
+  let version = read_version data in
+  if version <> format_version then
+    invalid_arg
+      (Printf.sprintf
+         "synopsis file: unsupported format version %d (this build reads \
+          version %d)"
+         version format_version);
+  let checksum = get_int64_be data (String.length magic + 1) in
+  let body = String.sub data header_bytes (String.length data - header_bytes) in
+  if not (Int64.equal (fnv1a64 body) checksum) then
+    invalid_arg "synopsis file: checksum mismatch (corrupted or truncated)";
+  let r = reader ~context:"synopsis file" body in
+  let table =
+    let n = get_int r in
+    List.init n (fun _ ->
+        let name = get_string r in
+        let len = get_int r in
+        (name, len))
+  in
+  let sections =
+    List.map
+      (fun (name, len) ->
+        if r.pos + len > String.length body then fail r "truncated section";
+        let payload = String.sub body r.pos len in
+        r.pos <- r.pos + len;
+        (name, payload))
+      table
+  in
+  expect_end r;
+  sections

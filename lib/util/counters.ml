@@ -1,0 +1,89 @@
+(* Process-wide named counters and wall-clock timers.
+
+   Instrumentation sites create their counters once at module
+   initialization and bump them unconditionally cheaply: a bump is a
+   single flag test plus an int store, so leaving the counters
+   disabled (the default) costs one predictable branch per site.  The
+   harness enables them around a run and reads a snapshot after. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type t = { cname : string; mutable count : int }
+
+type timer = {
+  tname : string;
+  mutable calls : int;
+  mutable seconds : float;
+}
+
+(* Registries, in creation order; snapshots sort by name. *)
+let all_counters : t list ref = ref []
+let all_timers : timer list ref = ref []
+
+let create name =
+  let c = { cname = name; count = 0 } in
+  all_counters := c :: !all_counters;
+  c
+
+let incr c = if !enabled_flag then c.count <- c.count + 1
+let add c n = if !enabled_flag then c.count <- c.count + n
+let name c = c.cname
+let value c = c.count
+
+let create_timer name =
+  let t = { tname = name; calls = 0; seconds = 0.0 } in
+  all_timers := t :: !all_timers;
+  t
+
+let record t seconds =
+  if !enabled_flag then begin
+    t.calls <- t.calls + 1;
+    t.seconds <- t.seconds +. seconds
+  end
+
+let time t f =
+  if !enabled_flag then begin
+    let start = Unix.gettimeofday () in
+    let finish () = record t (Unix.gettimeofday () -. start) in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+  else f ()
+
+let timer_name t = t.tname
+let timer_calls t = t.calls
+let timer_seconds t = t.seconds
+
+let reset () =
+  List.iter (fun c -> c.count <- 0) !all_counters;
+  List.iter
+    (fun t ->
+      t.calls <- 0;
+      t.seconds <- 0.0)
+    !all_timers
+
+let counters () =
+  List.filter_map
+    (fun c -> if c.count > 0 then Some (c.cname, c.count) else None)
+    !all_counters
+  |> List.sort compare
+
+let timers () =
+  List.filter_map
+    (fun t ->
+      if t.calls > 0 then Some (t.tname, t.calls, t.seconds) else None)
+    !all_timers
+  |> List.sort compare
+
+let with_enabled f =
+  let previous = !enabled_flag in
+  enabled_flag := true;
+  reset ();
+  Fun.protect ~finally:(fun () -> enabled_flag := previous) f

@@ -1,0 +1,66 @@
+(** Process-wide named counters and wall-clock timers for estimator
+    observability.
+
+    Instrumentation sites (cache lookups in the path join, equation
+    dispatch in the estimator, synopsis build/load) create their
+    counters once at module initialization and bump them on every
+    event.  Counting is gated on a global flag that defaults to off:
+    a disabled bump is one branch, so the hot path pays nothing
+    measurable when observability is not requested.
+
+    Counters are process-global, not thread-safe, and meant for
+    harness/CLI runs: enable, run, snapshot, report. *)
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Reset all counters, run the thunk with counting enabled, restore
+    the previous enablement (counter values survive for reading). *)
+
+val reset : unit -> unit
+(** Zero every registered counter and timer. *)
+
+(** {1 Counters} *)
+
+type t
+
+val create : string -> t
+(** Register a counter under a dotted name, e.g.
+    ["path_join.rel_cache.hit"].  Call once per site, at module
+    initialization. *)
+
+val incr : t -> unit
+(** Add 1 when enabled; no-op when disabled. *)
+
+val add : t -> int -> unit
+
+val name : t -> string
+val value : t -> int
+
+(** {1 Timers} *)
+
+type timer
+
+val create_timer : string -> timer
+val record : timer -> float -> unit
+(** Accumulate an externally measured duration (seconds) and one call. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating its wall-clock duration when enabled
+    (exceptions still record).  When disabled, just runs the thunk —
+    the clock is never read. *)
+
+val timer_name : timer -> string
+val timer_calls : timer -> int
+val timer_seconds : timer -> float
+
+(** {1 Snapshots} *)
+
+val counters : unit -> (string * int) list
+(** Non-zero counters as [(name, count)], sorted by name. *)
+
+val timers : unit -> (string * int * float) list
+(** Non-zero timers as [(name, calls, seconds)], sorted by name. *)

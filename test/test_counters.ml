@@ -1,0 +1,87 @@
+(* The observability counters: disabled by default, zero-cost no-ops
+   when off, accurate when on, and visible through the harness
+   renderer. *)
+
+module Counters = Xpest_util.Counters
+module Metrics = Xpest_harness.Metrics
+module Summary = Xpest_synopsis.Summary
+module Estimator = Xpest_estimator.Estimator
+module Pattern = Xpest_xpath.Pattern
+
+let c_test = Counters.create "test.counter"
+let t_test = Counters.create_timer "test.timer"
+
+let test_disabled_is_noop () =
+  Counters.set_enabled false;
+  Counters.reset ();
+  Counters.incr c_test;
+  Counters.add c_test 10;
+  Counters.record t_test 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Counters.value c_test);
+  Alcotest.(check int) "timer untouched" 0 (Counters.timer_calls t_test);
+  Alcotest.(check bool) "no snapshot rows" true (Counters.counters () = [])
+
+let test_enabled_counts () =
+  Counters.with_enabled (fun () ->
+      Counters.incr c_test;
+      Counters.add c_test 4;
+      Counters.record t_test 0.25;
+      Counters.record t_test 0.5;
+      Alcotest.(check int) "count" 5 (Counters.value c_test);
+      Alcotest.(check int) "calls" 2 (Counters.timer_calls t_test);
+      Alcotest.(check (float 1e-9)) "seconds" 0.75 (Counters.timer_seconds t_test);
+      Alcotest.(check bool) "snapshot contains the counter" true
+        (List.mem_assoc "test.counter" (Counters.counters ())));
+  Alcotest.(check bool) "disabled again" false (Counters.enabled ())
+
+let test_estimator_sites_fire () =
+  let summary = Summary.build Paper_fixture.doc in
+  Metrics.with_counters (fun () ->
+      let est = Estimator.create summary in
+      ignore (Estimator.estimate est (Pattern.of_string "//B/{D}"));
+      ignore (Estimator.estimate est (Pattern.of_string "//A[/C/F]/B/{D}")));
+  let names = List.map fst (Counters.counters ()) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " recorded") true
+        (List.mem expected names))
+    [
+      "estimator.estimate";
+      "estimator.eq.theorem_4_1";
+      "estimator.eq.equation_2";
+      "path_join.run_cache.miss";
+      "path_join.rel_cache.miss";
+    ];
+  Alcotest.(check bool) "rendered" true
+    (String.length (Metrics.render_counters ()) > 0);
+  (* rows are [name; value] pairs *)
+  List.iter
+    (fun row -> Alcotest.(check int) "two columns" 2 (List.length row))
+    (Metrics.counter_rows ())
+
+let test_estimates_unchanged_by_counting () =
+  let summary = Summary.build Paper_fixture.doc in
+  let q = Pattern.of_string "//A[/C/folls::{B}/D]" in
+  let plain = Estimator.estimate (Estimator.create summary) q in
+  let counted =
+    Metrics.with_counters (fun () ->
+        Estimator.estimate (Estimator.create summary) q)
+  in
+  Alcotest.(check (float 0.0)) "identical" plain counted
+
+let () =
+  Alcotest.run "counters"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "enabled counts" `Quick test_enabled_counts;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "estimator sites fire" `Quick
+            test_estimator_sites_fire;
+          Alcotest.test_case "estimates unchanged by counting" `Quick
+            test_estimates_unchanged_by_counting;
+        ] );
+    ]

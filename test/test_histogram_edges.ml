@@ -1,0 +1,180 @@
+(* Edge cases of the histogram builders and of Summary.build on
+   degenerate documents: empty tables, a single-root document and a
+   single-path chain document.  (A document always has a root — the
+   "empty" cases are empty tag rows and empty order tables.) *)
+
+module Tree = Xpest_xml.Tree
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Truth = Xpest_xpath.Truth
+module Summary = Xpest_synopsis.Summary
+module Pf_table = Xpest_synopsis.Pf_table
+module P_histogram = Xpest_synopsis.P_histogram
+module O_histogram = Xpest_synopsis.O_histogram
+module Po_table = Xpest_synopsis.Po_table
+module Estimator = Xpest_estimator.Estimator
+
+(* ------------------------------------------------------------------ *)
+(* P-histogram edge cases.                                             *)
+
+let test_p_histogram_empty_row () =
+  let h = P_histogram.build ~variance:0.0 [||] in
+  Alcotest.(check int) "no buckets" 0 (List.length (P_histogram.buckets h));
+  Alcotest.(check int) "empty pid order" 0 (Array.length (P_histogram.pid_order h));
+  Alcotest.(check bool) "lookup misses" true
+    (P_histogram.frequency h 0 = None);
+  Alcotest.(check (float 0.0)) "no realized variance" 0.0
+    (P_histogram.max_intra_variance h);
+  Alcotest.(check int) "zero bytes" 0 (P_histogram.byte_size h)
+
+let test_p_histogram_single_entry () =
+  let h =
+    P_histogram.build ~variance:0.0 [| { Pf_table.pid_index = 3; frequency = 7 } |]
+  in
+  Alcotest.(check int) "one bucket" 1 (List.length (P_histogram.buckets h));
+  Alcotest.(check (option (float 1e-9))) "exact" (Some 7.0)
+    (P_histogram.frequency h 3)
+
+let test_p_histogram_bucket_boundary () =
+  (* Frequencies 1,1,100: at v=0 equal frequencies share a bucket but
+     100 must start a new one; at a huge v everything collapses. *)
+  let entries =
+    [|
+      { Pf_table.pid_index = 0; frequency = 1 };
+      { Pf_table.pid_index = 1; frequency = 1 };
+      { Pf_table.pid_index = 2; frequency = 100 };
+    |]
+  in
+  let exact = P_histogram.build ~variance:0.0 entries in
+  Alcotest.(check int) "v=0 splits" 2 (List.length (P_histogram.buckets exact));
+  Alcotest.(check (option (float 1e-9))) "exact low" (Some 1.0)
+    (P_histogram.frequency exact 0);
+  Alcotest.(check (option (float 1e-9))) "exact high" (Some 100.0)
+    (P_histogram.frequency exact 2);
+  let coarse = P_histogram.build ~variance:1000.0 entries in
+  Alcotest.(check int) "huge v collapses" 1
+    (List.length (P_histogram.buckets coarse));
+  Alcotest.(check (option (float 1e-9))) "average" (Some 34.0)
+    (P_histogram.frequency coarse 2)
+
+(* ------------------------------------------------------------------ *)
+(* O-histogram edge cases.                                             *)
+
+let test_o_histogram_empty_cells () =
+  let h =
+    O_histogram.build ~variance:0.0 ~ntags:4
+      ~tag_alpha_rank:(fun c -> c)
+      ~pid_order:[| 0; 1 |] []
+  in
+  Alcotest.(check int) "no boxes" 0 (List.length (O_histogram.boxes h));
+  Alcotest.(check (float 0.0)) "lookup is 0" 0.0
+    (O_histogram.lookup h ~pid_index:0 ~other_tag:1 ~region:Po_table.Before);
+  Alcotest.(check int) "zero bytes" 0 (O_histogram.byte_size h)
+
+let test_o_histogram_no_columns () =
+  let h =
+    O_histogram.build ~variance:0.0 ~ntags:4
+      ~tag_alpha_rank:(fun c -> c)
+      ~pid_order:[||] []
+  in
+  Alcotest.(check int) "no boxes" 0 (List.length (O_histogram.boxes h));
+  Alcotest.(check (float 0.0)) "lookup is 0" 0.0
+    (O_histogram.lookup h ~pid_index:5 ~other_tag:0 ~region:Po_table.After)
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate documents through the full synopsis.                     *)
+
+let roundtrip summary = Summary.decode (Summary.encode summary)
+
+let test_single_root_document () =
+  let doc = Doc.of_tree (Tree.leaf "Root") in
+  let summary = Summary.build doc in
+  Alcotest.(check int) "one tag" 1 (Array.length (Summary.tags summary));
+  Alcotest.(check (float 1e-9)) "root total" 1.0 (Summary.tag_total summary "Root");
+  let est = Estimator.create summary in
+  let q = Pattern.of_string "/{Root}" in
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (Estimator.estimate est q);
+  Alcotest.(check int) "oracle" 1 (Truth.selectivity doc q);
+  Alcotest.(check (float 1e-9)) "//Root" 1.0
+    (Estimator.estimate est (Pattern.of_string "//{Root}"));
+  (* and the degenerate synopsis survives persistence *)
+  let est' = Estimator.create (roundtrip summary) in
+  Alcotest.(check (float 1e-9)) "after roundtrip" 1.0 (Estimator.estimate est' q)
+
+let test_single_path_chain_document () =
+  (* One root-to-leaf path A/B/C/D: every pf row has one entry, every
+     path id is the same singleton vector, and the order tables are
+     empty (no element has a sibling). *)
+  let doc =
+    Doc.of_tree Tree.(elem "A" [ elem "B" [ elem "C" [ leaf "D" ] ] ])
+  in
+  let summary = Summary.build doc in
+  let est = Estimator.create summary in
+  List.iter
+    (fun (expect, qs) ->
+      let q = Pattern.of_string qs in
+      Alcotest.(check (float 1e-9)) qs expect (Estimator.estimate est q);
+      Alcotest.(check int) ("oracle " ^ qs) (int_of_float expect)
+        (Truth.selectivity doc q))
+    [
+      (1.0, "/{A}");
+      (1.0, "/A/{B}");
+      (1.0, "//{C}");
+      (1.0, "//B//{D}");
+      (0.0, "//D/{A}");
+      (1.0, "//A[/B]//{D}");
+    ];
+  (* no siblings anywhere: every order estimate is 0 *)
+  Alcotest.(check (float 1e-9)) "order estimate" 0.0
+    (Estimator.estimate est (Pattern.of_string "//A[/B/folls::{C}]"));
+  Alcotest.(check int) "order oracle" 0
+    (Truth.selectivity doc (Pattern.of_string "//A[/B/folls::{C}]"));
+  let est' = Estimator.create (roundtrip summary) in
+  Alcotest.(check (float 1e-9)) "roundtrip //B//D" 1.0
+    (Estimator.estimate est' (Pattern.of_string "//B//{D}"))
+
+let test_flat_sibling_document () =
+  (* Root with leaf children only: p-histograms have a single pid per
+     tag and the o-histogram carries all the order information. *)
+  let doc =
+    Doc.of_tree Tree.(elem "R" [ leaf "X"; leaf "Y"; leaf "X"; leaf "Y" ])
+  in
+  let summary = Summary.build doc in
+  let est = Estimator.create summary in
+  List.iter
+    (fun qs ->
+      let q = Pattern.of_string qs in
+      Alcotest.(check (float 1e-9))
+        qs
+        (Float.of_int (Truth.selectivity doc q))
+        (Estimator.estimate est q))
+    [ "/{R}"; "/R/{X}"; "/R/{Y}"; "//{X}" ];
+  let q = Pattern.of_string "//R[/X/folls::{Y}]" in
+  Alcotest.(check (float 1e-9))
+    "order exact at v=0"
+    (Float.of_int (Truth.selectivity doc q))
+    (Estimator.estimate est q)
+
+let () =
+  Alcotest.run "histogram_edges"
+    [
+      ( "p_histogram",
+        [
+          Alcotest.test_case "empty row" `Quick test_p_histogram_empty_row;
+          Alcotest.test_case "single entry" `Quick test_p_histogram_single_entry;
+          Alcotest.test_case "bucket boundary" `Quick
+            test_p_histogram_bucket_boundary;
+        ] );
+      ( "o_histogram",
+        [
+          Alcotest.test_case "empty cells" `Quick test_o_histogram_empty_cells;
+          Alcotest.test_case "no columns" `Quick test_o_histogram_no_columns;
+        ] );
+      ( "degenerate documents",
+        [
+          Alcotest.test_case "single root" `Quick test_single_root_document;
+          Alcotest.test_case "single-path chain" `Quick
+            test_single_path_chain_document;
+          Alcotest.test_case "flat siblings" `Quick test_flat_sibling_document;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Property tests for the versioned, checksummed synopsis container:
+   canonical byte-identical saves, estimate-preserving round-trips over
+   a full generated workload, and clean rejection of corrupted,
+   truncated, wrong-version and legacy files. *)
+
+module Doc = Xpest_xml.Doc
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Synopsis_io = Xpest_synopsis.Synopsis_io
+module Wire = Xpest_synopsis.Wire
+module Estimator = Xpest_estimator.Estimator
+module Workload = Xpest_workload.Workload
+module Registry = Xpest_datasets.Registry
+module Prng = Xpest_util.Prng
+
+let temp_file () = Filename.temp_file "xpest_synopsis_io" ".bin"
+
+let with_file bytes f =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      f path)
+
+let load_error bytes =
+  with_file bytes (fun path ->
+      match Synopsis_io.load_result path with
+      | Ok _ -> Alcotest.fail "malformed synopsis accepted"
+      | Error msg -> msg)
+
+let small_doc = lazy (Registry.generate ~scale:0.02 ~seed:11 Registry.Xmark)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips.                                                        *)
+
+let test_save_load_save_byte_identical () =
+  List.iter
+    (fun (p_variance, o_variance) ->
+      let summary =
+        Summary.build ~p_variance ~o_variance (Lazy.force small_doc)
+      in
+      let bytes0 = Summary.encode summary in
+      let bytes1 = Summary.encode (Summary.decode bytes0) in
+      Alcotest.(check int)
+        (Printf.sprintf "size (v=%g/%g)" p_variance o_variance)
+        (String.length bytes0) (String.length bytes1);
+      Alcotest.(check bool)
+        (Printf.sprintf "bytes (v=%g/%g)" p_variance o_variance)
+        true
+        (String.equal bytes0 bytes1))
+    [ (0.0, 0.0); (2.0, 3.0) ]
+
+let test_save_is_canonical () =
+  (* Two independently built summaries of the same document must
+     serialize identically (hashtable iteration order must not leak
+     into the file). *)
+  let doc = Lazy.force small_doc in
+  let bytes0 = Summary.encode (Summary.build doc) in
+  let bytes1 = Summary.encode (Summary.build doc) in
+  Alcotest.(check bool) "identical" true (String.equal bytes0 bytes1)
+
+let workload_of doc =
+  let config =
+    { Workload.default_config with num_simple = 400; num_branch = 400 }
+  in
+  let w = Workload.generate ~config doc in
+  w.Workload.simple @ w.Workload.branch @ w.Workload.order_branch_target
+  @ w.Workload.order_trunk_target
+
+let test_loaded_estimates_match_on_workload () =
+  let doc = Lazy.force small_doc in
+  let summary = Summary.build doc in
+  let loaded = Summary.decode (Summary.encode summary) in
+  let est0 = Estimator.create summary in
+  let est1 = Estimator.create loaded in
+  let items = workload_of doc in
+  Alcotest.(check bool) "workload is non-trivial" true (List.length items > 50);
+  List.iter
+    (fun (it : Workload.item) ->
+      Alcotest.(check (float 1e-9))
+        (Pattern.to_string it.pattern)
+        (Estimator.estimate est0 it.pattern)
+        (Estimator.estimate est1 it.pattern))
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Header / info.                                                      *)
+
+let test_info_reports_sections () =
+  let summary = Summary.build (Lazy.force small_doc) in
+  let bytes = Summary.encode summary in
+  with_file bytes (fun path ->
+      let i = Synopsis_io.info path in
+      Alcotest.(check int) "version" Wire.format_version i.Synopsis_io.version;
+      Alcotest.(check bool) "supported" true i.Synopsis_io.supported;
+      Alcotest.(check bool) "checksum ok" true i.Synopsis_io.checksum_ok;
+      Alcotest.(check int) "total bytes" (String.length bytes)
+        i.Synopsis_io.total_bytes;
+      Alcotest.(check (list string))
+        "section names"
+        [
+          "meta"; "encoding_table"; "path_ids"; "tags"; "p_histograms";
+          "o_histograms";
+        ]
+        (List.map fst i.Synopsis_io.sections);
+      let payload =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 i.Synopsis_io.sections
+      in
+      Alcotest.(check int) "sections + overhead = file size"
+        (String.length bytes)
+        (payload + Synopsis_io.overhead_bytes i))
+
+(* ------------------------------------------------------------------ *)
+(* Rejection of malformed files.                                       *)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_reject_corrupted_anywhere () =
+  let bytes = Summary.encode (Summary.build (Lazy.force small_doc)) in
+  let rng = Prng.create 42 in
+  (* Flip one random byte at 50 positions spread over the file; every
+     flip must be rejected (header flips change magic/version/checksum,
+     body flips break the checksum). *)
+  for _ = 1 to 50 do
+    let pos = Prng.int rng (String.length bytes) in
+    let corrupted = Bytes.of_string bytes in
+    Bytes.set corrupted pos
+      (Char.chr (Char.code (Bytes.get corrupted pos) lxor (1 lsl Prng.int rng 8)));
+    let msg = load_error (Bytes.to_string corrupted) in
+    Alcotest.(check bool)
+      (Printf.sprintf "flip at %d rejected cleanly (%s)" pos msg)
+      true
+      (String.length msg > 0)
+  done
+
+let test_reject_truncation_everywhere () =
+  let bytes = Summary.encode (Summary.build (Lazy.force small_doc)) in
+  let n = String.length bytes in
+  List.iter
+    (fun len ->
+      let msg = load_error (String.sub bytes 0 len) in
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated to %d rejected (%s)" len msg)
+        true
+        (String.length msg > 0))
+    [ 0; 1; 8; 16; 17; n / 4; n / 2; n - 1 ]
+
+let test_reject_wrong_version () =
+  let bytes = Summary.encode (Summary.build (Lazy.force small_doc)) in
+  let wrong = Bytes.of_string bytes in
+  Bytes.set wrong 8 (Char.chr 9);
+  let msg = load_error (Bytes.to_string wrong) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mentions version (%s)" msg)
+    true
+    (contains ~sub:"version" msg);
+  (* info still parses the header and reports it unsupported *)
+  with_file (Bytes.to_string wrong) (fun path ->
+      let i = Synopsis_io.info path in
+      Alcotest.(check int) "version" 9 i.Synopsis_io.version;
+      Alcotest.(check bool) "unsupported" false i.Synopsis_io.supported)
+
+let test_reject_legacy_magic () =
+  let msg = load_error "XPESTSYN2\x00\x00\x00\x00\x00\x00\x00\x00" in
+  Alcotest.(check bool)
+    (Printf.sprintf "mentions legacy (%s)" msg)
+    true
+    (contains ~sub:"legacy" msg)
+
+let test_reject_garbage () =
+  List.iter
+    (fun bytes ->
+      let msg = load_error bytes in
+      Alcotest.(check bool) "rejected" true (String.length msg > 0))
+    [ ""; "x"; "not a synopsis at all, but long enough to have a header" ]
+
+let test_reject_missing_section () =
+  (* A container that checksums correctly but lacks a section: the
+     decoder must fail by name, not by exhausting the reader. *)
+  let bytes = Wire.encode_container [ ("meta", "\x00") ] in
+  let msg = load_error bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "mentions missing section (%s)" msg)
+    true
+    (contains ~sub:"section" msg)
+
+let () =
+  Alcotest.run "synopsis_io"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "save-load-save is byte-identical" `Quick
+            test_save_load_save_byte_identical;
+          Alcotest.test_case "saves are canonical" `Quick test_save_is_canonical;
+          Alcotest.test_case "loaded estimates match on a full workload" `Quick
+            test_loaded_estimates_match_on_workload;
+        ] );
+      ( "info",
+        [
+          Alcotest.test_case "reports version and per-section sizes" `Quick
+            test_info_reports_sections;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "corrupted bytes" `Quick
+            test_reject_corrupted_anywhere;
+          Alcotest.test_case "truncation" `Quick test_reject_truncation_everywhere;
+          Alcotest.test_case "wrong version" `Quick test_reject_wrong_version;
+          Alcotest.test_case "legacy magic" `Quick test_reject_legacy_magic;
+          Alcotest.test_case "garbage" `Quick test_reject_garbage;
+          Alcotest.test_case "missing section" `Quick test_reject_missing_section;
+        ] );
+    ]
