@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check differential bench clean
+.PHONY: all build test check differential bench bench-json clean
 
 all: build
 
@@ -25,6 +25,11 @@ differential:
 
 bench:
 	$(DUNE) exec bench/main.exe
+
+# Machine-readable estimation-engine benchmark: plan build time, cold
+# vs plan-cached throughput, and batch vs scalar speedup per dataset.
+bench-json:
+	$(DUNE) exec bench/main.exe -- --engine-only --scale 0.1 --engine-json BENCH_engine.json
 
 clean:
 	$(DUNE) clean

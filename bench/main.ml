@@ -16,6 +16,7 @@ module Doc = Xpest_xml.Doc
 module Summary = Xpest_synopsis.Summary
 module Pf_table = Xpest_synopsis.Pf_table
 module P_histogram = Xpest_synopsis.P_histogram
+module Plan = Xpest_plan.Plan
 module Estimator = Xpest_estimator.Estimator
 module Path_join = Xpest_estimator.Path_join
 module Pattern = Xpest_xpath.Pattern
@@ -113,12 +114,108 @@ let microbenches () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Estimation-engine benchmark: machine-readable numbers for the
+   compile-then-execute pipeline (plan build cost, cold vs plan-cached
+   throughput, batched vs scalar estimation).  Written as JSON so CI
+   can track regressions without scraping tables.                      *)
+
+let qps n seconds = float_of_int n /. Float.max seconds 1e-9
+
+let engine_bench_dataset ~scale name =
+  let dsname = Registry.to_string name in
+  Printf.printf "engine bench: %s (scale %g)...\n%!" dsname scale;
+  let doc = Registry.generate ~scale name in
+  let base, collect_s = Env.time (fun () -> Summary.collect doc) in
+  let summary, assemble_s =
+    Env.time (fun () -> Summary.assemble ~p_variance:0.0 ~o_variance:0.0 base)
+  in
+  let config =
+    { Workload.default_config with num_simple = 800; num_branch = 800 }
+  in
+  let w = Workload.generate ~config doc in
+  let patterns = Workload.patterns (Workload.all_items w) in
+  let n = Array.length patterns in
+  let _plans, compile_s =
+    Env.time (fun () -> Array.map Plan.compile patterns)
+  in
+  (* scalar: one estimate call per query; cold = fresh caches, then the
+     same estimator again with every plan/join cached *)
+  let scalar est =
+    Array.map (fun q -> Estimator.estimate est q) patterns
+  in
+  let est_scalar = Estimator.create summary in
+  let scalar_cold, scalar_cold_s = Env.time (fun () -> scalar est_scalar) in
+  let _, scalar_warm_s = Env.time (fun () -> scalar est_scalar) in
+  (* batched: one estimate_many call over the whole workload *)
+  let est_batch = Estimator.create summary in
+  let batch_cold, batch_cold_s =
+    Env.time (fun () -> Estimator.estimate_many est_batch patterns)
+  in
+  let batch_warm, batch_warm_s =
+    Env.time (fun () -> Estimator.estimate_many est_batch patterns)
+  in
+  let identical = ref true in
+  Array.iteri
+    (fun i v ->
+      if
+        Int64.bits_of_float v <> Int64.bits_of_float batch_cold.(i)
+        || Int64.bits_of_float v <> Int64.bits_of_float batch_warm.(i)
+      then identical := false)
+    scalar_cold;
+  let scalar_cold_qps = qps n scalar_cold_s in
+  let batch_warm_qps = qps n batch_warm_s in
+  Printf.sprintf
+    {|    {
+      "dataset": %S,
+      "elements": %d,
+      "queries": %d,
+      "summary_build_seconds": %.6f,
+      "plan_compile_seconds": %.6f,
+      "plan_compile_us_per_query": %.3f,
+      "scalar_cold_qps": %.1f,
+      "scalar_plan_cached_qps": %.1f,
+      "batch_cold_qps": %.1f,
+      "batch_plan_cached_qps": %.1f,
+      "speedup_batch_cold_vs_scalar_cold": %.3f,
+      "speedup_plan_cached_batch_vs_scalar_cold": %.3f,
+      "batch_bitwise_identical_to_scalar": %b
+    }|}
+    dsname (Doc.size doc) n
+    (collect_s +. assemble_s)
+    compile_s
+    (1e6 *. compile_s /. Float.max (float_of_int n) 1.0)
+    scalar_cold_qps (qps n scalar_warm_s) (qps n batch_cold_s) batch_warm_qps
+    (qps n batch_cold_s /. scalar_cold_qps)
+    (batch_warm_qps /. scalar_cold_qps)
+    !identical
+
+let engine_bench ~scale ~out =
+  let entries = List.map (engine_bench_dataset ~scale) Registry.all in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema": "xpest-bench-engine/1",
+  "scale": %g,
+  "datasets": [
+%s
+  ]
+}
+|}
+      scale
+      (String.concat ",\n" entries)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote engine benchmark to %s\n%!" out
 
 let () =
   let scale = ref 0.25 in
   let cap = ref 600 in
   let micro = ref true in
   let markdown = ref "" in
+  let engine_json = ref "" in
+  let engine_only = ref false in
   let ids = ref [] in
   let spec =
     [
@@ -127,9 +224,19 @@ let () =
       ("--no-micro", Arg.Clear micro, " skip bechamel micro-benchmarks");
       ("--micro-only", Arg.Unit (fun () -> ids := [ "none" ]), " only micro-benchmarks");
       ("--markdown", Arg.Set_string markdown, "FILE also write a markdown report");
+      ( "--engine-json",
+        Arg.Set_string engine_json,
+        "FILE write the estimation-engine benchmark (plan build time, cold \
+         vs plan-cached throughput, batch vs scalar speedup) as JSON" );
+      ( "--engine-only",
+        Arg.Set engine_only,
+        " run only the engine benchmark (implies --no-micro, no artefacts)" );
     ]
   in
   Arg.parse spec (fun id -> ids := id :: !ids) "bench/main.exe [options] [ids]";
+  if !engine_only && !engine_json = "" then engine_json := "BENCH_engine.json";
+  if !engine_json <> "" then engine_bench ~scale:!scale ~out:!engine_json;
+  if !engine_only then exit 0;
   let ids =
     match List.rev !ids with
     | [] -> Experiments.all_ids

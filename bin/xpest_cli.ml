@@ -3,6 +3,7 @@
    Subcommands:
      generate    write a synthetic dataset as XML
      stats       show document / synopsis statistics
+     plan        print the compiled query-plan IR of XPath patterns
      estimate    estimate the selectivity of XPath patterns
      workload    generate and summarize a query workload
      experiment  reproduce the paper's tables and figures *)
@@ -15,6 +16,7 @@ module Summary = Xpest_synopsis.Summary
 module Labeler = Xpest_encoding.Labeler
 module Encoding_table = Xpest_encoding.Encoding_table
 module Pid_tree = Xpest_encoding.Pid_tree
+module Plan = Xpest_plan.Plan
 module Estimator = Xpest_estimator.Estimator
 module Workload = Xpest_workload.Workload
 module Tablefmt = Xpest_util.Tablefmt
@@ -418,11 +420,65 @@ let synopsis_cmd =
       synopsis_bench_cmd;
     ]
 
+(* ---------------- plan ---------------- *)
+
+(* Plans are summary-independent: the compiler needs only the pattern,
+   so this command takes no dataset. *)
+let plan_cmd =
+  let run queries =
+    List.iteri
+      (fun i qs ->
+        if i > 0 then print_newline ();
+        let q = Pattern.of_string qs in
+        print_string (Plan.to_string (Plan.compile q)))
+      queries
+  in
+  let queries =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "XPath patterns in the paper's fragment; mark the target node \
+             with braces, e.g. //A[/C/folls::{B}/D].")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Compile queries into the estimation engine's query-plan IR and \
+          print it: chain decomposition, join graph, anchoring, and the \
+          estimation equation chosen at compile time.")
+    Term.(const run $ queries)
+
 (* ---------------- estimate ---------------- *)
+
+let read_batch_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line ->
+            let line = String.trim line in
+            let acc =
+              if String.length line = 0 || line.[0] = '#' then acc
+              else line :: acc
+            in
+            loop acc
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])
 
 let estimate_cmd =
   let run source scale seed p_variance o_variance synopsis check explain metrics
-      queries =
+      batch queries =
+    let queries =
+      queries @ match batch with Some f -> read_batch_file f | None -> []
+    in
+    if queries = [] then begin
+      prerr_endline "xpest: no queries (pass QUERY arguments or --batch FILE)";
+      exit 1
+    end;
     let work () =
     (* the document itself is only needed to build a fresh synopsis or
        to compute exact answers for --check *)
@@ -433,11 +489,13 @@ let estimate_cmd =
       | None -> Summary.build ~p_variance ~o_variance (Lazy.force doc)
     in
     let est = Estimator.create s in
+    (* one compile-dedupe-execute pass over the whole query list *)
+    let patterns = Array.of_list (List.map Pattern.of_string queries) in
+    let estimates = Estimator.estimate_many est patterns in
     let rows =
-      List.map
-        (fun qs ->
-          let q = Pattern.of_string qs in
-          let estimate = Estimator.estimate est q in
+      List.mapi
+        (fun i q ->
+          let estimate = estimates.(i) in
           let base = [ Pattern.to_string q; Tablefmt.fmt_float estimate ] in
           if check then
             let actual = Truth.selectivity (Lazy.force doc) q in
@@ -447,7 +505,7 @@ let estimate_cmd =
             in
             base @ [ string_of_int actual; Printf.sprintf "%.1f%%" (100.0 *. err) ]
           else base)
-        queries
+        (Array.to_list patterns)
     in
     let header =
       if check then [ "query"; "estimate"; "actual"; "rel. error" ]
@@ -477,12 +535,22 @@ let estimate_cmd =
   in
   let queries =
     Arg.(
-      non_empty
+      value
       & pos_right 0 string []
       & info [] ~docv:"QUERY"
           ~doc:
             "XPath patterns in the paper's fragment; mark the target node \
              with braces, e.g. //A[/C/folls::{B}/D].")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Read additional queries from $(docv), one per line (blank lines \
+             and lines starting with # are skipped); the whole batch is \
+             estimated in one compile-dedupe-execute pass.")
   in
   let p_variance =
     Arg.(value & opt float 0.0 & info [ "p-variance" ] ~docv:"V" ~doc:"P-histogram variance.")
@@ -519,7 +587,7 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Estimate the selectivity of XPath patterns.")
     Term.(
       const run $ source $ scale $ seed $ p_variance $ o_variance $ synopsis
-      $ check $ explain $ metrics $ queries)
+      $ check $ explain $ metrics $ batch $ queries)
 
 (* ---------------- workload ---------------- *)
 
@@ -607,5 +675,5 @@ let () =
           (Cmd.info "xpest" ~version:"1.0.0" ~doc)
           [
             generate_cmd; stats_cmd; build_synopsis_cmd; synopsis_cmd;
-            estimate_cmd; workload_cmd; experiment_cmd;
+            plan_cmd; estimate_cmd; workload_cmd; experiment_cmd;
           ]))

@@ -4,6 +4,8 @@ module Pattern = Xpest_xpath.Pattern
 module Summary = Xpest_synopsis.Summary
 module Po_table = Xpest_synopsis.Po_table
 module Encoding_table = Xpest_encoding.Encoding_table
+module Plan = Xpest_plan.Plan
+module Plan_cache = Xpest_plan.Plan_cache
 
 (* Observability: which estimation equations fire, and how often
    [estimate] is called.  No-ops unless [Counters.set_enabled true]. *)
@@ -14,18 +16,40 @@ let c_equation3 = Counters.create "estimator.eq.equation_3"
 let c_equation4 = Counters.create "estimator.eq.equation_4"
 let c_equation5 = Counters.create "estimator.eq.equation_5"
 let c_conversion = Counters.create "estimator.eq.conversion_5_3"
+let c_guard_clamped = Counters.create "estimator.guard_clamped"
+let c_plan_hit = Counters.create "estimator.plan_cache.hit"
+let c_plan_miss = Counters.create "estimator.plan_cache.miss"
+let c_plan_evict = Counters.create "estimator.plan_cache.evict"
+let c_batch = Counters.create "estimator.batch.calls"
+let c_batch_queries = Counters.create "estimator.batch.queries"
+let c_batch_deduped = Counters.create "estimator.batch.deduped"
 let t_estimate = Counters.create_timer "estimator.estimate"
 
 type t = {
   summary : Summary.t;
   join : Path_join.t;
+  plans : (Pattern.t, Plan.t) Plan_cache.t;
   mutable tracing : string list ref option;
 }
 
-let create ?chain_pruning summary =
-  { summary; join = Path_join.create ?chain_pruning summary; tracing = None }
+let create ?chain_pruning ?cache_capacity summary =
+  let capacity =
+    match cache_capacity with
+    | Some c -> c
+    | None -> Plan_cache.default_capacity
+  in
+  {
+    summary;
+    join = Path_join.create ?chain_pruning ?cache_capacity summary;
+    plans =
+      Plan_cache.create ~capacity ~hit:c_plan_hit ~miss:c_plan_miss
+        ~evict:c_plan_evict ();
+    tracing = None;
+  }
 
 let summary t = t.summary
+
+let plan_of t q = Plan_cache.find_or_add t.plans q Plan.compile
 
 (* Derivation tracing for [explain]: estimation functions [note] their
    key intermediate values; outside [explain] this is a no-op. *)
@@ -35,14 +59,28 @@ let note t fmt =
       match t.tracing with Some acc -> acc := line :: !acc | None -> ())
     fmt
 
-let guard x = if Float.is_finite x && x > 0.0 then x else 0.0
+(* Estimates must be finite and non-negative.  A clamp of a NaN /
+   infinite / negative intermediate is counted and traced; clamping an
+   exact 0 (an emptied join or a vanished denominator) is the normal
+   "no match" outcome and is not. *)
+let guard t x =
+  if Float.is_finite x && x > 0.0 then x
+  else begin
+    if x < 0.0 || not (Float.is_finite x) then begin
+      Counters.incr c_guard_clamped;
+      note t "guard: clamped non-finite/negative intermediate %g to 0" x
+    end;
+    0.0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Branch-query estimation (Section 4).                                *)
 
 (* Selectivity of [position] in a Simple/Branch shape.  Equation (2):
    when the target sits on a branch part, estimate through the simple
-   query Q' that drops the other branch. *)
+   query Q' that drops the other branch.  This is the recursive
+   order-free core the order equations call back into; the top-level
+   [execute] below goes through precompiled join specs instead. *)
 let rec estimate_plain t (shape : Pattern.shape) position =
   match (shape, position) with
   | Simple _, _ ->
@@ -82,7 +120,7 @@ and estimate_off_trunk t ~trunk ~own ~own_index ~full =
     "equation 2: S_Q(n) ~ f_Q'(n) * f_Q(ni) / f_Q'(ni) = %g * %g / %g (Q' \
      drops the other branch; ni = last trunk node)"
     f_q'_n f_q_ni f_q'_ni;
-  if f_q'_ni <= 0.0 then 0.0 else guard (f_q'_n *. f_q_ni /. f_q'_ni)
+  if f_q'_ni <= 0.0 then 0.0 else guard t (f_q'_n *. f_q_ni /. f_q'_ni)
 
 (* ------------------------------------------------------------------ *)
 (* Order-query estimation (Section 5).                                 *)
@@ -155,25 +193,25 @@ let estimate_sibling_order t ~trunk ~first ~second ~axis position =
   | In_second 0 ->
       (* Equation (3). *)
       Counters.incr c_equation3;
-      guard (s_q (Pattern.In_second 0) *. ratio `Second)
+      guard t (s_q (Pattern.In_second 0) *. ratio `Second)
   | In_second _ ->
       (* Equation (4): scale the order-free estimate by the head's
          order survival ratio. *)
       Counters.incr c_equation4;
-      guard (s_q position *. ratio `Second)
+      guard t (s_q position *. ratio `Second)
   | In_first 0 ->
       Counters.incr c_equation3;
-      guard (s_q (Pattern.In_first 0) *. ratio `First)
+      guard t (s_q (Pattern.In_first 0) *. ratio `First)
   | In_first _ ->
       Counters.incr c_equation4;
-      guard (s_q position *. ratio `First)
+      guard t (s_q position *. ratio `First)
   | In_trunk _ ->
       (* Equation (5): min of the order-free estimate and both sibling
          heads' order estimates. *)
       Counters.incr c_equation5;
       let s_plain = s_q position in
-      let s_first = guard (s_q (Pattern.In_first 0) *. ratio `First) in
-      let s_second = guard (s_q (Pattern.In_second 0) *. ratio `Second) in
+      let s_first = guard t (s_q (Pattern.In_first 0) *. ratio `First) in
+      let s_second = guard t (s_q (Pattern.In_second 0) *. ratio `Second) in
       note t "equation 5: min(S_Q(n)=%g, S⃗_Q(first head)=%g, S⃗_Q(second head)=%g)"
         s_plain s_first s_second;
       Float.min s_plain (Float.min s_first s_second)
@@ -204,57 +242,119 @@ let conversion_gaps t ~trunk ~first ~second ~axis =
     (Path_join.pids result (Pattern.In_second 0));
   List.rev !gaps
 
-let estimate_ordered t ~trunk ~first ~second ~(axis : Pattern.order_axis)
+(* Conversion_5_3: rewrite a following/preceding query into the set of
+   sibling-axis queries spanned by the encoding-table gaps. *)
+let estimate_conversion t ~trunk ~first ~second ~(axis : Pattern.order_axis)
     position =
-  match axis with
-  | Following_sibling | Preceding_sibling ->
-      estimate_sibling_order t ~trunk ~first ~second ~axis position
-  | Following | Preceding ->
-      Counters.incr c_conversion;
-      let sibling_axis : Pattern.order_axis =
-        match axis with
-        | Following -> Following_sibling
-        | Preceding -> Preceding_sibling
-        | Following_sibling | Preceding_sibling -> assert false
+  Counters.incr c_conversion;
+  let sibling_axis : Pattern.order_axis =
+    match axis with
+    | Following -> Following_sibling
+    | Preceding -> Preceding_sibling
+    | Following_sibling | Preceding_sibling ->
+        invalid_arg "Estimator: conversion of a sibling axis"
+  in
+  let gaps = conversion_gaps t ~trunk ~first ~second ~axis in
+  note t
+    "%s-axis conversion (example 5.3): %d sibling-axis querie(s) via gaps [%s]"
+    (match axis with Pattern.Following -> "following" | _ -> "preceding")
+    (List.length gaps)
+    (String.concat "; " (List.map (String.concat "/") gaps));
+  List.fold_left
+    (fun acc gap ->
+      (* Rebuild [second] as a child chain through the gap. *)
+      let chain =
+        List.map (fun tag -> Pattern.{ axis = Child; tag }) gap
+        @ Pattern.
+            { axis = Child; tag = (List.hd second).Pattern.tag }
+          :: List.tl second
       in
-      let gaps = conversion_gaps t ~trunk ~first ~second ~axis in
+      let position' =
+        match position with
+        | Pattern.In_second i -> Pattern.In_second (List.length gap + i)
+        | p -> p
+      in
+      acc
+      +. estimate_sibling_order t ~trunk ~first ~second:chain
+           ~axis:sibling_axis position')
+    0.0 gaps
+
+(* ------------------------------------------------------------------ *)
+(* The executor: a match on the equation chosen at compile time.       *)
+
+let execute t (plan : Plan.t) =
+  let target = Pattern.target plan.Plan.pattern in
+  let shape = Pattern.shape plan.Plan.pattern in
+  match plan.Plan.equation with
+  | Plan.Theorem_4_1 ->
+      Counters.incr c_theorem41;
+      let f =
+        Path_join.frequency (Path_join.exec t.join plan.Plan.join) target
+      in
+      (match shape with
+      | Pattern.Simple _ ->
+          note t "theorem 4.1: f_Q(n) = %g after the path join" f
+      | Pattern.Branch _ | Pattern.Ordered _ ->
+          note t "trunk target: f_Q(n) = %g after the path join" f);
+      guard t f
+  | Plan.Equation_2 ->
+      let e =
+        match plan.Plan.eq2 with
+        | Some e -> e
+        | None -> assert false (* compile invariant *)
+      in
+      Counters.incr c_equation2;
+      let q'_result = Path_join.exec t.join e.Plan.q_prime in
+      let f_q'_n = Path_join.frequency q'_result e.Plan.pos_in_q' in
+      let f_q'_ni = Path_join.frequency q'_result e.Plan.ni in
+      let f_q_ni =
+        Path_join.frequency (Path_join.exec t.join plan.Plan.join) e.Plan.ni
+      in
       note t
-        "%s-axis conversion (example 5.3): %d sibling-axis querie(s) via gaps [%s]"
-        (match axis with Pattern.Following -> "following" | _ -> "preceding")
-        (List.length gaps)
-        (String.concat "; " (List.map (String.concat "/") gaps));
-      List.fold_left
-        (fun acc gap ->
-          (* Rebuild [second] as a child chain through the gap. *)
-          let chain =
-            List.map (fun tag -> Pattern.{ axis = Child; tag }) gap
-            @ Pattern.
-                { axis = Child; tag = (List.hd second).Pattern.tag }
-              :: List.tl second
-          in
-          let position' =
-            match position with
-            | Pattern.In_second i -> Pattern.In_second (List.length gap + i)
-            | p -> p
-          in
-          acc
-          +. estimate_sibling_order t ~trunk ~first ~second:chain
-               ~axis:sibling_axis position')
-        0.0 gaps
+        "equation 2: S_Q(n) ~ f_Q'(n) * f_Q(ni) / f_Q'(ni) = %g * %g / %g (Q' \
+         drops the other branch; ni = last trunk node)"
+        f_q'_n f_q_ni f_q'_ni;
+      guard t
+        (if f_q'_ni <= 0.0 then 0.0 else guard t (f_q'_n *. f_q_ni /. f_q'_ni))
+  | Plan.Equation_3 | Plan.Equation_4 | Plan.Equation_5 -> (
+      match shape with
+      | Pattern.Ordered { trunk; first; axis; second } ->
+          guard t (estimate_sibling_order t ~trunk ~first ~second ~axis target)
+      | Pattern.Simple _ | Pattern.Branch _ -> assert false)
+  | Plan.Conversion_5_3 -> (
+      match shape with
+      | Pattern.Ordered { trunk; first; axis; second } ->
+          guard t (estimate_conversion t ~trunk ~first ~second ~axis target)
+      | Pattern.Simple _ | Pattern.Branch _ -> assert false)
 
 (* ------------------------------------------------------------------ *)
 
 let estimate_position t (q : Pattern.t) position =
-  match Pattern.shape q with
-  | (Pattern.Simple _ | Pattern.Branch _) as shape ->
-      guard (estimate_plain t shape position)
-  | Pattern.Ordered { trunk; first; axis; second } ->
-      guard (estimate_ordered t ~trunk ~first ~second ~axis position)
+  execute t (plan_of t (Pattern.v (Pattern.shape q) position))
 
 let estimate t q =
   Counters.incr c_estimate;
-  Counters.time t_estimate (fun () ->
-      estimate_position t q (Pattern.target q))
+  Counters.time t_estimate (fun () -> execute t (plan_of t q))
+
+let estimate_many t qs =
+  Counters.incr c_batch;
+  Counters.add c_batch_queries (Array.length qs);
+  (* Compile-dedupe-execute: identical normalized plans (same pattern,
+     same target) run once; the executed value is reused bitwise for
+     every duplicate.  Distinct patterns sharing sub-shapes still
+     share joins through the run cache. *)
+  let memo = Hashtbl.create (2 * Array.length qs + 1) in
+  Array.map
+    (fun q ->
+      match Hashtbl.find_opt memo q with
+      | Some v ->
+          Counters.incr c_batch_deduped;
+          v
+      | None ->
+          let v = estimate t q in
+          Hashtbl.add memo q v;
+          v)
+    qs
 
 type explanation = { value : float; derivation : string list }
 

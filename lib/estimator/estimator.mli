@@ -1,43 +1,69 @@
 (** Selectivity estimation for the full query fragment (paper
-    Sections 4 and 5).
+    Sections 4 and 5) — the execution half of the compile-then-execute
+    engine.
 
-    - Simple queries: Theorem 4.1 — the joined frequency is the
-      selectivity.
-    - Branch queries, target on the trunk: joined frequency.
-    - Branch queries, target on a branch/tail: Equation (2) under the
-      Node Independence Assumption.
-    - Order queries (sibling axes): Equations (3) and (4) under the
-      Node Order Uniformity and Node Containment Uniformity
-      Assumptions, reading the o-histogram for the sibling heads;
-      Equation (5) (a min over upper bounds) for trunk targets.
-    - [following] / [preceding] axes: converted into sets of
-      sibling-axis queries along the encoding-table gap between the
-      trunk tag and the target head (paper Example 5.3), summing the
-      per-conversion estimates. *)
+    Every query is first compiled ({!Xpest_plan.Plan.compile}) into a
+    summary-independent plan — decomposed chains, join spec, and the
+    equation tag picked at compile time — then executed here against
+    one summary.  Compiled plans are memoized per estimator in a
+    bounded LRU ({!Xpest_plan.Plan_cache}).
+
+    - [Theorem_4_1]: simple queries, and branch queries with a trunk
+      target — the joined frequency is the selectivity.
+    - [Equation_2]: branch/tail targets via the precompiled simple
+      query Q' under the Node Independence Assumption.
+    - [Equation_3] / [Equation_4]: sibling-axis order targets under
+      the Node Order Uniformity and Node Containment Uniformity
+      Assumptions, reading the o-histogram for the sibling heads.
+    - [Equation_5]: trunk targets of order queries (a min over upper
+      bounds).
+    - [Conversion_5_3]: [following] / [preceding] axes, converted into
+      sets of sibling-axis queries along the encoding-table gap
+      between the trunk tag and the target head (paper Example 5.3),
+      summing the per-conversion estimates. *)
 
 type t
 
-val create : ?chain_pruning:bool -> Xpest_synopsis.Summary.t -> t
-(** Estimation caches (tag relationships) persist across queries.
-    [chain_pruning] is forwarded to {!Path_join.create}. *)
+val create :
+  ?chain_pruning:bool -> ?cache_capacity:int -> Xpest_synopsis.Summary.t -> t
+(** Estimation caches (compiled plans, tag relationships, chain
+    feasibility, join results) persist across queries.
+    [chain_pruning] is forwarded to {!Path_join.create};
+    [cache_capacity] bounds the plan cache and the three join caches
+    (default {!Xpest_plan.Plan_cache.default_capacity}). *)
 
 val summary : t -> Xpest_synopsis.Summary.t
+
+val plan_of : t -> Xpest_xpath.Pattern.t -> Xpest_plan.Plan.t
+(** The compiled plan the estimator will execute for this query,
+    memoized in the bounded plan cache. *)
 
 val estimate : t -> Xpest_xpath.Pattern.t -> float
 (** Estimated selectivity of the pattern's target node.  Always
     non-negative and finite; 0 when the join empties a required node
-    or a ratio denominator vanishes. *)
+    or a ratio denominator vanishes.  Clamps of non-finite or negative
+    intermediates are counted under [estimator.guard_clamped] and
+    surfaced in {!explain} derivations. *)
 
 val estimate_position : t -> Xpest_xpath.Pattern.t -> Xpest_xpath.Pattern.position -> float
 (** Estimate for an arbitrary node of the pattern (ignoring the
     pattern's own target designation).
     @raise Invalid_argument if the position is not in the pattern. *)
 
+val estimate_many : t -> Xpest_xpath.Pattern.t array -> float array
+(** Batched estimation: compile, dedupe structurally identical
+    queries, execute each distinct plan once, and fan the result back
+    out.  [estimate_many t qs.(i)] is bit-identical to
+    [estimate t qs.(i)] for every [i]; duplicates reuse the already
+    computed float, and distinct queries sharing sub-shapes share
+    joins through the bounded run cache. *)
+
 type explanation = {
   value : float;  (** same value [estimate] returns *)
   derivation : string list;
       (** one human-readable line per estimation step: which theorem /
-          equation fired and with which intermediate quantities *)
+          equation fired and with which intermediate quantities,
+          including any guard clamps *)
 }
 
 val explain : t -> Xpest_xpath.Pattern.t -> explanation

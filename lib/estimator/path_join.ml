@@ -3,16 +3,21 @@ module Counters = Xpest_util.Counters
 module Pattern = Xpest_xpath.Pattern
 module Summary = Xpest_synopsis.Summary
 module Encoding_table = Xpest_encoding.Encoding_table
-module Labeler = Xpest_encoding.Labeler
+module Plan = Xpest_plan.Plan
+module Plan_cache = Xpest_plan.Plan_cache
 
 (* Observability: cache effectiveness and pruning volume of the join.
-   All no-ops unless [Counters.set_enabled true]. *)
+   All no-ops unless [Counters.set_enabled true].  Created once here
+   and handed to the per-estimator LRU caches (see Plan_cache). *)
 let c_rel_hit = Counters.create "path_join.rel_cache.hit"
 let c_rel_miss = Counters.create "path_join.rel_cache.miss"
+let c_rel_evict = Counters.create "path_join.rel_cache.evict"
 let c_chain_hit = Counters.create "path_join.chain_cache.hit"
 let c_chain_miss = Counters.create "path_join.chain_cache.miss"
+let c_chain_evict = Counters.create "path_join.chain_cache.evict"
 let c_run_hit = Counters.create "path_join.run_cache.hit"
 let c_run_miss = Counters.create "path_join.run_cache.miss"
+let c_run_evict = Counters.create "path_join.run_cache.evict"
 let c_chain_pruned = Counters.create "path_join.pruned.chain_rows"
 let c_anchor_pruned = Counters.create "path_join.pruned.anchor_rows"
 let c_fixpoint_pruned = Counters.create "path_join.pruned.fixpoint_rows"
@@ -26,32 +31,44 @@ type jnode = {
 
 type result = { nodes : jnode array }
 
-(* A pattern chain: one root-to-leaf path of the query tree, with the
-   anchoring axis of its head.  [anchored] is true when the head step
-   is a child of the virtual document node (absolute [/n1]). *)
-type chain = { anchored : bool; steps : (Pattern.axis * string) list }
+(* Keys of the three execution caches.  The chain key drops the
+   node-id indirection of [Plan.chain]: feasibility only depends on
+   the anchoring and the (axis, tag) steps. *)
+type chain_key = bool * (Pattern.axis * string) list * int
+type rel_key = int * bool * string * string
 
 type t = {
   summary : Summary.t;
   chain_pruning : bool;
   (* (encoding, child?, anc tag, desc tag) -> axis holds on that path *)
-  rel_cache : (int * bool * string * string, bool) Hashtbl.t;
-  (* (chain, encoding) -> per-chain-node feasibility of a full ordered
-     embedding of the chain into that root-to-leaf path *)
-  chain_cache : (chain * int, bool array) Hashtbl.t;
+  rel_cache : (rel_key, bool) Plan_cache.t;
+  (* (anchored, steps, encoding) -> per-chain-node feasibility of a
+     full ordered embedding of the chain into that root-to-leaf path *)
+  chain_cache : (chain_key, bool array) Plan_cache.t;
   (* one estimate joins the same shape repeatedly (counterpart,
      simplified counterpart, Q'), and join output only depends on the
      shape given a fixed summary *)
-  run_cache : (Pattern.shape, result) Hashtbl.t;
+  run_cache : (Pattern.shape, result) Plan_cache.t;
 }
 
-let create ?(chain_pruning = true) summary =
+let create ?(chain_pruning = true) ?cache_capacity summary =
+  let capacity =
+    match cache_capacity with
+    | Some c -> c
+    | None -> Plan_cache.default_capacity
+  in
   {
     summary;
     chain_pruning;
-    rel_cache = Hashtbl.create 1024;
-    chain_cache = Hashtbl.create 1024;
-    run_cache = Hashtbl.create 256;
+    rel_cache =
+      Plan_cache.create ~capacity ~hit:c_rel_hit ~miss:c_rel_miss
+        ~evict:c_rel_evict ();
+    chain_cache =
+      Plan_cache.create ~capacity ~hit:c_chain_hit ~miss:c_chain_miss
+        ~evict:c_chain_evict ();
+    run_cache =
+      Plan_cache.create ~capacity ~hit:c_run_hit ~miss:c_run_miss
+        ~evict:c_run_evict ();
   }
 
 (* Can the whole chain embed into the path type [encoding], and if so
@@ -60,96 +77,85 @@ let create ?(chain_pruning = true) summary =
    chain places it somewhere on the path.  Child steps demand adjacent
    positions, descendant steps any later position; an anchored head
    must sit at position 0. *)
-let chain_feasibility t (c : chain) encoding =
-  match Hashtbl.find_opt t.chain_cache (c, encoding) with
-  | Some f ->
-      Counters.incr c_chain_hit;
-      f
-  | None ->
-      Counters.incr c_chain_miss;
-      let path =
-        Array.of_list
-          (Encoding_table.path_of_encoding
-             (Summary.encoding_table t.summary)
-             encoding)
+let chain_feasibility_uncached t ~anchored ~steps encoding =
+  let path =
+    Array.of_list
+      (Encoding_table.path_of_encoding
+         (Summary.encoding_table t.summary)
+         encoding)
+  in
+  let m = Array.length path in
+  let k = List.length steps in
+  let steps = Array.of_list steps in
+  (* forward[i].(q): prefix s_0..s_i embeds with s_i at position q *)
+  let forward = Array.make_matrix k m false in
+  (* an anchored head ([/n1]) is the document root: position 0 *)
+  (for q = 0 to m - 1 do
+     let _, tag = steps.(0) in
+     if String.equal path.(q) tag && ((not anchored) || q = 0) then
+       forward.(0).(q) <- true
+   done);
+  for i = 1 to k - 1 do
+    let axis, tag = steps.(i) in
+    for q = 0 to m - 1 do
+      if String.equal path.(q) tag then
+        let reachable =
+          match axis with
+          | Pattern.Child -> q > 0 && forward.(i - 1).(q - 1)
+          | Pattern.Descendant ->
+              let rec any p = p >= 0 && (forward.(i - 1).(p) || any (p - 1)) in
+              any (q - 1)
+        in
+        if reachable then forward.(i).(q) <- true
+    done
+  done;
+  (* backward[i].(q): suffix s_i..s_{k-1} embeds with s_i at q *)
+  let backward = Array.make_matrix k m false in
+  (for q = 0 to m - 1 do
+     let _, tag = steps.(k - 1) in
+     if String.equal path.(q) tag then backward.(k - 1).(q) <- true
+   done);
+  for i = k - 2 downto 0 do
+    let _, tag = steps.(i) in
+    let next_axis, _ = steps.(i + 1) in
+    for q = 0 to m - 1 do
+      if String.equal path.(q) tag then
+        let extendable =
+          match next_axis with
+          | Pattern.Child -> q + 1 < m && backward.(i + 1).(q + 1)
+          | Pattern.Descendant ->
+              let rec any p = p < m && (backward.(i + 1).(p) || any (p + 1)) in
+              any (q + 1)
+        in
+        if extendable then backward.(i).(q) <- true
+    done
+  done;
+  Array.init k (fun i ->
+      let rec any q =
+        q < m && ((forward.(i).(q) && backward.(i).(q)) || any (q + 1))
       in
-      let m = Array.length path in
-      let k = List.length c.steps in
-      let steps = Array.of_list c.steps in
-      (* forward[i].(q): prefix s_0..s_i embeds with s_i at position q *)
-      let forward = Array.make_matrix k m false in
-      (* an anchored head ([/n1]) is the document root: position 0 *)
-      (for q = 0 to m - 1 do
-         let _, tag = steps.(0) in
-         if String.equal path.(q) tag && ((not c.anchored) || q = 0) then
-           forward.(0).(q) <- true
-       done);
-      for i = 1 to k - 1 do
-        let axis, tag = steps.(i) in
-        for q = 0 to m - 1 do
-          if String.equal path.(q) tag then
-            let reachable =
-              match axis with
-              | Pattern.Child -> q > 0 && forward.(i - 1).(q - 1)
-              | Pattern.Descendant ->
-                  let rec any p = p >= 0 && (forward.(i - 1).(p) || any (p - 1)) in
-                  any (q - 1)
-            in
-            if reachable then forward.(i).(q) <- true
-        done
-      done;
-      (* backward[i].(q): suffix s_i..s_{k-1} embeds with s_i at q *)
-      let backward = Array.make_matrix k m false in
-      (for q = 0 to m - 1 do
-         let _, tag = steps.(k - 1) in
-         if String.equal path.(q) tag then backward.(k - 1).(q) <- true
-       done);
-      for i = k - 2 downto 0 do
-        let _, tag = steps.(i) in
-        let next_axis, _ = steps.(i + 1) in
-        for q = 0 to m - 1 do
-          if String.equal path.(q) tag then
-            let extendable =
-              match next_axis with
-              | Pattern.Child -> q + 1 < m && backward.(i + 1).(q + 1)
-              | Pattern.Descendant ->
-                  let rec any p = p < m && (backward.(i + 1).(p) || any (p + 1)) in
-                  any (q + 1)
-            in
-            if extendable then backward.(i).(q) <- true
-        done
-      done;
-      let feasible =
-        Array.init k (fun i ->
-            let rec any q =
-              q < m && ((forward.(i).(q) && backward.(i).(q)) || any (q + 1))
-            in
-            any 0)
-      in
-      Hashtbl.add t.chain_cache (c, encoding) feasible;
-      feasible
+      any 0)
+
+let chain_feasibility t (c : Plan.chain) encoding =
+  Plan_cache.find_or_add t.chain_cache
+    (c.Plan.anchored, c.Plan.steps, encoding)
+    (fun (anchored, steps, encoding) ->
+      chain_feasibility_uncached t ~anchored ~steps encoding)
 
 let axis_on_path t ~encoding ~child ~anc ~desc =
-  let key = (encoding, child, anc, desc) in
-  match Hashtbl.find_opt t.rel_cache key with
-  | Some v ->
-      Counters.incr c_rel_hit;
-      v
-  | None ->
-      Counters.incr c_rel_miss;
-      let v =
-        Encoding_table.axis_holds
-          (Summary.encoding_table t.summary)
-          ~encoding
-          ~axis:(if child then `Child else `Descendant)
-          ~anc ~desc
-      in
-      Hashtbl.add t.rel_cache key v;
-      v
+  Plan_cache.find_or_add t.rel_cache (encoding, child, anc, desc)
+    (fun (encoding, child, anc, desc) ->
+      Encoding_table.axis_holds
+        (Summary.encoding_table t.summary)
+        ~encoding
+        ~axis:(if child then `Child else `Descendant)
+        ~anc ~desc)
 
 (* Does the tag relation hold on some path of the descendant-side pid? *)
 let rel_ok t ~axis ~anc ~desc pid =
-  let child = match (axis : Pattern.axis) with Child -> true | Descendant -> false in
+  let child =
+    match (axis : Pattern.axis) with Child -> true | Descendant -> false
+  in
   let exception Yes in
   try
     Bitvec.iter_set_bits pid (fun bit ->
@@ -157,115 +163,48 @@ let rel_ok t ~axis ~anc ~desc pid =
     false
   with Yes -> true
 
-type jedge = { parent : int; child : int; axis : Pattern.axis }
-
-(* Flatten a shape into join nodes, parent-child edges and pattern
-   chains.  Ordered shapes join via their counterpart, but node
-   positions keep the original flavor so lookups can use
-   In_first/In_second. *)
-let graph_of_shape shape =
-  let nodes = ref [] and edges = ref [] and count = ref 0 in
-  let add tag position =
-    nodes := (tag, position) :: !nodes;
-    incr count;
-    !count - 1
-  in
-  let add_spine spine ~anchor ~pos_of =
-    List.fold_left
-      (fun (i, parent) (s : Pattern.step) ->
-        let id = add s.tag (pos_of i) in
-        (match parent with
-        | Some p -> edges := { parent = p; child = id; axis = s.axis } :: !edges
-        | None -> ());
-        (i + 1, Some id))
-      (0, anchor) spine
-    |> snd
-  in
-  let head_axis spine = match spine with [] -> Pattern.Child | s :: _ -> s.Pattern.axis in
-  (match (shape : Pattern.shape) with
-  | Simple spine ->
-      ignore (add_spine spine ~anchor:None ~pos_of:(fun i -> Pattern.In_trunk i))
-  | Branch { trunk; branch; tail } ->
-      let attach = add_spine trunk ~anchor:None ~pos_of:(fun i -> Pattern.In_trunk i) in
-      ignore (add_spine branch ~anchor:attach ~pos_of:(fun i -> Pattern.In_branch i));
-      ignore (add_spine tail ~anchor:attach ~pos_of:(fun i -> Pattern.In_tail i))
-  | Ordered { trunk; first; axis; second } ->
-      let attach = add_spine trunk ~anchor:None ~pos_of:(fun i -> Pattern.In_trunk i) in
-      ignore (add_spine first ~anchor:attach ~pos_of:(fun i -> Pattern.In_first i));
-      (* The counterpart reattaches [second] under the trunk with the
-         axis implied by the order axis; Pattern.v has already forced
-         the head axis to match, so the spine is usable as-is. *)
-      ignore axis;
-      ignore (add_spine second ~anchor:attach ~pos_of:(fun i -> Pattern.In_second i)));
-  let first_axis =
-    match (shape : Pattern.shape) with
-    | Simple spine | Branch { trunk = spine; _ } | Ordered { trunk = spine; _ } ->
-        head_axis spine
-  in
-  (* chains of node indices: trunk alone (Simple) or trunk extended by
-     each branch part *)
-  let chains =
-    let len l = List.length l in
-    let ids lo n = List.init n (fun i -> lo + i) in
-    match (shape : Pattern.shape) with
-    | Simple spine -> [ ids 0 (len spine) ]
-    | Branch { trunk; branch; tail } ->
-        let t = len trunk and b = len branch and a = len tail in
-        (ids 0 t @ ids t b)
-        :: (if a > 0 then [ ids 0 t @ ids (t + b) a ] else [])
-    | Ordered { trunk; first; second; _ } ->
-        let t = len trunk and f = len first and s = len second in
-        [ ids 0 t @ ids t f; ids 0 t @ ids (t + f) s ]
-  in
-  (List.rev !nodes, List.rev !edges, first_axis, chains)
-
-let run_uncached t shape =
-  let node_specs, edges, first_axis, chains = graph_of_shape shape in
+(* Execute a compiled join spec (the chain/edge extraction happened at
+   Plan compile time). *)
+let run_uncached t (spec : Plan.join_spec) =
   let nodes =
-    Array.of_list
-      (List.map
-         (fun (tag, position) ->
-           { tag; position; row = Array.of_list (Summary.tag_pids t.summary tag) })
-         node_specs)
+    Array.map
+      (fun (n : Plan.jnode) ->
+        {
+          tag = n.Plan.tag;
+          position = n.Plan.position;
+          row = Array.of_list (Summary.tag_pids t.summary n.Plan.tag);
+        })
+      spec.Plan.nodes
   in
-  (* incoming axis per node (the head gets the anchoring axis) *)
-  let node_axes = Array.make (Array.length nodes) first_axis in
-  List.iter (fun { child; axis; _ } -> node_axes.(child) <- axis) edges;
   (* Chain pruning: a pid can label a witness of chain node i only if
      the entire chain embeds into one of the pid's path types with
      node i somewhere on it. *)
   if t.chain_pruning then
-  List.iter
-    (fun chain_ids ->
-      let chain =
-        {
-          anchored = (first_axis = Pattern.Child);
-          steps = List.map (fun id -> (node_axes.(id), nodes.(id).tag)) chain_ids;
-        }
-      in
-      List.iteri
-        (fun i id ->
-          let node = nodes.(id) in
-          let before = Array.length node.row in
-          node.row <-
-            Array.of_list
-              (List.filter
-                 (fun (pid, _) ->
-                   let exception Yes in
-                   try
-                     Bitvec.iter_set_bits pid (fun bit ->
-                         if (chain_feasibility t chain (bit + 1)).(i) then
-                           raise Yes);
-                     false
-                   with Yes -> true)
-                 (Array.to_list node.row));
-          Counters.add c_chain_pruned (before - Array.length node.row))
-        chain_ids)
-    chains;
+    List.iter
+      (fun (chain : Plan.chain) ->
+        List.iteri
+          (fun i id ->
+            let node = nodes.(id) in
+            let before = Array.length node.row in
+            node.row <-
+              Array.of_list
+                (List.filter
+                   (fun (pid, _) ->
+                     let exception Yes in
+                     try
+                       Bitvec.iter_set_bits pid (fun bit ->
+                           if (chain_feasibility t chain (bit + 1)).(i) then
+                             raise Yes);
+                       false
+                     with Yes -> true)
+                   (Array.to_list node.row));
+            Counters.add c_chain_pruned (before - Array.length node.row))
+          chain.Plan.node_ids)
+      spec.Plan.chains;
   (* Anchor: a Child first step means "child of the virtual document
      node", i.e. the document root itself: only the root's pid (the
      all-paths vector) on a matching tag can survive. *)
-  (match first_axis with
+  (match spec.Plan.first_axis with
   | Pattern.Descendant -> ()
   | Pattern.Child ->
       let root_pid = Summary.root_pid t.summary in
@@ -282,11 +221,13 @@ let run_uncached t shape =
   while !changed do
     changed := false;
     List.iter
-      (fun { parent; child; axis } ->
-        let x = nodes.(parent) and y = nodes.(child) in
+      (fun (e : Plan.jedge) ->
+        let x = nodes.(e.Plan.parent) and y = nodes.(e.Plan.child) in
         (* Precompute the tag-relation flag per descendant-side pid. *)
         let y_rel =
-          Array.map (fun (pid, _) -> rel_ok t ~axis ~anc:x.tag ~desc:y.tag pid) y.row
+          Array.map
+            (fun (pid, _) -> rel_ok t ~axis:e.Plan.axis ~anc:x.tag ~desc:y.tag pid)
+            y.row
         in
         let keep_y =
           Array.mapi
@@ -316,19 +257,26 @@ let run_uncached t shape =
         in
         filter y keep_y;
         filter x keep_x)
-      edges
+      spec.Plan.edges
   done;
   { nodes }
 
-let run t shape =
-  match Hashtbl.find_opt t.run_cache shape with
-  | Some r ->
-      Counters.incr c_run_hit;
-      r
+let exec t (spec : Plan.join_spec) =
+  match Plan_cache.find_opt t.run_cache spec.Plan.shape with
+  | Some r -> r
   | None ->
-      Counters.incr c_run_miss;
-      let r = Counters.time t_run (fun () -> run_uncached t shape) in
-      Hashtbl.add t.run_cache shape r;
+      let r = Counters.time t_run (fun () -> run_uncached t spec) in
+      Plan_cache.add t.run_cache spec.Plan.shape r;
+      r
+
+let run t shape =
+  match Plan_cache.find_opt t.run_cache shape with
+  | Some r -> r
+  | None ->
+      let r =
+        Counters.time t_run (fun () -> run_uncached t (Plan.join_of_shape shape))
+      in
+      Plan_cache.add t.run_cache shape r;
       r
 
 let find result position =

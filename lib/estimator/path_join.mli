@@ -1,35 +1,50 @@
-(** The path (id) join (paper Section 4).
+(** The path (id) join (paper Section 4) — the execution half of the
+    estimation engine.
 
-    Given a query shape, every query node starts with the full pid row
-    of its tag from the p-histogram.  Pids are then pruned to a
-    fixpoint: a pid survives an adjacent query edge (X, axis, Y) only
-    if it has a partner on the other side such that (a) the partner
-    relation [Pid_X ⊒ Pid_Y] holds (path-id containment, Section 2)
-    and (b) the two tags stand in the axis's relation (parent-child
-    adjacency for [/], ancestor order for [//]) on at least one shared
-    root-to-leaf path.  Because [Pid_Y ⊆ Pid_X], the shared paths are
-    exactly [Pid_Y]'s bits, so (b) only depends on the descendant-side
-    pid; the implementation precomputes it per pid.
+    Given a compiled join spec ({!Xpest_plan.Plan.join_spec}), every
+    query node starts with the full pid row of its tag from the
+    p-histogram.  Pids are then pruned to a fixpoint: a pid survives
+    an adjacent query edge (X, axis, Y) only if it has a partner on
+    the other side such that (a) the partner relation [Pid_X ⊒ Pid_Y]
+    holds (path-id containment, Section 2) and (b) the two tags stand
+    in the axis's relation (parent-child adjacency for [/], ancestor
+    order for [//]) on at least one shared root-to-leaf path.  Because
+    [Pid_Y ⊆ Pid_X], the shared paths are exactly [Pid_Y]'s bits, so
+    (b) only depends on the descendant-side pid; the implementation
+    precomputes it per pid.
 
     An anchored head step ([/n1] from the document node) keeps only
-    the document root's pid on a matching tag. *)
+    the document root's pid on a matching tag.
+
+    The chain/edge extraction lives in the compiler
+    ({!Xpest_plan.Plan.join_of_shape}); this module only executes
+    specs against a summary, memoizing results in a bounded LRU
+    ({!Xpest_plan.Plan_cache}) keyed on the spec's shape. *)
 
 type t
-(** Join machinery for one summary; holds the tag-relationship cache
-    shared across queries. *)
+(** Join machinery for one summary; holds the bounded tag-relationship,
+    chain-feasibility and join-result caches shared across queries. *)
 
-val create : ?chain_pruning:bool -> Xpest_synopsis.Summary.t -> t
+val create :
+  ?chain_pruning:bool -> ?cache_capacity:int -> Xpest_synopsis.Summary.t -> t
 (** [chain_pruning] (default true) additionally prunes each node's
     pids by full-chain embeddability into the pid's path types before
     the pairwise fixpoint — see DESIGN.md "known deviations"; pass
     [false] to reproduce the paper's literal pairwise join (the A2
-    ablation). *)
+    ablation).  [cache_capacity] bounds each of the three LRU caches
+    (default {!Xpest_plan.Plan_cache.default_capacity} = 4096
+    entries). *)
 
 type result
 
+val exec : t -> Xpest_plan.Plan.join_spec -> result
+(** Runs a precompiled join spec to fixpoint, memoized on the spec's
+    shape. *)
+
 val run : t -> Xpest_xpath.Pattern.shape -> result
-(** Runs the join to fixpoint.  [Ordered] shapes are joined through
-    their order-free counterpart (order axes do not constrain pids). *)
+(** [run t shape] = [exec t (Plan.join_of_shape shape)], compiling
+    only on a cache miss.  [Ordered] shapes are joined through their
+    order-free counterpart (order axes do not constrain pids). *)
 
 val pids :
   result -> Xpest_xpath.Pattern.position -> (Xpest_util.Bitvec.t * float) list

@@ -259,9 +259,10 @@ let figure10 envs =
                  Env.summary env ~p_variance:v ~o_variance:0.0 ~with_order:false
                in
                let est = Env.estimator env ~p_variance:v ~o_variance:0.0 ~with_order:false in
-               let estimate q = Estimator.estimate est q in
                let x = kb (Summary.p_histogram_bytes s) in
-               (x, Metrics.mean_rel_error (select env) estimate))
+               ( x,
+                 Metrics.mean_rel_error_batch (select env)
+                   (Estimator.estimate_many est) ))
              variance_sweep
          in
          let simple = points (fun e -> Env.queries e `Simple) in
@@ -300,7 +301,8 @@ let figure11 envs =
                  Env.estimator env ~p_variance:v ~o_variance:0.0 ~with_order:false
                in
                ( kb (Summary.total_bytes s),
-                 Metrics.mean_rel_error queries (Estimator.estimate est) ))
+                 Metrics.mean_rel_error_batch queries
+                   (Estimator.estimate_many est) ))
              variance_sweep
          in
          (* XSketch across a budget range spanning ours *)
@@ -352,8 +354,8 @@ let order_figure ~fid ~title ~cls envs =
                          ~with_order:true
                      in
                      ( kb (Summary.o_histogram_bytes s),
-                       Metrics.mean_rel_error (Env.queries env cls)
-                         (Estimator.estimate est) ))
+                       Metrics.mean_rel_error_batch (Env.queries env cls)
+                         (Estimator.estimate_many est) ))
                    o_variances
                in
                (Printf.sprintf "p-histo.v=%s" (fmt pv), points))
@@ -386,7 +388,6 @@ let ablation_order envs =
     List.concat_map
       (fun env ->
         let est = Env.estimator env ~p_variance:0.0 ~o_variance:0.0 ~with_order:true in
-        let order_aware q = Estimator.estimate est q in
         let order_blind q =
           Estimator.estimate est
             (Xpest_xpath.Pattern.v
@@ -404,7 +405,9 @@ let ablation_order envs =
             let err f = Printf.sprintf "%.4f" (Metrics.mean_rel_error queries f) in
             [
               dsname env ^ " / " ^ label;
-              err order_aware;
+              Printf.sprintf "%.4f"
+                (Metrics.mean_rel_error_batch queries
+                   (Estimator.estimate_many est));
               err order_blind;
               err (Xsketch.estimate sk);
               err (Xpest_baseline.Position_histogram.estimate ph);
@@ -429,7 +432,10 @@ let ablation_chain_pruning envs =
         let with_cp = Estimator.create ~chain_pruning:true s in
         let without_cp = Estimator.create ~chain_pruning:false s in
         let queries = Env.queries env `Simple @ Env.queries env `Branch in
-        let err e = Printf.sprintf "%.4f" (Metrics.mean_rel_error queries (Estimator.estimate e)) in
+        let err e =
+          Printf.sprintf "%.4f"
+            (Metrics.mean_rel_error_batch queries (Estimator.estimate_many e))
+        in
         [ dsname env; err without_cp; err with_cp ])
       envs
   in

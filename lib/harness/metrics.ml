@@ -16,6 +16,20 @@ let mean_rel_error items estimate =
   let errs = errors items estimate in
   if Array.length errs = 0 then 0.0 else Stats.mean errs
 
+let errors_batch items estimate_many =
+  let estimates = estimate_many (Workload.patterns items) in
+  Array.of_list
+    (List.mapi
+       (fun i (it : Workload.item) ->
+         Stats.relative_error
+           ~actual:(Float.of_int it.actual)
+           ~estimate:estimates.(i))
+       items)
+
+let mean_rel_error_batch items estimate_many =
+  let errs = errors_batch items estimate_many in
+  if Array.length errs = 0 then 0.0 else Stats.mean errs
+
 let percentile_errors items estimate =
   let errs = errors items estimate in
   if Array.length errs = 0 then (0.0, 0.0, 0.0)

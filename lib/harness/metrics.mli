@@ -8,6 +8,15 @@ val mean_rel_error :
     over a workload class (the y-axis of Figures 10-13); 0 for the
     empty list. *)
 
+val mean_rel_error_batch :
+  Xpest_workload.Workload.item list ->
+  (Xpest_xpath.Pattern.t array -> float array) ->
+  float
+(** Same metric computed through a batched estimator
+    ([Estimator.estimate_many]): the whole class is estimated in one
+    compile-dedupe-execute pass.  Numerically identical to
+    {!mean_rel_error} because batching is bit-identical per query. *)
+
 val percentile_errors :
   Xpest_workload.Workload.item list ->
   (Xpest_xpath.Pattern.t -> float) ->

@@ -1,0 +1,269 @@
+module Pattern = Xpest_xpath.Pattern
+
+(* ------------------------------------------------------------------ *)
+(* Equation selection (compile-time dispatch).                         *)
+
+type equation =
+  | Theorem_4_1
+  | Equation_2
+  | Equation_3
+  | Equation_4
+  | Equation_5
+  | Conversion_5_3
+
+let equation_name = function
+  | Theorem_4_1 -> "theorem_4_1"
+  | Equation_2 -> "equation_2"
+  | Equation_3 -> "equation_3"
+  | Equation_4 -> "equation_4"
+  | Equation_5 -> "equation_5"
+  | Conversion_5_3 -> "conversion_5_3"
+
+let equation_doc = function
+  | Theorem_4_1 -> "joined frequency of the target node"
+  | Equation_2 -> "branch target through the order-free simple query Q'"
+  | Equation_3 -> "order-head target scaled by the o-histogram survival ratio"
+  | Equation_4 -> "deep order target scaled by the head's survival ratio"
+  | Equation_5 -> "trunk target: min of order-free and both head bounds"
+  | Conversion_5_3 -> "following/preceding via sibling-axis gap conversion"
+
+let equation_of shape target =
+  match ((shape : Pattern.shape), (target : Pattern.position)) with
+  | Simple _, _ -> Theorem_4_1
+  | Branch _, In_trunk _ -> Theorem_4_1
+  | Branch _, (In_branch _ | In_tail _) -> Equation_2
+  | Branch _, (In_first _ | In_second _) ->
+      invalid_arg "Plan.compile: order position in a branch shape"
+  | Ordered { axis = Following | Preceding; _ }, _ -> Conversion_5_3
+  | Ordered _, (In_first 0 | In_second 0) -> Equation_3
+  | Ordered _, (In_first _ | In_second _) -> Equation_4
+  | Ordered _, In_trunk _ -> Equation_5
+  | Ordered _, (In_branch _ | In_tail _) ->
+      invalid_arg "Plan.compile: branch position in an ordered shape"
+
+(* ------------------------------------------------------------------ *)
+(* Compiled join graph.                                                *)
+
+type jnode = { tag : string; position : Pattern.position }
+type jedge = { parent : int; child : int; axis : Pattern.axis }
+
+(* One root-to-leaf chain of the query tree: the trunk alone (Simple)
+   or the trunk extended by one branch part.  [anchored] is true when
+   the head step is a child of the virtual document node ([/n1]);
+   [steps] pairs each chain node's incoming axis with its tag;
+   [node_ids] indexes the chain back into the node array. *)
+type chain = {
+  anchored : bool;
+  steps : (Pattern.axis * string) list;
+  node_ids : int list;
+}
+
+type join_spec = {
+  shape : Pattern.shape;  (* canonical cache key of the spec *)
+  nodes : jnode array;
+  edges : jedge list;
+  node_axes : Pattern.axis array;
+      (* incoming axis per node; the head gets the anchoring axis *)
+  first_axis : Pattern.axis;
+  chains : chain list;
+}
+
+(* Flatten a shape into join nodes, parent-child edges and pattern
+   chains.  Ordered shapes join via their counterpart, but node
+   positions keep the original flavor so lookups can use
+   In_first/In_second. *)
+let join_of_shape (shape : Pattern.shape) =
+  let nodes = ref [] and edges = ref [] and count = ref 0 in
+  let add tag position =
+    nodes := { tag; position } :: !nodes;
+    incr count;
+    !count - 1
+  in
+  let add_spine spine ~anchor ~pos_of =
+    List.fold_left
+      (fun (i, parent) (s : Pattern.step) ->
+        let id = add s.tag (pos_of i) in
+        (match parent with
+        | Some p -> edges := { parent = p; child = id; axis = s.axis } :: !edges
+        | None -> ());
+        (i + 1, Some id))
+      (0, anchor) spine
+    |> snd
+  in
+  let head_axis spine =
+    match spine with [] -> Pattern.Child | s :: _ -> s.Pattern.axis
+  in
+  (match shape with
+  | Simple spine ->
+      ignore (add_spine spine ~anchor:None ~pos_of:(fun i -> Pattern.In_trunk i))
+  | Branch { trunk; branch; tail } ->
+      let attach =
+        add_spine trunk ~anchor:None ~pos_of:(fun i -> Pattern.In_trunk i)
+      in
+      ignore (add_spine branch ~anchor:attach ~pos_of:(fun i -> Pattern.In_branch i));
+      ignore (add_spine tail ~anchor:attach ~pos_of:(fun i -> Pattern.In_tail i))
+  | Ordered { trunk; first; axis; second } ->
+      let attach =
+        add_spine trunk ~anchor:None ~pos_of:(fun i -> Pattern.In_trunk i)
+      in
+      ignore (add_spine first ~anchor:attach ~pos_of:(fun i -> Pattern.In_first i));
+      (* The counterpart reattaches [second] under the trunk with the
+         axis implied by the order axis; Pattern.v has already forced
+         the head axis to match, so the spine is usable as-is. *)
+      ignore axis;
+      ignore (add_spine second ~anchor:attach ~pos_of:(fun i -> Pattern.In_second i)));
+  let nodes = Array.of_list (List.rev !nodes) in
+  let edges = List.rev !edges in
+  let first_axis =
+    match shape with
+    | Simple spine | Branch { trunk = spine; _ } | Ordered { trunk = spine; _ } ->
+        head_axis spine
+  in
+  let node_axes = Array.make (Array.length nodes) first_axis in
+  List.iter (fun { child; axis; _ } -> node_axes.(child) <- axis) edges;
+  (* chains of node indices: trunk alone (Simple) or trunk extended by
+     each branch part *)
+  let chain_ids =
+    let len l = List.length l in
+    let ids lo n = List.init n (fun i -> lo + i) in
+    match shape with
+    | Simple spine -> [ ids 0 (len spine) ]
+    | Branch { trunk; branch; tail } ->
+        let t = len trunk and b = len branch and a = len tail in
+        (ids 0 t @ ids t b)
+        :: (if a > 0 then [ ids 0 t @ ids (t + b) a ] else [])
+    | Ordered { trunk; first; second; _ } ->
+        let t = len trunk and f = len first and s = len second in
+        [ ids 0 t @ ids t f; ids 0 t @ ids (t + f) s ]
+  in
+  let chains =
+    List.map
+      (fun ids ->
+        {
+          anchored = first_axis = Pattern.Child;
+          steps = List.map (fun id -> (node_axes.(id), nodes.(id).tag)) ids;
+          node_ids = ids;
+        })
+      chain_ids
+  in
+  { shape; nodes; edges; node_axes; first_axis; chains }
+
+(* ------------------------------------------------------------------ *)
+(* Equation (2) pre-compilation.                                       *)
+
+(* Equation (2) estimates through the simple query Q' = trunk/own that
+   drops the other branch; [ni] is the last trunk node, [pos_in_q']
+   the target's position once the branch part is spliced after the
+   trunk. *)
+type eq2 = {
+  q_prime : join_spec;
+  pos_in_q' : Pattern.position;
+  ni : Pattern.position;
+}
+
+let compile_eq2 ~trunk ~own ~own_index =
+  {
+    q_prime = join_of_shape (Pattern.Simple (trunk @ own));
+    pos_in_q' = Pattern.In_trunk (List.length trunk + own_index);
+    ni = Pattern.In_trunk (List.length trunk - 1);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The plan record.                                                    *)
+
+type t = {
+  pattern : Pattern.t;
+  equation : equation;
+  join : join_spec;
+  eq2 : eq2 option;  (* [Some] iff [equation = Equation_2] *)
+}
+
+let pattern t = t.pattern
+let equation t = t.equation
+let target t = Pattern.target t.pattern
+
+let compile pattern =
+  let shape = Pattern.shape pattern and target = Pattern.target pattern in
+  let equation = equation_of shape target in
+  let eq2 =
+    match (shape, target) with
+    | Pattern.Branch { trunk; branch; _ }, Pattern.In_branch i ->
+        Some (compile_eq2 ~trunk ~own:branch ~own_index:i)
+    | Pattern.Branch { trunk; tail; _ }, Pattern.In_tail i ->
+        Some (compile_eq2 ~trunk ~own:tail ~own_index:i)
+    | _ -> None
+  in
+  { pattern; equation; join = join_of_shape shape; eq2 }
+
+let compile_position pattern position =
+  compile (Pattern.v (Pattern.shape pattern) position)
+
+let key t = Pattern.to_string t.pattern
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable plan dumps.                                          *)
+
+let position_name = function
+  | Pattern.In_trunk i -> Printf.sprintf "trunk[%d]" i
+  | Pattern.In_branch i -> Printf.sprintf "branch[%d]" i
+  | Pattern.In_tail i -> Printf.sprintf "tail[%d]" i
+  | Pattern.In_first i -> Printf.sprintf "first[%d]" i
+  | Pattern.In_second i -> Printf.sprintf "second[%d]" i
+
+let axis_symbol = function Pattern.Child -> "/" | Pattern.Descendant -> "//"
+
+let render_steps steps =
+  String.concat ""
+    (List.map (fun (axis, tag) -> axis_symbol axis ^ tag) steps)
+
+let render_spine spine =
+  render_steps (List.map (fun (s : Pattern.step) -> (s.axis, s.tag)) spine)
+
+let pp ppf t =
+  let open Format in
+  let spec = t.join in
+  fprintf ppf "@[<v>plan %s@," (Pattern.to_string t.pattern);
+  fprintf ppf "  equation  %s  (%s)@," (equation_name t.equation)
+    (equation_doc t.equation);
+  let target = Pattern.target t.pattern in
+  fprintf ppf "  target    %s = %s@," (position_name target)
+    (match Pattern.tag_at t.pattern target with Some tag -> tag | None -> "?");
+  fprintf ppf "  join      %d nodes, %d edges, head axis %s%s@,"
+    (Array.length spec.nodes)
+    (List.length spec.edges)
+    (axis_symbol spec.first_axis)
+    (if spec.first_axis = Pattern.Child then " (anchored at the document root)"
+     else "");
+  Array.iteri
+    (fun i (n : jnode) ->
+      let parent =
+        List.find_opt (fun (e : jedge) -> e.child = i) spec.edges
+      in
+      fprintf ppf "    n%-2d %-10s %s%s%s@," i
+        (position_name n.position)
+        (axis_symbol spec.node_axes.(i))
+        n.tag
+        (match parent with
+        | Some e -> Printf.sprintf "   <- n%d" e.parent
+        | None -> ""))
+    spec.nodes;
+  List.iteri
+    (fun i (c : chain) ->
+      fprintf ppf "  chain %d   %s  (nodes %s%s)@," i (render_steps c.steps)
+        (String.concat "," (List.map (fun id -> "n" ^ string_of_int id) c.node_ids))
+        (if c.anchored then "; anchored" else ""))
+    spec.chains;
+  (match t.eq2 with
+  | Some e ->
+      let q'_spine =
+        match e.q_prime.shape with
+        | Pattern.Simple spine -> render_spine spine
+        | Pattern.Branch _ | Pattern.Ordered _ -> "?"
+      in
+      fprintf ppf "  eq2       Q' = %s, n_i = %s, target in Q' = %s@," q'_spine
+        (position_name e.ni)
+        (position_name e.pos_in_q')
+  | None -> ());
+  fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

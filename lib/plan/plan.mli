@@ -1,0 +1,111 @@
+(** Compiled query plans — the analysis half of the estimation engine.
+
+    The paper's estimation procedure is two-phase: {e analyze} the
+    XPath pattern (decompose it into root-to-leaf chains, determine
+    the anchoring axis, pick which of Theorem 4.1 / Equations 2–5 /
+    the Example 5.3 conversion applies to the target) and {e execute}
+    joins against a synopsis.  [Plan.compile] performs the whole first
+    phase once, independently of any {!Xpest_synopsis.Summary}: the
+    resulting plan record is reusable across summaries, cacheable (see
+    {!Plan_cache}) and batchable (identical plans share one
+    execution in [Estimator.estimate_many]). *)
+
+module Pattern = Xpest_xpath.Pattern
+
+(** {1 Equation selection} *)
+
+(** Which estimation formula the executor must apply to the target,
+    decided purely from the pattern's shape and target position. *)
+type equation =
+  | Theorem_4_1  (** simple query, or branch query with a trunk target *)
+  | Equation_2  (** branch/tail target via the simple query Q' *)
+  | Equation_3  (** order-head target (first/second position 0) *)
+  | Equation_4  (** deeper order target, scaled by the head's ratio *)
+  | Equation_5  (** trunk target of an order query (min of bounds) *)
+  | Conversion_5_3
+      (** [following]/[preceding]: converted at execution time into
+          sibling-axis queries along the encoding-table gaps *)
+
+val equation_name : equation -> string
+(** Stable lower-case tag, e.g. ["theorem_4_1"] — used by [pp], the
+    CLI and the plan tests. *)
+
+val equation_doc : equation -> string
+(** One-line human description. *)
+
+val equation_of : Pattern.shape -> Pattern.position -> equation
+(** The compile-time dispatch.  @raise Invalid_argument on positions
+    that cannot occur in the shape (excluded by {!Pattern.v}). *)
+
+(** {1 Compiled join graph} *)
+
+type jnode = { tag : string; position : Pattern.position }
+type jedge = { parent : int; child : int; axis : Pattern.axis }
+
+type chain = {
+  anchored : bool;
+  steps : (Pattern.axis * string) list;
+  node_ids : int list;
+}
+(** One root-to-leaf chain of the query tree with its anchoring: the
+    chain-feasibility pruning of the path join tests these against a
+    pid's path types. *)
+
+type join_spec = {
+  shape : Pattern.shape;  (** canonical cache key of the spec *)
+  nodes : jnode array;
+  edges : jedge list;
+  node_axes : Pattern.axis array;
+      (** incoming axis per node; the head gets the anchoring axis *)
+  first_axis : Pattern.axis;
+  chains : chain list;
+}
+(** Everything the path join needs to execute, precomputed from the
+    shape alone. *)
+
+val join_of_shape : Pattern.shape -> join_spec
+
+(** {1 Equation-2 pre-compilation} *)
+
+type eq2 = {
+  q_prime : join_spec;  (** Q' = trunk/own, the other branch dropped *)
+  pos_in_q' : Pattern.position;  (** the target spliced after the trunk *)
+  ni : Pattern.position;  (** the last trunk node *)
+}
+
+(** {1 Plans} *)
+
+type t = {
+  pattern : Pattern.t;
+  equation : equation;
+  join : join_spec;
+  eq2 : eq2 option;  (** [Some] iff [equation = Equation_2] *)
+}
+
+val compile : Pattern.t -> t
+(** Summary-independent compilation; pure and deterministic. *)
+
+val compile_position : Pattern.t -> Pattern.position -> t
+(** Compile with the target overridden.  @raise Invalid_argument if
+    the position is not in the pattern ({!Pattern.v}). *)
+
+val pattern : t -> Pattern.t
+val equation : t -> equation
+val target : t -> Pattern.position
+
+val key : t -> string
+(** Canonical text of the normalized plan ({!Pattern.to_string} of the
+    pattern); equal keys mean identical plans. *)
+
+(** {1 Rendering} *)
+
+val position_name : Pattern.position -> string
+(** e.g. ["tail[1]"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line plan dump: pattern, equation tag, target, join graph
+    (nodes, edges, anchoring), decomposed chains, and the
+    Equation-2 pieces when present.  The CLI's [plan] command prints
+    this. *)
+
+val to_string : t -> string

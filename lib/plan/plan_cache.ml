@@ -1,0 +1,125 @@
+module Counters = Xpest_util.Counters
+
+(* Bounded LRU cache: a hash table over an intrusive doubly-linked
+   recency list.  [find_opt] promotes to most-recent; inserting past
+   capacity evicts the least-recent entry.  All operations are O(1).
+
+   Counters are passed in by the instrumentation site (created once at
+   its module initialization) rather than created here: caches are
+   instantiated per estimator, and registering fresh counters per
+   instance would grow the global registry and duplicate report rows. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards most-recent *)
+  mutable next : ('k, 'v) node option;  (* towards least-recent *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  hit : Counters.t option;
+  miss : Counters.t option;
+  evict : Counters.t option;
+  mutable evictions : int;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) ?hit ?miss ?evict () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hit;
+    miss;
+    evict;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+
+let bump = function Some c -> Counters.incr c | None -> ()
+
+(* Unlink a node from the recency list (it stays in the table). *)
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let promote t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.key;
+      t.evictions <- t.evictions + 1;
+      bump t.evict
+
+let find_opt t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      bump t.hit;
+      promote t node;
+      Some node.value
+  | None ->
+      bump t.miss;
+      None
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+      unlink t old;
+      Hashtbl.remove t.table key
+  | None -> ());
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  let node = { key; value; prev = None; next = None } in
+  Hashtbl.replace t.table key node;
+  push_front t node
+
+let find_or_add t key compute =
+  match find_opt t key with
+  | Some v -> v
+  | None ->
+      let v = compute key in
+      add t key v;
+      v
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+(* Keys from most- to least-recently used; test/debug aid. *)
+let keys_by_recency t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  walk [] t.head

@@ -1,0 +1,48 @@
+(** Bounded LRU cache for the estimation engine.
+
+    Replaces the previously unbounded per-estimator hashtables of the
+    path join (tag-relationship, chain-feasibility and join-result
+    caches) and backs the estimator's compiled-plan cache.  Lookups
+    promote an entry to most-recently-used; inserting past capacity
+    evicts the least-recently-used entry.  All operations are O(1).
+
+    Hit/miss/evict observability counters are supplied by the caller
+    (created once at its module initialization, see
+    {!Xpest_util.Counters}); caches themselves are per-estimator
+    instances, so creating counters here would duplicate registry
+    entries. *)
+
+type ('k, 'v) t
+
+val default_capacity : int
+(** 4096 entries — documented in DESIGN.md ("Estimation engine"). *)
+
+val create :
+  ?capacity:int ->
+  ?hit:Xpest_util.Counters.t ->
+  ?miss:Xpest_util.Counters.t ->
+  ?evict:Xpest_util.Counters.t ->
+  unit ->
+  ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+(** Total evictions over the cache's lifetime (counted even when the
+    global counter switch is off). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Bumps the hit/miss counter and promotes on hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts (or replaces) as most-recently-used, evicting the LRU
+    entry when at capacity. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+
+val clear : ('k, 'v) t -> unit
+
+val keys_by_recency : ('k, 'v) t -> 'k list
+(** Keys from most- to least-recently used (test/debug aid). *)

@@ -221,6 +221,11 @@ let generate ?(config = default_config) doc =
   in
   { simple; branch; order_branch_target; order_trunk_target }
 
+let all_items t =
+  t.simple @ t.branch @ t.order_branch_target @ t.order_trunk_target
+
+let patterns items = Array.of_list (List.map (fun it -> it.pattern) items)
+
 let total_without_order t = List.length t.simple + List.length t.branch
 
 let total_with_order t =

@@ -47,6 +47,14 @@ val default_config : config
 
 val generate : ?config:config -> Xpest_xml.Doc.t -> t
 
+val all_items : t -> item list
+(** All four classes concatenated (simple, branch, order-branch,
+    order-trunk) — the natural unit for batched estimation. *)
+
+val patterns : item list -> Xpest_xpath.Pattern.t array
+(** The items' patterns in order, ready for
+    [Estimator.estimate_many]. *)
+
 val total_without_order : t -> int
 val total_with_order : t -> int
 (** The two totals of the paper's Table 2. *)

@@ -1,0 +1,207 @@
+(* Plan-compiler unit tests.
+
+   The compiler's equation choice is the estimator's dispatch, so the
+   tags are pinned here for the paper's example query forms: a wrong
+   tag means a different estimation formula would fire.  Plan_cache is
+   the bounded LRU under every estimator cache; its recency and
+   eviction behaviour is pinned directly. *)
+
+module Pattern = Xpest_xpath.Pattern
+module Plan = Xpest_plan.Plan
+module Plan_cache = Xpest_plan.Plan_cache
+
+let check_eq query expected =
+  let plan = Plan.compile (Pattern.of_string query) in
+  Alcotest.(check string)
+    query expected
+    (Plan.equation_name (Plan.equation plan))
+
+(* ------------------------------------------------------------------ *)
+(* Equation tags for the paper's query forms.                          *)
+
+let test_simple () =
+  check_eq "//A//{C}" "theorem_4_1";
+  check_eq "/{A}" "theorem_4_1";
+  check_eq "//A/B/{D}" "theorem_4_1"
+
+let test_branch () =
+  (* tail target: Equation 2 through Q' = trunk/tail *)
+  check_eq "//A[/C/F]/B/{D}" "equation_2";
+  (* branch target: Equation 2 through Q' = trunk/branch *)
+  check_eq "//A[/C/{F}]/B/D" "equation_2";
+  (* trunk target: the joined frequency is the answer *)
+  check_eq "//{A}[/C/F]/B/D" "theorem_4_1"
+
+let test_order_sibling () =
+  (* head of the second branch: Equation 3 *)
+  check_eq "//A[/C/folls::{B}/D]" "equation_3";
+  (* head of the first branch: Equation 3 *)
+  check_eq "//A[/{C}/folls::B/D]" "equation_3";
+  (* deeper in the second branch: Equation 4 *)
+  check_eq "//A[/C/folls::B/{D}]" "equation_4";
+  check_eq "//A[/C/F/pres::B/{D}]" "equation_4";
+  (* trunk target of an order query: Equation 5 *)
+  check_eq "//{A}[/C/folls::B/D]" "equation_5";
+  check_eq "//{A}[/C/pres::B]" "equation_5"
+
+let test_conversion () =
+  (* [following]/[preceding] convert to sibling-axis queries at
+     execution time, whatever the target position *)
+  check_eq "//A[/C/foll::{B}]" "conversion_5_3";
+  check_eq "//A[/C/foll::B/{D}]" "conversion_5_3";
+  check_eq "//{A}[/C/prec::B]" "conversion_5_3";
+  check_eq "//A[/{C}/prec::B]" "conversion_5_3"
+
+let test_compile_position () =
+  let q = Pattern.of_string "//A[/C/F]/B/{D}" in
+  let retargeted = Plan.compile_position q (Pattern.In_trunk 0) in
+  Alcotest.(check string)
+    "retargeted to trunk" "theorem_4_1"
+    (Plan.equation_name (Plan.equation retargeted));
+  Alcotest.check_raises "invalid position"
+    (Invalid_argument "Pattern.v: target position outside the pattern")
+    (fun () -> ignore (Plan.compile_position q (Pattern.In_trunk 9)))
+
+(* ------------------------------------------------------------------ *)
+(* Join-spec structure.                                                *)
+
+let test_join_spec () =
+  let plan = Plan.compile (Pattern.of_string "//A[/C/F]/B/{D}") in
+  let spec = plan.Plan.join in
+  Alcotest.(check int) "nodes" 5 (Array.length spec.Plan.nodes);
+  Alcotest.(check int) "edges" 4 (List.length spec.Plan.edges);
+  Alcotest.(check int) "chains" 2 (List.length spec.Plan.chains);
+  Alcotest.(check bool)
+    "descendant head => unanchored chains" true
+    (List.for_all (fun (c : Plan.chain) -> not c.Plan.anchored) spec.Plan.chains);
+  (* an anchored head anchors every chain *)
+  let anchored = Plan.compile (Pattern.of_string "/A[/C]/{B}") in
+  Alcotest.(check bool)
+    "child head => anchored chains" true
+    (List.for_all
+       (fun (c : Plan.chain) -> c.Plan.anchored)
+       anchored.Plan.join.Plan.chains)
+
+let test_eq2_precompiled () =
+  let plan = Plan.compile (Pattern.of_string "//A[/C/F]/B/{D}") in
+  match plan.Plan.eq2 with
+  | None -> Alcotest.fail "equation-2 plan lacks its eq2 record"
+  | Some e ->
+      (* Q' drops the branch: trunk (1) + tail (2) nodes *)
+      Alcotest.(check int) "q' nodes" 3 (Array.length e.Plan.q_prime.Plan.nodes);
+      Alcotest.(check bool)
+        "ni = last trunk node" true
+        (e.Plan.ni = Pattern.In_trunk 0);
+      Alcotest.(check bool)
+        "target spliced after the trunk" true
+        (e.Plan.pos_in_q' = Pattern.In_trunk 2)
+
+let test_pp_smoke () =
+  let dump q = Plan.to_string (Plan.compile (Pattern.of_string q)) in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let d = dump "//A[/C/F]/B/{D}" in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("pp mentions " ^ needle) true (contains d needle))
+    [ "equation_2"; "tail[1]"; "chain 0"; "Q' = //A/B/D"; "//A[/C/F]/B/{D}" ];
+  let d = dump "//A[/C/folls::{B}/D]" in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("pp mentions " ^ needle) true (contains d needle))
+    [ "equation_3"; "second[0]" ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan_cache: bounded LRU.                                            *)
+
+let test_cache_basics () =
+  let c = Plan_cache.create ~capacity:2 () in
+  Plan_cache.add c "a" 1;
+  Plan_cache.add c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Plan_cache.find_opt c "a");
+  (* "a" was just used, so inserting "c" evicts "b" *)
+  Plan_cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Plan_cache.find_opt c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Plan_cache.find_opt c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Plan_cache.find_opt c "c");
+  Alcotest.(check int) "length" 2 (Plan_cache.length c);
+  Alcotest.(check int) "capacity" 2 (Plan_cache.capacity c);
+  Alcotest.(check int) "evictions" 1 (Plan_cache.evictions c)
+
+let test_cache_lru_order () =
+  let c = Plan_cache.create ~capacity:3 () in
+  List.iter (fun k -> Plan_cache.add c k k) [ 1; 2; 3 ];
+  Alcotest.(check (list int))
+    "most-recent first" [ 3; 2; 1 ]
+    (Plan_cache.keys_by_recency c);
+  ignore (Plan_cache.find_opt c 1);
+  Alcotest.(check (list int))
+    "find promotes" [ 1; 3; 2 ]
+    (Plan_cache.keys_by_recency c);
+  Plan_cache.add c 4 4;
+  Alcotest.(check (option int)) "lru (2) evicted" None (Plan_cache.find_opt c 2);
+  Alcotest.(check (option int)) "1 kept" (Some 1) (Plan_cache.find_opt c 1)
+
+let test_cache_find_or_add () =
+  let c = Plan_cache.create ~capacity:8 () in
+  let computed = ref 0 in
+  let compute k =
+    incr computed;
+    k * 10
+  in
+  Alcotest.(check int) "computed" 10 (Plan_cache.find_or_add c 1 compute);
+  Alcotest.(check int) "cached" 10 (Plan_cache.find_or_add c 1 compute);
+  Alcotest.(check int) "compute ran once" 1 !computed;
+  Plan_cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Plan_cache.length c);
+  Alcotest.(check int) "recomputed" 10 (Plan_cache.find_or_add c 1 compute);
+  Alcotest.(check int) "compute ran again" 2 !computed
+
+let test_cache_overwrite_and_bounds () =
+  let c = Plan_cache.create ~capacity:2 () in
+  Plan_cache.add c "k" 1;
+  Plan_cache.add c "k" 2;
+  Alcotest.(check (option int)) "overwrite" (Some 2) (Plan_cache.find_opt c "k");
+  Alcotest.(check int) "no duplicate entry" 1 (Plan_cache.length c);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Plan_cache.create: capacity must be >= 1") (fun () ->
+      ignore (Plan_cache.create ~capacity:0 ()));
+  (* hammer a capacity-1 cache: never grows past its bound *)
+  let tiny = Plan_cache.create ~capacity:1 () in
+  for i = 1 to 100 do
+    Plan_cache.add tiny i i
+  done;
+  Alcotest.(check int) "bounded" 1 (Plan_cache.length tiny);
+  Alcotest.(check int) "evictions counted" 99 (Plan_cache.evictions tiny);
+  Alcotest.(check (option int)) "newest kept" (Some 100)
+    (Plan_cache.find_opt tiny 100)
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "equations",
+        [
+          Alcotest.test_case "simple" `Quick test_simple;
+          Alcotest.test_case "branch" `Quick test_branch;
+          Alcotest.test_case "order (sibling)" `Quick test_order_sibling;
+          Alcotest.test_case "order (conversion)" `Quick test_conversion;
+          Alcotest.test_case "compile_position" `Quick test_compile_position;
+        ] );
+      ( "ir",
+        [
+          Alcotest.test_case "join spec" `Quick test_join_spec;
+          Alcotest.test_case "eq2 precompiled" `Quick test_eq2_precompiled;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "lru order" `Quick test_cache_lru_order;
+          Alcotest.test_case "find_or_add" `Quick test_cache_find_or_add;
+          Alcotest.test_case "overwrite and bounds" `Quick
+            test_cache_overwrite_and_bounds;
+        ] );
+    ]
