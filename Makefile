@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check differential bench bench-json clean
+.PHONY: all build test check ci differential bench bench-json clean
 
 all: build
 
@@ -27,9 +27,18 @@ bench:
 	$(DUNE) exec bench/main.exe
 
 # Machine-readable estimation-engine benchmark: plan build time, cold
-# vs plan-cached throughput, and batch vs scalar speedup per dataset.
+# vs plan-cached throughput, batch vs scalar speedup per dataset, and
+# the multi-dataset catalog serving section.
 bench-json:
 	$(DUNE) exec bench/main.exe -- --engine-only --scale 0.1 --engine-json BENCH_engine.json
+
+# The whole gate in one target: compile, unit + differential suites,
+# regenerate the engine benchmark, and fail if cold-path throughput
+# regressed more than 30% against the committed BENCH_engine.json.
+ci: build
+	$(DUNE) runtest
+	$(MAKE) bench-json
+	sh tools/check_bench_regression.sh BENCH_engine.json
 
 clean:
 	$(DUNE) clean

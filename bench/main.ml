@@ -17,8 +17,11 @@ module Summary = Xpest_synopsis.Summary
 module Pf_table = Xpest_synopsis.Pf_table
 module P_histogram = Xpest_synopsis.P_histogram
 module Plan = Xpest_plan.Plan
+module Plan_cache = Xpest_plan.Plan_cache
 module Estimator = Xpest_estimator.Estimator
 module Path_join = Xpest_estimator.Path_join
+module Catalog = Xpest_catalog.Catalog
+module Counters = Xpest_util.Counters
 module Pattern = Xpest_xpath.Pattern
 module Truth = Xpest_xpath.Truth
 module Workload = Xpest_workload.Workload
@@ -164,8 +167,22 @@ let engine_bench_dataset ~scale name =
     scalar_cold;
   let scalar_cold_qps = qps n scalar_cold_s in
   let batch_warm_qps = qps n batch_warm_s in
-  Printf.sprintf
-    {|    {
+  (* working-set sizes of the batched estimator's caches after the full
+     workload ran twice: peak tells you what capacity the workload
+     actually needs, evictions whether the configured bound thrashed *)
+  let caches =
+    String.concat ",\n"
+      (List.map
+         (fun (cname, st) ->
+           Printf.sprintf
+             {|        %S: { "capacity": %d, "length": %d, "peak": %d, "evictions": %d }|}
+             cname st.Plan_cache.s_capacity st.Plan_cache.s_length
+             st.Plan_cache.s_peak st.Plan_cache.s_evictions)
+         (Estimator.cache_stats est_batch))
+  in
+  let entry =
+    Printf.sprintf
+      {|    {
       "dataset": %S,
       "elements": %d,
       "queries": %d,
@@ -178,31 +195,158 @@ let engine_bench_dataset ~scale name =
       "batch_plan_cached_qps": %.1f,
       "speedup_batch_cold_vs_scalar_cold": %.3f,
       "speedup_plan_cached_batch_vs_scalar_cold": %.3f,
-      "batch_bitwise_identical_to_scalar": %b
+      "batch_bitwise_identical_to_scalar": %b,
+      "caches": {
+%s
+      }
     }|}
-    dsname (Doc.size doc) n
-    (collect_s +. assemble_s)
-    compile_s
-    (1e6 *. compile_s /. Float.max (float_of_int n) 1.0)
-    scalar_cold_qps (qps n scalar_warm_s) (qps n batch_cold_s) batch_warm_qps
-    (qps n batch_cold_s /. scalar_cold_qps)
-    (batch_warm_qps /. scalar_cold_qps)
+      dsname (Doc.size doc) n
+      (collect_s +. assemble_s)
+      compile_s
+      (1e6 *. compile_s /. Float.max (float_of_int n) 1.0)
+      scalar_cold_qps (qps n scalar_warm_s) (qps n batch_cold_s) batch_warm_qps
+      (qps n batch_cold_s /. scalar_cold_qps)
+      (batch_warm_qps /. scalar_cold_qps)
+      !identical caches
+  in
+  (entry, (dsname, base, patterns))
+
+(* Multi-dataset serving: every dataset's workload (capped) routed
+   through one catalog at two variance targets per dataset.  The
+   resident capacity is one short of the key count, so summaries evict
+   and reload across the two passes (forward, then reversed — a cyclic
+   scan is LRU's worst case, the reverse pass exercises hits); the same
+   queries hitting both of a dataset's keys makes cross-summary plan
+   reuse visible as a non-zero plan-cache hit rate.  Loads go through
+   the wire codec so a summary load costs what a synopsis_decode
+   costs. *)
+let catalog_bench ctxs =
+  Printf.printf "engine bench: catalog serving...\n%!";
+  let variances = [ 0.0; 2.0 ] in
+  let cap_per_dataset = 400 in
+  let blobs = Hashtbl.create 8 in
+  List.iter
+    (fun (dsname, base, _) ->
+      List.iter
+        (fun v ->
+          let s = Summary.assemble ~p_variance:v ~o_variance:v base in
+          Hashtbl.add blobs (dsname, v) (Summary.encode s))
+        variances)
+    ctxs;
+  let loader (k : Catalog.key) =
+    Summary.decode (Hashtbl.find blobs (k.Catalog.dataset, k.Catalog.variance))
+  in
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun (dsname, _, patterns) ->
+           let m = min cap_per_dataset (Array.length patterns) in
+           List.concat_map
+             (fun v ->
+               List.init m (fun i ->
+                   ({ Catalog.dataset = dsname; variance = v }, patterns.(i))))
+             variances)
+         ctxs)
+  in
+  let n = Array.length pairs in
+  let rev_pairs = Array.init n (fun i -> pairs.(n - 1 - i)) in
+  let nkeys = List.length ctxs * List.length variances in
+  let capacity = max 1 (nkeys - 1) in
+  (* reference: a fresh estimator per key per pass — serving the same
+     batches without a catalog, and the bit-identity oracle *)
+  let reference () =
+    let out = Array.make n 0.0 in
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun (k, _) ->
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          let est = Estimator.create (loader k) in
+          Array.iteri
+            (fun j (k', q) -> if k' = k then out.(j) <- Estimator.estimate est q)
+            pairs
+        end)
+      pairs;
+    out
+  in
+  let cat = Catalog.create ~resident_capacity:capacity ~loader () in
+  let (routed, routed_rev), routed_s =
+    Env.time (fun () ->
+        (Catalog.estimate_batch cat pairs, Catalog.estimate_batch cat rev_pairs))
+  in
+  let st : Catalog.stats = Catalog.stats cat in
+  let (reference_out, _), loop_s =
+    Env.time (fun () -> (reference (), reference ()))
+  in
+  let identical = ref true in
+  Array.iteri
+    (fun i v ->
+      if
+        Int64.bits_of_float v <> Int64.bits_of_float reference_out.(i)
+        || Int64.bits_of_float routed_rev.(n - 1 - i)
+           <> Int64.bits_of_float reference_out.(i)
+      then identical := false)
+    routed;
+  let plan_hits, plan_misses =
+    Counters.with_enabled (fun () ->
+        let cat = Catalog.create ~resident_capacity:capacity ~loader () in
+        ignore (Catalog.estimate_batch cat pairs);
+        ignore (Catalog.estimate_batch cat rev_pairs);
+        let counter name =
+          match List.assoc_opt name (Counters.counters ()) with
+          | Some v -> v
+          | None -> 0
+        in
+        ( counter "estimator.plan_cache.hit",
+          counter "estimator.plan_cache.miss" ))
+  in
+  let routed_qps = qps (2 * n) routed_s in
+  let loop_qps = qps (2 * n) loop_s in
+  Printf.sprintf
+    {|  "catalog": {
+    "keys": %d,
+    "resident_capacity": %d,
+    "batches": 2,
+    "routed_queries": %d,
+    "summary_loads": %d,
+    "summary_pool_hits": %d,
+    "summary_evictions": %d,
+    "plan_cache_hits": %d,
+    "plan_cache_misses": %d,
+    "plan_cache_hit_rate": %.4f,
+    "plan_cache_peak": %d,
+    "routed_qps": %.1f,
+    "per_summary_loop_qps": %.1f,
+    "routed_vs_loop_speedup": %.3f,
+    "routed_bitwise_identical_to_fresh": %b
+  }|}
+    nkeys capacity (2 * n) st.Catalog.loads st.Catalog.hits st.Catalog.evictions
+    plan_hits plan_misses
+    (float_of_int plan_hits
+    /. Float.max (float_of_int (plan_hits + plan_misses)) 1.0)
+    st.Catalog.plan_cache.Plan_cache.s_peak routed_qps loop_qps
+    (routed_qps /. Float.max loop_qps 1e-9)
     !identical
 
 let engine_bench ~scale ~out =
-  let entries = List.map (engine_bench_dataset ~scale) Registry.all in
+  let entries, ctxs =
+    List.split (List.map (engine_bench_dataset ~scale) Registry.all)
+  in
+  let catalog_section = catalog_bench ctxs in
   let json =
     Printf.sprintf
       {|{
-  "schema": "xpest-bench-engine/1",
+  "schema": "xpest-bench-engine/2",
   "scale": %g,
   "datasets": [
 %s
-  ]
+  ],
+%s
 }
 |}
       scale
       (String.concat ",\n" entries)
+      catalog_section
   in
   let oc = open_out out in
   output_string oc json;

@@ -22,6 +22,8 @@ module Workload = Xpest_workload.Workload
 module Tablefmt = Xpest_util.Tablefmt
 module Counters = Xpest_util.Counters
 module Synopsis_io = Xpest_synopsis.Synopsis_io
+module Manifest = Xpest_synopsis.Manifest
+module Catalog = Xpest_catalog.Catalog
 module Env = Xpest_harness.Env
 module Experiments = Xpest_harness.Experiments
 module Metrics = Xpest_harness.Metrics
@@ -199,13 +201,61 @@ let or_die = function
       prerr_endline ("xpest: " ^ msg);
       exit 1
 
+(* Bucket/box counts per histogram family: the numbers variance-target
+   tuning turns (higher variance -> fewer buckets -> smaller synopsis,
+   larger error). *)
+let histogram_rows s =
+  let describe what unit counts =
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+    let largest =
+      List.fold_left
+        (fun (bt, bn) (t, n) -> if n > bn then (t, n) else (bt, bn))
+        ("-", 0) counts
+    in
+    if counts = [] then [ [ what ^ "s"; "none" ] ]
+    else
+      [
+        [
+          what ^ "s";
+          Printf.sprintf "%d tags, %d %s" (List.length counts) total unit;
+        ];
+        [
+          "largest " ^ what;
+          Printf.sprintf "%s (%d %s)" (fst largest) (snd largest) unit;
+        ];
+      ]
+  in
+  describe "p-histogram" "buckets" (Summary.p_histogram_buckets s)
+  @ describe "o-histogram" "boxes" (Summary.o_histogram_boxes s)
+
+let manifest_entry_rows m =
+  List.map
+    (fun (e : Manifest.entry) ->
+      [
+        Catalog.key_to_string
+          { Catalog.dataset = e.Manifest.dataset; variance = e.Manifest.variance };
+        e.Manifest.file;
+        Tablefmt.fmt_bytes e.Manifest.bytes;
+        Printf.sprintf "%016Lx" e.Manifest.checksum;
+      ])
+    m.Manifest.entries
+
 let synopsis_info_cmd =
   let run file =
     let i = or_die (Synopsis_io.info_result file) in
+    let kind = Synopsis_io.kind i in
+    let decodable = i.Synopsis_io.supported && i.Synopsis_io.checksum_ok in
     let rows =
       [
         [ "file"; i.Synopsis_io.path ];
-        [ "format version"; string_of_int i.Synopsis_io.version ];
+        [
+          "kind";
+          (match kind with
+          | `Synopsis -> "synopsis"
+          | `Catalog_manifest -> "catalog manifest"
+          | `Unknown -> "unknown");
+        ];
+        [ "wire format version"; string_of_int i.Synopsis_io.version ];
         [ "supported"; (if i.Synopsis_io.supported then "yes" else "no") ];
         [
           "on-disk size";
@@ -220,15 +270,29 @@ let synopsis_info_cmd =
           (fun (name, bytes) ->
             [ "section " ^ name; Tablefmt.fmt_bytes bytes ])
           i.Synopsis_io.sections
+      @ (if i.Synopsis_io.checksum_ok then
+           [ [ "container overhead"; Tablefmt.fmt_bytes (Synopsis_io.overhead_bytes i) ] ]
+         else [])
       @
-      if i.Synopsis_io.checksum_ok then
-        [ [ "container overhead"; Tablefmt.fmt_bytes (Synopsis_io.overhead_bytes i) ] ]
-      else []
+      match kind with
+      | `Synopsis when decodable ->
+          histogram_rows (or_die (Synopsis_io.load_result file))
+      | `Synopsis | `Catalog_manifest | `Unknown -> []
     in
     print_endline
       (Tablefmt.render_table ~header:[ "field"; "value" ]
          ~align:[ Tablefmt.Left; Tablefmt.Right ]
          rows);
+    (match kind with
+    | `Catalog_manifest when decodable ->
+        let m = or_die (Manifest.load_result file) in
+        print_newline ();
+        print_endline
+          (Tablefmt.render_table
+             ~header:[ "key"; "file"; "size"; "checksum" ]
+             ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right ]
+             (manifest_entry_rows m))
+    | `Synopsis | `Catalog_manifest | `Unknown -> ());
     if not i.Synopsis_io.checksum_ok then begin
       prerr_endline "xpest: checksum mismatch - file is corrupted or truncated";
       exit 1
@@ -236,8 +300,9 @@ let synopsis_info_cmd =
   in
   Cmd.v
     (Cmd.info "info"
-       ~doc:"Report a synopsis file's version, checksum and per-component \
-             sizes without decoding it.")
+       ~doc:"Report a synopsis or catalog-manifest file's version, checksum, \
+             per-component sizes, per-histogram bucket counts and (for \
+             manifests) the entry table.")
     Term.(const run $ synopsis_file_arg)
 
 let synopsis_load_cmd =
@@ -419,6 +484,289 @@ let synopsis_cmd =
       synopsis_info_cmd;
       synopsis_bench_cmd;
     ]
+
+(* ---------------- catalog ---------------- *)
+
+let key_conv =
+  let parse s =
+    match Catalog.key_of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf k = Format.pp_print_string ppf (Catalog.key_to_string k) in
+  Arg.conv (parse, print)
+
+let catalog_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Catalog directory (holds synopsis files and \
+                                the $(b,catalog.manifest)).")
+
+let manifest_path dir = Filename.concat dir Catalog.manifest_filename
+
+let load_manifest dir =
+  let path = manifest_path dir in
+  if Sys.file_exists path then or_die (Manifest.load_result path)
+  else begin
+    prerr_endline
+      (Printf.sprintf "xpest: no %s in %s (run `xpest catalog build` first)"
+         Catalog.manifest_filename dir);
+    exit 1
+  end
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let catalog_build_cmd =
+  let run dir keys scale seed =
+    mkdir_p dir;
+    let manifest = ref (
+      let path = manifest_path dir in
+      if Sys.file_exists path then or_die (Manifest.load_result path)
+      else Manifest.empty)
+    in
+    (* one generated document per dataset, shared across its variances *)
+    let docs = Hashtbl.create 4 in
+    let doc_of dataset =
+      match Hashtbl.find_opt docs dataset with
+      | Some doc -> doc
+      | None ->
+          let name =
+            match Registry.of_string dataset with
+            | Some name -> name
+            | None ->
+                prerr_endline
+                  (Printf.sprintf
+                     "xpest: %S is not a dataset (ssplays|dblp|xmark)" dataset);
+                exit 1
+          in
+          let doc = Registry.generate ~scale ?seed name in
+          Hashtbl.add docs dataset doc;
+          doc
+    in
+    List.iter
+      (fun (key : Catalog.key) ->
+        let doc = doc_of key.Catalog.dataset in
+        let s =
+          Summary.build ~p_variance:key.Catalog.variance
+            ~o_variance:key.Catalog.variance doc
+        in
+        manifest := Catalog.save_entry ~dir !manifest key s;
+        let e =
+          match
+            Manifest.find !manifest ~dataset:key.Catalog.dataset
+              ~variance:key.Catalog.variance
+          with
+          | Some e -> e
+          | None -> assert false
+        in
+        Printf.printf "built %s -> %s (%s)\n%!"
+          (Catalog.key_to_string key)
+          e.Manifest.file
+          (Tablefmt.fmt_bytes e.Manifest.bytes))
+      keys;
+    Manifest.save !manifest (manifest_path dir);
+    Printf.printf "wrote %s (%d entries)\n" (manifest_path dir)
+      (List.length !manifest.Manifest.entries)
+  in
+  let keys =
+    Arg.(
+      non_empty
+      & pos_right 0 key_conv []
+      & info [] ~docv:"KEY"
+          ~doc:
+            "Catalog keys as $(i,dataset)[@$(i,variance)], e.g. dblp@2; a \
+             bare dataset means variance 0.  The variance is used for both \
+             histogram families.")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Build synopsis files for the given (dataset, variance) keys and \
+             write/extend the catalog manifest.")
+    Term.(const run $ catalog_dir_arg $ keys $ scale $ seed)
+
+let catalog_info_cmd =
+  let run dir =
+    let m = load_manifest dir in
+    let rows =
+      List.map
+        (fun (e : Manifest.entry) ->
+          let path = Filename.concat dir e.Manifest.file in
+          let status =
+            match Synopsis_io.info_result path with
+            | Error _ -> "MISSING"
+            | Ok i ->
+                if
+                  i.Synopsis_io.total_bytes = e.Manifest.bytes
+                  && Int64.equal i.Synopsis_io.checksum e.Manifest.checksum
+                then "ok"
+                else "STALE"
+          in
+          [
+            Catalog.key_to_string
+              { Catalog.dataset = e.Manifest.dataset;
+                variance = e.Manifest.variance };
+            e.Manifest.file;
+            Tablefmt.fmt_bytes e.Manifest.bytes;
+            Printf.sprintf "%016Lx" e.Manifest.checksum;
+            status;
+          ])
+        m.Manifest.entries
+    in
+    print_endline
+      (Tablefmt.render_table
+         ~header:[ "key"; "file"; "size"; "checksum"; "status" ]
+         ~align:
+           [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+             Tablefmt.Left ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Show the catalog's entry table and verify each synopsis file \
+             against its manifest record.")
+    Term.(const run $ catalog_dir_arg)
+
+(* A routed query file: one `key<TAB>xpath` pair per line. *)
+let read_routed_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | line ->
+            let trimmed = String.trim line in
+            let acc =
+              if String.length trimmed = 0 || trimmed.[0] = '#' then acc
+              else
+                match String.index_opt line '\t' with
+                | None ->
+                    prerr_endline
+                      (Printf.sprintf
+                         "xpest: %s:%d: expected `key<TAB>xpath`" path lineno);
+                    exit 1
+                | Some i ->
+                    let keys = String.trim (String.sub line 0 i) in
+                    let qs =
+                      String.trim
+                        (String.sub line (i + 1) (String.length line - i - 1))
+                    in
+                    let key =
+                      match Catalog.key_of_string keys with
+                      | Ok k -> k
+                      | Error msg ->
+                          prerr_endline
+                            (Printf.sprintf "xpest: %s:%d: %s" path lineno msg);
+                          exit 1
+                    in
+                    (key, Pattern.of_string qs) :: acc
+            in
+            loop (lineno + 1) acc
+        | exception End_of_file -> List.rev acc
+      in
+      loop 1 [])
+
+let run_catalog_estimate dir queries_file resident metrics =
+    let pairs = Array.of_list (read_routed_file queries_file) in
+    if Array.length pairs = 0 then begin
+      prerr_endline "xpest: no routed queries in the file";
+      exit 1
+    end;
+    let m = load_manifest dir in
+    let cat = Catalog.of_manifest ~resident_capacity:resident ~dir m in
+    let work () =
+      let estimates = Catalog.estimate_batch cat pairs in
+      let rows =
+        Array.to_list
+          (Array.mapi
+             (fun i (key, q) ->
+               [
+                 Catalog.key_to_string key;
+                 Pattern.to_string q;
+                 Tablefmt.fmt_float estimates.(i);
+               ])
+             pairs)
+      in
+      print_endline
+        (Tablefmt.render_table
+           ~header:[ "key"; "query"; "estimate" ]
+           ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right ]
+           rows);
+      let s = Catalog.stats cat in
+      Printf.printf
+        "\ncatalog: %d/%d resident, %d loads, %d hits, %d evictions; \
+         plan cache peak %d, %d evictions\n"
+        s.Catalog.resident s.Catalog.resident_capacity s.Catalog.loads
+        s.Catalog.hits s.Catalog.evictions
+        s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_peak
+        s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_evictions
+    in
+    if metrics then begin
+      Metrics.with_counters work;
+      (* per-summary attribution: counter deltas bracketed around each
+         routed group (Counters.delta_between) *)
+      List.iter
+        (fun (key, delta) ->
+          Printf.printf "\ncounters for %s:\n" (Catalog.key_to_string key);
+          print_string
+            (Tablefmt.render_table ~header:[ "counter"; "value" ]
+               ~align:[ Tablefmt.Left; Tablefmt.Right ]
+               (List.map (fun (n, v) -> [ n; string_of_int v ]) delta)))
+        (Catalog.last_batch_metrics cat);
+      Printf.printf "\nObservability counters (whole run):\n%s"
+        (Metrics.render_counters ())
+    end
+    else work ()
+
+let catalog_estimate_cmd =
+  let run dir queries_file resident metrics =
+    try run_catalog_estimate dir queries_file resident metrics
+    with Invalid_argument msg | Sys_error msg ->
+      (* loader failures: unknown key, stale/missing synopsis file *)
+      prerr_endline ("xpest: " ^ msg);
+      exit 1
+  in
+  let queries_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:
+            "Routed query file: one $(i,key)<TAB>$(i,xpath) per line (blank \
+             lines and # comments skipped).  The whole file is estimated in \
+             one routed batch.")
+  in
+  let resident =
+    Arg.(
+      value
+      & opt int Catalog.default_resident_capacity
+      & info [ "resident" ] ~docv:"N"
+          ~doc:"Resident-set capacity: how many summaries stay loaded at \
+                once (LRU beyond that).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print observability counters, attributed per summary.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Route a batch of (key, query) pairs across the catalog's \
+             summaries from one shared plan space.")
+    Term.(const run $ catalog_dir_arg $ queries_file $ resident $ metrics)
+
+let catalog_cmd =
+  Cmd.group
+    (Cmd.info "catalog"
+       ~doc:"Build and serve many estimation synopses behind one routing \
+             service.")
+    [ catalog_build_cmd; catalog_info_cmd; catalog_estimate_cmd ]
 
 (* ---------------- plan ---------------- *)
 
@@ -675,5 +1023,5 @@ let () =
           (Cmd.info "xpest" ~version:"1.0.0" ~doc)
           [
             generate_cmd; stats_cmd; build_synopsis_cmd; synopsis_cmd;
-            plan_cmd; estimate_cmd; workload_cmd; experiment_cmd;
+            catalog_cmd; plan_cmd; estimate_cmd; workload_cmd; experiment_cmd;
           ]))

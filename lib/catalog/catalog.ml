@@ -1,0 +1,217 @@
+module Counters = Xpest_util.Counters
+module Summary = Xpest_synopsis.Summary
+module Manifest = Xpest_synopsis.Manifest
+module Synopsis_io = Xpest_synopsis.Synopsis_io
+module Pattern = Xpest_xpath.Pattern
+module Plan_cache = Xpest_plan.Plan_cache
+module Cache_config = Xpest_plan.Cache_config
+module Estimator = Xpest_estimator.Estimator
+
+(* Observability: resident-set behavior of the catalog and routing
+   volume.  No-ops unless [Counters.set_enabled true]; the unconditional
+   duplicates live in [t] so [stats] works without enablement. *)
+let c_load = Counters.create "catalog.summary.load"
+let c_hit = Counters.create "catalog.summary.hit"
+let c_evict = Counters.create "catalog.summary.evict"
+let c_batch = Counters.create "catalog.batch.calls"
+let c_routed = Counters.create "catalog.batch.queries"
+let c_groups = Counters.create "catalog.batch.groups"
+let t_load = Counters.create_timer "catalog.summary.load"
+
+(* ------------------------------------------------------------------ *)
+(* Keys.                                                               *)
+
+type key = { dataset : string; variance : float }
+
+let key_to_string k = Printf.sprintf "%s@%g" k.dataset k.variance
+
+let key_of_string s =
+  let mk dataset variance =
+    if String.length dataset = 0 then
+      Error (Printf.sprintf "catalog key %S: empty dataset" s)
+    else Ok { dataset; variance }
+  in
+  match String.index_opt s '@' with
+  | None -> mk s 0.0
+  | Some i -> (
+      let dataset = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt v with
+      | Some variance when variance >= 0.0 && Float.is_finite variance ->
+          mk dataset variance
+      | Some _ | None ->
+          Error
+            (Printf.sprintf
+               "catalog key %S: variance %S is not a non-negative number" s v))
+
+let key_filename k =
+  (* '@' is legal in file names but hostile to shells; keep names tame *)
+  Printf.sprintf "%s_v%g.syn" k.dataset k.variance
+
+(* ------------------------------------------------------------------ *)
+(* The catalog: a bounded LRU of resident summaries, each paired with
+   its pooled estimator.  The estimator pool shares one compiled-plan
+   cache: plans are summary-independent, so a query compiled for one
+   summary is a plan-cache hit when routed to any other.               *)
+
+type resident = { summary : Summary.t; estimator : Estimator.t }
+
+type t = {
+  loader : key -> Summary.t;
+  config : Cache_config.t;
+  chain_pruning : bool option;
+  plans : (Pattern.t, Xpest_plan.Plan.t) Plan_cache.t;  (* pool-shared *)
+  residents : (key, resident) Plan_cache.t;
+  mutable loads : int;
+  mutable hits : int;
+  mutable last_metrics : (key * (string * int) list) list;
+}
+
+let default_resident_capacity = 8
+
+let create ?(resident_capacity = default_resident_capacity) ?config
+    ?chain_pruning ~loader () =
+  if resident_capacity < 1 then
+    invalid_arg "Catalog.create: resident_capacity must be >= 1";
+  let config = match config with Some c -> c | None -> Cache_config.default in
+  {
+    loader;
+    config;
+    chain_pruning;
+    plans = Estimator.create_plan_cache ~capacity:config.Cache_config.plan ();
+    residents =
+      Plan_cache.create ~capacity:resident_capacity ~hit:c_hit ~miss:c_load
+        ~evict:c_evict ();
+    loads = 0;
+    hits = 0;
+    last_metrics = [];
+  }
+
+let acquire t key =
+  match Plan_cache.find_opt t.residents key with
+  | Some r ->
+      t.hits <- t.hits + 1;
+      r.estimator
+  | None ->
+      let summary = Counters.time t_load (fun () -> t.loader key) in
+      let estimator =
+        Estimator.create ?chain_pruning:t.chain_pruning ~config:t.config
+          ~plans:t.plans summary
+      in
+      t.loads <- t.loads + 1;
+      Plan_cache.add t.residents key { summary; estimator };
+      estimator
+
+(* ------------------------------------------------------------------ *)
+(* File-backed catalogs.                                               *)
+
+let manifest_filename = "catalog.manifest"
+
+let save_entry ~dir manifest key summary =
+  let file = key_filename key in
+  let path = Filename.concat dir file in
+  Summary.save summary path;
+  let i = Synopsis_io.info path in
+  Manifest.add manifest
+    {
+      Manifest.dataset = key.dataset;
+      variance = key.variance;
+      file;
+      bytes = i.Synopsis_io.total_bytes;
+      checksum = i.Synopsis_io.checksum;
+    }
+
+let manifest_loader ~dir manifest key =
+  match
+    Manifest.find manifest ~dataset:key.dataset ~variance:key.variance
+  with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "catalog: no entry for key %s in the manifest"
+           (key_to_string key))
+  | Some e ->
+      let path = Filename.concat dir e.Manifest.file in
+      let i = Synopsis_io.info path in
+      if
+        i.Synopsis_io.total_bytes <> e.Manifest.bytes
+        || not (Int64.equal i.Synopsis_io.checksum e.Manifest.checksum)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "catalog: %s does not match its manifest entry (expected %d \
+              bytes, checksum %016Lx; found %d bytes, checksum %016Lx) — \
+              rebuild the catalog"
+             path e.Manifest.bytes e.Manifest.checksum i.Synopsis_io.total_bytes
+             i.Synopsis_io.checksum)
+      else Synopsis_io.load path
+
+let of_manifest ?resident_capacity ?config ?chain_pruning ~dir manifest =
+  create ?resident_capacity ?config ?chain_pruning
+    ~loader:(manifest_loader ~dir manifest)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Routing.                                                            *)
+
+let estimate t key q = Estimator.estimate (acquire t key) q
+
+let estimate_batch t pairs =
+  Counters.incr c_batch;
+  Counters.add c_routed (Array.length pairs);
+  let out = Array.make (Array.length pairs) 0.0 in
+  (* group indices by key, keeping the keys' first-appearance order *)
+  let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun i (k, _) ->
+      match Hashtbl.find_opt groups k with
+      | Some l -> l := i :: !l
+      | None ->
+          Hashtbl.add groups k (ref [ i ]);
+          order := k :: !order)
+    pairs;
+  let order = List.rev !order in
+  Counters.add c_groups (List.length order);
+  let metrics = ref [] in
+  List.iter
+    (fun k ->
+      let idxs = Array.of_list (List.rev !(Hashtbl.find groups k)) in
+      let qs = Array.map (fun i -> snd pairs.(i)) idxs in
+      (* bracket the whole group — load included — with counter
+         snapshots, so the delta is attributable to this summary *)
+      let before = Counters.snapshot () in
+      let est = acquire t k in
+      let vs = Estimator.estimate_many est qs in
+      let after = Counters.snapshot () in
+      (match Counters.delta_between before after with
+      | [] -> ()
+      | delta -> metrics := (k, delta) :: !metrics);
+      Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs)
+    order;
+  t.last_metrics <- List.rev !metrics;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Observability.                                                      *)
+
+type stats = {
+  resident : int;
+  resident_capacity : int;
+  loads : int;
+  hits : int;
+  evictions : int;
+  plan_cache : Plan_cache.stats;
+}
+
+let stats t =
+  {
+    resident = Plan_cache.length t.residents;
+    resident_capacity = Plan_cache.capacity t.residents;
+    loads = t.loads;
+    hits = t.hits;
+    evictions = Plan_cache.evictions t.residents;
+    plan_cache = Plan_cache.stats t.plans;
+  }
+
+let last_batch_metrics t = t.last_metrics
+let keys_by_recency t = Plan_cache.keys_by_recency t.residents

@@ -1,0 +1,133 @@
+(** The serving layer: many summaries behind one estimation service.
+
+    The engine's artifacts are two-tier — compiled plans depend only
+    on the query, while summaries depend on the document — so serving
+    many documents at once splits naturally into a {e synopsis
+    catalog} (named summaries, lazily loaded, bounded resident set)
+    and an {e estimator pool} (one estimator per resident summary, all
+    sharing a single compiled-plan cache).  {!estimate_batch} routes a
+    mixed batch: each distinct query is compiled once for the whole
+    pool, each summary's group executes against that summary's
+    estimator, and every result is bit-identical to a fresh
+    single-summary [Estimator.estimate] — caching, pooling, eviction
+    and reloading never change a float, only when it is recomputed.
+
+    Summaries enter the resident set on first use and leave it LRU
+    when the set exceeds its capacity; their estimators (and per-
+    summary join caches) leave with them, but the pool-shared plan
+    cache survives evictions, so a query estimated against one summary
+    is already compiled when it hits the next.  Loads, hits and
+    evictions are counted unconditionally ({!stats}) and mirrored in
+    the global observability counters ([catalog.summary.*]). *)
+
+module Summary = Xpest_synopsis.Summary
+module Manifest = Xpest_synopsis.Manifest
+module Pattern = Xpest_xpath.Pattern
+
+(** {1 Keys} *)
+
+type key = { dataset : string; variance : float }
+(** One summary's name: the document (or dataset) it summarizes and
+    the variance target both histogram families were built at. *)
+
+val key_to_string : key -> string
+(** ["dataset@variance"], e.g. ["dblp@0"] — the key syntax of routed
+    query files and the CLI. *)
+
+val key_of_string : string -> (key, string) result
+(** Inverse of {!key_to_string}; a bare ["dataset"] means variance 0. *)
+
+val key_filename : key -> string
+(** Canonical synopsis file name of a key inside a catalog directory,
+    e.g. ["dblp_v0.syn"]. *)
+
+(** {1 Catalogs} *)
+
+type t
+
+val create :
+  ?resident_capacity:int ->
+  ?config:Xpest_plan.Cache_config.t ->
+  ?chain_pruning:bool ->
+  loader:(key -> Summary.t) ->
+  unit ->
+  t
+(** A catalog over an arbitrary summary source.  [loader] is called
+    once per non-resident key on demand (raise to signal an unknown
+    key); [resident_capacity] bounds how many summaries (and their
+    estimators) stay in memory at once (default {!default_resident_capacity});
+    [config] sets the per-cache capacities of the shared plan cache
+    ([config.plan]) and of every pooled estimator's join caches.
+    @raise Invalid_argument if [resident_capacity < 1]. *)
+
+val default_resident_capacity : int
+(** 8 resident summaries. *)
+
+val of_manifest :
+  ?resident_capacity:int ->
+  ?config:Xpest_plan.Cache_config.t ->
+  ?chain_pruning:bool ->
+  dir:string ->
+  Manifest.t ->
+  t
+(** The file-backed instantiation: keys resolve through the manifest
+    to synopsis files under [dir], loaded with
+    {!Xpest_synopsis.Synopsis_io.load}.  The loader re-verifies each
+    file's size and stored checksum against the manifest entry and
+    raises [Invalid_argument] on a mismatch (a synopsis rebuilt behind
+    the manifest's back) or an unknown key. *)
+
+val manifest_filename : string
+(** ["catalog.manifest"] — the manifest's conventional file name
+    inside a catalog directory (the CLI reads and writes this). *)
+
+val save_entry : dir:string -> Manifest.t -> key -> Summary.t -> Manifest.t
+(** Persist [summary] as [dir ^ "/" ^ key_filename key] and return the
+    manifest with that entry added (replacing any previous entry of
+    the key).  The caller decides when to {!Manifest.save} the result.
+    @raise Sys_error on I/O failure. *)
+
+(** {1 Estimation} *)
+
+val estimate : t -> key -> Pattern.t -> float
+(** Route one query: estimate against [key]'s summary, loading it if
+    it is not resident.  Bit-identical to [Estimator.estimate] on a
+    fresh estimator over the same summary. *)
+
+val estimate_batch : t -> (key * Pattern.t) array -> float array
+(** Route a mixed batch.  The batch is grouped by key (first-
+    appearance order); each group runs through the pooled estimator's
+    [estimate_many] — so duplicate queries inside a group are deduped
+    and every distinct query is compiled at most once across {e all}
+    groups, because the plan cache is pool-shared.  Results come back
+    in input order, each bit-identical to a fresh single-summary
+    [Estimator.estimate] of its (key, query) pair.  One load per
+    distinct key per batch at most — unless the batch has more
+    distinct keys than the resident capacity, in which case summaries
+    evict and reload mid-batch (results still do not change). *)
+
+(** {1 Observability} *)
+
+type stats = {
+  resident : int;  (** summaries currently in memory *)
+  resident_capacity : int;
+  loads : int;  (** loader calls (cold + reloads after eviction) *)
+  hits : int;  (** estimator-pool hits (summary already resident) *)
+  evictions : int;
+  plan_cache : Xpest_plan.Plan_cache.stats;
+      (** the pool-shared compiled-plan cache *)
+}
+
+val stats : t -> stats
+(** Tracked unconditionally (no counter enablement needed). *)
+
+val last_batch_metrics : t -> (key * (string * int) list) list
+(** Per-key observability-counter deltas of the most recent
+    {!estimate_batch} call, in the batch's group order: each group is
+    bracketed by {!Xpest_util.Counters.snapshot}, so the rows are
+    attributable per summary even though counters are process-global
+    (see the caveat in [counters.mli]).  Empty when counters were
+    disabled during the batch, or before any batch ran. *)
+
+val keys_by_recency : t -> key list
+(** Resident keys, most-recently used first (test/debug aid). *)

@@ -6,6 +6,7 @@ module Po_table = Xpest_synopsis.Po_table
 module Encoding_table = Xpest_encoding.Encoding_table
 module Plan = Xpest_plan.Plan
 module Plan_cache = Xpest_plan.Plan_cache
+module Cache_config = Xpest_plan.Cache_config
 
 (* Observability: which estimation equations fire, and how often
    [estimate] is called.  No-ops unless [Counters.set_enabled true]. *)
@@ -32,22 +33,29 @@ type t = {
   mutable tracing : string list ref option;
 }
 
-let create ?chain_pruning ?cache_capacity summary =
-  let capacity =
-    match cache_capacity with
-    | Some c -> c
-    | None -> Plan_cache.default_capacity
-  in
+(* The plan cache can be owned externally: plans are
+   summary-independent, so a pool serving many summaries (see
+   [Xpest_catalog.Catalog]) shares one cache across all its
+   estimators and compiles each distinct query once. *)
+let create_plan_cache ?(capacity = Plan_cache.default_capacity) () =
+  Plan_cache.create ~capacity ~hit:c_plan_hit ~miss:c_plan_miss
+    ~evict:c_plan_evict ()
+
+let create ?chain_pruning ?(config = Cache_config.default) ?plans summary =
   {
     summary;
-    join = Path_join.create ?chain_pruning ?cache_capacity summary;
+    join = Path_join.create ?chain_pruning ~config summary;
     plans =
-      Plan_cache.create ~capacity ~hit:c_plan_hit ~miss:c_plan_miss
-        ~evict:c_plan_evict ();
+      (match plans with
+      | Some cache -> cache
+      | None -> create_plan_cache ~capacity:config.Cache_config.plan ());
     tracing = None;
   }
 
 let summary t = t.summary
+
+let cache_stats t =
+  ("plan", Plan_cache.stats t.plans) :: Path_join.cache_stats t.join
 
 let plan_of t q = Plan_cache.find_or_add t.plans q Plan.compile
 

@@ -24,15 +24,38 @@
 
 type t
 
+val create_plan_cache :
+  ?capacity:int ->
+  unit ->
+  (Xpest_xpath.Pattern.t, Xpest_plan.Plan.t) Xpest_plan.Plan_cache.t
+(** A compiled-plan cache wired to the estimator's plan-cache
+    hit/miss/evict counters.  Plans are summary-independent, so one
+    cache can be shared by many estimators ([create ~plans]): a pool
+    serving several summaries then compiles each distinct query once
+    (the catalog's router does exactly this).  Default capacity
+    {!Xpest_plan.Plan_cache.default_capacity}. *)
+
 val create :
-  ?chain_pruning:bool -> ?cache_capacity:int -> Xpest_synopsis.Summary.t -> t
+  ?chain_pruning:bool ->
+  ?config:Xpest_plan.Cache_config.t ->
+  ?plans:(Xpest_xpath.Pattern.t, Xpest_plan.Plan.t) Xpest_plan.Plan_cache.t ->
+  Xpest_synopsis.Summary.t ->
+  t
 (** Estimation caches (compiled plans, tag relationships, chain
     feasibility, join results) persist across queries.
-    [chain_pruning] is forwarded to {!Path_join.create};
-    [cache_capacity] bounds the plan cache and the three join caches
-    (default {!Xpest_plan.Plan_cache.default_capacity}). *)
+    [chain_pruning] is forwarded to {!Path_join.create}; [config]
+    gives each cache its own capacity (default
+    {!Xpest_plan.Cache_config.default}).  [plans] substitutes an
+    externally owned compiled-plan cache (see {!create_plan_cache});
+    when given, [config.plan] is ignored — capacity was fixed by the
+    cache's owner. *)
 
 val summary : t -> Xpest_synopsis.Summary.t
+
+val cache_stats : t -> (string * Xpest_plan.Plan_cache.stats) list
+(** Working-set report of the four engine caches, as
+    [("plan" | "rel" | "chain" | "run", stats)] — capacity, current
+    and peak occupancy, evictions.  Tracked unconditionally. *)
 
 val plan_of : t -> Xpest_xpath.Pattern.t -> Xpest_plan.Plan.t
 (** The compiled plan the estimator will execute for this query,

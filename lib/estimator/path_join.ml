@@ -5,6 +5,7 @@ module Summary = Xpest_synopsis.Summary
 module Encoding_table = Xpest_encoding.Encoding_table
 module Plan = Xpest_plan.Plan
 module Plan_cache = Xpest_plan.Plan_cache
+module Cache_config = Xpest_plan.Cache_config
 
 (* Observability: cache effectiveness and pruning volume of the join.
    All no-ops unless [Counters.set_enabled true].  Created once here
@@ -51,25 +52,27 @@ type t = {
   run_cache : (Pattern.shape, result) Plan_cache.t;
 }
 
-let create ?(chain_pruning = true) ?cache_capacity summary =
-  let capacity =
-    match cache_capacity with
-    | Some c -> c
-    | None -> Plan_cache.default_capacity
-  in
+let create ?(chain_pruning = true) ?(config = Cache_config.default) summary =
   {
     summary;
     chain_pruning;
     rel_cache =
-      Plan_cache.create ~capacity ~hit:c_rel_hit ~miss:c_rel_miss
-        ~evict:c_rel_evict ();
+      Plan_cache.create ~capacity:config.Cache_config.rel ~hit:c_rel_hit
+        ~miss:c_rel_miss ~evict:c_rel_evict ();
     chain_cache =
-      Plan_cache.create ~capacity ~hit:c_chain_hit ~miss:c_chain_miss
-        ~evict:c_chain_evict ();
+      Plan_cache.create ~capacity:config.Cache_config.chain ~hit:c_chain_hit
+        ~miss:c_chain_miss ~evict:c_chain_evict ();
     run_cache =
-      Plan_cache.create ~capacity ~hit:c_run_hit ~miss:c_run_miss
-        ~evict:c_run_evict ();
+      Plan_cache.create ~capacity:config.Cache_config.run ~hit:c_run_hit
+        ~miss:c_run_miss ~evict:c_run_evict ();
   }
+
+let cache_stats t =
+  [
+    ("rel", Plan_cache.stats t.rel_cache);
+    ("chain", Plan_cache.stats t.chain_cache);
+    ("run", Plan_cache.stats t.run_cache);
+  ]
 
 (* Can the whole chain embed into the path type [encoding], and if so
    at which chain nodes is each position?  Returns per-chain-node

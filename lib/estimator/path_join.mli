@@ -26,14 +26,21 @@ type t
     chain-feasibility and join-result caches shared across queries. *)
 
 val create :
-  ?chain_pruning:bool -> ?cache_capacity:int -> Xpest_synopsis.Summary.t -> t
+  ?chain_pruning:bool ->
+  ?config:Xpest_plan.Cache_config.t ->
+  Xpest_synopsis.Summary.t ->
+  t
 (** [chain_pruning] (default true) additionally prunes each node's
     pids by full-chain embeddability into the pid's path types before
     the pairwise fixpoint — see DESIGN.md "known deviations"; pass
     [false] to reproduce the paper's literal pairwise join (the A2
-    ablation).  [cache_capacity] bounds each of the three LRU caches
-    (default {!Xpest_plan.Plan_cache.default_capacity} = 4096
-    entries). *)
+    ablation).  [config] bounds each of the three LRU caches
+    individually (default {!Xpest_plan.Cache_config.default}: 4096
+    entries each). *)
+
+val cache_stats : t -> (string * Xpest_plan.Plan_cache.stats) list
+(** Working-set report of the three join caches, as
+    [("rel" | "chain" | "run", stats)]. *)
 
 type result
 

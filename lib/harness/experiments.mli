@@ -82,8 +82,20 @@ val ablation_chain_pruning : Env.t list -> artefact
     (DESIGN.md "known deviations"): order-free workload error with the
     paper's literal pairwise join vs the chain-pruned join. *)
 
+(** {1 Serving (beyond the paper)} *)
+
+val serving : Env.t list -> artefact
+(** S1 — multi-dataset serving: the full workload of every dataset
+    routed through one {!Xpest_catalog.Catalog} at two variance
+    targets per dataset, with a resident capacity one short of the key
+    count (so summaries evict and reload mid-run), versus a loop of
+    fresh single-summary estimators.  Reports loads / pool hits /
+    evictions, cross-summary plan-cache reuse, throughput, and the
+    bit-identity of every routed result against the fresh-estimator
+    reference. *)
+
 val all_ids : string list
 
 val run : Env.t list -> string -> artefact
-(** Dispatch by id ("t1" ... "f13", "a1", "a2"; case-insensitive).
-    @raise Invalid_argument on unknown ids. *)
+(** Dispatch by id ("t1" ... "f13", "a1", "a2", "s1";
+    case-insensitive).  @raise Invalid_argument on unknown ids. *)

@@ -1,0 +1,13 @@
+type t = { plan : int; rel : int; chain : int; run : int }
+
+let default =
+  {
+    plan = Plan_cache.default_capacity;
+    rel = Plan_cache.default_capacity;
+    chain = Plan_cache.default_capacity;
+    run = Plan_cache.default_capacity;
+  }
+
+let uniform capacity =
+  if capacity < 1 then invalid_arg "Cache_config.uniform: capacity must be >= 1";
+  { plan = capacity; rel = capacity; chain = capacity; run = capacity }

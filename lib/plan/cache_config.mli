@@ -1,0 +1,27 @@
+(** Per-cache capacity knobs for the estimation engine's bounded LRU
+    caches.
+
+    The engine keeps four caches per estimator: the compiled-plan
+    cache and the path join's tag-relationship, chain-feasibility and
+    join-result caches.  They have very different working sets — the
+    relationship cache is keyed on (encoding, axis, tag pair) and
+    grows with the document's path diversity, while the plan and run
+    caches are keyed on query shapes and grow with the workload — so a
+    single shared capacity either wastes memory or thrashes the
+    smallest cache.  This record gives each cache its own capacity;
+    {!default} preserves the historical shared default
+    ({!Plan_cache.default_capacity} for every cache). *)
+
+type t = {
+  plan : int;  (** compiled-plan cache ([Estimator]) *)
+  rel : int;  (** tag-relationship cache ([Path_join]) *)
+  chain : int;  (** chain-feasibility cache ([Path_join]) *)
+  run : int;  (** join-result cache ([Path_join]) *)
+}
+
+val default : t
+(** Every capacity = {!Plan_cache.default_capacity} (4096). *)
+
+val uniform : int -> t
+(** One capacity for all four caches — the old [?cache_capacity]
+    behavior.  @raise Invalid_argument if [capacity < 1]. *)

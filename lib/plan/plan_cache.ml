@@ -25,6 +25,7 @@ type ('k, 'v) t = {
   miss : Counters.t option;
   evict : Counters.t option;
   mutable evictions : int;
+  mutable peak : int;  (* largest occupancy ever reached *)
 }
 
 let default_capacity = 4096
@@ -40,11 +41,23 @@ let create ?(capacity = default_capacity) ?hit ?miss ?evict () =
     miss;
     evict;
     evictions = 0;
+    peak = 0;
   }
 
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
 let evictions t = t.evictions
+let peak t = t.peak
+
+type stats = { s_capacity : int; s_length : int; s_peak : int; s_evictions : int }
+
+let stats t =
+  {
+    s_capacity = t.capacity;
+    s_length = Hashtbl.length t.table;
+    s_peak = t.peak;
+    s_evictions = t.evictions;
+  }
 
 let bump = function Some c -> Counters.incr c | None -> ()
 
@@ -101,7 +114,8 @@ let add t key value =
   if Hashtbl.length t.table >= t.capacity then evict_lru t;
   let node = { key; value; prev = None; next = None } in
   Hashtbl.replace t.table key node;
-  push_front t node
+  push_front t node;
+  if Hashtbl.length t.table > t.peak then t.peak <- Hashtbl.length t.table
 
 let find_or_add t key compute =
   match find_opt t key with

@@ -33,6 +33,22 @@ val evictions : ('k, 'v) t -> int
 (** Total evictions over the cache's lifetime (counted even when the
     global counter switch is off). *)
 
+val peak : ('k, 'v) t -> int
+(** Largest occupancy the cache ever reached — the working-set size a
+    capacity must cover to avoid evictions (reported per cache in
+    [BENCH_engine.json]). *)
+
+type stats = {
+  s_capacity : int;
+  s_length : int;
+  s_peak : int;
+  s_evictions : int;
+}
+(** One cache's working-set report; all fields are tracked
+    unconditionally (no counter enablement needed). *)
+
+val stats : ('k, 'v) t -> stats
+
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Bumps the hit/miss counter and promotes on hit. *)
 

@@ -1,0 +1,82 @@
+type entry = {
+  dataset : string;
+  variance : float;
+  file : string;
+  bytes : int;
+  checksum : int64;
+}
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+let same_key a b = String.equal a.dataset b.dataset && a.variance = b.variance
+
+let add t entry =
+  if List.exists (same_key entry) t.entries then
+    { entries = List.map (fun e -> if same_key entry e then entry else e) t.entries }
+  else { entries = t.entries @ [ entry ] }
+
+let find t ~dataset ~variance =
+  List.find_opt
+    (fun e -> String.equal e.dataset dataset && e.variance = variance)
+    t.entries
+
+let section_name = "catalog_manifest"
+
+let encode t =
+  let open Wire in
+  let buf = Buffer.create 256 in
+  put_list buf
+    (fun buf e ->
+      put_string buf e.dataset;
+      put_float buf e.variance;
+      put_string buf e.file;
+      put_int buf e.bytes;
+      put_int64 buf e.checksum)
+    t.entries;
+  encode_container [ (section_name, Buffer.contents buf) ]
+
+let decode data =
+  let open Wire in
+  let sections = decode_container data in
+  match List.assoc_opt section_name sections with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "catalog manifest: missing section %S (is this a \
+                         synopsis file?)"
+           section_name)
+  | Some payload ->
+      let r = reader ~context:"catalog manifest" payload in
+      let entries =
+        get_list r (fun r ->
+            let dataset = get_string r in
+            let variance = get_float r in
+            let file = get_string r in
+            let bytes = get_int r in
+            let checksum = get_int64 r in
+            { dataset; variance; file; bytes; checksum })
+      in
+      expect_end r;
+      { entries }
+
+let save t path =
+  let data = encode t in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = decode (read_file path)
+
+let load_result path =
+  match load path with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,48 @@
+(** Catalog manifests: the on-disk entry table of a synopsis catalog.
+
+    A catalog directory holds one synopsis file per
+    [(dataset, variance)] key plus a manifest naming them.  The
+    manifest reuses {!Wire}'s versioned, checksummed container (same
+    magic, same corruption rejection) with a single
+    ["catalog_manifest"] section, so [xpest synopsis info] recognizes
+    both kinds of file and the catalog can refuse corrupted manifests
+    before touching any synopsis.
+
+    Entries record the synopsis file's size and body checksum at save
+    time; {!Xpest_catalog.Catalog} re-verifies them on lazy load, so a
+    synopsis rebuilt behind the manifest's back is detected instead of
+    silently served. *)
+
+type entry = {
+  dataset : string;
+  variance : float;
+      (** the variance target both histogram families were built at *)
+  file : string;  (** synopsis file name, relative to the manifest *)
+  bytes : int;  (** synopsis file size at save time *)
+  checksum : int64;  (** the synopsis file's stored body checksum *)
+}
+
+type t = { entries : entry list }
+
+val empty : t
+
+val add : t -> entry -> t
+(** Append, replacing any entry with the same [(dataset, variance)]
+    key (entry order is otherwise preserved). *)
+
+val find : t -> dataset:string -> variance:float -> entry option
+
+val section_name : string
+(** ["catalog_manifest"] — how {!Synopsis_io.kind} tells a manifest
+    from a synopsis. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Invalid_argument on malformed input (bad magic, version,
+    checksum, or payload). *)
+
+val save : t -> string -> unit
+val load : string -> t
+
+val load_result : string -> (t, string) result
+(** Malformed-file and I/O errors as [Error] messages. *)

@@ -165,6 +165,18 @@ let order_frequency t ~tag ~pid ~other ~region =
       | None -> 0.0)
   | None, _ | Some _, None -> 0.0
 
+let p_histogram_buckets t =
+  Hashtbl.fold
+    (fun tag h acc -> (tag, List.length (P_histogram.buckets h)) :: acc)
+    t.core.p_histos []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let o_histogram_boxes t =
+  Hashtbl.fold
+    (fun tag h acc -> (tag, List.length (O_histogram.boxes h)) :: acc)
+    t.core.o_histos []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let p_histogram_bytes t =
   Hashtbl.fold (fun _ h acc -> acc + P_histogram.byte_size h) t.core.p_histos 0
 

@@ -81,6 +81,15 @@ val order_frequency :
     [g (pid, other, region)] in [tag]'s table (0 when uncovered or
     when order statistics were not collected). *)
 
+val p_histogram_buckets : t -> (string * int) list
+(** Bucket count of every tag's p-histogram, sorted by tag — the
+    knob variance-target tuning turns ([xpest synopsis info] reports
+    the distribution). *)
+
+val o_histogram_boxes : t -> (string * int) list
+(** Box count of every tag's o-histogram, sorted by tag; empty when
+    order statistics were not collected. *)
+
 (** {1 Memory accounting (modeled bytes, cf. Tables 3-5 and Fig. 9)} *)
 
 val p_histogram_bytes : t -> int

@@ -27,6 +27,13 @@ let info path =
     sections = h.Wire.sections;
   }
 
+(* The two file kinds share Wire's container; the section names tell
+   them apart without decoding any payload. *)
+let kind i =
+  if List.mem_assoc Manifest.section_name i.sections then `Catalog_manifest
+  else if List.mem_assoc "encoding_table" i.sections then `Synopsis
+  else `Unknown
+
 let overhead_bytes i =
   i.total_bytes - List.fold_left (fun acc (_, n) -> acc + n) 0 i.sections
 

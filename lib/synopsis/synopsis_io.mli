@@ -25,6 +25,12 @@ val info : string -> info
     (bad magic, legacy format, truncated header); [Sys_error] on I/O
     failure. *)
 
+val kind : info -> [ `Synopsis | `Catalog_manifest | `Unknown ]
+(** What the file holds, judged from its section names alone:
+    a synopsis, a catalog manifest ({!Manifest}), or — when the
+    checksum failed and the section table is untrustworthy —
+    [`Unknown]. *)
+
 val overhead_bytes : info -> int
 (** Container overhead: file size minus the summed section payloads
     (magic, version, checksum, section table). *)

@@ -22,6 +22,13 @@ let put_float buf f =
          (Int64.to_int (Int64.shift_right_logical bits (8 * byte)) land 0xff))
   done
 
+(* int64s (checksums in catalog manifests) as 8 raw bytes, big-endian *)
+let put_int64 buf v =
+  for byte = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * byte)) land 0xff))
+  done
+
 let put_string buf s =
   put_int buf (String.length s);
   Buffer.add_string buf s
@@ -66,6 +73,17 @@ let get_float r =
     r.pos <- r.pos + 1
   done;
   Int64.float_of_bits !bits
+
+let get_int64 r =
+  if r.pos + 8 > String.length r.data then fail r "truncated int64";
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code r.data.[r.pos]));
+    r.pos <- r.pos + 1
+  done;
+  !v
 
 let get_string r =
   let n = get_int r in

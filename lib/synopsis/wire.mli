@@ -25,6 +25,9 @@ val put_int : Buffer.t -> int -> unit
 val put_float : Buffer.t -> float -> unit
 (** 8 raw IEEE-754 bytes, big-endian. *)
 
+val put_int64 : Buffer.t -> int64 -> unit
+(** 8 raw bytes, big-endian (checksums in catalog manifests). *)
+
 val put_string : Buffer.t -> string -> unit
 val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
 val put_array : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a array -> unit
@@ -41,6 +44,7 @@ val reader : ?context:string -> string -> reader
 val fail : reader -> string -> 'a
 val get_int : reader -> int
 val get_float : reader -> float
+val get_int64 : reader -> int64
 val get_string : reader -> string
 val get_list : reader -> (reader -> 'a) -> 'a list
 val get_array : reader -> (reader -> 'a) -> 'a array

@@ -69,6 +69,24 @@ let reset () =
       t.seconds <- 0.0)
     !all_timers
 
+(* Snapshots capture every registered counter (zeroes included) so a
+   later diff can attribute increments to the work done in between.
+   Counters are process-global: the diff is only meaningful when the
+   measured work ran sequentially between the two snapshots. *)
+type snapshot = (string * int) list
+
+let snapshot () = List.map (fun c -> (c.cname, c.count)) !all_counters
+
+let delta_between before after =
+  List.filter_map
+    (fun (name, v_after) ->
+      let v_before =
+        match List.assoc_opt name before with Some v -> v | None -> 0
+      in
+      if v_after - v_before <> 0 then Some (name, v_after - v_before) else None)
+    after
+  |> List.sort compare
+
 let counters () =
   List.filter_map
     (fun c -> if c.count > 0 then Some (c.cname, c.count) else None)

@@ -62,5 +62,24 @@ val timer_seconds : timer -> float
 val counters : unit -> (string * int) list
 (** Non-zero counters as [(name, count)], sorted by name. *)
 
+type snapshot
+(** Values of {e every} registered counter (zeroes included) at one
+    point in time. *)
+
+val snapshot : unit -> snapshot
+
+val delta_between : snapshot -> snapshot -> (string * int) list
+(** [delta_between before after]: per-counter increments between the
+    two snapshots, non-zero entries only, sorted by name.
+
+    {b Caveat — counters are process-global.}  Two live estimators
+    bump the same counters, so a raw {!counters} snapshot conflates
+    their metrics.  A delta is attributable to one component only when
+    that component's work ran {e sequentially} between [before] and
+    [after] — which is how the catalog's estimator pool uses it: it
+    snapshots around each per-summary batch group, so the per-summary
+    rows in its reports are exact even though the underlying counters
+    are shared. *)
+
 val timers : unit -> (string * int * float) list
 (** Non-zero timers as [(name, calls, seconds)], sorted by name. *)

@@ -1,0 +1,272 @@
+(* The catalog's machinery below the routing contract: key syntax,
+   the manifest's save/load/corruption round-trip, resident-set LRU
+   behavior (loads, pool hits, evictions, reloads), the pool-shared
+   plan cache, and per-key counter attribution in batch metrics. *)
+
+module Counters = Xpest_util.Counters
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Manifest = Xpest_synopsis.Manifest
+module Synopsis_io = Xpest_synopsis.Synopsis_io
+module Plan_cache = Xpest_plan.Plan_cache
+module Registry = Xpest_datasets.Registry
+module Catalog = Xpest_catalog.Catalog
+
+let tmpdir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xpest_catalog_test_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let key d v = { Catalog.dataset = d; variance = v }
+
+(* One tiny summary per (dataset, variance); memoized so each test can
+   afford many loads. *)
+let summaries : (string * float, Summary.t) Hashtbl.t = Hashtbl.create 8
+
+let summary_for (k : Catalog.key) =
+  match Hashtbl.find_opt summaries (k.Catalog.dataset, k.Catalog.variance) with
+  | Some s -> s
+  | None ->
+      let name =
+        match Registry.of_string k.Catalog.dataset with
+        | Some n -> n
+        | None -> Alcotest.failf "unknown dataset %s" k.Catalog.dataset
+      in
+      let doc = Registry.generate ~scale:0.02 name in
+      let s =
+        Summary.build ~p_variance:k.Catalog.variance
+          ~o_variance:k.Catalog.variance doc
+      in
+      Hashtbl.add summaries (k.Catalog.dataset, k.Catalog.variance) s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Keys.                                                               *)
+
+let test_key_syntax () =
+  let ok s d v =
+    match Catalog.key_of_string s with
+    | Ok k ->
+        Alcotest.(check string) (s ^ ": dataset") d k.Catalog.dataset;
+        Alcotest.(check (float 0.0)) (s ^ ": variance") v k.Catalog.variance
+    | Error e -> Alcotest.failf "%s should parse, got: %s" s e
+  in
+  let bad s =
+    match Catalog.key_of_string s with
+    | Ok k -> Alcotest.failf "%s should not parse (got %s)" s (Catalog.key_to_string k)
+    | Error _ -> ()
+  in
+  ok "dblp" "dblp" 0.0;
+  ok "dblp@2" "dblp" 2.0;
+  ok "dblp@2.5" "dblp" 2.5;
+  bad "";
+  bad "@1";
+  bad "dblp@";
+  bad "dblp@-1";
+  bad "dblp@nan";
+  bad "dblp@inf";
+  (* round-trip through the printed form *)
+  List.iter
+    (fun k ->
+      match Catalog.key_of_string (Catalog.key_to_string k) with
+      | Ok k' ->
+          Alcotest.(check string) "round-trip dataset" k.Catalog.dataset
+            k'.Catalog.dataset;
+          Alcotest.(check (float 0.0)) "round-trip variance" k.Catalog.variance
+            k'.Catalog.variance
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [ key "ssplays" 0.0; key "dblp" 2.0; key "xmark" 12.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Manifest round-trip.                                                *)
+
+let test_manifest_roundtrip () =
+  let dir = tmpdir () in
+  let k0 = key "ssplays" 0.0 and k2 = key "ssplays" 2.0 in
+  let m = Manifest.empty in
+  let m = Catalog.save_entry ~dir m k0 (summary_for k0) in
+  let m = Catalog.save_entry ~dir m k2 (summary_for k2) in
+  let path = Filename.concat dir Catalog.manifest_filename in
+  Manifest.save m path;
+  (* the manifest file is itself a recognized wire container *)
+  (match Synopsis_io.kind (Synopsis_io.info path) with
+  | `Catalog_manifest -> ()
+  | `Synopsis | `Unknown -> Alcotest.fail "manifest not recognized as manifest");
+  let m' = Manifest.load path in
+  Alcotest.(check int) "entries survive" 2 (List.length m'.Manifest.entries);
+  (match Manifest.find m' ~dataset:"ssplays" ~variance:2.0 with
+  | None -> Alcotest.fail "entry (ssplays, 2) lost"
+  | Some e ->
+      Alcotest.(check string) "file name" (Catalog.key_filename k2)
+        e.Manifest.file;
+      let i = Synopsis_io.info (Filename.concat dir e.Manifest.file) in
+      Alcotest.(check int) "bytes match file" i.Synopsis_io.total_bytes
+        e.Manifest.bytes;
+      Alcotest.(check int64) "checksum matches file" i.Synopsis_io.checksum
+        e.Manifest.checksum);
+  (* re-saving a key replaces its entry instead of appending *)
+  let m'' = Catalog.save_entry ~dir m' k2 (summary_for k2) in
+  Alcotest.(check int) "replace, not append" 2
+    (List.length m''.Manifest.entries);
+  (* a manifest-backed catalog serves the same floats as fresh
+     estimators over the same summaries *)
+  let cat = Catalog.of_manifest ~dir m' in
+  let q = Pattern.of_string "//SPEECH/LINE" in
+  let expect k =
+    Xpest_estimator.Estimator.estimate
+      (Xpest_estimator.Estimator.create (summary_for k))
+      q
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check (float 0.0))
+        (Catalog.key_to_string k)
+        (expect k) (Catalog.estimate cat k q))
+    [ k0; k2 ]
+
+let test_manifest_corruption () =
+  let dir = tmpdir () in
+  let k = key "dblp" 0.0 in
+  let m = Catalog.save_entry ~dir Manifest.empty k (summary_for k) in
+  let mpath = Filename.concat dir Catalog.manifest_filename in
+  Manifest.save m mpath;
+  (* flip one byte in the manifest body: load must reject it *)
+  let bytes =
+    let ic = open_in_bin mpath in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    Bytes.of_string b
+  in
+  let mid = Bytes.length bytes / 2 in
+  Bytes.set bytes mid (Char.chr (Char.code (Bytes.get bytes mid) lxor 0x40));
+  let corrupt = Filename.concat dir "corrupt.manifest" in
+  let oc = open_out_bin corrupt in
+  output_bytes oc bytes;
+  close_out oc;
+  (match Manifest.load_result corrupt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted manifest loaded");
+  (* rebuild the synopsis behind the manifest's back: the loader must
+     notice the size/checksum mismatch instead of serving it *)
+  let other = Summary.build ~p_variance:4.0 ~o_variance:4.0
+      (Registry.generate ~scale:0.02 Registry.Dblp)
+  in
+  Summary.save other (Filename.concat dir (Catalog.key_filename k));
+  let cat = Catalog.of_manifest ~dir (Manifest.load mpath) in
+  (match
+     Catalog.estimate cat k (Pattern.of_string "//inproceedings/title")
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stale synopsis served despite manifest mismatch");
+  (* an unknown key is an error, not a crash *)
+  match
+    Catalog.estimate cat (key "nosuch" 0.0)
+      (Pattern.of_string "//inproceedings/title")
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown key served"
+
+(* ------------------------------------------------------------------ *)
+(* Resident-set LRU behavior.                                          *)
+
+let test_lru_behavior () =
+  let loads = ref [] in
+  let loader k =
+    loads := Catalog.key_to_string k :: !loads;
+    summary_for k
+  in
+  let k1 = key "ssplays" 0.0
+  and k2 = key "ssplays" 2.0
+  and k3 = key "dblp" 0.0 in
+  let cat = Catalog.create ~resident_capacity:2 ~loader () in
+  let q = Pattern.of_string "//SPEECH" in
+  ignore (Catalog.estimate cat k1 q);
+  ignore (Catalog.estimate cat k2 q);
+  ignore (Catalog.estimate cat k1 q) (* hit, refreshes k1's recency *);
+  ignore (Catalog.estimate cat k3 q) (* evicts k2, the LRU *);
+  ignore (Catalog.estimate cat k2 q) (* reload *);
+  let st : Catalog.stats = Catalog.stats cat in
+  Alcotest.(check int) "loads" 4 st.Catalog.loads;
+  Alcotest.(check int) "hits" 1 st.Catalog.hits;
+  Alcotest.(check int) "evictions" 2 st.Catalog.evictions;
+  Alcotest.(check int) "resident" 2 st.Catalog.resident;
+  Alcotest.(check int) "resident capacity" 2 st.Catalog.resident_capacity;
+  Alcotest.(check (list string))
+    "recency order" [ "ssplays@2"; "dblp@0" ]
+    (List.map Catalog.key_to_string (Catalog.keys_by_recency cat));
+  Alcotest.(check (list string))
+    "load order"
+    [ "ssplays@0"; "ssplays@2"; "dblp@0"; "ssplays@2" ]
+    (List.rev !loads);
+  (* the pool-shared plan cache survived every eviction: q was
+     compiled exactly once across all five estimates *)
+  Alcotest.(check int) "one compiled plan" 1
+    st.Catalog.plan_cache.Plan_cache.s_length;
+  match Catalog.create ~resident_capacity:0 ~loader () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "resident_capacity 0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Per-key metric attribution.                                         *)
+
+let test_batch_metrics () =
+  let cat = Catalog.create ~loader:summary_for () in
+  let qa = Pattern.of_string "//SPEECH/LINE" in
+  let qb = Pattern.of_string "//inproceedings/title" in
+  let k1 = key "ssplays" 0.0 and k2 = key "dblp" 0.0 in
+  let pairs = [| (k1, qa); (k2, qb); (k1, qa); (k2, qa) |] in
+  Alcotest.(check (list (pair string (list (pair string int)))))
+    "no metrics before any batch" []
+    (List.map
+       (fun (k, d) -> (Catalog.key_to_string k, d))
+       (Catalog.last_batch_metrics cat));
+  Counters.with_enabled (fun () -> ignore (Catalog.estimate_batch cat pairs));
+  let metrics = Catalog.last_batch_metrics cat in
+  Alcotest.(check (list string))
+    "one row per group, in first-appearance order" [ "ssplays@0"; "dblp@0" ]
+    (List.map (fun (k, _) -> Catalog.key_to_string k) metrics);
+  let delta k name =
+    match List.assoc_opt name (List.assoc k metrics) with
+    | Some v -> v
+    | None -> 0
+  in
+  (* group sizes are attributed exactly: 2 routed queries hit ssplays
+     (the duplicate dedupes to 1 estimate), 2 hit dblp *)
+  Alcotest.(check int) "ssplays group size" 2 (delta k1 "estimator.batch.queries");
+  Alcotest.(check int) "dblp group size" 2 (delta k2 "estimator.batch.queries");
+  Alcotest.(check int) "ssplays dedupe" 1 (delta k1 "estimator.batch.deduped");
+  Alcotest.(check int) "one load per group" 1 (delta k1 "catalog.summary.load");
+  Alcotest.(check int) "one load per group" 1 (delta k2 "catalog.summary.load");
+  (* qa was compiled in the first group; the second group's qa is a
+     cross-summary plan hit *)
+  Alcotest.(check int) "cross-summary plan hit" 1
+    (delta k2 "estimator.plan_cache.hit");
+  (* counters off: the batch still works, metrics are just empty *)
+  ignore (Catalog.estimate_batch cat pairs);
+  Alcotest.(check int) "no metrics when counters are off" 0
+    (List.length (Catalog.last_batch_metrics cat))
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "keys",
+        [ Alcotest.test_case "syntax + round-trip" `Quick test_key_syntax ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_manifest_roundtrip;
+          Alcotest.test_case "corruption + staleness" `Quick
+            test_manifest_corruption;
+        ] );
+      ( "resident_set",
+        [ Alcotest.test_case "LRU loads/hits/evictions" `Quick test_lru_behavior ]
+      );
+      ( "metrics",
+        [
+          Alcotest.test_case "per-key attribution" `Quick test_batch_metrics;
+        ] );
+    ]

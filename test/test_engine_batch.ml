@@ -11,6 +11,7 @@
 
 module Pattern = Xpest_xpath.Pattern
 module Summary = Xpest_synopsis.Summary
+module Cache_config = Xpest_plan.Cache_config
 module Estimator = Xpest_estimator.Estimator
 module Workload = Xpest_workload.Workload
 module Registry = Xpest_datasets.Registry
@@ -85,11 +86,23 @@ let test_tiny_capacity (name, scale, wseed) () =
   in
   let tiny =
     Estimator.estimate_many
-      (Estimator.create ~cache_capacity:8 summary)
+      (Estimator.create ~config:(Cache_config.uniform 8) summary)
       patterns
   in
   check_bit_identical ~label:"capacity-8 batch vs default scalar" scalar tiny;
-  let tiny_scalar_est = Estimator.create ~cache_capacity:2 summary in
+  (* skewed per-cache capacities: starving one cache must not change
+     results either, only recompute them *)
+  let skewed =
+    Estimator.estimate_many
+      (Estimator.create
+         ~config:{ Cache_config.plan = 4; rel = 64; chain = 2; run = 3 }
+         summary)
+      patterns
+  in
+  check_bit_identical ~label:"skewed capacities vs default scalar" scalar skewed;
+  let tiny_scalar_est =
+    Estimator.create ~config:(Cache_config.uniform 2) summary
+  in
   let tiny_scalar =
     Array.map (fun q -> Estimator.estimate tiny_scalar_est q) patterns
   in

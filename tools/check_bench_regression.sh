@@ -1,0 +1,65 @@
+#!/bin/sh
+# Cold-path throughput regression gate for `make ci`.
+#
+# Compares the per-dataset scalar_cold_qps of a freshly generated
+# BENCH_engine.json against the committed baseline (HEAD's copy of the
+# same file) and fails if any dataset dropped below THRESHOLD (default
+# 0.70, i.e. a >30% regression).  scalar_cold_qps is the gated number
+# because it is the one a query optimizer pays on first contact: no
+# plan cache, no join cache, every estimate from scratch.
+#
+# Usage: tools/check_bench_regression.sh [fresh.json] [threshold]
+
+set -eu
+
+FRESH="${1:-BENCH_engine.json}"
+THRESHOLD="${2:-0.70}"
+
+if [ ! -f "$FRESH" ]; then
+    echo "check_bench_regression: $FRESH not found (run 'make bench-json' first)" >&2
+    exit 2
+fi
+
+BASELINE="$(mktemp)"
+trap 'rm -f "$BASELINE"' EXIT
+
+if ! git show "HEAD:BENCH_engine.json" > "$BASELINE" 2>/dev/null; then
+    echo "check_bench_regression: no committed BENCH_engine.json baseline; skipping" >&2
+    exit 0
+fi
+
+python3 - "$BASELINE" "$FRESH" "$THRESHOLD" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+if baseline.get("scale") != fresh.get("scale"):
+    print("check_bench_regression: scale mismatch (baseline %s, fresh %s); "
+          "skipping — regenerate the baseline at the CI scale"
+          % (baseline.get("scale"), fresh.get("scale")))
+    sys.exit(0)
+
+base_qps = {d["dataset"]: d["scalar_cold_qps"] for d in baseline["datasets"]}
+failed = False
+for d in fresh["datasets"]:
+    name = d["dataset"]
+    new = d["scalar_cold_qps"]
+    old = base_qps.get(name)
+    if old is None or old <= 0:
+        print("  %-10s cold %8.1f qps (no baseline)" % (name, new))
+        continue
+    ratio = new / old
+    status = "ok" if ratio >= threshold else "REGRESSED"
+    print("  %-10s cold %8.1f qps vs baseline %8.1f  (%.2fx, floor %.2fx)  %s"
+          % (name, new, old, ratio, threshold, status))
+    if ratio < threshold:
+        failed = True
+
+if failed:
+    print("check_bench_regression: cold-path throughput regressed beyond "
+          "the %.0f%% floor" % (100 * threshold))
+    sys.exit(1)
+print("check_bench_regression: cold-path throughput within bounds")
+EOF
