@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci differential bench bench-json clean
+.PHONY: all build test check ci differential chaos bench bench-json clean
 
 all: build
 
@@ -23,6 +23,14 @@ check: build
 differential:
 	$(DUNE) exec test/test_differential.exe
 
+# Chaos suites: deterministic fault injection (seeds 11/23/47 fixed
+# inside the suites) against the loader and the serving catalog —
+# no crash, per-query isolation, quarantine/backoff transitions, and
+# bit-identical Ok results versus a fault-free run.
+chaos:
+	$(DUNE) exec test/test_fault.exe
+	$(DUNE) exec test/test_catalog_chaos.exe
+
 bench:
 	$(DUNE) exec bench/main.exe
 
@@ -33,10 +41,12 @@ bench-json:
 	$(DUNE) exec bench/main.exe -- --engine-only --scale 0.1 --engine-json BENCH_engine.json
 
 # The whole gate in one target: compile, unit + differential suites,
-# regenerate the engine benchmark, and fail if cold-path throughput
-# regressed more than 30% against the committed BENCH_engine.json.
+# chaos suites, regenerate the engine benchmark, and fail if cold-path
+# or fault-free serving throughput regressed more than 30% against the
+# committed BENCH_engine.json.
 ci: build
 	$(DUNE) runtest
+	$(MAKE) chaos
 	$(MAKE) bench-json
 	sh tools/check_bench_regression.sh BENCH_engine.json
 

@@ -14,6 +14,7 @@
 module Registry = Xpest_datasets.Registry
 module Doc = Xpest_xml.Doc
 module Summary = Xpest_synopsis.Summary
+module Manifest = Xpest_synopsis.Manifest
 module Pf_table = Xpest_synopsis.Pf_table
 module P_histogram = Xpest_synopsis.P_histogram
 module Plan = Xpest_plan.Plan
@@ -22,6 +23,7 @@ module Estimator = Xpest_estimator.Estimator
 module Path_join = Xpest_estimator.Path_join
 module Catalog = Xpest_catalog.Catalog
 module Counters = Xpest_util.Counters
+module Fault = Xpest_util.Fault
 module Pattern = Xpest_xpath.Pattern
 module Truth = Xpest_xpath.Truth
 module Workload = Xpest_workload.Workload
@@ -328,25 +330,153 @@ let catalog_bench ctxs =
     (routed_qps /. Float.max loop_qps 1e-9)
     !identical
 
+(* Resilience: the same routed batches served through the fault-
+   tolerant file-backed path.  Three profiles — fault-free (the
+   overhead of the result-typed machinery vs the raising wrapper),
+   1% and 10% injected storage faults (what degraded storage costs
+   and whether surviving answers stay bit-identical).  The injector
+   seed is fixed so the numbers are reproducible. *)
+let resilience_bench ctxs =
+  Printf.printf "engine bench: resilience...\n%!";
+  let cap_per_dataset = 200 in
+  let seed = 11 in
+  let rounds = 8 in
+  let dir = Filename.temp_file "xpest_bench_cat" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let manifest =
+        List.fold_left
+          (fun m (dsname, base, _) ->
+            let s = Summary.assemble ~p_variance:0.0 ~o_variance:0.0 base in
+            Catalog.save_entry ~dir m
+              { Catalog.dataset = dsname; variance = 0.0 }
+              s)
+          Manifest.empty ctxs
+      in
+      let pairs =
+        Array.of_list
+          (List.concat_map
+             (fun (dsname, _, patterns) ->
+               let m = min cap_per_dataset (Array.length patterns) in
+               List.init m (fun i ->
+                   ({ Catalog.dataset = dsname; variance = 0.0 }, patterns.(i))))
+             ctxs)
+      in
+      let n = Array.length pairs in
+      let nkeys = List.length ctxs in
+      (* capacity one short of the key count: every round evicts and
+         reloads, so the storage path — where faults live — actually
+         runs instead of being absorbed by the resident set *)
+      let capacity = max 1 (nkeys - 1) in
+      (* raising wrapper, fault-free: the PR-3 serving path, same
+         round count as the profiles so load amortization matches *)
+      let cat = Catalog.of_manifest ~resident_capacity:capacity ~dir manifest in
+      let raising_runs, raising_s =
+        Env.time (fun () ->
+            List.init rounds (fun _ -> Catalog.estimate_batch cat pairs))
+      in
+      let raising = List.hd raising_runs in
+      let raising_qps = qps (rounds * n) raising_s in
+      (* one profile = a fresh file-backed catalog at one fault rate,
+         [rounds] batches through estimate_batch_r *)
+      let profile rate =
+        let io =
+          if rate = 0.0 then None
+          else
+            Some
+              (Fault.io (Fault.create (Fault.uniform ~seed ~rate))
+                 Fault.Io.default)
+        in
+        let cat =
+          Catalog.of_manifest ~resident_capacity:capacity ?io ~dir manifest
+        in
+        let ok = ref 0 and errors = ref 0 and identical = ref true in
+        let results, seconds =
+          Env.time (fun () ->
+              List.init rounds (fun _ -> Catalog.estimate_batch_r cat pairs))
+        in
+        List.iter
+          (fun out ->
+            Array.iteri
+              (fun i -> function
+                | Ok v ->
+                    incr ok;
+                    if Int64.bits_of_float v <> Int64.bits_of_float raising.(i)
+                    then identical := false
+                | Error _ -> incr errors)
+              out)
+          results;
+        let st : Catalog.stats = Catalog.stats cat in
+        let routed = rounds * n in
+        let routed_qps = qps routed seconds in
+        let entry =
+          Printf.sprintf
+            {|      {
+        "fault_rate": %g,
+        "rounds": %d,
+        "routed_queries": %d,
+        "ok": %d,
+        "errors": %d,
+        "success_rate": %.4f,
+        "routed_qps": %.1f,
+        "load_retries": %d,
+        "quarantines": %d,
+        "failed_attempts": %d,
+        "ok_bitwise_identical_to_fault_free": %b
+      }|}
+            rate rounds routed !ok !errors
+            (float_of_int !ok /. Float.max (float_of_int routed) 1.0)
+            routed_qps st.Catalog.retries st.Catalog.quarantines
+            st.Catalog.failures !identical
+        in
+        (entry, routed_qps)
+      in
+      let fault_free, fault_free_qps = profile 0.0 in
+      let injected = List.map (fun r -> fst (profile r)) [ 0.01; 0.10 ] in
+      Printf.sprintf
+        {|  "resilience": {
+    "keys": %d,
+    "resident_capacity": %d,
+    "queries_per_batch": %d,
+    "injector_seed": %d,
+    "raising_routed_qps": %.1f,
+    "fault_free_overhead_vs_raising": %.3f,
+    "profiles": [
+%s
+    ]
+  }|}
+        nkeys capacity n seed raising_qps
+        (raising_qps /. Float.max fault_free_qps 1e-9)
+        (String.concat ",\n" (fault_free :: injected)))
+
 let engine_bench ~scale ~out =
   let entries, ctxs =
     List.split (List.map (engine_bench_dataset ~scale) Registry.all)
   in
   let catalog_section = catalog_bench ctxs in
+  let resilience_section = resilience_bench ctxs in
   let json =
     Printf.sprintf
       {|{
-  "schema": "xpest-bench-engine/2",
+  "schema": "xpest-bench-engine/3",
   "scale": %g,
   "datasets": [
 %s
   ],
+%s,
 %s
 }
 |}
       scale
       (String.concat ",\n" entries)
-      catalog_section
+      catalog_section resilience_section
   in
   let oc = open_out out in
   output_string oc json;

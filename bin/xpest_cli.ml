@@ -21,6 +21,8 @@ module Estimator = Xpest_estimator.Estimator
 module Workload = Xpest_workload.Workload
 module Tablefmt = Xpest_util.Tablefmt
 module Counters = Xpest_util.Counters
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
 module Synopsis_io = Xpest_synopsis.Synopsis_io
 module Manifest = Xpest_synopsis.Manifest
 module Catalog = Xpest_catalog.Catalog
@@ -195,10 +197,13 @@ let synopsis_file_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"A synopsis file written by `synopsis save`.")
 
-let or_die = function
+(* Operational failures keep a one-line contract: `xpest: <error>` on
+   stderr, exit 1.  Typed errors render as kind: path [section]: reason
+   (see README "Error handling"). *)
+let or_die_e = function
   | Ok v -> v
-  | Error msg ->
-      prerr_endline ("xpest: " ^ msg);
+  | Error e ->
+      prerr_endline ("xpest: " ^ E.to_string e);
       exit 1
 
 (* Bucket/box counts per histogram family: the numbers variance-target
@@ -242,7 +247,7 @@ let manifest_entry_rows m =
 
 let synopsis_info_cmd =
   let run file =
-    let i = or_die (Synopsis_io.info_result file) in
+    let i = or_die_e (Synopsis_io.info_typed file) in
     let kind = Synopsis_io.kind i in
     let decodable = i.Synopsis_io.supported && i.Synopsis_io.checksum_ok in
     let rows =
@@ -276,7 +281,7 @@ let synopsis_info_cmd =
       @
       match kind with
       | `Synopsis when decodable ->
-          histogram_rows (or_die (Synopsis_io.load_result file))
+          histogram_rows (or_die_e (Synopsis_io.load_typed file))
       | `Synopsis | `Catalog_manifest | `Unknown -> []
     in
     print_endline
@@ -285,7 +290,7 @@ let synopsis_info_cmd =
          rows);
     (match kind with
     | `Catalog_manifest when decodable ->
-        let m = or_die (Manifest.load_result file) in
+        let m = or_die_e (Manifest.load_typed file) in
         print_newline ();
         print_endline
           (Tablefmt.render_table
@@ -309,7 +314,7 @@ let synopsis_load_cmd =
   let run file metrics =
     let work () =
       let (s, seconds) =
-        Env.time (fun () -> or_die (Synopsis_io.load_result file))
+        Env.time (fun () -> or_die_e (Synopsis_io.load_typed file))
       in
       let rows =
         [
@@ -507,7 +512,7 @@ let manifest_path dir = Filename.concat dir Catalog.manifest_filename
 
 let load_manifest dir =
   let path = manifest_path dir in
-  if Sys.file_exists path then or_die (Manifest.load_result path)
+  if Sys.file_exists path then or_die_e (Manifest.load_typed path)
   else begin
     prerr_endline
       (Printf.sprintf "xpest: no %s in %s (run `xpest catalog build` first)"
@@ -526,7 +531,7 @@ let catalog_build_cmd =
     mkdir_p dir;
     let manifest = ref (
       let path = manifest_path dir in
-      if Sys.file_exists path then or_die (Manifest.load_result path)
+      if Sys.file_exists path then or_die_e (Manifest.load_typed path)
       else Manifest.empty)
     in
     (* one generated document per dataset, shared across its variances *)
@@ -590,46 +595,89 @@ let catalog_build_cmd =
     Term.(const run $ catalog_dir_arg $ keys $ scale $ seed)
 
 let catalog_info_cmd =
-  let run dir =
+  let run dir health =
     let m = load_manifest dir in
-    let rows =
-      List.map
-        (fun (e : Manifest.entry) ->
-          let path = Filename.concat dir e.Manifest.file in
-          let status =
-            match Synopsis_io.info_result path with
-            | Error _ -> "MISSING"
-            | Ok i ->
-                if
-                  i.Synopsis_io.total_bytes = e.Manifest.bytes
-                  && Int64.equal i.Synopsis_io.checksum e.Manifest.checksum
-                then "ok"
-                else "STALE"
-          in
-          [
-            Catalog.key_to_string
+    if health then begin
+      (* typed verification of every entry: the same check the serving
+         loader performs, rendered per key with the error taxonomy *)
+      let unhealthy = ref 0 in
+      let rows =
+        List.map
+          (fun (e : Manifest.entry) ->
+            let key =
               { Catalog.dataset = e.Manifest.dataset;
-                variance = e.Manifest.variance };
-            e.Manifest.file;
-            Tablefmt.fmt_bytes e.Manifest.bytes;
-            Printf.sprintf "%016Lx" e.Manifest.checksum;
-            status;
-          ])
-        m.Manifest.entries
-    in
-    print_endline
-      (Tablefmt.render_table
-         ~header:[ "key"; "file"; "size"; "checksum"; "status" ]
-         ~align:
-           [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
-             Tablefmt.Left ]
-         rows)
+                variance = e.Manifest.variance }
+            in
+            let status, detail =
+              match Catalog.manifest_verify ~dir m key with
+              | Ok () -> ("ok", "")
+              | Error err ->
+                  incr unhealthy;
+                  (String.uppercase_ascii (E.kind err), E.to_string err)
+            in
+            [ Catalog.key_to_string key; e.Manifest.file; status; detail ])
+          m.Manifest.entries
+      in
+      print_endline
+        (Tablefmt.render_table
+           ~header:[ "key"; "file"; "status"; "detail" ]
+           ~align:
+             [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Left; Tablefmt.Left ]
+           rows);
+      if !unhealthy > 0 then begin
+        prerr_endline
+          (Printf.sprintf "xpest: %d/%d catalog entries unhealthy" !unhealthy
+             (List.length m.Manifest.entries));
+        exit 1
+      end
+    end
+    else
+      let rows =
+        List.map
+          (fun (e : Manifest.entry) ->
+            let path = Filename.concat dir e.Manifest.file in
+            let status =
+              match Synopsis_io.info_result path with
+              | Error _ -> "MISSING"
+              | Ok i ->
+                  if
+                    i.Synopsis_io.total_bytes = e.Manifest.bytes
+                    && Int64.equal i.Synopsis_io.checksum e.Manifest.checksum
+                  then "ok"
+                  else "STALE"
+            in
+            [
+              Catalog.key_to_string
+                { Catalog.dataset = e.Manifest.dataset;
+                  variance = e.Manifest.variance };
+              e.Manifest.file;
+              Tablefmt.fmt_bytes e.Manifest.bytes;
+              Printf.sprintf "%016Lx" e.Manifest.checksum;
+              status;
+            ])
+          m.Manifest.entries
+      in
+      print_endline
+        (Tablefmt.render_table
+           ~header:[ "key"; "file"; "size"; "checksum"; "status" ]
+           ~align:
+             [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+               Tablefmt.Left ]
+           rows)
+  in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:"Run the serving loader's typed verification on every entry \
+                (header parse, size, checksum) and report per-key error \
+                kinds; exit 1 if any entry is unhealthy.")
   in
   Cmd.v
     (Cmd.info "info"
        ~doc:"Show the catalog's entry table and verify each synopsis file \
              against its manifest record.")
-    Term.(const run $ catalog_dir_arg)
+    Term.(const run $ catalog_dir_arg $ health)
 
 (* A routed query file: one `key<TAB>xpath` pair per line. *)
 let read_routed_file path =
@@ -671,31 +719,54 @@ let read_routed_file path =
       in
       loop 1 [])
 
-let run_catalog_estimate dir queries_file resident metrics =
+let run_catalog_estimate dir queries_file resident metrics fault_rate
+    fault_seed =
     let pairs = Array.of_list (read_routed_file queries_file) in
     if Array.length pairs = 0 then begin
       prerr_endline "xpest: no routed queries in the file";
       exit 1
     end;
     let m = load_manifest dir in
-    let cat = Catalog.of_manifest ~resident_capacity:resident ~dir m in
+    (* --fault-rate substitutes a fault-injecting storage interface:
+       a reproducible chaos demo of the quarantine/degraded machinery *)
+    let io =
+      if fault_rate <= 0.0 then None
+      else
+        Some
+          (Fault.io
+             (Fault.create (Fault.uniform ~seed:fault_seed ~rate:fault_rate))
+             Fault.Io.default)
+    in
+    let cat = Catalog.of_manifest ~resident_capacity:resident ?io ~dir m in
     let work () =
-      let estimates = Catalog.estimate_batch cat pairs in
+      let results = Catalog.estimate_batch_r cat pairs in
+      let failed = ref 0 in
+      let first_error = ref None in
       let rows =
         Array.to_list
           (Array.mapi
              (fun i (key, q) ->
+               let estimate, status =
+                 match results.(i) with
+                 | Ok v -> (Tablefmt.fmt_float v, "ok")
+                 | Error e ->
+                     incr failed;
+                     if !first_error = None then first_error := Some e;
+                     ("-", String.uppercase_ascii (E.kind e))
+               in
                [
                  Catalog.key_to_string key;
                  Pattern.to_string q;
-                 Tablefmt.fmt_float estimates.(i);
+                 estimate;
+                 status;
                ])
              pairs)
       in
       print_endline
         (Tablefmt.render_table
-           ~header:[ "key"; "query"; "estimate" ]
-           ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right ]
+           ~header:[ "key"; "query"; "estimate"; "status" ]
+           ~align:
+             [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Left ]
            rows);
       let s = Catalog.stats cat in
       Printf.printf
@@ -704,7 +775,22 @@ let run_catalog_estimate dir queries_file resident metrics =
         s.Catalog.resident s.Catalog.resident_capacity s.Catalog.loads
         s.Catalog.hits s.Catalog.evictions
         s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_peak
-        s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_evictions
+        s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_evictions;
+      if s.Catalog.failures > 0 || s.Catalog.retries > 0 then
+        Printf.printf
+          "resilience: %d failures, %d retries, %d quarantines, %d degraded \
+           hits\n"
+          s.Catalog.failures s.Catalog.retries s.Catalog.quarantines
+          s.Catalog.degraded_hits;
+      if !failed > 0 then begin
+        (match !first_error with
+        | Some e ->
+            prerr_endline
+              (Printf.sprintf "xpest: %d/%d routed queries failed (first: %s)"
+                 !failed (Array.length pairs) (E.to_string e))
+        | None -> ());
+        exit 1
+      end
     in
     if metrics then begin
       Metrics.with_counters work;
@@ -724,10 +810,13 @@ let run_catalog_estimate dir queries_file resident metrics =
     else work ()
 
 let catalog_estimate_cmd =
-  let run dir queries_file resident metrics =
-    try run_catalog_estimate dir queries_file resident metrics
+  let run dir queries_file resident metrics fault_rate fault_seed =
+    try
+      run_catalog_estimate dir queries_file resident metrics fault_rate
+        fault_seed
     with Invalid_argument msg | Sys_error msg ->
-      (* loader failures: unknown key, stale/missing synopsis file *)
+      (* non-serving failures: unparseable queries, unreadable files
+         (the serving path itself reports per-query typed errors) *)
       prerr_endline ("xpest: " ^ msg);
       exit 1
   in
@@ -755,11 +844,30 @@ let catalog_estimate_cmd =
       & info [ "metrics" ]
           ~doc:"Print observability counters, attributed per summary.")
   in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:"Inject storage faults (read errors, truncation, bit flips) \
+                into synopsis loads with probability $(docv) per read — a \
+                reproducible demonstration of the catalog's fault \
+                tolerance.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Deterministic seed for the injected fault schedule.")
+  in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Route a batch of (key, query) pairs across the catalog's \
-             summaries from one shared plan space.")
-    Term.(const run $ catalog_dir_arg $ queries_file $ resident $ metrics)
+             summaries from one shared plan space.  Failed keys fail only \
+             their own queries; use $(b,--fault-rate) to watch the \
+             degradation behavior under injected storage faults.")
+    Term.(
+      const run $ catalog_dir_arg $ queries_file $ resident $ metrics
+      $ fault_rate $ fault_seed)
 
 let catalog_cmd =
   Cmd.group
@@ -833,7 +941,7 @@ let estimate_cmd =
     let doc = lazy (load_doc source ~scale ~seed) in
     let s =
       match synopsis with
-      | Some path -> or_die (Synopsis_io.load_result path)
+      | Some path -> or_die_e (Synopsis_io.load_typed path)
       | None -> Summary.build ~p_variance ~o_variance (Lazy.force doc)
     in
     let est = Estimator.create s in

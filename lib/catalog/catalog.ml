@@ -1,4 +1,6 @@
 module Counters = Xpest_util.Counters
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
 module Synopsis_io = Xpest_synopsis.Synopsis_io
@@ -7,15 +9,21 @@ module Plan_cache = Xpest_plan.Plan_cache
 module Cache_config = Xpest_plan.Cache_config
 module Estimator = Xpest_estimator.Estimator
 
-(* Observability: resident-set behavior of the catalog and routing
-   volume.  No-ops unless [Counters.set_enabled true]; the unconditional
-   duplicates live in [t] so [stats] works without enablement. *)
+(* Observability: resident-set behavior of the catalog, routing volume,
+   and the fault-tolerance state machine.  No-ops unless
+   [Counters.set_enabled true]; the unconditional duplicates live in
+   [t] so [stats]/[health] work without enablement. *)
 let c_load = Counters.create "catalog.summary.load"
 let c_hit = Counters.create "catalog.summary.hit"
 let c_evict = Counters.create "catalog.summary.evict"
 let c_batch = Counters.create "catalog.batch.calls"
 let c_routed = Counters.create "catalog.batch.queries"
 let c_groups = Counters.create "catalog.batch.groups"
+let c_retry = Counters.create "catalog.load_retries"
+let c_fail = Counters.create "catalog.load_failures"
+let c_quarantine = Counters.create "catalog.quarantined"
+let c_quarantine_skip = Counters.create "catalog.quarantine_skips"
+let c_degraded = Counters.create "catalog.degraded_hits"
 let t_load = Counters.create_timer "catalog.summary.load"
 
 (* ------------------------------------------------------------------ *)
@@ -23,7 +31,14 @@ let t_load = Counters.create_timer "catalog.summary.load"
 
 type key = { dataset : string; variance : float }
 
-let key_to_string k = Printf.sprintf "%s@%g" k.dataset k.variance
+(* Shortest decimal that parses back to the same float: "%g" when it
+   round-trips (the common case: 0, 2, 2.5), "%.17g" otherwise — so
+   key strings and file names never silently merge two variances. *)
+let fmt_variance v =
+  let s = Printf.sprintf "%g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let key_to_string k = Printf.sprintf "%s@%s" k.dataset (fmt_variance k.variance)
 
 let key_of_string s =
   let mk dataset variance =
@@ -31,7 +46,10 @@ let key_of_string s =
       Error (Printf.sprintf "catalog key %S: empty dataset" s)
     else Ok { dataset; variance }
   in
-  match String.index_opt s '@' with
+  (* the LAST '@' splits off the variance, so dataset names may
+     themselves contain '@' (their printed form always carries an
+     explicit variance) *)
+  match String.rindex_opt s '@' with
   | None -> mk s 0.0
   | Some i -> (
       let dataset = String.sub s 0 i in
@@ -42,11 +60,157 @@ let key_of_string s =
       | Some _ | None ->
           Error
             (Printf.sprintf
-               "catalog key %S: variance %S is not a non-negative number" s v))
+               "catalog key %S: variance %S is not a finite non-negative \
+                number" s v))
+
+(* File names must be shell-safe, collision-free and invertible for any
+   dataset string, so everything outside [A-Za-z0-9.-] is %XX-escaped —
+   in particular '_' and '%', which makes the "_v" separator the only
+   '_' in the name and the whole encoding unambiguous. *)
+let safe_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '-'
+
+let escape_dataset d =
+  let buf = Buffer.create (String.length d + 8) in
+  String.iter
+    (fun c ->
+      if safe_char c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    d;
+  Buffer.contents buf
+
+let unescape_dataset s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 >= n then Error "truncated %-escape"
+      else
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+            go (i + 3)
+        | _ -> Error (Printf.sprintf "bad %%-escape %S" (String.sub s i 3))
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let syn_suffix = ".syn"
 
 let key_filename k =
-  (* '@' is legal in file names but hostile to shells; keep names tame *)
-  Printf.sprintf "%s_v%g.syn" k.dataset k.variance
+  Printf.sprintf "%s_v%s%s" (escape_dataset k.dataset) (fmt_variance k.variance)
+    syn_suffix
+
+let key_of_filename name =
+  let err reason = Error (Printf.sprintf "synopsis file name %S: %s" name reason) in
+  let sn = String.length syn_suffix and n = String.length name in
+  if n <= sn || String.sub name (n - sn) sn <> syn_suffix then
+    err "missing .syn suffix"
+  else
+    let stem = String.sub name 0 (n - sn) in
+    match String.index_opt stem '_' with
+    | None -> err "missing _v separator"
+    | Some i ->
+        if i + 1 >= String.length stem || stem.[i + 1] <> 'v' then
+          err "missing _v separator"
+        else
+          let enc = String.sub stem 0 i in
+          let v = String.sub stem (i + 2) (String.length stem - i - 2) in
+          let variance =
+            match float_of_string_opt v with
+            | Some f when f >= 0.0 && Float.is_finite f -> Ok f
+            | Some _ | None ->
+                Error
+                  (Printf.sprintf "variance %S is not a finite non-negative \
+                                   number" v)
+          in
+          (match unescape_dataset enc with
+          | Error reason -> err reason
+          | Ok "" -> err "empty dataset"
+          | Ok dataset -> (
+              match variance with
+              | Error reason -> err reason
+              | Ok variance -> Ok { dataset; variance }))
+
+(* ------------------------------------------------------------------ *)
+(* Resilience policy and per-key health.
+
+   Time is a logical clock that advances one tick per acquire attempt
+   (one resident-set probe), so the quarantine/backoff state machine is
+   deterministic under test and independent of wall-clock jitter.
+
+   The state machine per key:
+
+     Healthy --load failure x failure_threshold--> Quarantined(backoff)
+     Quarantined: acquire attempts are refused without I/O until the
+       clock reaches [until]; the first attempt at/after [until] probes
+       the loader.  Probe failure re-quarantines with doubled backoff
+       (capped at backoff_max); probe success resets to Healthy and
+       backoff_base.
+     Degraded: the key is resident but its manifest re-verification
+       failed and [stale_if_error] kept serving the in-memory copy;
+       cleared by the next successful verification or reload.          *)
+
+type resilience = {
+  max_retries : int;
+  failure_threshold : int;
+  backoff_base : int;
+  backoff_max : int;
+  verify_resident : bool;
+  stale_if_error : bool;
+  max_tracked : int;
+}
+
+let default_resilience =
+  {
+    max_retries = 2;
+    failure_threshold = 3;
+    backoff_base = 4;
+    backoff_max = 64;
+    verify_resident = false;
+    stale_if_error = true;
+    max_tracked = 4096;
+  }
+
+type hstate = {
+  mutable consecutive : int;
+  mutable failures : int;
+  mutable retries : int;
+  mutable quarantines : int;
+  mutable degraded_hits : int;
+  mutable backoff : int;  (* length of the next quarantine, in ticks *)
+  mutable until : int;  (* quarantined while clock < until *)
+  mutable is_degraded : bool;
+  mutable last_error : E.t option;
+}
+
+type health_state = Healthy | Quarantined of { until : int } | Degraded
+
+type key_health = {
+  h_key : key;
+  h_state : health_state;
+  h_consecutive_failures : int;
+  h_failures : int;
+  h_retries : int;
+  h_quarantines : int;
+  h_degraded_hits : int;
+  h_next_backoff : int;
+  h_last_error : E.t option;
+}
 
 (* ------------------------------------------------------------------ *)
 (* The catalog: a bounded LRU of resident summaries, each paired with
@@ -57,50 +221,230 @@ let key_filename k =
 type resident = { summary : Summary.t; estimator : Estimator.t }
 
 type t = {
-  loader : key -> Summary.t;
+  loader : key -> (Summary.t, E.t) result;
+  verify : key -> (unit, E.t) result;
   config : Cache_config.t;
   chain_pruning : bool option;
+  resilience : resilience;
   plans : (Pattern.t, Xpest_plan.Plan.t) Plan_cache.t;  (* pool-shared *)
   residents : (key, resident) Plan_cache.t;
+  health_tbl : (key, hstate) Hashtbl.t;
+  mutable clock : int;
   mutable loads : int;
   mutable hits : int;
+  mutable failures : int;
+  mutable retries : int;
+  mutable quarantines : int;
+  mutable degraded_hits : int;
   mutable last_metrics : (key * (string * int) list) list;
 }
 
 let default_resident_capacity = 8
 
-let create ?(resident_capacity = default_resident_capacity) ?config
-    ?chain_pruning ~loader () =
+let create_r ?(resident_capacity = default_resident_capacity) ?config
+    ?chain_pruning ?(resilience = default_resilience)
+    ?(verify = fun _ -> Ok ()) ~loader () =
   if resident_capacity < 1 then
     invalid_arg "Catalog.create: resident_capacity must be >= 1";
+  if
+    resilience.max_retries < 0 || resilience.failure_threshold < 1
+    || resilience.backoff_base < 1
+    || resilience.backoff_max < resilience.backoff_base
+    || resilience.max_tracked < 1
+  then invalid_arg "Catalog.create: malformed resilience policy";
   let config = match config with Some c -> c | None -> Cache_config.default in
   {
     loader;
+    verify;
     config;
     chain_pruning;
+    resilience;
     plans = Estimator.create_plan_cache ~capacity:config.Cache_config.plan ();
     residents =
       Plan_cache.create ~capacity:resident_capacity ~hit:c_hit ~miss:c_load
         ~evict:c_evict ();
+    health_tbl = Hashtbl.create 16;
+    clock = 0;
     loads = 0;
     hits = 0;
+    failures = 0;
+    retries = 0;
+    quarantines = 0;
+    degraded_hits = 0;
     last_metrics = [];
   }
 
-let acquire t key =
+(* Raising-loader form, for in-memory sources: escaped exceptions are
+   classified so legacy loaders still flow through the typed machinery. *)
+let create ?resident_capacity ?config ?chain_pruning ?resilience ~loader () =
+  let typed_loader k =
+    match loader k with
+    | s -> Ok s
+    | exception Sys_error reason ->
+        Error (E.Io_failure { path = key_to_string k; reason })
+    | exception E.Error e -> Error e
+    | exception Invalid_argument reason | exception Failure reason ->
+        Error (E.Internal reason)
+  in
+  create_r ?resident_capacity ?config ?chain_pruning ?resilience
+    ~loader:typed_loader ()
+
+(* -------------------- health bookkeeping -------------------- *)
+
+let fresh_hstate t =
+  {
+    consecutive = 0;
+    failures = 0;
+    retries = 0;
+    quarantines = 0;
+    degraded_hits = 0;
+    backoff = t.resilience.backoff_base;
+    until = 0;
+    is_degraded = false;
+    last_error = None;
+  }
+
+(* Drop fully-healthy entries when the table reaches its bound; the
+   bound only bites under a storm of distinct failing keys. *)
+let prune_health t =
+  if Hashtbl.length t.health_tbl >= t.resilience.max_tracked then begin
+    let victims =
+      Hashtbl.fold
+        (fun k h acc ->
+          if h.consecutive = 0 && h.until <= t.clock && not h.is_degraded then
+            k :: acc
+          else acc)
+        t.health_tbl []
+    in
+    List.iter (Hashtbl.remove t.health_tbl) victims
+  end
+
+(* Hard-bounded tracking for cold keys: a flood of never-loadable keys
+   must not grow the health table without limit. *)
+let hstate_tracked t key =
+  match Hashtbl.find_opt t.health_tbl key with
+  | Some h -> Ok h
+  | None ->
+      prune_health t;
+      if Hashtbl.length t.health_tbl >= t.resilience.max_tracked then
+        Error
+          (E.Capacity
+             (Printf.sprintf
+                "catalog health table full (%d unhealthy keys tracked); \
+                 refusing to track %s"
+                (Hashtbl.length t.health_tbl)
+                (key_to_string key)))
+      else begin
+        let h = fresh_hstate t in
+        Hashtbl.add t.health_tbl key h;
+        Ok h
+      end
+
+(* Soft form for resident keys (bounded by the resident set anyway). *)
+let hstate_force t key =
+  match Hashtbl.find_opt t.health_tbl key with
+  | Some h -> h
+  | None ->
+      prune_health t;
+      let h = fresh_hstate t in
+      Hashtbl.add t.health_tbl key h;
+      h
+
+let note_success t (h : hstate) =
+  h.consecutive <- 0;
+  h.until <- 0;
+  h.backoff <- t.resilience.backoff_base;
+  h.is_degraded <- false;
+  h.last_error <- None
+
+let note_failure t (h : hstate) e =
+  h.consecutive <- h.consecutive + 1;
+  h.failures <- h.failures + 1;
+  h.last_error <- Some e;
+  t.failures <- t.failures + 1;
+  Counters.incr c_fail;
+  if h.consecutive >= t.resilience.failure_threshold then begin
+    h.until <- t.clock + h.backoff;
+    h.backoff <- min (2 * h.backoff) t.resilience.backoff_max;
+    h.quarantines <- h.quarantines + 1;
+    t.quarantines <- t.quarantines + 1;
+    Counters.incr c_quarantine
+  end
+
+let load_with_retries t key (h : hstate) =
+  let rec go attempt =
+    match t.loader key with
+    | Ok s -> Ok s
+    | Error e when E.transient e && attempt < t.resilience.max_retries ->
+        h.retries <- h.retries + 1;
+        t.retries <- t.retries + 1;
+        Counters.incr c_retry;
+        go (attempt + 1)
+    | Error e -> Error e
+  in
+  go 0
+
+(* -------------------- acquisition -------------------- *)
+
+let acquire_r t key =
+  t.clock <- t.clock + 1;
   match Plan_cache.find_opt t.residents key with
   | Some r ->
       t.hits <- t.hits + 1;
-      r.estimator
-  | None ->
-      let summary = Counters.time t_load (fun () -> t.loader key) in
-      let estimator =
-        Estimator.create ?chain_pruning:t.chain_pruning ~config:t.config
-          ~plans:t.plans summary
-      in
-      t.loads <- t.loads + 1;
-      Plan_cache.add t.residents key { summary; estimator };
-      estimator
+      if not t.resilience.verify_resident then Ok r.estimator
+      else (
+        match t.verify key with
+        | Ok () ->
+            (match Hashtbl.find_opt t.health_tbl key with
+            | Some h ->
+                h.is_degraded <- false;
+                h.last_error <- None
+            | None -> ());
+            Ok r.estimator
+        | Error e ->
+            let h = hstate_force t key in
+            if t.resilience.stale_if_error then begin
+              (* degraded mode: the in-memory copy verified when it was
+                 loaded; serving it beats failing the query *)
+              h.is_degraded <- true;
+              h.last_error <- Some e;
+              h.degraded_hits <- h.degraded_hits + 1;
+              t.degraded_hits <- t.degraded_hits + 1;
+              Counters.incr c_degraded;
+              Ok r.estimator
+            end
+            else begin
+              Plan_cache.remove t.residents key;
+              note_failure t h e;
+              Error e
+            end)
+  | None -> (
+      match hstate_tracked t key with
+      | Error e -> Error e
+      | Ok h ->
+          if t.clock < h.until then begin
+            Counters.incr c_quarantine_skip;
+            Error (E.Quarantined { key = key_to_string key; until = h.until })
+          end
+          else (
+            match Counters.time t_load (fun () -> load_with_retries t key h) with
+            | Ok summary ->
+                let estimator =
+                  Estimator.create ?chain_pruning:t.chain_pruning
+                    ~config:t.config ~plans:t.plans summary
+                in
+                t.loads <- t.loads + 1;
+                note_success t h;
+                Plan_cache.add t.residents key { summary; estimator };
+                Ok estimator
+            | Error e ->
+                note_failure t h e;
+                Error e))
+
+let acquire t key =
+  match acquire_r t key with
+  | Ok est -> est
+  | Error e -> invalid_arg (E.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* File-backed catalogs.                                               *)
@@ -121,44 +465,86 @@ let save_entry ~dir manifest key summary =
       checksum = i.Synopsis_io.checksum;
     }
 
-let manifest_loader ~dir manifest key =
-  match
-    Manifest.find manifest ~dataset:key.dataset ~variance:key.variance
-  with
-  | None ->
-      invalid_arg
-        (Printf.sprintf "catalog: no entry for key %s in the manifest"
-           (key_to_string key))
-  | Some e ->
-      let path = Filename.concat dir e.Manifest.file in
-      let i = Synopsis_io.info path in
-      if
+(* Re-verification of one manifest entry against the on-disk file:
+   shared by the lazy loader, resident re-validation and the CLI's
+   health report. *)
+let manifest_check ?io ~dir (e : Manifest.entry) =
+  let path = Filename.concat dir e.Manifest.file in
+  match Synopsis_io.info_typed ?io path with
+  | Error err -> Error err
+  | Ok i ->
+      if not i.Synopsis_io.checksum_ok then
+        (* the read itself is damaged, so the size/checksum comparison
+           below would misdiagnose a transient fault as staleness —
+           report corruption (retryable) instead *)
+        Error
+          (E.Corrupt
+             {
+               path;
+               section = "body";
+               reason = "checksum mismatch (corrupted or truncated read)";
+             })
+      else if
         i.Synopsis_io.total_bytes <> e.Manifest.bytes
         || not (Int64.equal i.Synopsis_io.checksum e.Manifest.checksum)
       then
-        invalid_arg
-          (Printf.sprintf
-             "catalog: %s does not match its manifest entry (expected %d \
-              bytes, checksum %016Lx; found %d bytes, checksum %016Lx) — \
-              rebuild the catalog"
-             path e.Manifest.bytes e.Manifest.checksum i.Synopsis_io.total_bytes
-             i.Synopsis_io.checksum)
-      else Synopsis_io.load path
+        Error
+          (E.Stale_manifest
+             {
+               path;
+               reason =
+                 Printf.sprintf
+                   "expected %d bytes, checksum %016Lx; found %d bytes, \
+                    checksum %016Lx — rebuild the catalog"
+                   e.Manifest.bytes e.Manifest.checksum
+                   i.Synopsis_io.total_bytes i.Synopsis_io.checksum;
+             })
+      else Ok path
 
-let of_manifest ?resident_capacity ?config ?chain_pruning ~dir manifest =
-  create ?resident_capacity ?config ?chain_pruning
-    ~loader:(manifest_loader ~dir manifest)
+let manifest_entry manifest key =
+  match
+    Manifest.find manifest ~dataset:key.dataset ~variance:key.variance
+  with
+  | None -> Error (E.Unknown_key (key_to_string key))
+  | Some e -> Ok e
+
+let manifest_verify ?io ~dir manifest key =
+  match manifest_entry manifest key with
+  | Error e -> Error e
+  | Ok e -> ( match manifest_check ?io ~dir e with Error e -> Error e | Ok _ -> Ok ())
+
+let manifest_loader ?io ~dir manifest key =
+  match manifest_entry manifest key with
+  | Error e -> Error e
+  | Ok e -> (
+      match manifest_check ?io ~dir e with
+      | Error e -> Error e
+      | Ok path -> Synopsis_io.load_typed ?io path)
+
+let of_manifest ?resident_capacity ?config ?chain_pruning ?resilience ?io ~dir
+    manifest =
+  create_r ?resident_capacity ?config ?chain_pruning ?resilience
+    ~verify:(manifest_verify ?io ~dir manifest)
+    ~loader:(manifest_loader ?io ~dir manifest)
     ()
 
 (* ------------------------------------------------------------------ *)
 (* Routing.                                                            *)
 
+let estimate_r t key q =
+  match acquire_r t key with
+  | Ok est -> Estimator.try_estimate est q
+  | Error e -> Error e
+
 let estimate t key q = Estimator.estimate (acquire t key) q
 
-let estimate_batch t pairs =
+let estimate_batch_r t pairs =
   Counters.incr c_batch;
   Counters.add c_routed (Array.length pairs);
-  let out = Array.make (Array.length pairs) 0.0 in
+  let out =
+    Array.make (Array.length pairs)
+      (Error (E.Internal "catalog: unrouted query slot") : (float, E.t) result)
+  in
   (* group indices by key, keeping the keys' first-appearance order *)
   let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 16 in
   let order = ref [] in
@@ -180,16 +566,25 @@ let estimate_batch t pairs =
       (* bracket the whole group — load included — with counter
          snapshots, so the delta is attributable to this summary *)
       let before = Counters.snapshot () in
-      let est = acquire t k in
-      let vs = Estimator.estimate_many est qs in
+      (match acquire_r t k with
+      | Ok est ->
+          let vs = Estimator.try_estimate_many est qs in
+          Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs
+      | Error e ->
+          (* one poisoned key fails its own queries, nobody else's *)
+          Array.iter (fun i -> out.(i) <- Error e) idxs);
       let after = Counters.snapshot () in
-      (match Counters.delta_between before after with
+      match Counters.delta_between before after with
       | [] -> ()
-      | delta -> metrics := (k, delta) :: !metrics);
-      Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs)
+      | delta -> metrics := (k, delta) :: !metrics)
     order;
   t.last_metrics <- List.rev !metrics;
   out
+
+let estimate_batch t pairs =
+  Array.map
+    (function Ok v -> v | Error e -> invalid_arg (E.to_string e))
+    (estimate_batch_r t pairs)
 
 (* ------------------------------------------------------------------ *)
 (* Observability.                                                      *)
@@ -200,6 +595,10 @@ type stats = {
   loads : int;
   hits : int;
   evictions : int;
+  failures : int;
+  retries : int;
+  quarantines : int;
+  degraded_hits : int;
   plan_cache : Plan_cache.stats;
 }
 
@@ -210,8 +609,34 @@ let stats t =
     loads = t.loads;
     hits = t.hits;
     evictions = Plan_cache.evictions t.residents;
+    failures = t.failures;
+    retries = t.retries;
+    quarantines = t.quarantines;
+    degraded_hits = t.degraded_hits;
     plan_cache = Plan_cache.stats t.plans;
   }
+
+let clock t = t.clock
+
+let health t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.health_tbl []
+  |> List.map (fun (k, (h : hstate)) ->
+         {
+           h_key = k;
+           h_state =
+             (if h.until > t.clock then Quarantined { until = h.until }
+              else if h.is_degraded then Degraded
+              else Healthy);
+           h_consecutive_failures = h.consecutive;
+           h_failures = h.failures;
+           h_retries = h.retries;
+           h_quarantines = h.quarantines;
+           h_degraded_hits = h.degraded_hits;
+           h_next_backoff = h.backoff;
+           h_last_error = h.last_error;
+         })
+  |> List.sort (fun a b ->
+         String.compare (key_to_string a.h_key) (key_to_string b.h_key))
 
 let last_batch_metrics t = t.last_metrics
 let keys_by_recency t = Plan_cache.keys_by_recency t.residents

@@ -18,11 +18,41 @@
     cache survives evictions, so a query estimated against one summary
     is already compiled when it hits the next.  Loads, hits and
     evictions are counted unconditionally ({!stats}) and mirrored in
-    the global observability counters ([catalog.summary.*]). *)
+    the global observability counters ([catalog.summary.*]).
+
+    {2 Fault tolerance}
+
+    Storage is allowed to fail; the serving loop is not.  All load and
+    verification failures flow through the typed taxonomy
+    {!Xpest_util.Xpest_error.t}, and the [_r] entry points
+    ({!estimate_r}, {!estimate_batch_r}, {!acquire_r}) return [result]s
+    instead of raising.  Per key, the catalog runs a deterministic
+    health state machine on a logical clock (one tick per acquire
+    attempt, see {!clock}):
+
+    - {e retry}: a transient failure ([Io_failure], [Corrupt]) is
+      retried up to [max_retries] extra times within the same attempt;
+    - {e quarantine}: after [failure_threshold] consecutive failed
+      attempts the key is quarantined — further attempts are refused
+      {e without touching storage} until the clock reaches the
+      quarantine deadline, at which point one probe load is allowed.
+      A failed probe re-quarantines with doubled backoff (capped at
+      [backoff_max]); a success resets the key to healthy;
+    - {e degraded serving}: with [verify_resident] on, resident
+      summaries are re-verified on every hit; if verification fails
+      and [stale_if_error] is set, the resident (known-good when
+      loaded) copy keeps serving and the key is marked [Degraded].
+
+    The raising entry points ({!estimate}, {!estimate_batch}) are
+    thin wrappers that turn the first typed error into
+    [Invalid_argument (Xpest_error.to_string e)] — CLI and legacy
+    call sites keep working, new serving paths should use [_r]. *)
 
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
 module Pattern = Xpest_xpath.Pattern
+module Estimator = Xpest_estimator.Estimator
+module E = Xpest_util.Xpest_error
 
 (** {1 Keys} *)
 
@@ -32,14 +62,57 @@ type key = { dataset : string; variance : float }
 
 val key_to_string : key -> string
 (** ["dataset@variance"], e.g. ["dblp@0"] — the key syntax of routed
-    query files and the CLI. *)
+    query files and the CLI.  The variance is printed with the
+    shortest decimal that parses back to the exact float, so distinct
+    keys never print alike.  Round-trips through {!key_of_string} for
+    every dataset string (the {e last} ['@'] separates the variance,
+    and the printed form always carries one). *)
 
 val key_of_string : string -> (key, string) result
-(** Inverse of {!key_to_string}; a bare ["dataset"] means variance 0. *)
+(** Inverse of {!key_to_string}; a bare ["dataset"] (no ['@'])
+    means variance 0.  Datasets containing ['@'] are supported — the
+    split is at the last ['@'] — but their bare form would parse
+    differently, so always use the full ["dataset@variance"] spelling
+    for them.  Rejects empty datasets and non-finite or negative
+    variances. *)
 
 val key_filename : key -> string
 (** Canonical synopsis file name of a key inside a catalog directory,
-    e.g. ["dblp_v0.syn"]. *)
+    e.g. ["dblp_v0.syn"].  Every dataset byte outside [A-Za-z0-9.-]
+    (including ['_'], ['%'], ['/'] and ['@']) is %XX-escaped, so the
+    name is flat, collision-free and invertible ({!key_of_filename})
+    for arbitrary dataset strings. *)
+
+val key_of_filename : string -> (key, string) result
+(** Inverse of {!key_filename}: recover the key from a synopsis file
+    name.  Errors on a missing [.syn] suffix, missing [_v] separator,
+    malformed %-escape, empty dataset, or unparseable variance. *)
+
+(** {1 Resilience policy} *)
+
+type resilience = {
+  max_retries : int;
+      (** extra loader calls after a transient failure, per attempt
+          (default 2) *)
+  failure_threshold : int;
+      (** consecutive failed attempts before quarantine (default 3) *)
+  backoff_base : int;
+      (** first quarantine length in clock ticks (default 4) *)
+  backoff_max : int;  (** backoff doubling cap, in ticks (default 64) *)
+  verify_resident : bool;
+      (** re-verify resident summaries on every hit (default false —
+          the load-time checksum already guards the bytes) *)
+  stale_if_error : bool;
+      (** serve the resident copy when re-verification fails, marking
+          the key [Degraded], instead of failing the query
+          (default true) *)
+  max_tracked : int;
+      (** bound on the per-key health table; beyond it, fully healthy
+          entries are pruned and — if everything tracked is unhealthy —
+          new cold keys are refused with [Capacity] (default 4096) *)
+}
+
+val default_resilience : resilience
 
 (** {1 Catalogs} *)
 
@@ -49,16 +122,38 @@ val create :
   ?resident_capacity:int ->
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
+  ?resilience:resilience ->
   loader:(key -> Summary.t) ->
   unit ->
   t
 (** A catalog over an arbitrary summary source.  [loader] is called
-    once per non-resident key on demand (raise to signal an unknown
-    key); [resident_capacity] bounds how many summaries (and their
-    estimators) stay in memory at once (default {!default_resident_capacity});
-    [config] sets the per-cache capacities of the shared plan cache
-    ([config.plan]) and of every pooled estimator's join caches.
-    @raise Invalid_argument if [resident_capacity < 1]. *)
+    once per non-resident key on demand; [resident_capacity] bounds
+    how many summaries (and their estimators) stay in memory at once
+    (default {!default_resident_capacity}); [config] sets the
+    per-cache capacities of the shared plan cache ([config.plan]) and
+    of every pooled estimator's join caches.  Loader escapes are
+    classified into the typed taxonomy ([Sys_error] → [Io_failure],
+    [Xpest_error.Error e] → [e], [Invalid_argument] / [Failure] →
+    [Internal]) and flow through the same retry/quarantine machinery
+    as {!create_r} loaders.
+    @raise Invalid_argument if [resident_capacity < 1] or the
+    resilience policy is malformed ([max_retries < 0],
+    [failure_threshold < 1], [backoff_base < 1],
+    [backoff_max < backoff_base], or [max_tracked < 1]). *)
+
+val create_r :
+  ?resident_capacity:int ->
+  ?config:Xpest_plan.Cache_config.t ->
+  ?chain_pruning:bool ->
+  ?resilience:resilience ->
+  ?verify:(key -> (unit, E.t) result) ->
+  loader:(key -> (Summary.t, E.t) result) ->
+  unit ->
+  t
+(** Result-typed form of {!create}: the loader reports failures as
+    values, and [verify] (default: always [Ok]) re-validates a
+    resident key when [resilience.verify_resident] is set.
+    @raise Invalid_argument as {!create}. *)
 
 val default_resident_capacity : int
 (** 8 resident summaries. *)
@@ -67,15 +162,21 @@ val of_manifest :
   ?resident_capacity:int ->
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
+  ?resilience:resilience ->
+  ?io:Xpest_util.Fault.Io.t ->
   dir:string ->
   Manifest.t ->
   t
 (** The file-backed instantiation: keys resolve through the manifest
     to synopsis files under [dir], loaded with
-    {!Xpest_synopsis.Synopsis_io.load}.  The loader re-verifies each
-    file's size and stored checksum against the manifest entry and
-    raises [Invalid_argument] on a mismatch (a synopsis rebuilt behind
-    the manifest's back) or an unknown key. *)
+    {!Xpest_synopsis.Synopsis_io.load_typed}.  The loader re-verifies
+    each file's size and stored checksum against the manifest entry —
+    a mismatch (a synopsis rebuilt behind the manifest's back) is
+    [Stale_manifest], an absent manifest row is [Unknown_key], and
+    file damage surfaces as [Io_failure] or [Corrupt].  [io]
+    substitutes the storage interface (fault injection under test,
+    see {!Xpest_util.Fault.io}); it is threaded through both loading
+    and resident re-verification. *)
 
 val manifest_filename : string
 (** ["catalog.manifest"] — the manifest's conventional file name
@@ -87,33 +188,72 @@ val save_entry : dir:string -> Manifest.t -> key -> Summary.t -> Manifest.t
     the key).  The caller decides when to {!Manifest.save} the result.
     @raise Sys_error on I/O failure. *)
 
+val manifest_verify :
+  ?io:Xpest_util.Fault.Io.t ->
+  dir:string ->
+  Manifest.t ->
+  key ->
+  (unit, E.t) result
+(** Check one manifest entry against its on-disk synopsis (header
+    parse + size + stored checksum, without decoding the body): the
+    verification {!of_manifest} wires in, also used by
+    [catalog info --health]. *)
+
 (** {1 Estimation} *)
+
+val acquire_r : t -> key -> (Estimator.t, E.t) result
+(** One acquire attempt (one clock tick): return [key]'s pooled
+    estimator, loading the summary if it is not resident.  This is
+    where the retry/quarantine/degraded machinery runs; see the
+    module preamble.  The estimator is only guaranteed valid until
+    the next acquire (eviction may retire it) — prefer
+    {!estimate_r}/{!estimate_batch_r} unless batching manually. *)
+
+val estimate_r : t -> key -> Pattern.t -> (float, E.t) result
+(** Route one query without raising.  [Ok] values are bit-identical
+    to {!estimate} (and to a fresh single-summary
+    [Estimator.estimate]). *)
 
 val estimate : t -> key -> Pattern.t -> float
 (** Route one query: estimate against [key]'s summary, loading it if
     it is not resident.  Bit-identical to [Estimator.estimate] on a
-    fresh estimator over the same summary. *)
+    fresh estimator over the same summary.
+    @raise Invalid_argument with the rendered typed error when the
+    key cannot be served. *)
+
+val estimate_batch_r :
+  t -> (key * Pattern.t) array -> (float, E.t) result array
+(** Route a mixed batch with per-query fault isolation.  The batch is
+    grouped by key (first-appearance order); each group runs through
+    the pooled estimator's batched path — duplicate queries inside a
+    group are deduped and every distinct query is compiled at most
+    once across {e all} groups, because the plan cache is pool-shared.
+    Results come back in input order: [Ok] floats are bit-identical
+    to a fresh single-summary [Estimator.estimate] of their
+    (key, query) pair, and a key that cannot be served fails only its
+    own queries ([Error] rows) — never the rest of the batch, and
+    never by raising.  One load per distinct key per batch at most —
+    unless the batch has more distinct keys than the resident
+    capacity, in which case summaries evict and reload mid-batch
+    (results still do not change). *)
 
 val estimate_batch : t -> (key * Pattern.t) array -> float array
-(** Route a mixed batch.  The batch is grouped by key (first-
-    appearance order); each group runs through the pooled estimator's
-    [estimate_many] — so duplicate queries inside a group are deduped
-    and every distinct query is compiled at most once across {e all}
-    groups, because the plan cache is pool-shared.  Results come back
-    in input order, each bit-identical to a fresh single-summary
-    [Estimator.estimate] of its (key, query) pair.  One load per
-    distinct key per batch at most — unless the batch has more
-    distinct keys than the resident capacity, in which case summaries
-    evict and reload mid-batch (results still do not change). *)
+(** {!estimate_batch_r} for callers that treat any failure as fatal.
+    @raise Invalid_argument with the first failed query's rendered
+    typed error. *)
 
 (** {1 Observability} *)
 
 type stats = {
   resident : int;  (** summaries currently in memory *)
   resident_capacity : int;
-  loads : int;  (** loader calls (cold + reloads after eviction) *)
+  loads : int;  (** successful loader calls (cold + reloads) *)
   hits : int;  (** estimator-pool hits (summary already resident) *)
   evictions : int;
+  failures : int;  (** failed acquire attempts (counted after retries) *)
+  retries : int;  (** transient-failure retries across all keys *)
+  quarantines : int;  (** quarantine entries across all keys *)
+  degraded_hits : int;  (** stale-if-error serves across all keys *)
   plan_cache : Xpest_plan.Plan_cache.stats;
       (** the pool-shared compiled-plan cache *)
 }
@@ -121,13 +261,43 @@ type stats = {
 val stats : t -> stats
 (** Tracked unconditionally (no counter enablement needed). *)
 
+type health_state =
+  | Healthy
+  | Quarantined of { until : int }
+      (** refused without I/O while [clock t < until] *)
+  | Degraded  (** resident copy serving despite failed re-verification *)
+
+type key_health = {
+  h_key : key;
+  h_state : health_state;
+  h_consecutive_failures : int;
+  h_failures : int;  (** lifetime failed attempts *)
+  h_retries : int;
+  h_quarantines : int;
+  h_degraded_hits : int;
+  h_next_backoff : int;  (** length of the next quarantine, in ticks *)
+  h_last_error : E.t option;
+}
+
+val health : t -> key_health list
+(** Health report over every tracked key (keys the catalog has
+    attempted at least once and not pruned as healthy), sorted by
+    {!key_to_string}.  Tracked unconditionally. *)
+
+val clock : t -> int
+(** The catalog's logical clock: one tick per acquire attempt (each
+    routed group of {!estimate_batch_r} is one attempt).  Quarantine
+    deadlines are expressed on this clock, which is what makes
+    backoff deterministic under test. *)
+
 val last_batch_metrics : t -> (key * (string * int) list) list
 (** Per-key observability-counter deltas of the most recent
-    {!estimate_batch} call, in the batch's group order: each group is
-    bracketed by {!Xpest_util.Counters.snapshot}, so the rows are
-    attributable per summary even though counters are process-global
-    (see the caveat in [counters.mli]).  Empty when counters were
-    disabled during the batch, or before any batch ran. *)
+    {!estimate_batch_r} (or {!estimate_batch}) call, in the batch's
+    group order: each group is bracketed by
+    {!Xpest_util.Counters.snapshot}, so the rows are attributable per
+    summary even though counters are process-global (see the caveat
+    in [counters.mli]).  Empty when counters were disabled during the
+    batch, or before any batch ran. *)
 
 val keys_by_recency : t -> key list
 (** Resident keys, most-recently used first (test/debug aid). *)

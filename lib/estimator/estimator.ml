@@ -364,6 +364,26 @@ let estimate_many t qs =
           v)
     qs
 
+(* Error-safe pool entry points: the catalog's serving path must never
+   let one poisoned query abort a batch, so exceptions escaping the
+   engine (violated invariants on adversarial patterns) are demoted to
+   typed Internal errors here, per query. *)
+
+let try_estimate t q =
+  match estimate t q with
+  | v -> Ok v
+  | exception Invalid_argument reason | exception Failure reason ->
+      Error (Xpest_util.Xpest_error.Internal reason)
+
+let try_estimate_many t qs =
+  match estimate_many t qs with
+  | vs -> Array.map (fun v -> Ok v) vs
+  | exception (Invalid_argument _ | Failure _) ->
+      (* one query poisoned the batched pass: fall back to per-query
+         estimation, which is bit-identical for the healthy queries
+         (the estimate_many contract) and isolates the failure *)
+      Array.map (fun q -> try_estimate t q) qs
+
 type explanation = { value : float; derivation : string list }
 
 let explain t q =

@@ -66,7 +66,17 @@ val estimate : t -> Xpest_xpath.Pattern.t -> float
     non-negative and finite; 0 when the join empties a required node
     or a ratio denominator vanishes.  Clamps of non-finite or negative
     intermediates are counted under [estimator.guard_clamped] and
-    surfaced in {!explain} derivations. *)
+    surfaced in {!explain} derivations.
+
+    {b Invariant.}  The executor's internal [Invalid_argument] raises
+    (equation dispatch on a shape the plan cannot carry, Conversion
+    5.3 applied to a sibling axis, [Path_join] position lookups) are
+    unreachable when executing a plan compiled from the same pattern —
+    [Plan.compile] decides the equation from the shape that the
+    executor then matches on.  They survive as IR-corruption guards;
+    {!try_estimate} additionally demotes any such escape to
+    [Error (Internal _)], so the serving path cannot crash even if
+    the invariant is ever violated. *)
 
 val estimate_position : t -> Xpest_xpath.Pattern.t -> Xpest_xpath.Pattern.position -> float
 (** Estimate for an arbitrary node of the pattern (ignoring the
@@ -80,6 +90,23 @@ val estimate_many : t -> Xpest_xpath.Pattern.t array -> float array
     [estimate t qs.(i)] for every [i]; duplicates reuse the already
     computed float, and distinct queries sharing sub-shapes share
     joins through the bounded run cache. *)
+
+val try_estimate :
+  t -> Xpest_xpath.Pattern.t -> (float, Xpest_util.Xpest_error.t) result
+(** {!estimate} with the engine's exceptions demoted to
+    [Error (Internal _)].  On [Ok] the float is bit-identical to
+    {!estimate}.  The raising entry points treat an escape as a
+    programmer error; the serving path treats it as a per-query
+    failure to isolate — this is the isolating form. *)
+
+val try_estimate_many :
+  t ->
+  Xpest_xpath.Pattern.t array ->
+  (float, Xpest_util.Xpest_error.t) result array
+(** Batched {!try_estimate}: the fast compile-dedupe-execute pass when
+    every query is healthy, falling back to per-query isolation (same
+    floats, by the {!estimate_many} contract) when one poisons the
+    batch.  Never raises; results are in input order. *)
 
 type explanation = {
   value : float;  (** same value [estimate] returns *)

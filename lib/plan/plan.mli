@@ -83,7 +83,14 @@ type t = {
 }
 
 val compile : Pattern.t -> t
-(** Summary-independent compilation; pure and deterministic. *)
+(** Summary-independent compilation; pure and deterministic.
+
+    {b Invariant.}  Compilation can only raise on a shape/position
+    pair that {!Pattern.v} would never produce (an order position in
+    a branch shape or vice versa) — for any pattern built by
+    [Pattern.v]/[Pattern.of_string] it is total.  The raises survive
+    as guards against hand-assembled inconsistent IR, not as a
+    reachable failure mode of the serving path. *)
 
 val compile_position : Pattern.t -> Pattern.position -> t
 (** Compile with the target overridden.  @raise Invalid_argument if

@@ -125,6 +125,15 @@ let find_or_add t key compute =
       add t key v;
       v
 
+(* Explicit removal (catalog resident-set invalidation); not an
+   eviction, so the eviction counters stay untouched. *)
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;

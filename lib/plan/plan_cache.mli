@@ -58,6 +58,11 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 
 val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
 
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop one entry (no-op if absent).  Deliberate invalidation — the
+    catalog unpinning a resident summary it no longer trusts — so it
+    does not count as an eviction. *)
+
 val clear : ('k, 'v) t -> unit
 
 val keys_by_recency : ('k, 'v) t -> 'k list

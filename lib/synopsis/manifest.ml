@@ -1,3 +1,6 @@
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
+
 type entry = {
   dataset : string;
   variance : float;
@@ -67,16 +70,14 @@ let save t path =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc data)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let load path = decode (Fault.Io.default.Fault.Io.read_file path)
 
-let load path = decode (read_file path)
-
-let load_result path =
-  match load path with
+let load_typed ?(io = Fault.Io.default) path =
+  match decode (io.Fault.Io.read_file path) with
   | v -> Ok v
-  | exception Invalid_argument msg -> Error msg
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error reason -> Error (E.Io_failure { path; reason })
+  | exception Invalid_argument reason ->
+      Error (E.Corrupt { path; section = section_name; reason })
+  | exception E.Error e -> Error e
+
+let load_result path = Result.map_error E.to_string (load_typed path)

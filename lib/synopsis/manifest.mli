@@ -44,5 +44,11 @@ val decode : string -> t
 val save : t -> string -> unit
 val load : string -> t
 
+val load_typed :
+  ?io:Xpest_util.Fault.Io.t -> string -> (t, Xpest_util.Xpest_error.t) result
+(** Typed-error load for the serving stack: [Io_failure] when the
+    file cannot be read, [Corrupt] when it is not a well-formed
+    manifest.  Reads through [?io] (fault-injectable); never raises. *)
+
 val load_result : string -> (t, string) result
-(** Malformed-file and I/O errors as [Error] messages. *)
+(** {!load_typed} with the error rendered. *)

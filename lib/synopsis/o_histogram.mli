@@ -38,7 +38,11 @@ val build :
     order (defines columns); [tag_alpha_rank] maps tag codes to their
     alphabetic rank (defines rows); cells with pid indices outside
     [pid_order] are impossible by construction and rejected.
-    @raise Invalid_argument if [variance < 0]. *)
+    @raise Invalid_argument if [variance < 0].  Both raises are
+    build-time validation: they run when a synopsis is constructed
+    from a document, never on the load/serve path (decoding goes
+    through {!of_boxes} under the wire reader, whose escapes
+    [Synopsis_io.load_typed] classifies as [Corrupt]). *)
 
 val boxes : t -> box list
 

@@ -28,7 +28,10 @@ val buckets : t -> bucket list
 
 val bucket_of_parts : pid_indices:int array -> frequencies:int array -> bucket
 (** Reconstruct a bucket (recomputing its average); for the synopsis
-    codec.  @raise Invalid_argument on length mismatch or emptiness. *)
+    codec.  @raise Invalid_argument on length mismatch or emptiness.
+    On the serving path this raise is only reachable through the wire
+    reader, where [Synopsis_io.load_typed] classifies the escape as a
+    typed [Corrupt] error instead of letting it propagate. *)
 
 val of_buckets : bucket list -> t
 (** Reassemble a histogram from buckets (for the synopsis codec);

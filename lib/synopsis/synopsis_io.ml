@@ -1,3 +1,6 @@
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
+
 type info = {
   path : string;
   version : int;
@@ -8,14 +11,8 @@ type info = {
   sections : (string * int) list;
 }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let info path =
-  let data = read_file path in
+let info ?(io = Fault.Io.default) path =
+  let data = io.Fault.Io.read_file path in
   let h = Wire.read_header data in
   {
     path;
@@ -40,10 +37,57 @@ let overhead_bytes i =
 let save = Summary.save
 let load = Summary.load
 
-let wrap f = match f () with
-  | v -> Ok v
-  | exception Invalid_argument msg -> Error msg
-  | exception Sys_error msg -> Error msg
+(* ------------------------------------------------------------------ *)
+(* Typed loading: Invalid_argument leaks from the codec are classified
+   into the error taxonomy.  The wire layer reports failures with a
+   positional context string; [section_of_reason] maps that back to a
+   wire section name, best-effort (a checksum mismatch proves damage
+   without addressing it, so those attribute to "body").              *)
 
-let info_result path = wrap (fun () -> info path)
-let load_result path = wrap (fun () -> load path)
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let section_of_reason reason =
+  (* wire section decoders fail with context "synopsis section "name"" *)
+  let named_prefix = "synopsis section \"" in
+  if
+    String.length reason > String.length named_prefix
+    && String.sub reason 0 (String.length named_prefix) = named_prefix
+  then begin
+    let rest =
+      String.sub reason
+        (String.length named_prefix)
+        (String.length reason - String.length named_prefix)
+    in
+    match String.index_opt rest '"' with
+    | Some i -> String.sub rest 0 i
+    | None -> "body"
+  end
+  else if
+    contains ~sub:"magic" reason || contains ~sub:"version" reason
+    || contains ~sub:"legacy" reason
+    || contains ~sub:"truncated header" reason
+  then "header"
+  else if contains ~sub:"checksum" reason then "body"
+  else "container"
+
+let classify path = function
+  | Sys_error reason -> E.Io_failure { path; reason }
+  | Invalid_argument reason ->
+      E.Corrupt { path; section = section_of_reason reason; reason }
+  | E.Error e -> e
+  | exn -> E.Internal (Printexc.to_string exn)
+
+let typed path f = match f () with v -> Ok v | exception exn -> Error (classify path exn)
+
+let info_typed ?io path = typed path (fun () -> info ?io path)
+
+let load_typed ?(io = Fault.Io.default) path =
+  typed path (fun () -> Summary.decode (io.Fault.Io.read_file path))
+
+let info_result path = Result.map_error E.to_string (info_typed path)
+let load_result path = Result.map_error E.to_string (load_typed path)

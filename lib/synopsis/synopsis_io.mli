@@ -1,10 +1,14 @@
 (** File-level tooling over the synopsis persistence format.
 
     {!Summary.save}/{!Summary.load} do the encoding; this module adds
-    what operators need around them: header inspection without
-    decoding ([xpest synopsis info]) and [result]-typed wrappers so
-    the CLI can report malformed files without catching exceptions all
-    over. *)
+    what operators and the serving stack need around them: header
+    inspection without decoding ([xpest synopsis info]), typed-error
+    loading for the catalog's fault-tolerance layer, and string-error
+    wrappers for simple CLI paths.
+
+    All reads go through a {!Xpest_util.Fault.Io.t}; pass [?io] to
+    substitute the reader (the chaos suites inject faults there).
+    Omitting it reads the real filesystem. *)
 
 type info = {
   path : string;
@@ -18,7 +22,7 @@ type info = {
           ids, tags, p-/o-histograms); empty if the checksum fails *)
 }
 
-val info : string -> info
+val info : ?io:Xpest_util.Fault.Io.t -> string -> info
 (** Parse only the container header and section table — constant work
     in the number of sections, no histogram decoding.
     @raise Invalid_argument if the file is not a synopsis file at all
@@ -41,7 +45,26 @@ val save : Summary.t -> string -> unit
 val load : string -> Summary.t
 (** Alias of {!Summary.load}. *)
 
+(** {1 Typed-error loading}
+
+    The serving stack's entry points: failures come back as
+    {!Xpest_util.Xpest_error.t} values that callers can route on —
+    [Io_failure] for unreadable files, [Corrupt] (with a best-effort
+    wire-section attribution) for malformed bytes.  Never raises. *)
+
+val info_typed :
+  ?io:Xpest_util.Fault.Io.t -> string -> (info, Xpest_util.Xpest_error.t) result
+
+val load_typed :
+  ?io:Xpest_util.Fault.Io.t ->
+  string ->
+  (Summary.t, Xpest_util.Xpest_error.t) result
+(** Any single flipped bit or truncation anywhere in the file yields
+    [Error (Corrupt _)] — the container checksum vouches for every
+    section before any payload is decoded, so a damaged file can never
+    decode to a synopsis that estimates differently. *)
+
 val info_result : string -> (info, string) result
 val load_result : string -> (Summary.t, string) result
-(** Like {!info}/{!load} but return malformed-file and I/O errors as
-    [Error] messages. *)
+(** {!info_typed}/{!load_typed} with the error rendered
+    ({!Xpest_util.Xpest_error.to_string}). *)

@@ -1,0 +1,99 @@
+module Io = struct
+  type t = { read_file : string -> string }
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let default = { read_file }
+end
+
+(* Observability: one counter per fault kind plus the total the
+   resilience report surfaces.  No-ops unless [Counters.set_enabled]. *)
+let c_injected = Counters.create "fault.injected"
+let c_read_error = Counters.create "fault.read_error"
+let c_truncate = Counters.create "fault.truncate"
+let c_bit_flip = Counters.create "fault.bit_flip"
+let c_stall = Counters.create "fault.stall"
+
+type config = {
+  seed : int;
+  read_error : float;
+  truncate : float;
+  bit_flip : float;
+  stall : float;
+  stall_seconds : float;
+}
+
+let none =
+  {
+    seed = 0;
+    read_error = 0.0;
+    truncate = 0.0;
+    bit_flip = 0.0;
+    stall = 0.0;
+    stall_seconds = 0.0;
+  }
+
+let uniform ~seed ~rate =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Fault.uniform: rate must be in [0, 1]";
+  let each = rate /. 3.0 in
+  { none with seed; read_error = each; truncate = each; bit_flip = each }
+
+let fault_free c =
+  c.read_error = 0.0 && c.truncate = 0.0 && c.bit_flip = 0.0 && c.stall = 0.0
+
+type t = { cfg : config; rng : Prng.t; mutable injected : int }
+
+let create cfg = { cfg; rng = Prng.create cfg.seed; injected = 0 }
+let config t = t.cfg
+let injected t = t.injected
+
+let hit t kind_counter =
+  t.injected <- t.injected + 1;
+  Counters.incr c_injected;
+  Counters.incr kind_counter
+
+let io t base =
+  if fault_free t.cfg then base
+  else
+    let c = t.cfg in
+    let read_file path =
+      (* One variate picks the fault; cumulative thresholds keep the
+         stream consumption identical whichever branch fires. *)
+      let u = Prng.float t.rng 1.0 in
+      if u < c.read_error then begin
+        hit t c_read_error;
+        raise
+          (Sys_error (Printf.sprintf "%s: injected read error" path))
+      end
+      else if u < c.read_error +. c.truncate then begin
+        hit t c_truncate;
+        let data = base.Io.read_file path in
+        let n = String.length data in
+        if n = 0 then data else String.sub data 0 (Prng.int t.rng n)
+      end
+      else if u < c.read_error +. c.truncate +. c.bit_flip then begin
+        hit t c_bit_flip;
+        let data = base.Io.read_file path in
+        let n = String.length data in
+        if n = 0 then data
+        else begin
+          let b = Bytes.of_string data in
+          let pos = Prng.int t.rng n in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Prng.int t.rng 8)));
+          Bytes.unsafe_to_string b
+        end
+      end
+      else if u < c.read_error +. c.truncate +. c.bit_flip +. c.stall then begin
+        hit t c_stall;
+        if c.stall_seconds > 0.0 then Unix.sleepf c.stall_seconds;
+        base.Io.read_file path
+      end
+      else base.Io.read_file path
+    in
+    { Io.read_file }

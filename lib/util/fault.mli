@@ -1,0 +1,63 @@
+(** Deterministic fault injection behind a pluggable I/O interface.
+
+    Every file read in the serving stack goes through an {!Io.t}; the
+    chaos suites and the resilience benchmark swap the default
+    filesystem reader for one wrapped by an {e injector} that, with
+    configured probabilities, makes a read fail ([Sys_error]), return
+    a truncated prefix, return the data with one bit flipped, or stall
+    before succeeding.  The injector draws from {!Prng}
+    (splitmix64), so a given [(seed, call sequence)] produces exactly
+    the same fault schedule on every run — chaos tests are
+    reproducible, and a successful load under injection is
+    byte-identical to a fault-free load (faults are injected, never
+    silently half-injected).
+
+    With {!none} the wrapper is the identity: {!io} returns the base
+    [Io.t] physically unchanged, so the disabled fault layer costs
+    nothing on the hot path. *)
+
+(** The read interface the serving stack loads files through. *)
+module Io : sig
+  type t = { read_file : string -> string }
+
+  val default : t
+  (** Reads the whole file with stdlib binary I/O.
+      @raise Sys_error on I/O failure. *)
+end
+
+type config = {
+  seed : int;  (** PRNG seed; equal seeds give equal fault schedules *)
+  read_error : float;  (** probability a read raises [Sys_error] *)
+  truncate : float;  (** probability a read returns a strict prefix *)
+  bit_flip : float;  (** probability a read returns one flipped bit *)
+  stall : float;  (** probability a read sleeps [stall_seconds] first *)
+  stall_seconds : float;
+}
+
+val none : config
+(** All probabilities zero — the identity wrapper. *)
+
+val uniform : seed:int -> rate:float -> config
+(** Total fault probability [rate], split evenly across read errors,
+    truncation and bit flips (no stalls); the profile the resilience
+    benchmark and chaos suites use.
+    @raise Invalid_argument unless [0 <= rate <= 1]. *)
+
+type t
+
+val create : config -> t
+(** A fresh injector with its own PRNG stream. *)
+
+val config : t -> config
+
+val injected : t -> int
+(** Faults injected so far (counted unconditionally; the global
+    [fault.injected] and per-kind [fault.*] counters mirror this when
+    enabled). *)
+
+val io : t -> Io.t -> Io.t
+(** Wrap a base reader.  Physically the same [Io.t] when the config is
+    fault-free ([== base]); otherwise each [read_file] call draws one
+    uniform variate to pick a fault (or none) plus, for truncation /
+    bit flips, the variates selecting the damage site — so the
+    schedule depends only on the seed and the call order. *)

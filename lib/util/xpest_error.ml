@@ -1,0 +1,45 @@
+type t =
+  | Io_failure of { path : string; reason : string }
+  | Corrupt of { path : string; section : string; reason : string }
+  | Stale_manifest of { path : string; reason : string }
+  | Unknown_key of string
+  | Quarantined of { key : string; until : int }
+  | Capacity of string
+  | Internal of string
+
+let kind = function
+  | Io_failure _ -> "io-failure"
+  | Corrupt _ -> "corrupt"
+  | Stale_manifest _ -> "stale-manifest"
+  | Unknown_key _ -> "unknown-key"
+  | Quarantined _ -> "quarantined"
+  | Capacity _ -> "capacity"
+  | Internal _ -> "internal"
+
+let to_string = function
+  | Io_failure { path; reason } ->
+      Printf.sprintf "io-failure: %s: %s" path reason
+  | Corrupt { path; section; reason } ->
+      Printf.sprintf "corrupt: %s [section %s]: %s" path section reason
+  | Stale_manifest { path; reason } ->
+      Printf.sprintf "stale-manifest: %s: %s" path reason
+  | Unknown_key key -> Printf.sprintf "unknown-key: %s" key
+  | Quarantined { key; until } ->
+      Printf.sprintf "quarantined: %s (backing off until tick %d)" key until
+  | Capacity reason -> Printf.sprintf "capacity: %s" reason
+  | Internal reason -> Printf.sprintf "internal: %s" reason
+
+let transient = function
+  | Io_failure _ | Corrupt _ -> true
+  | Stale_manifest _ | Unknown_key _ | Quarantined _ | Capacity _ | Internal _
+    ->
+      false
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Xpest_error.Error: " ^ to_string e)
+    | _ -> None)

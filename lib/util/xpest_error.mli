@@ -1,0 +1,64 @@
+(** The typed error taxonomy of the serving stack.
+
+    Everything that can go wrong between a key and a float — an I/O
+    failure, a corrupted synopsis section, a synopsis rebuilt behind
+    its manifest, an unknown key, a quarantined key, a capacity
+    refusal — is one constructor of {!t}, so callers can route on the
+    {e class} of a failure (retry it, quarantine its key, degrade,
+    refuse) without parsing message strings.  Load APIs across
+    [lib/synopsis] and [lib/catalog] return [('a, t) result];
+    exceptions are confined to the CLI boundary and to programmer
+    errors (violated invariants), which stay [Invalid_argument].
+
+    Errors carry enough context to print a one-line operator-grade
+    diagnosis: the kind, the path (or key), and — for corruption — the
+    wire section the damage was attributed to. *)
+
+type t =
+  | Io_failure of { path : string; reason : string }
+      (** The bytes could not be read at all (open/read failed). *)
+  | Corrupt of { path : string; section : string; reason : string }
+      (** The bytes were read but are not a well-formed file: bad
+          magic, unsupported version, checksum mismatch, truncation,
+          or a malformed section.  [section] is the wire section the
+          failure was attributed to (["header"], ["body"], or a named
+          section such as ["p_histograms"]); attribution is
+          best-effort — a checksum mismatch proves damage but not its
+          address. *)
+  | Stale_manifest of { path : string; reason : string }
+      (** The file is well-formed but does not match its manifest
+          entry (size or checksum) — it was rebuilt behind the
+          manifest's back. *)
+  | Unknown_key of string
+      (** The key resolves to no manifest entry / loader source. *)
+  | Quarantined of { key : string; until : int }
+      (** The key failed repeatedly and is benched until the
+          catalog's logical clock reaches [until]; no I/O was
+          attempted. *)
+  | Capacity of string
+      (** A resource bound refused the work (resident set, queue). *)
+  | Internal of string
+      (** An unexpected exception escaped a component; the payload is
+          its message.  Seeing this is a bug report, not an
+          operational condition. *)
+
+val kind : t -> string
+(** Stable lower-kebab class name (["io-failure"], ["corrupt"],
+    ["stale-manifest"], ["unknown-key"], ["quarantined"],
+    ["capacity"], ["internal"]) — what CLIs print and logs grep. *)
+
+val to_string : t -> string
+(** One line: [kind: path [section s]: reason]. *)
+
+val transient : t -> bool
+(** Whether retrying the same operation can plausibly succeed without
+    operator intervention: true for {!Io_failure} and {!Corrupt}
+    (read-level faults — a flaky disk or an injected fault — heal on
+    re-read; genuinely damaged files just fail again), false for
+    everything else. *)
+
+exception Error of t
+(** For the rare edge where a [result] cannot flow (callbacks with
+    fixed types).  Raise with {!raise_error}; catch at the boundary. *)
+
+val raise_error : t -> 'a

@@ -1,0 +1,396 @@
+(* Chaos tests for the catalog's fault-tolerance layer: routed batches
+   under injected storage faults never raise, keep per-query isolation
+   and input order, and every Ok float is bit-identical to the
+   fault-free run; the quarantine/backoff state machine is verified
+   step by deterministic step on the logical clock. *)
+
+module Counters = Xpest_util.Counters
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
+module Pattern = Xpest_xpath.Pattern
+module Summary = Xpest_synopsis.Summary
+module Manifest = Xpest_synopsis.Manifest
+module Registry = Xpest_datasets.Registry
+module Catalog = Xpest_catalog.Catalog
+
+let seeds = [ 11; 23; 47 ]
+let rates = [ 0.01; 0.1 ]
+
+let key d v = { Catalog.dataset = d; variance = v }
+
+let summaries : (string * float, Summary.t) Hashtbl.t = Hashtbl.create 8
+
+let summary_for (k : Catalog.key) =
+  match Hashtbl.find_opt summaries (k.Catalog.dataset, k.Catalog.variance) with
+  | Some s -> s
+  | None ->
+      let name =
+        match Registry.of_string k.Catalog.dataset with
+        | Some n -> n
+        | None -> Alcotest.failf "unknown dataset %s" k.Catalog.dataset
+      in
+      let doc = Registry.generate ~scale:0.02 name in
+      let s =
+        Summary.build ~p_variance:k.Catalog.variance
+          ~o_variance:k.Catalog.variance doc
+      in
+      Hashtbl.add summaries (k.Catalog.dataset, k.Catalog.variance) s;
+      s
+
+(* A real on-disk catalog the injected faults can damage in flight. *)
+let catalog_dir =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "xpest_chaos_test_%d" (Unix.getpid ()))
+     in
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     let m =
+       List.fold_left
+         (fun m k -> Catalog.save_entry ~dir m k (summary_for k))
+         Manifest.empty
+         [ key "ssplays" 0.0; key "ssplays" 2.0; key "dblp" 0.0 ]
+     in
+     Manifest.save m (Filename.concat dir Catalog.manifest_filename);
+     dir)
+
+let routed_pairs () =
+  let k1 = key "ssplays" 0.0
+  and k2 = key "ssplays" 2.0
+  and k3 = key "dblp" 0.0 in
+  let p = Pattern.of_string in
+  [|
+    (k1, p "//SPEECH/LINE");
+    (k3, p "//inproceedings/title");
+    (k2, p "//ACT[/{SCENE}]");
+    (k1, p "//PLAY//{SPEECH}");
+    (k2, p "//SPEECH/LINE");
+    (k3, p "//article/{author}");
+    (k1, p "//SPEECH/LINE");
+    (k3, p "//inproceedings/title");
+  |]
+
+let load_manifest dir =
+  match Manifest.load_typed (Filename.concat dir Catalog.manifest_filename) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "manifest load failed: %s" (E.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Routed batches under injection.                                     *)
+
+let test_chaos_batches () =
+  let dir = Lazy.force catalog_dir in
+  let m = load_manifest dir in
+  let pairs = routed_pairs () in
+  (* fault-free reference floats *)
+  let reference =
+    let cat = Catalog.of_manifest ~dir m in
+    Array.map
+      (function
+        | Ok v -> v
+        | Error e -> Alcotest.failf "fault-free run failed: %s" (E.to_string e))
+      (Catalog.estimate_batch_r cat pairs)
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun rate ->
+          let io =
+            Fault.io (Fault.create (Fault.uniform ~seed ~rate)) Fault.Io.default
+          in
+          (* resident capacity 2 over 3 keys: every batch reloads, so
+             the fault surface stays exercised round after round *)
+          let cat = Catalog.of_manifest ~resident_capacity:2 ~io ~dir m in
+          for round = 1 to 5 do
+            let results = Catalog.estimate_batch_r cat pairs in
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d rate %g round %d: in input order" seed
+                 rate round)
+              (Array.length pairs) (Array.length results);
+            Array.iteri
+              (fun i -> function
+                | Ok v ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf
+                         "seed %d rate %g round %d query %d: Ok is \
+                          bit-identical to fault-free"
+                         seed rate round i)
+                      true
+                      (Int64.equal (Int64.bits_of_float v)
+                         (Int64.bits_of_float reference.(i)))
+                | Error (E.Io_failure _ | E.Corrupt _ | E.Quarantined _) -> ()
+                | Error e ->
+                    Alcotest.failf
+                      "seed %d rate %g round %d query %d: unexpected error \
+                       class %s"
+                      seed rate round i (E.to_string e))
+              results
+          done)
+        rates)
+    seeds
+
+(* At a 10% fault rate with retries, some queries must still succeed
+   over enough rounds — degraded, not dead. *)
+let test_chaos_service_survives () =
+  let dir = Lazy.force catalog_dir in
+  let m = load_manifest dir in
+  let pairs = routed_pairs () in
+  let io =
+    Fault.io (Fault.create (Fault.uniform ~seed:23 ~rate:0.1)) Fault.Io.default
+  in
+  let cat = Catalog.of_manifest ~resident_capacity:2 ~io ~dir m in
+  let ok = ref 0 and total = ref 0 in
+  for _ = 1 to 10 do
+    Array.iter
+      (function Ok _ -> incr ok | Error _ -> ())
+      (Catalog.estimate_batch_r cat pairs);
+    total := !total + Array.length pairs
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "most queries succeed at 10%% faults (%d/%d)" !ok !total)
+    true
+    (!ok * 2 > !total)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine / backoff state machine, step by step.                   *)
+
+let test_quarantine_backoff () =
+  let k = key "ssplays" 0.0 in
+  let q = Pattern.of_string "//SPEECH" in
+  let healthy = ref false in
+  let loader_calls = ref 0 in
+  let loader k =
+    incr loader_calls;
+    if !healthy then Ok (summary_for k)
+    else Error (E.Io_failure { path = "chaos"; reason = "injected" })
+  in
+  let resilience =
+    {
+      Catalog.default_resilience with
+      max_retries = 0;
+      failure_threshold = 3;
+      backoff_base = 2;
+      backoff_max = 8;
+    }
+  in
+  let cat = Catalog.create_r ~resilience ~loader () in
+  let attempt expect_called expect_kind label =
+    let before = !loader_calls in
+    let r = Catalog.estimate_r cat k q in
+    Alcotest.(check bool)
+      (label ^ ": loader touched iff expected")
+      expect_called
+      (!loader_calls > before);
+    match (r, expect_kind) with
+    | Ok _, `Ok -> ()
+    | Error e, `Kind kind ->
+        Alcotest.(check string) (label ^ ": error kind") kind (E.kind e)
+    | Ok _, `Kind kind -> Alcotest.failf "%s: expected %s, got Ok" label kind
+    | Error e, `Ok ->
+        Alcotest.failf "%s: expected Ok, got %s" label (E.to_string e)
+  in
+  let state label expected =
+    match Catalog.health cat with
+    | [ h ] ->
+        let got =
+          match h.Catalog.h_state with
+          | Catalog.Healthy -> "healthy"
+          | Catalog.Quarantined { until } -> Printf.sprintf "quarantined:%d" until
+          | Catalog.Degraded -> "degraded"
+        in
+        Alcotest.(check string) (label ^ ": health state") expected got
+    | hs -> Alcotest.failf "%s: expected one tracked key, got %d" label
+              (List.length hs)
+  in
+  (* clock 1..3: three straight failures, third one quarantines for
+     backoff_base = 2 ticks (until clock 3 + 2 = 5) *)
+  attempt true (`Kind "io-failure") "attempt 1";
+  attempt true (`Kind "io-failure") "attempt 2";
+  attempt true (`Kind "io-failure") "attempt 3";
+  state "after threshold" "quarantined:5";
+  (* clock 4: inside quarantine — refused with NO loader I/O *)
+  attempt false (`Kind "quarantined") "attempt 4 (benched)";
+  (* clock 5: quarantine expired — one probe, still failing, so it
+     re-quarantines with doubled backoff (until 5 + 4 = 9) *)
+  attempt true (`Kind "io-failure") "attempt 5 (probe)";
+  state "after failed probe" "quarantined:9";
+  (* clock 6..8: benched again, no I/O *)
+  attempt false (`Kind "quarantined") "attempt 6 (benched)";
+  attempt false (`Kind "quarantined") "attempt 7 (benched)";
+  attempt false (`Kind "quarantined") "attempt 8 (benched)";
+  (* the fault clears; clock 9 probes and recovers *)
+  healthy := true;
+  attempt true `Ok "attempt 9 (recovery)";
+  state "after recovery" "healthy";
+  Alcotest.(check int) "loader calls: 3 + probe + recovery" 5 !loader_calls;
+  let st = Catalog.stats cat in
+  Alcotest.(check int) "failures" 4 st.Catalog.failures;
+  Alcotest.(check int) "quarantines" 2 st.Catalog.quarantines;
+  (* healthy again: next attempt is a resident hit, no loader call *)
+  attempt false `Ok "attempt 10 (resident)";
+  Alcotest.(check int) "clock ticked once per attempt" 10 (Catalog.clock cat)
+
+let test_retry_transient () =
+  let k = key "ssplays" 0.0 in
+  let q = Pattern.of_string "//SPEECH" in
+  let failures_left = ref 1 in
+  let loader_calls = ref 0 in
+  let loader k =
+    incr loader_calls;
+    if !failures_left > 0 then begin
+      decr failures_left;
+      Error (E.Io_failure { path = "chaos"; reason = "blip" })
+    end
+    else Ok (summary_for k)
+  in
+  let cat = Catalog.create_r ~loader () in
+  (match Catalog.estimate_r cat k q with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "transient blip not absorbed by retry: %s" (E.to_string e));
+  Alcotest.(check int) "loader called twice (1 failure + 1 retry)" 2
+    !loader_calls;
+  let st = Catalog.stats cat in
+  Alcotest.(check int) "one retry recorded" 1 st.Catalog.retries;
+  Alcotest.(check int) "no failed attempts" 0 st.Catalog.failures;
+  (* a permanent error burns no retries *)
+  let cat2 =
+    Catalog.create_r
+      ~loader:(fun k -> Error (E.Unknown_key (Catalog.key_to_string k)))
+      ()
+  in
+  (match Catalog.estimate_r cat2 k q with
+  | Error (E.Unknown_key _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unknown key not reported");
+  Alcotest.(check int) "no retries on permanent errors" 0
+    (Catalog.stats cat2).Catalog.retries
+
+let test_degraded_serving () =
+  let k = key "ssplays" 0.0 in
+  let q = Pattern.of_string "//SPEECH/LINE" in
+  let verdict = ref (Ok ()) in
+  let make stale_if_error =
+    Catalog.create_r
+      ~resilience:
+        {
+          Catalog.default_resilience with
+          verify_resident = true;
+          stale_if_error;
+        }
+      ~verify:(fun _ -> !verdict)
+      ~loader:(fun k -> Ok (summary_for k))
+      ()
+  in
+  (* stale-if-error on: failed re-verification serves the resident
+     copy, bit-identical, and marks the key Degraded *)
+  verdict := Ok ();
+  let cat = make true in
+  let v0 =
+    match Catalog.estimate_r cat k q with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "warm-up failed: %s" (E.to_string e)
+  in
+  verdict := Error (E.Corrupt { path = "x"; section = "body"; reason = "flip" });
+  (match Catalog.estimate_r cat k q with
+  | Ok v ->
+      Alcotest.(check bool) "degraded hit serves the same float" true
+        (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v0))
+  | Error e -> Alcotest.failf "stale_if_error did not serve: %s" (E.to_string e));
+  Alcotest.(check int) "degraded hit counted" 1
+    (Catalog.stats cat).Catalog.degraded_hits;
+  (match Catalog.health cat with
+  | [ h ] ->
+      Alcotest.(check bool) "state is Degraded" true
+        (h.Catalog.h_state = Catalog.Degraded)
+  | hs -> Alcotest.failf "expected one tracked key, got %d" (List.length hs));
+  (* verification healing clears the degraded mark *)
+  verdict := Ok ();
+  (match Catalog.estimate_r cat k q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "healed hit failed: %s" (E.to_string e));
+  (match Catalog.health cat with
+  | [ h ] ->
+      Alcotest.(check bool) "healed back to Healthy" true
+        (h.Catalog.h_state = Catalog.Healthy)
+  | _ -> Alcotest.fail "tracking lost");
+  (* stale-if-error off: the same failure drops the resident and
+     surfaces the error instead *)
+  verdict := Ok ();
+  let cat2 = make false in
+  ignore (Catalog.estimate_r cat2 k q);
+  verdict := Error (E.Corrupt { path = "x"; section = "body"; reason = "flip" });
+  (match Catalog.estimate_r cat2 k q with
+  | Error (E.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "stale_if_error=false still served"
+  | Error e -> Alcotest.failf "wrong error class: %s" (E.to_string e));
+  (* the distrusted resident is gone: healing the verifier makes the
+     next attempt reload from the loader *)
+  verdict := Ok ();
+  (match Catalog.estimate_r cat2 k q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "reload after drop failed: %s" (E.to_string e));
+  Alcotest.(check int) "dropped resident was reloaded" 2
+    (Catalog.stats cat2).Catalog.loads
+
+let test_per_query_isolation () =
+  let good = key "ssplays" 0.0 and bad = key "dblp" 0.0 in
+  let loader k =
+    if k = bad then Error (E.Io_failure { path = "chaos"; reason = "down" })
+    else Ok (summary_for k)
+  in
+  let cat = Catalog.create_r ~loader () in
+  let p = Pattern.of_string in
+  let pairs =
+    [|
+      (good, p "//SPEECH/LINE");
+      (bad, p "//inproceedings/title");
+      (good, p "//PLAY//{SPEECH}");
+      (bad, p "//article");
+    |]
+  in
+  let reference =
+    let cat = Catalog.create_r ~loader:(fun k -> Ok (summary_for k)) () in
+    Catalog.estimate_batch_r cat [| pairs.(0); pairs.(2) |]
+  in
+  let results = Catalog.estimate_batch_r cat pairs in
+  (match (results.(0), reference.(0)) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "query 0 unaffected by the poisoned key" true
+        (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+  | _ -> Alcotest.fail "query 0 should succeed");
+  (match (results.(2), reference.(1)) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "query 2 unaffected by the poisoned key" true
+        (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+  | _ -> Alcotest.fail "query 2 should succeed");
+  (match results.(1) with
+  | Error (E.Io_failure _) -> ()
+  | _ -> Alcotest.fail "query 1 should carry the poisoned key's error");
+  (match results.(3) with
+  | Error (E.Io_failure _) -> ()
+  | _ -> Alcotest.fail "query 3 should carry the poisoned key's error");
+  (* the raising wrapper reports the first failure as Invalid_argument
+     (the legacy contract) *)
+  match Catalog.estimate_batch cat pairs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "estimate_batch should raise on a failed key"
+
+let () =
+  Alcotest.run "catalog_chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "batches under injection" `Quick test_chaos_batches;
+          Alcotest.test_case "service survives 10% faults" `Quick
+            test_chaos_service_survives;
+        ] );
+      ( "state_machine",
+        [
+          Alcotest.test_case "quarantine + backoff" `Quick
+            test_quarantine_backoff;
+          Alcotest.test_case "transient retry" `Quick test_retry_transient;
+          Alcotest.test_case "degraded serving" `Quick test_degraded_serving;
+          Alcotest.test_case "per-query isolation" `Quick
+            test_per_query_isolation;
+        ] );
+    ]

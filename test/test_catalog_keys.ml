@@ -1,0 +1,144 @@
+(* Catalog key codecs: the string form ("dataset@variance") and the
+   file-name form ("<escaped>_v<variance>.syn") must both round-trip
+   exactly for arbitrary dataset strings — including '@', '_', '%',
+   '/' — and for variances whose "%g" rendering loses precision. *)
+
+module Catalog = Xpest_catalog.Catalog
+
+let key d v = { Catalog.dataset = d; variance = v }
+
+(* Dataset bytes drawn from the full printable-plus-awkward range the
+   escaping must survive; never empty. *)
+let dataset_gen =
+  QCheck.Gen.(
+    let char_gen =
+      oneof
+        [
+          char_range 'a' 'z';
+          char_range 'A' 'Z';
+          char_range '0' '9';
+          oneofl [ '@'; '_'; '%'; '/'; '.'; '-'; ' '; '+'; '#'; '\xc3'; '\x01' ];
+        ]
+    in
+    string_size ~gen:char_gen (int_range 1 24))
+
+let variance_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ 0.0; 2.0; 2.5; 12.5; 0.1; 0.1 +. 0.2; 1e-3; 1e6; 1.0 /. 3.0 ];
+        map Float.abs (float_bound_exclusive 1e9);
+      ])
+
+let arb_key =
+  QCheck.make
+    QCheck.Gen.(
+      pair dataset_gen variance_gen >|= fun (d, v) -> key d v)
+    ~print:(fun k ->
+      Printf.sprintf "{dataset=%S; variance=%h}" k.Catalog.dataset
+        k.Catalog.variance)
+
+let same_key a b =
+  String.equal a.Catalog.dataset b.Catalog.dataset
+  && Int64.equal
+       (Int64.bits_of_float a.Catalog.variance)
+       (Int64.bits_of_float b.Catalog.variance)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"key_to_string/key_of_string round-trip" ~count:500
+    arb_key (fun k ->
+      match Catalog.key_of_string (Catalog.key_to_string k) with
+      | Ok k' -> same_key k k'
+      | Error _ -> false)
+
+let prop_filename_roundtrip =
+  QCheck.Test.make ~name:"key_filename/key_of_filename round-trip" ~count:500
+    arb_key (fun k ->
+      match Catalog.key_of_filename (Catalog.key_filename k) with
+      | Ok k' -> same_key k k'
+      | Error _ -> false)
+
+let prop_filename_injective =
+  QCheck.Test.make ~name:"distinct keys get distinct file names" ~count:500
+    (QCheck.pair arb_key arb_key) (fun (a, b) ->
+      same_key a b
+      || not (String.equal (Catalog.key_filename a) (Catalog.key_filename b)))
+
+let prop_filename_flat =
+  QCheck.Test.make ~name:"file names never escape the catalog directory"
+    ~count:500 arb_key (fun k ->
+      let f = Catalog.key_filename k in
+      (not (String.contains f '/')) && Filename.basename f = f)
+
+let test_edge_cases () =
+  (* '@' in the dataset: the last '@' wins *)
+  (match Catalog.key_of_string "a@b@2" with
+  | Ok k ->
+      Alcotest.(check string) "dataset keeps inner @" "a@b" k.Catalog.dataset;
+      Alcotest.(check (float 0.0)) "variance" 2.0 k.Catalog.variance
+  | Error e -> Alcotest.failf "a@b@2 should parse: %s" e);
+  (* printed form of an @-bearing dataset round-trips *)
+  (match Catalog.key_of_string (Catalog.key_to_string (key "a@b" 0.0)) with
+  | Ok k -> Alcotest.(check string) "round-trip" "a@b" k.Catalog.dataset
+  | Error e -> Alcotest.failf "printed form should parse: %s" e);
+  (* rejected spellings *)
+  List.iter
+    (fun s ->
+      match Catalog.key_of_string s with
+      | Ok k ->
+          Alcotest.failf "%S should not parse (got %s)" s
+            (Catalog.key_to_string k)
+      | Error _ -> ())
+    [ ""; "@1"; "d@"; "d@-1"; "d@nan"; "d@inf"; "d@1e999" ];
+  (* a variance whose %g rendering is lossy still round-trips *)
+  let v = 0.1 +. 0.2 in
+  (match Catalog.key_of_string (Catalog.key_to_string (key "d" v)) with
+  | Ok k ->
+      Alcotest.(check bool) "bit-exact variance" true
+        (Int64.equal (Int64.bits_of_float v)
+           (Int64.bits_of_float k.Catalog.variance))
+  | Error e -> Alcotest.failf "lossy variance round-trip: %s" e);
+  (* underscore and percent in datasets do not confuse the _v split *)
+  List.iter
+    (fun d ->
+      let f = Catalog.key_filename (key d 2.5) in
+      match Catalog.key_of_filename f with
+      | Ok k ->
+          Alcotest.(check string) (Printf.sprintf "%S via %s" d f) d
+            k.Catalog.dataset
+      | Error e -> Alcotest.failf "%s should invert: %s" f e)
+    [ "a_v2"; "100%"; "a/b"; "_"; "%25"; "v"; "a@b" ];
+  (* malformed file names are errors, not crashes or bogus keys *)
+  List.iter
+    (fun f ->
+      match Catalog.key_of_filename f with
+      | Ok k ->
+          Alcotest.failf "%S should not invert (got %s)" f
+            (Catalog.key_to_string k)
+      | Error _ -> ())
+    [
+      "";
+      "nosuffix";
+      ".syn";
+      "noseparator.syn";
+      "d_x0.syn";
+      "_v0.syn";
+      "d_v-1.syn";
+      "d_vnan.syn";
+      "d%2_v0.syn";
+      "d%zz_v0.syn";
+    ]
+
+let () =
+  Alcotest.run "catalog_keys"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_string_roundtrip;
+            prop_filename_roundtrip;
+            prop_filename_injective;
+            prop_filename_flat;
+          ] );
+      ("edges", [ Alcotest.test_case "edge cases" `Quick test_edge_cases ]);
+    ]

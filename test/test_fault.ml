@@ -1,0 +1,165 @@
+(* The fault injector itself: schedules are a pure function of the
+   seed, the disabled layer is the identity, each fault kind does what
+   it says, and — the property the chaos suites lean on — a load that
+   survives injection is byte-identical to a fault-free load. *)
+
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
+module Counters = Xpest_util.Counters
+module Summary = Xpest_synopsis.Summary
+module Synopsis_io = Xpest_synopsis.Synopsis_io
+module Registry = Xpest_datasets.Registry
+
+let seeds = [ 11; 23; 47 ]
+
+(* A base reader serving fixed in-memory content: the injector's
+   behavior is then observable without touching the filesystem. *)
+let content = String.init 256 (fun i -> Char.chr (i * 7 mod 256))
+let mem_io = { Fault.Io.read_file = (fun _ -> content) }
+
+type outcome = Read of string | Failed of string
+
+let outcomes cfg n =
+  let io = Fault.io (Fault.create cfg) mem_io in
+  List.init n (fun i ->
+      let path = Printf.sprintf "mem/%d" i in
+      match io.Fault.Io.read_file path with
+      | s -> Read s
+      | exception Sys_error msg -> Failed msg)
+
+let test_deterministic () =
+  List.iter
+    (fun seed ->
+      let cfg = Fault.uniform ~seed ~rate:0.5 in
+      let a = outcomes cfg 300 and b = outcomes cfg 300 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: schedule is reproducible" seed)
+        true (a = b);
+      (* a different seed must not produce the same schedule (with 300
+         draws at rate 0.5, collision would mean the seed is ignored) *)
+      let c = outcomes (Fault.uniform ~seed:(seed + 1) ~rate:0.5) 300 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d vs %d: schedules differ" seed (seed + 1))
+        true (a <> c))
+    seeds
+
+let test_identity_when_disabled () =
+  let inj = Fault.create Fault.none in
+  Alcotest.(check bool)
+    "fault-free wrapper is physically the base io" true
+    (Fault.io inj mem_io == mem_io);
+  Alcotest.(check int) "nothing injected" 0 (Fault.injected inj)
+
+let test_kinds () =
+  (* read errors at probability 1: every read raises Sys_error *)
+  let all_err =
+    { Fault.none with seed = 5; read_error = 1.0 }
+  in
+  List.iter
+    (function
+      | Read _ -> Alcotest.fail "read_error=1 returned data"
+      | Failed _ -> ())
+    (outcomes all_err 50);
+  (* truncation at probability 1: every read is a strict prefix *)
+  let all_trunc = { Fault.none with seed = 5; truncate = 1.0 } in
+  List.iter
+    (function
+      | Failed msg -> Alcotest.failf "truncate=1 raised: %s" msg
+      | Read s ->
+          Alcotest.(check bool) "strict prefix" true
+            (String.length s < String.length content
+            && s = String.sub content 0 (String.length s)))
+    (outcomes all_trunc 50);
+  (* bit flips at probability 1: same length, exactly one bit differs *)
+  let all_flip = { Fault.none with seed = 5; bit_flip = 1.0 } in
+  List.iter
+    (function
+      | Failed msg -> Alcotest.failf "bit_flip=1 raised: %s" msg
+      | Read s ->
+          Alcotest.(check int) "same length" (String.length content)
+            (String.length s);
+          let bits = ref 0 in
+          String.iteri
+            (fun i c ->
+              let x = Char.code c lxor Char.code content.[i] in
+              let rec popcount n = if n = 0 then 0 else (n land 1) + popcount (n lsr 1) in
+              bits := !bits + popcount x)
+            s;
+          Alcotest.(check int) "exactly one flipped bit" 1 !bits)
+    (outcomes all_flip 50)
+
+let test_counters () =
+  let inj = Fault.create { Fault.none with seed = 9; read_error = 1.0 } in
+  let io = Fault.io inj mem_io in
+  Counters.with_enabled (fun () ->
+      let before = Counters.snapshot () in
+      for _ = 1 to 5 do
+        match io.Fault.Io.read_file "mem" with
+        | _ -> Alcotest.fail "read_error=1 returned data"
+        | exception Sys_error _ -> ()
+      done;
+      Alcotest.(check int) "injected count" 5 (Fault.injected inj);
+      let delta = Counters.delta_between before (Counters.snapshot ()) in
+      let v name =
+        match List.assoc_opt name delta with Some n -> n | None -> 0
+      in
+      Alcotest.(check int) "fault.injected counter" 5 (v "fault.injected");
+      Alcotest.(check int) "fault.read_error counter" 5 (v "fault.read_error"))
+
+(* The safety property: load a real synopsis through heavy injection;
+   whatever comes back Ok must be byte-identical to the fault-free
+   summary, and whatever fails must be a typed transient error. *)
+let test_ok_is_bit_identical () =
+  let doc = Registry.generate ~scale:0.01 Registry.Ssplays in
+  let s = Summary.build ~p_variance:0.0 ~o_variance:0.0 doc in
+  let file = Filename.temp_file "xpest_fault" ".syn" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Summary.save s file;
+      let reference = Summary.encode s in
+      List.iter
+        (fun seed ->
+          let io =
+            Fault.io (Fault.create (Fault.uniform ~seed ~rate:0.5))
+              Fault.Io.default
+          in
+          let ok = ref 0 and failed = ref 0 in
+          for _ = 1 to 200 do
+            match Synopsis_io.load_typed ~io file with
+            | Ok loaded ->
+                incr ok;
+                Alcotest.(check bool)
+                  "surviving load re-encodes byte-identical" true
+                  (String.equal (Summary.encode loaded) reference)
+            | Error (E.Io_failure _ | E.Corrupt _) -> incr failed
+            | Error e ->
+                Alcotest.failf "unexpected error class under injection: %s"
+                  (E.to_string e)
+          done;
+          (* rate 0.5 over 200 loads: both outcomes must occur *)
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: some loads survive (%d ok)" seed !ok)
+            true (!ok > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: some loads fail (%d failed)" seed !failed)
+            true (!failed > 0))
+        seeds)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_deterministic;
+          Alcotest.test_case "identity when disabled" `Quick
+            test_identity_when_disabled;
+          Alcotest.test_case "fault kinds" `Quick test_kinds;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "Ok loads are bit-identical" `Quick
+            test_ok_is_bit_identical;
+        ] );
+    ]

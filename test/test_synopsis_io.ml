@@ -182,6 +182,106 @@ let test_reject_garbage () =
       Alcotest.(check bool) "rejected" true (String.length msg > 0))
     [ ""; "x"; "not a synopsis at all, but long enough to have a header" ]
 
+(* ------------------------------------------------------------------ *)
+(* Typed rejection: exhaustive single-bit damage.                      *)
+
+module E = Xpest_util.Xpest_error
+module Manifest = Xpest_synopsis.Manifest
+
+(* A deliberately small synopsis so flipping every byte stays cheap. *)
+let tiny_bytes =
+  lazy
+    (Summary.encode
+       (Summary.build (Registry.generate ~scale:0.01 ~seed:7 Registry.Ssplays)))
+
+let load_typed_of bytes =
+  with_file bytes (fun path -> Synopsis_io.load_typed path)
+
+(* Every single-bit flip, at every byte of the file, must come back as
+   a typed Corrupt — never an Ok summary (wrong estimates), never a
+   crash, never another error class. *)
+let test_typed_corrupt_every_byte () =
+  let bytes = Lazy.force tiny_bytes in
+  for pos = 0 to String.length bytes - 1 do
+    let corrupted = Bytes.of_string bytes in
+    Bytes.set corrupted pos
+      (Char.chr (Char.code (Bytes.get corrupted pos) lxor (1 lsl (pos mod 8))));
+    match load_typed_of (Bytes.to_string corrupted) with
+    | Ok _ -> Alcotest.failf "flip at byte %d decoded to a summary" pos
+    | Error (E.Corrupt { section; _ }) ->
+        (* best-effort attribution: damage inside the 17-byte header
+           (magic, version, stored checksum) resolves to "header" or,
+           for the stored checksum itself, a "body" mismatch; damage
+           past it always fails the body checksum *)
+        let expected = if pos < 9 then [ "header" ] else [ "body" ] in
+        Alcotest.(check bool)
+          (Printf.sprintf "flip at byte %d attributed (%s)" pos section)
+          true
+          (List.mem section expected)
+    | Error e ->
+        Alcotest.failf "flip at byte %d: wrong error class %s" pos
+          (E.to_string e)
+  done
+
+let test_typed_corrupt_truncation () =
+  let bytes = Lazy.force tiny_bytes in
+  let n = String.length bytes in
+  let len = ref 0 in
+  while !len < n do
+    (match load_typed_of (String.sub bytes 0 !len) with
+    | Ok _ -> Alcotest.failf "truncation to %d decoded to a summary" !len
+    | Error (E.Corrupt _) -> ()
+    | Error e ->
+        Alcotest.failf "truncation to %d: wrong error class %s" !len
+          (E.to_string e));
+    len := !len + 7
+  done
+
+let test_typed_io_failure () =
+  match Synopsis_io.load_typed "/nonexistent/xpest/no.syn" with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error (E.Io_failure { path; _ }) ->
+      Alcotest.(check string) "path carried" "/nonexistent/xpest/no.syn" path
+  | Error e -> Alcotest.failf "wrong error class: %s" (E.to_string e)
+
+(* The manifest shares the container, so it inherits the same
+   guarantee: a flip anywhere in a manifest file is a typed Corrupt. *)
+let test_typed_manifest_every_byte () =
+  let m =
+    List.fold_left
+      (fun m e -> Manifest.add m e)
+      Manifest.empty
+      [
+        {
+          Manifest.dataset = "ssplays";
+          variance = 0.0;
+          file = "ssplays_v0.syn";
+          bytes = 4432;
+          checksum = 0xb8d459ee1eb801a0L;
+        };
+        {
+          Manifest.dataset = "dblp";
+          variance = 2.5;
+          file = "dblp_v2.5.syn";
+          bytes = 912;
+          checksum = 0x0123456789abcdefL;
+        };
+      ]
+  in
+  let bytes = Manifest.encode m in
+  for pos = 0 to String.length bytes - 1 do
+    let corrupted = Bytes.of_string bytes in
+    Bytes.set corrupted pos
+      (Char.chr (Char.code (Bytes.get corrupted pos) lxor (1 lsl (pos mod 8))));
+    with_file (Bytes.to_string corrupted) (fun path ->
+        match Manifest.load_typed path with
+        | Ok _ -> Alcotest.failf "manifest flip at byte %d accepted" pos
+        | Error (E.Corrupt _) -> ()
+        | Error e ->
+            Alcotest.failf "manifest flip at byte %d: wrong class %s" pos
+              (E.to_string e))
+  done
+
 let test_reject_missing_section () =
   (* A container that checksums correctly but lacks a section: the
      decoder must fail by name, not by exhausting the reader. *)
@@ -217,5 +317,16 @@ let () =
           Alcotest.test_case "legacy magic" `Quick test_reject_legacy_magic;
           Alcotest.test_case "garbage" `Quick test_reject_garbage;
           Alcotest.test_case "missing section" `Quick test_reject_missing_section;
+        ] );
+      ( "typed_rejection",
+        [
+          Alcotest.test_case "every byte flip is Corrupt" `Quick
+            test_typed_corrupt_every_byte;
+          Alcotest.test_case "every truncation is Corrupt" `Quick
+            test_typed_corrupt_truncation;
+          Alcotest.test_case "missing file is Io_failure" `Quick
+            test_typed_io_failure;
+          Alcotest.test_case "manifest flips are Corrupt" `Quick
+            test_typed_manifest_every_byte;
         ] );
     ]

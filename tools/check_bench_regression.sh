@@ -1,12 +1,23 @@
 #!/bin/sh
-# Cold-path throughput regression gate for `make ci`.
+# Throughput regression gate for `make ci`.
 #
-# Compares the per-dataset scalar_cold_qps of a freshly generated
-# BENCH_engine.json against the committed baseline (HEAD's copy of the
-# same file) and fails if any dataset dropped below THRESHOLD (default
-# 0.70, i.e. a >30% regression).  scalar_cold_qps is the gated number
-# because it is the one a query optimizer pays on first contact: no
-# plan cache, no join cache, every estimate from scratch.
+# Compares a freshly generated BENCH_engine.json against the committed
+# baseline (HEAD's copy of the same file) and fails if any gated
+# number dropped below THRESHOLD (default 0.70, i.e. a >30%
+# regression).  Gated numbers:
+#
+#   - per-dataset scalar_cold_qps: what a query optimizer pays on
+#     first contact — no plan cache, no join cache, every estimate
+#     from scratch;
+#   - resilience fault-free routed_qps: the result-typed serving path
+#     at fault rate 0, so the fault-tolerance machinery cannot quietly
+#     tax the common case (skipped while the committed baseline
+#     predates the resilience section).
+#
+# Independently of the baseline, the fresh file's own
+# fault_free_overhead_vs_raising ratio must stay below OVERHEAD_CAP
+# (default 1.25): estimate_batch_r at rate 0 within 25% of the raising
+# estimate_batch on the same batches.
 #
 # Usage: tools/check_bench_regression.sh [fresh.json] [threshold]
 
@@ -14,6 +25,7 @@ set -eu
 
 FRESH="${1:-BENCH_engine.json}"
 THRESHOLD="${2:-0.70}"
+OVERHEAD_CAP="${OVERHEAD_CAP:-1.25}"
 
 if [ ! -f "$FRESH" ]; then
     echo "check_bench_regression: $FRESH not found (run 'make bench-json' first)" >&2
@@ -28,10 +40,11 @@ if ! git show "HEAD:BENCH_engine.json" > "$BASELINE" 2>/dev/null; then
     exit 0
 fi
 
-python3 - "$BASELINE" "$FRESH" "$THRESHOLD" <<'EOF'
+python3 - "$BASELINE" "$FRESH" "$THRESHOLD" "$OVERHEAD_CAP" <<'EOF'
 import json, sys
 
-baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+threshold, overhead_cap = float(sys.argv[3]), float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
@@ -57,9 +70,39 @@ for d in fresh["datasets"]:
     if ratio < threshold:
         failed = True
 
+def fault_free_qps(doc):
+    res = doc.get("resilience")
+    if not res:
+        return None
+    for p in res.get("profiles", []):
+        if p.get("fault_rate") == 0.0:
+            return p.get("routed_qps")
+    return None
+
+fresh_ff = fault_free_qps(fresh)
+if fresh_ff is not None:
+    old_ff = fault_free_qps(baseline)
+    if old_ff is None or old_ff <= 0:
+        print("  %-10s      %8.1f qps (baseline predates resilience section)"
+              % ("resilience", fresh_ff))
+    else:
+        ratio = fresh_ff / old_ff
+        status = "ok" if ratio >= threshold else "REGRESSED"
+        print("  %-10s      %8.1f qps vs baseline %8.1f  (%.2fx, floor %.2fx)  %s"
+              % ("resilience", fresh_ff, old_ff, ratio, threshold, status))
+        if ratio < threshold:
+            failed = True
+    overhead = fresh["resilience"].get("fault_free_overhead_vs_raising")
+    if overhead is not None:
+        status = "ok" if overhead <= overhead_cap else "REGRESSED"
+        print("  %-10s overhead vs raising path %.3fx (cap %.2fx)  %s"
+              % ("resilience", overhead, overhead_cap, status))
+        if overhead > overhead_cap:
+            failed = True
+
 if failed:
-    print("check_bench_regression: cold-path throughput regressed beyond "
+    print("check_bench_regression: throughput regressed beyond "
           "the %.0f%% floor" % (100 * threshold))
     sys.exit(1)
-print("check_bench_regression: cold-path throughput within bounds")
+print("check_bench_regression: throughput within bounds")
 EOF
