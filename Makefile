@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci differential chaos bench bench-json clean
+.PHONY: all build test check ci differential chaos stress bench bench-json clean
 
 all: build
 
@@ -31,6 +31,18 @@ chaos:
 	$(DUNE) exec test/test_fault.exe
 	$(DUNE) exec test/test_catalog_chaos.exe
 
+# Concurrency stress: the parallel differential suite (sequential vs
+# domain-pooled batches at pool sizes 1/2/4/8 — the domain counts are
+# looped inside the suites — including chaos twins), the qcheck
+# properties hammering the synchronized plan cache from several
+# domains, and the shared-state catalog/counter suites.  All seeds are
+# fixed, so this target is deterministic and reproducible in CI.
+stress:
+	$(DUNE) exec test/test_parallel_differential.exe
+	$(DUNE) exec test/test_plan_cache_concurrent.exe
+	$(DUNE) exec test/test_catalog_concurrent.exe
+	$(DUNE) exec test/test_counters.exe
+
 bench:
 	$(DUNE) exec bench/main.exe
 
@@ -47,6 +59,7 @@ bench-json:
 ci: build
 	$(DUNE) runtest
 	$(MAKE) chaos
+	$(MAKE) stress
 	$(MAKE) bench-json
 	sh tools/check_bench_regression.sh BENCH_engine.json
 

@@ -21,6 +21,8 @@ module Estimator = Xpest_estimator.Estimator
 module Workload = Xpest_workload.Workload
 module Tablefmt = Xpest_util.Tablefmt
 module Counters = Xpest_util.Counters
+module Domain_pool = Xpest_util.Domain_pool
+module Cache_config = Xpest_plan.Cache_config
 module Fault = Xpest_util.Fault
 module E = Xpest_util.Xpest_error
 module Synopsis_io = Xpest_synopsis.Synopsis_io
@@ -720,7 +722,7 @@ let read_routed_file path =
       loop 1 [])
 
 let run_catalog_estimate dir queries_file resident metrics fault_rate
-    fault_seed =
+    fault_seed domains health_state =
     let pairs = Array.of_list (read_routed_file queries_file) in
     if Array.length pairs = 0 then begin
       prerr_endline "xpest: no routed queries in the file";
@@ -738,8 +740,21 @@ let run_catalog_estimate dir queries_file resident metrics fault_rate
              Fault.Io.default)
     in
     let cat = Catalog.of_manifest ~resident_capacity:resident ?io ~dir m in
+    (* --health-state: fold persisted quarantine/backoff state in before
+       the batch and write the updated state back after it, so repeated
+       invocations keep skipping known-bad keys without re-probing *)
+    (match health_state with
+    | Some path when Sys.file_exists path ->
+        let n = or_die_e (Catalog.load_health cat path) in
+        Printf.printf "health: restored %d tracked key(s) from %s\n%!" n path
+    | Some _ | None -> ());
+    let with_optional_pool f =
+      if domains <= 1 then f None
+      else Domain_pool.with_pool ~domains (fun p -> f (Some p))
+    in
+    with_optional_pool @@ fun pool ->
     let work () =
-      let results = Catalog.estimate_batch_r cat pairs in
+      let results = Catalog.estimate_batch_r ?pool cat pairs in
       let failed = ref 0 in
       let first_error = ref None in
       let rows =
@@ -782,6 +797,17 @@ let run_catalog_estimate dir queries_file resident metrics fault_rate
            hits\n"
           s.Catalog.failures s.Catalog.retries s.Catalog.quarantines
           s.Catalog.degraded_hits;
+      if s.Catalog.plan_contention > 0 || s.Catalog.plan_races > 0 then
+        Printf.printf "parallel: %d plan-lock contentions, %d compile races\n"
+          s.Catalog.plan_contention s.Catalog.plan_races;
+      (* persist updated failure history even when queries failed —
+         especially then: the failures are what the next run must know *)
+      (match health_state with
+      | Some path ->
+          Catalog.save_health cat path;
+          Printf.printf "health: wrote %d tracked key(s) to %s\n"
+            (List.length (Catalog.health cat)) path
+      | None -> ());
       if !failed > 0 then begin
         (match !first_error with
         | Some e ->
@@ -810,10 +836,11 @@ let run_catalog_estimate dir queries_file resident metrics fault_rate
     else work ()
 
 let catalog_estimate_cmd =
-  let run dir queries_file resident metrics fault_rate fault_seed =
+  let run dir queries_file resident metrics fault_rate fault_seed domains
+      health_state =
     try
       run_catalog_estimate dir queries_file resident metrics fault_rate
-        fault_seed
+        fault_seed domains health_state
     with Invalid_argument msg | Sys_error msg ->
       (* non-serving failures: unparseable queries, unreadable files
          (the serving path itself reports per-query typed errors) *)
@@ -859,6 +886,28 @@ let catalog_estimate_cmd =
       & info [ "fault-seed" ] ~docv:"N"
           ~doc:"Deterministic seed for the injected fault schedule.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Execute the routed batch across $(docv) domains (OCaml 5 \
+                parallelism): per-key groups run concurrently while \
+                loading, eviction and quarantine decisions stay \
+                sequential, so results are bit-identical to $(b,--domains \
+                1).  Per-summary $(b,--metrics) attribution is unavailable \
+                in parallel runs.")
+  in
+  let health_state =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health-state" ] ~docv:"FILE"
+          ~doc:"Persist the per-key failure history (quarantine deadlines, \
+                backoffs, failure counts) across invocations: restore it \
+                from $(docv) before the batch if the file exists, write \
+                the updated state back after.  Conventionally \
+                $(i,DIR)/catalog.health.")
+  in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Route a batch of (key, query) pairs across the catalog's \
@@ -867,14 +916,86 @@ let catalog_estimate_cmd =
              degradation behavior under injected storage faults.")
     Term.(
       const run $ catalog_dir_arg $ queries_file $ resident $ metrics
-      $ fault_rate $ fault_seed)
+      $ fault_rate $ fault_seed $ domains $ health_state)
+
+let catalog_clear_quarantine_cmd =
+  let run dir keys health_file =
+    try
+      let path =
+        match health_file with
+        | Some p -> p
+        | None -> Filename.concat dir Catalog.health_filename
+      in
+      if not (Sys.file_exists path) then begin
+        prerr_endline
+          (Printf.sprintf "xpest: no health state at %s (nothing to clear)"
+             path);
+        exit 1
+      end;
+      let m = load_manifest dir in
+      let cat = Catalog.of_manifest ~dir m in
+      ignore (or_die_e (Catalog.load_health cat path));
+      List.iter
+        (fun key ->
+          match Catalog.clear_quarantine cat key with
+          | None ->
+              Printf.printf "%s: not tracked (already clear)\n"
+                (Catalog.key_to_string key)
+          | Some h ->
+              let state =
+                match h.Catalog.h_state with
+                | Catalog.Quarantined { until } ->
+                    Printf.sprintf "quarantined until tick %d" until
+                | Catalog.Degraded -> "degraded"
+                | Catalog.Healthy -> "healthy"
+              in
+              Printf.printf
+                "%s: cleared (was %s; %d lifetime failures, %d quarantines, \
+                 next backoff %d)\n"
+                (Catalog.key_to_string key)
+                state h.Catalog.h_failures h.Catalog.h_quarantines
+                h.Catalog.h_next_backoff)
+        keys;
+      Catalog.save_health cat path;
+      Printf.printf "wrote %s (%d tracked key(s) remain)\n" path
+        (List.length (Catalog.health cat))
+    with Invalid_argument msg | Sys_error msg ->
+      prerr_endline ("xpest: " ^ msg);
+      exit 1
+  in
+  let keys =
+    Arg.(
+      non_empty
+      & pos_right 0 key_conv []
+      & info [] ~docv:"KEY"
+          ~doc:"Catalog keys as $(i,dataset)[@$(i,variance)] whose failure \
+                history should be discarded.")
+  in
+  let health_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health-state" ] ~docv:"FILE"
+          ~doc:"Health-state file to operate on (default \
+                $(i,DIR)/catalog.health).")
+  in
+  Cmd.v
+    (Cmd.info "clear-quarantine"
+       ~doc:"Operator override for the failure state machine: discard the \
+             persisted failure history of the given keys — quarantine \
+             deadline, doubled backoff, lifetime counts — so the next \
+             serving run probes their storage immediately.")
+    Term.(const run $ catalog_dir_arg $ keys $ health_file)
 
 let catalog_cmd =
   Cmd.group
     (Cmd.info "catalog"
        ~doc:"Build and serve many estimation synopses behind one routing \
              service.")
-    [ catalog_build_cmd; catalog_info_cmd; catalog_estimate_cmd ]
+    [
+      catalog_build_cmd; catalog_info_cmd; catalog_estimate_cmd;
+      catalog_clear_quarantine_cmd;
+    ]
 
 (* ---------------- plan ---------------- *)
 
@@ -944,7 +1065,15 @@ let estimate_cmd =
       | Some path -> or_die_e (Synopsis_io.load_typed path)
       | None -> Summary.build ~p_variance ~o_variance (Lazy.force doc)
     in
-    let est = Estimator.create s in
+    (* named datasets get cache capacities tuned from the benchmark's
+       recorded working-set peaks; files and unknown names keep the
+       shared default *)
+    let config =
+      match source with
+      | `Dataset name -> Cache_config.for_dataset (Registry.to_string name)
+      | `File _ -> Cache_config.default
+    in
+    let est = Estimator.create ~config s in
     (* one compile-dedupe-execute pass over the whole query list *)
     let patterns = Array.of_list (List.map Pattern.of_string queries) in
     let estimates = Estimator.estimate_many est patterns in

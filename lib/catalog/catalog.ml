@@ -1,5 +1,6 @@
 module Counters = Xpest_util.Counters
 module Fault = Xpest_util.Fault
+module Domain_pool = Xpest_util.Domain_pool
 module E = Xpest_util.Xpest_error
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
@@ -259,10 +260,15 @@ let create_r ?(resident_capacity = default_resident_capacity) ?config
     config;
     chain_pruning;
     resilience;
-    plans = Estimator.create_plan_cache ~capacity:config.Cache_config.plan ();
+    (* both shared caches are synchronized: parallel batches compile
+       plans from worker domains, and synchronization on the resident
+       set costs one uncontended try_lock per acquire otherwise *)
+    plans =
+      Estimator.create_plan_cache ~capacity:config.Cache_config.plan
+        ~synchronized:true ();
     residents =
-      Plan_cache.create ~capacity:resident_capacity ~hit:c_hit ~miss:c_load
-        ~evict:c_evict ();
+      Plan_cache.create ~capacity:resident_capacity ~synchronized:true
+        ~hit:c_hit ~miss:c_load ~evict:c_evict ();
     health_tbl = Hashtbl.create 16;
     clock = 0;
     loads = 0;
@@ -538,26 +544,7 @@ let estimate_r t key q =
 
 let estimate t key q = Estimator.estimate (acquire t key) q
 
-let estimate_batch_r t pairs =
-  Counters.incr c_batch;
-  Counters.add c_routed (Array.length pairs);
-  let out =
-    Array.make (Array.length pairs)
-      (Error (E.Internal "catalog: unrouted query slot") : (float, E.t) result)
-  in
-  (* group indices by key, keeping the keys' first-appearance order *)
-  let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 16 in
-  let order = ref [] in
-  Array.iteri
-    (fun i (k, _) ->
-      match Hashtbl.find_opt groups k with
-      | Some l -> l := i :: !l
-      | None ->
-          Hashtbl.add groups k (ref [ i ]);
-          order := k :: !order)
-    pairs;
-  let order = List.rev !order in
-  Counters.add c_groups (List.length order);
+let estimate_batch_sequential t pairs out order groups =
   let metrics = ref [] in
   List.iter
     (fun k ->
@@ -578,13 +565,84 @@ let estimate_batch_r t pairs =
       | [] -> ()
       | delta -> metrics := (k, delta) :: !metrics)
     order;
-  t.last_metrics <- List.rev !metrics;
+  t.last_metrics <- List.rev !metrics
+
+(* Parallel routing splits each batch into two phases.  The {e acquire}
+   phase stays sequential in the calling domain, in group order: clock
+   ticks, LRU probes and evictions, loader calls (and therefore any
+   fault injector's PRNG draws), retries and quarantine transitions all
+   happen in exactly the sequential order — so acquire-side [Error]s
+   and {!stats} are identical to the sequential path.  An acquired
+   estimator stays valid even if a later acquire evicts its key: the
+   resident set drops its reference, not the object.  The {e execute}
+   phase then runs one job per successfully acquired group across the
+   pool; groups have distinct keys, hence distinct estimators and
+   disjoint output slots, so only the pool-shared (synchronized) plan
+   cache is touched concurrently.  Values are bit-identical either way
+   because estimates never depend on cache state.  Per-group counter
+   attribution needs sequential execution (see counters.mli), so
+   [last_metrics] is cleared instead of lying. *)
+let estimate_batch_parallel t pool pairs out order groups =
+  let acquired =
+    List.filter_map
+      (fun k ->
+        let idxs = Array.of_list (List.rev !(Hashtbl.find groups k)) in
+        let qs = Array.map (fun i -> snd pairs.(i)) idxs in
+        match acquire_r t k with
+        | Ok est -> Some (est, idxs, qs)
+        | Error e ->
+            Array.iter (fun i -> out.(i) <- Error e) idxs;
+            None)
+      order
+  in
+  (match acquired with
+  | [ (est, idxs, qs) ] ->
+      (* one group: no per-group parallelism to mine, so chunk the
+         group's own plans across the pool instead *)
+      let vs = Estimator.try_estimate_many ~pool est qs in
+      Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs
+  | acquired ->
+      let jobs =
+        Array.of_list
+          (List.map
+             (fun (est, idxs, qs) () ->
+               let vs = Estimator.try_estimate_many est qs in
+               Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs)
+             acquired)
+      in
+      Domain_pool.run_all pool jobs);
+  t.last_metrics <- []
+
+let estimate_batch_r ?pool t pairs =
+  Counters.incr c_batch;
+  Counters.add c_routed (Array.length pairs);
+  let out =
+    Array.make (Array.length pairs)
+      (Error (E.Internal "catalog: unrouted query slot") : (float, E.t) result)
+  in
+  (* group indices by key, keeping the keys' first-appearance order *)
+  let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun i (k, _) ->
+      match Hashtbl.find_opt groups k with
+      | Some l -> l := i :: !l
+      | None ->
+          Hashtbl.add groups k (ref [ i ]);
+          order := k :: !order)
+    pairs;
+  let order = List.rev !order in
+  Counters.add c_groups (List.length order);
+  (match pool with
+  | Some pool when Domain_pool.size pool > 1 && order <> [] ->
+      estimate_batch_parallel t pool pairs out order groups
+  | Some _ | None -> estimate_batch_sequential t pairs out order groups);
   out
 
-let estimate_batch t pairs =
+let estimate_batch ?pool t pairs =
   Array.map
     (function Ok v -> v | Error e -> invalid_arg (E.to_string e))
-    (estimate_batch_r t pairs)
+    (estimate_batch_r ?pool t pairs)
 
 (* ------------------------------------------------------------------ *)
 (* Observability.                                                      *)
@@ -600,6 +658,8 @@ type stats = {
   quarantines : int;
   degraded_hits : int;
   plan_cache : Plan_cache.stats;
+  plan_contention : int;
+  plan_races : int;
 }
 
 let stats t =
@@ -614,29 +674,153 @@ let stats t =
     quarantines = t.quarantines;
     degraded_hits = t.degraded_hits;
     plan_cache = Plan_cache.stats t.plans;
+    plan_contention = Plan_cache.contention t.plans;
+    plan_races = Plan_cache.races t.plans;
   }
 
 let clock t = t.clock
 
+let key_health_of_hstate t k (h : hstate) =
+  {
+    h_key = k;
+    h_state =
+      (if h.until > t.clock then Quarantined { until = h.until }
+       else if h.is_degraded then Degraded
+       else Healthy);
+    h_consecutive_failures = h.consecutive;
+    h_failures = h.failures;
+    h_retries = h.retries;
+    h_quarantines = h.quarantines;
+    h_degraded_hits = h.degraded_hits;
+    h_next_backoff = h.backoff;
+    h_last_error = h.last_error;
+  }
+
 let health t =
   Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.health_tbl []
-  |> List.map (fun (k, (h : hstate)) ->
-         {
-           h_key = k;
-           h_state =
-             (if h.until > t.clock then Quarantined { until = h.until }
-              else if h.is_degraded then Degraded
-              else Healthy);
-           h_consecutive_failures = h.consecutive;
-           h_failures = h.failures;
-           h_retries = h.retries;
-           h_quarantines = h.quarantines;
-           h_degraded_hits = h.degraded_hits;
-           h_next_backoff = h.backoff;
-           h_last_error = h.last_error;
-         })
+  |> List.map (fun (k, h) -> key_health_of_hstate t k h)
   |> List.sort (fun a b ->
          String.compare (key_to_string a.h_key) (key_to_string b.h_key))
 
+(* Operator override: forget a key's accumulated failure history so
+   the next acquire probes the loader immediately — quarantine
+   deadline, doubled backoff, degraded flag, everything.  Returns the
+   state being discarded so the CLI can show what was cleared. *)
+let clear_quarantine t key =
+  match Hashtbl.find_opt t.health_tbl key with
+  | None -> None
+  | Some h ->
+      let prior = key_health_of_hstate t key h in
+      Hashtbl.remove t.health_tbl key;
+      Some prior
+
 let last_batch_metrics t = t.last_metrics
 let keys_by_recency t = Plan_cache.keys_by_recency t.residents
+
+(* ------------------------------------------------------------------ *)
+(* Health persistence.
+
+   The per-key failure history (quarantine deadlines, doubled
+   backoffs, lifetime counts) is what makes the catalog skip known-bad
+   storage without probing it — state worth carrying across process
+   restarts.  The format is line-oriented: a magic header, then one
+   row per tracked key.  Quarantine deadlines are stored as {e
+   remaining} ticks (deadline minus the saving catalog's clock), so a
+   loading catalog re-anchors them on its own clock: logical clocks
+   are per-instance and absolute deadlines would not survive the
+   restart.  [last_error] is not persisted — errors reference live
+   paths and reasons that may no longer hold; a restart starts with
+   the counts and the deadline, not the stale diagnosis. *)
+
+let health_filename = "catalog.health"
+let health_magic = "xpest-catalog-health/1"
+
+let save_health t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (health_magic ^ "\n");
+      Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.health_tbl []
+      |> List.sort (fun (a, _) (b, _) ->
+             String.compare (key_to_string a) (key_to_string b))
+      |> List.iter (fun (k, (h : hstate)) ->
+             Printf.fprintf oc "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n"
+               (escape_dataset (key_to_string k))
+               h.consecutive h.failures h.retries h.quarantines
+               h.degraded_hits h.backoff
+               (max 0 (h.until - t.clock))
+               (if h.is_degraded then 1 else 0)));
+  Sys.rename tmp path
+
+let load_health t path =
+  let corrupt reason = Error (E.Corrupt { path; section = "health"; reason }) in
+  let parse_row line =
+    match String.split_on_char '\t' line with
+    | [ ek; consecutive; failures; retries; quarantines; degraded_hits;
+        backoff; remaining; degraded ] -> (
+        let ints =
+          List.map int_of_string_opt
+            [ consecutive; failures; retries; quarantines; degraded_hits;
+              backoff; remaining; degraded ]
+        in
+        match (unescape_dataset ek, ints) with
+        | ( Ok ks,
+            [ Some consecutive; Some failures; Some retries; Some quarantines;
+              Some degraded_hits; Some backoff; Some remaining; Some degraded ] )
+          when List.for_all (fun f -> f >= 0)
+                 [ consecutive; failures; retries; quarantines; degraded_hits;
+                   remaining ]
+               && backoff >= 1
+               && (degraded = 0 || degraded = 1) -> (
+            match key_of_string ks with
+            | Error reason -> Error reason
+            | Ok key ->
+                Ok
+                  ( key,
+                    {
+                      consecutive;
+                      failures;
+                      retries;
+                      quarantines;
+                      degraded_hits;
+                      backoff;
+                      until = (if remaining > 0 then t.clock + remaining else 0);
+                      is_degraded = degraded = 1;
+                      last_error = None;
+                    } ))
+        | Error reason, _ -> Error reason
+        | Ok _, _ -> Error "malformed counters")
+    | _ -> Error "wrong field count"
+  in
+  match open_in path with
+  | exception Sys_error reason -> Error (E.Io_failure { path; reason })
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> corrupt "empty file"
+          | magic when magic <> health_magic ->
+              corrupt (Printf.sprintf "bad magic %S (want %S)" magic health_magic)
+          | _ ->
+              let rec rows acc lineno =
+                match input_line ic with
+                | exception End_of_file -> Ok (List.rev acc)
+                | "" -> rows acc (lineno + 1)
+                | line -> (
+                    match parse_row line with
+                    | Ok row -> rows (row :: acc) (lineno + 1)
+                    | Error reason ->
+                        corrupt (Printf.sprintf "line %d: %s" lineno reason))
+              in
+              (* parse everything before touching the table: a corrupt
+                 file must not half-apply *)
+              (match rows [] 2 with
+              | Error _ as e -> e
+              | Ok rows ->
+                  List.iter
+                    (fun (key, h) -> Hashtbl.replace t.health_tbl key h)
+                    rows;
+                  Ok (List.length rows)))

@@ -46,7 +46,21 @@
     The raising entry points ({!estimate}, {!estimate_batch}) are
     thin wrappers that turn the first typed error into
     [Invalid_argument (Xpest_error.to_string e)] — CLI and legacy
-    call sites keep working, new serving paths should use [_r]. *)
+    call sites keep working, new serving paths should use [_r].
+
+    {2 Parallel batches}
+
+    {!estimate_batch_r} takes an optional {!Xpest_util.Domain_pool.t}:
+    per-key groups then execute across the pool's domains while the
+    acquire side — clock ticks, eviction, loading, retries, quarantine
+    — stays sequential in the calling domain.  Results (values {e and}
+    errors) and {!stats} are identical to the sequential run; only
+    {!last_batch_metrics} is unavailable (cleared), because per-group
+    counter attribution requires sequential execution.  The shared
+    plan cache and the resident set are internally synchronized, so a
+    catalog is safe to drive with or without a pool; what is {e not}
+    supported is driving one catalog from several domains at once —
+    the acquire machinery belongs to one caller at a time. *)
 
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
@@ -222,7 +236,10 @@ val estimate : t -> key -> Pattern.t -> float
     key cannot be served. *)
 
 val estimate_batch_r :
-  t -> (key * Pattern.t) array -> (float, E.t) result array
+  ?pool:Xpest_util.Domain_pool.t ->
+  t ->
+  (key * Pattern.t) array ->
+  (float, E.t) result array
 (** Route a mixed batch with per-query fault isolation.  The batch is
     grouped by key (first-appearance order); each group runs through
     the pooled estimator's batched path — duplicate queries inside a
@@ -235,9 +252,23 @@ val estimate_batch_r :
     never by raising.  One load per distinct key per batch at most —
     unless the batch has more distinct keys than the resident
     capacity, in which case summaries evict and reload mid-batch
-    (results still do not change). *)
+    (results still do not change).
 
-val estimate_batch : t -> (key * Pattern.t) array -> float array
+    With [pool] (size > 1): acquisition runs first, sequentially, in
+    group order — every clock tick, LRU decision, loader call, retry
+    and quarantine transition happens exactly as in the sequential
+    path, so acquire-side [Error]s and {!stats} match it — then the
+    acquired groups execute one-per-job across the pool (a
+    single-group batch instead chunks its plans via
+    [Estimator.estimate_many ~pool]).  {b Bit-identity holds}: the
+    returned array equals the sequential one result-for-result,
+    including under mid-batch eviction and fault injection.
+    {!last_batch_metrics} is cleared (see the preamble); the shared
+    plan cache's own hit/miss/eviction trace may differ, its contents
+    never affect values. *)
+
+val estimate_batch :
+  ?pool:Xpest_util.Domain_pool.t -> t -> (key * Pattern.t) array -> float array
 (** {!estimate_batch_r} for callers that treat any failure as fatal.
     @raise Invalid_argument with the first failed query's rendered
     typed error. *)
@@ -256,6 +287,12 @@ type stats = {
   degraded_hits : int;  (** stale-if-error serves across all keys *)
   plan_cache : Xpest_plan.Plan_cache.stats;
       (** the pool-shared compiled-plan cache *)
+  plan_contention : int;
+      (** plan-cache lock acquisitions that had to wait (only parallel
+          batches contend; 0 in sequential serving) *)
+  plan_races : int;
+      (** duplicate plan compiles discarded when two domains missed
+          the same query at once (see {!Xpest_plan.Plan_cache.races}) *)
 }
 
 val stats : t -> stats
@@ -283,6 +320,40 @@ val health : t -> key_health list
 (** Health report over every tracked key (keys the catalog has
     attempted at least once and not pruned as healthy), sorted by
     {!key_to_string}.  Tracked unconditionally. *)
+
+val clear_quarantine : t -> key -> key_health option
+(** Operator override: discard [key]'s entire failure history —
+    quarantine deadline, accumulated backoff, degraded flag, lifetime
+    counts — so the next acquire probes the loader immediately with a
+    fresh state.  Returns the discarded state ([None] if the key was
+    not tracked).  Does not touch the resident set: a resident,
+    serving summary stays resident. *)
+
+(** {1 Health persistence}
+
+    The failure history can outlive the process: {!save_health} writes
+    every tracked key's state to a line-oriented file and
+    {!load_health} folds one back in.  Quarantine deadlines are stored
+    as {e remaining ticks} and re-anchored on the loading catalog's
+    {!clock} — logical clocks are per-instance, absolute deadlines
+    would not survive a restart.  [h_last_error] is deliberately not
+    persisted (a stale diagnosis); counts, backoff, deadline and the
+    degraded flag are. *)
+
+val health_filename : string
+(** ["catalog.health"] — the conventional file name inside a catalog
+    directory (next to {!manifest_filename}). *)
+
+val save_health : t -> string -> unit
+(** Write the health table to [path], atomically (temp file + rename).
+    @raise Sys_error on I/O failure. *)
+
+val load_health : t -> string -> (int, E.t) result
+(** Merge the health file at [path] into the catalog
+    ([Hashtbl.replace] per key — on-file state wins) and return how
+    many keys were loaded.  All-or-nothing: a malformed file is
+    [Error (Corrupt {section = "health"; _})] and changes nothing; an
+    unreadable one is [Error (Io_failure _)]. *)
 
 val clock : t -> int
 (** The catalog's logical clock: one tick per acquire attempt (each

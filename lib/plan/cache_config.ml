@@ -11,3 +11,17 @@ let default =
 let uniform capacity =
   if capacity < 1 then invalid_arg "Cache_config.uniform: capacity must be >= 1";
   { plan = capacity; rel = capacity; chain = capacity; run = capacity }
+
+(* Per-dataset defaults derived from the BENCH_engine.json cache peaks
+   at scale 0.1 (next power of two above the observed peak, with
+   headroom for the chain cache, which thrashed at 4096 on every
+   dataset).  Observed peaks — SSPlays: plan 1357 / rel 227 /
+   chain 4096+19652 evictions / run 1353; DBLP: plan 2170 / rel 178 /
+   chain thrashing / run 1689; XMark: plan 1510 / rel 3471 /
+   chain 4096+320809 evictions / run 1983. *)
+let for_dataset dataset =
+  match String.lowercase_ascii dataset with
+  | "ssplays" -> { plan = 2048; rel = 512; chain = 8192; run = 2048 }
+  | "dblp" -> { plan = 4096; rel = 512; chain = 8192; run = 4096 }
+  | "xmark" -> { plan = 2048; rel = 8192; chain = 16384; run = 4096 }
+  | _ -> default

@@ -25,3 +25,11 @@ val default : t
 val uniform : int -> t
 (** One capacity for all four caches — the old [?cache_capacity]
     behavior.  @raise Invalid_argument if [capacity < 1]. *)
+
+val for_dataset : string -> t
+(** Tuned capacities for the benchmark datasets ([ssplays], [dblp],
+    [xmark]; case-insensitive), sized from the cache working-set peaks
+    recorded in [BENCH_engine.json] — each capacity is the next power
+    of two above the observed peak, with extra headroom for the chain
+    cache, which thrashed at the shared default on every dataset.
+    Unknown names get {!default}. *)

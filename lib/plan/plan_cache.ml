@@ -7,7 +7,17 @@ module Counters = Xpest_util.Counters
    Counters are passed in by the instrumentation site (created once at
    its module initialization) rather than created here: caches are
    instantiated per estimator, and registering fresh counters per
-   instance would grow the global registry and duplicate report rows. *)
+   instance would grow the global registry and duplicate report rows.
+
+   A cache created with [~synchronized:true] guards every operation
+   with one mutex so it can be shared across domains (the catalog's
+   pool-shared plan cache under parallel batches).  Lock acquisitions
+   that had to wait are counted ([contention]); [find_or_add] computes
+   misses OUTSIDE the lock, so a slow compute never serializes the
+   other domains — the price is a bounded duplicate-compute window
+   when two domains miss the same key at once ([races], first writer
+   wins).  The default is unsynchronized: per-estimator caches are
+   owned by one domain and pay nothing. *)
 
 type ('k, 'v) node = {
   key : 'k;
@@ -26,11 +36,15 @@ type ('k, 'v) t = {
   evict : Counters.t option;
   mutable evictions : int;
   mutable peak : int;  (* largest occupancy ever reached *)
+  lock : Mutex.t option;  (* Some iff synchronized *)
+  contention : int Atomic.t;  (* lock acquisitions that had to wait *)
+  mutable races : int;  (* duplicate computes in find_or_add *)
 }
 
 let default_capacity = 4096
 
-let create ?(capacity = default_capacity) ?hit ?miss ?evict () =
+let create ?(capacity = default_capacity) ?(synchronized = false) ?hit ?miss
+    ?evict () =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
   {
     capacity;
@@ -42,22 +56,42 @@ let create ?(capacity = default_capacity) ?hit ?miss ?evict () =
     evict;
     evictions = 0;
     peak = 0;
+    lock = (if synchronized then Some (Mutex.create ()) else None);
+    contention = Atomic.make 0;
+    races = 0;
   }
 
+let synchronized t = t.lock <> None
+let contention t = Atomic.get t.contention
+
+(* [with_lock] is the only lock path: try_lock first so contended
+   acquisitions are visible in the contention counter. *)
+let with_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some m ->
+      if not (Mutex.try_lock m) then begin
+        Atomic.incr t.contention;
+        Mutex.lock m
+      end;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let capacity t = t.capacity
-let length t = Hashtbl.length t.table
-let evictions t = t.evictions
-let peak t = t.peak
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let evictions t = with_lock t (fun () -> t.evictions)
+let peak t = with_lock t (fun () -> t.peak)
+let races t = with_lock t (fun () -> t.races)
 
 type stats = { s_capacity : int; s_length : int; s_peak : int; s_evictions : int }
 
 let stats t =
-  {
-    s_capacity = t.capacity;
-    s_length = Hashtbl.length t.table;
-    s_peak = t.peak;
-    s_evictions = t.evictions;
-  }
+  with_lock t (fun () ->
+      {
+        s_capacity = t.capacity;
+        s_length = Hashtbl.length t.table;
+        s_peak = t.peak;
+        s_evictions = t.evictions;
+      })
 
 let bump = function Some c -> Counters.incr c | None -> ()
 
@@ -95,7 +129,7 @@ let evict_lru t =
       t.evictions <- t.evictions + 1;
       bump t.evict
 
-let find_opt t key =
+let find_opt_unlocked t key =
   match Hashtbl.find_opt t.table key with
   | Some node ->
       bump t.hit;
@@ -105,7 +139,9 @@ let find_opt t key =
       bump t.miss;
       None
 
-let add t key value =
+let find_opt t key = with_lock t (fun () -> find_opt_unlocked t key)
+
+let add_unlocked t key value =
   (match Hashtbl.find_opt t.table key with
   | Some old ->
       unlink t old;
@@ -117,32 +153,49 @@ let add t key value =
   push_front t node;
   if Hashtbl.length t.table > t.peak then t.peak <- Hashtbl.length t.table
 
+let add t key value = with_lock t (fun () -> add_unlocked t key value)
+
 let find_or_add t key compute =
-  match find_opt t key with
+  match with_lock t (fun () -> find_opt_unlocked t key) with
   | Some v -> v
   | None ->
+      (* compute outside the lock: a miss must not serialize the other
+         domains on a potentially slow compute.  Two domains missing
+         the same key race to insert; the first insert wins and the
+         loser's compute is discarded (counted in [races]) — harmless
+         because computes are pure functions of the key. *)
       let v = compute key in
-      add t key v;
-      v
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some node ->
+              t.races <- t.races + 1;
+              promote t node;
+              node.value
+          | None ->
+              add_unlocked t key v;
+              v)
 
 (* Explicit removal (catalog resident-set invalidation); not an
    eviction, so the eviction counters stay untouched. *)
 let remove t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> ()
-  | Some node ->
-      unlink t node;
-      Hashtbl.remove t.table key
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> ()
+      | Some node ->
+          unlink t node;
+          Hashtbl.remove t.table key)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
 
 (* Keys from most- to least-recently used; test/debug aid. *)
 let keys_by_recency t =
-  let rec walk acc = function
-    | None -> List.rev acc
-    | Some node -> walk (node.key :: acc) node.next
-  in
-  walk [] t.head
+  with_lock t (fun () ->
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some node -> walk (node.key :: acc) node.next
+      in
+      walk [] t.head)

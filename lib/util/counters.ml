@@ -2,20 +2,28 @@
 
    Instrumentation sites create their counters once at module
    initialization and bump them unconditionally cheaply: a bump is a
-   single flag test plus an int store, so leaving the counters
-   disabled (the default) costs one predictable branch per site.  The
-   harness enables them around a run and reads a snapshot after. *)
+   single flag test plus an atomic fetch-and-add, so leaving the
+   counters disabled (the default) costs one predictable branch per
+   site.  The harness enables them around a run and reads a snapshot
+   after.
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+   Domain safety: counts are [Atomic.t]s and timers accumulate under a
+   per-timer mutex, so increments racing from the batch paths' worker
+   domains are never lost or torn.  The registries themselves are only
+   mutated by [create]/[create_timer], which run at module
+   initialization — before any worker domain exists. *)
 
-type t = { cname : string; mutable count : int }
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+type t = { cname : string; count : int Atomic.t }
 
 type timer = {
   tname : string;
-  mutable calls : int;
-  mutable seconds : float;
+  tlock : Mutex.t;
+  mutable calls : int;  (* guarded by [tlock] *)
+  mutable seconds : float;  (* guarded by [tlock] *)
 }
 
 (* Registries, in creation order; snapshots sort by name. *)
@@ -23,28 +31,30 @@ let all_counters : t list ref = ref []
 let all_timers : timer list ref = ref []
 
 let create name =
-  let c = { cname = name; count = 0 } in
+  let c = { cname = name; count = Atomic.make 0 } in
   all_counters := c :: !all_counters;
   c
 
-let incr c = if !enabled_flag then c.count <- c.count + 1
-let add c n = if !enabled_flag then c.count <- c.count + n
+let incr c = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.count 1)
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.count n)
 let name c = c.cname
-let value c = c.count
+let value c = Atomic.get c.count
 
 let create_timer name =
-  let t = { tname = name; calls = 0; seconds = 0.0 } in
+  let t = { tname = name; tlock = Mutex.create (); calls = 0; seconds = 0.0 } in
   all_timers := t :: !all_timers;
   t
 
 let record t seconds =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
+    Mutex.lock t.tlock;
     t.calls <- t.calls + 1;
-    t.seconds <- t.seconds +. seconds
+    t.seconds <- t.seconds +. seconds;
+    Mutex.unlock t.tlock
   end
 
 let time t f =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let start = Unix.gettimeofday () in
     let finish () = record t (Unix.gettimeofday () -. start) in
     match f () with
@@ -62,11 +72,13 @@ let timer_calls t = t.calls
 let timer_seconds t = t.seconds
 
 let reset () =
-  List.iter (fun c -> c.count <- 0) !all_counters;
+  List.iter (fun c -> Atomic.set c.count 0) !all_counters;
   List.iter
     (fun t ->
+      Mutex.lock t.tlock;
       t.calls <- 0;
-      t.seconds <- 0.0)
+      t.seconds <- 0.0;
+      Mutex.unlock t.tlock)
     !all_timers
 
 (* Snapshots capture every registered counter (zeroes included) so a
@@ -75,7 +87,7 @@ let reset () =
    measured work ran sequentially between the two snapshots. *)
 type snapshot = (string * int) list
 
-let snapshot () = List.map (fun c -> (c.cname, c.count)) !all_counters
+let snapshot () = List.map (fun c -> (c.cname, Atomic.get c.count)) !all_counters
 
 let delta_between before after =
   List.filter_map
@@ -89,7 +101,9 @@ let delta_between before after =
 
 let counters () =
   List.filter_map
-    (fun c -> if c.count > 0 then Some (c.cname, c.count) else None)
+    (fun c ->
+      let v = Atomic.get c.count in
+      if v > 0 then Some (c.cname, v) else None)
     !all_counters
   |> List.sort compare
 
@@ -101,7 +115,7 @@ let timers () =
   |> List.sort compare
 
 let with_enabled f =
-  let previous = !enabled_flag in
-  enabled_flag := true;
+  let previous = Atomic.get enabled_flag in
+  Atomic.set enabled_flag true;
   reset ();
-  Fun.protect ~finally:(fun () -> enabled_flag := previous) f
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag previous) f

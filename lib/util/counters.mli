@@ -8,8 +8,12 @@
     a disabled bump is one branch, so the hot path pays nothing
     measurable when observability is not requested.
 
-    Counters are process-global, not thread-safe, and meant for
-    harness/CLI runs: enable, run, snapshot, report. *)
+    Counters are process-global and domain-safe: counts are atomics
+    and timers accumulate under a per-timer mutex, so increments
+    racing in from the batch paths' worker domains are never lost or
+    torn.  What is {e not} per-domain is attribution — see the caveat
+    on {!delta_between}.  Intended use stays the harness/CLI pattern:
+    enable, run, snapshot, report. *)
 
 (** {1 Global switch} *)
 
@@ -33,7 +37,8 @@ val create : string -> t
     initialization. *)
 
 val incr : t -> unit
-(** Add 1 when enabled; no-op when disabled. *)
+(** Add 1 when enabled; no-op when disabled.  Atomic: concurrent
+    increments from several domains all land. *)
 
 val add : t -> int -> unit
 

@@ -1,0 +1,155 @@
+(* A fixed-size domain pool with a shared job queue.
+
+   Determinism contract: run_all only returns after every submitted
+   job finished, and jobs write to disjoint slots — so no matter which
+   domain runs which job, the observable result is the same.  The
+   calling domain participates: it drains the queue alongside the
+   workers instead of blocking, which both saves one domain and makes
+   a size-1 pool exactly the inline sequential path. *)
+
+(* Observability (process-global, atomic — see Counters): how often
+   the pool is used and how much work flows through it. *)
+let c_calls = Counters.create "domain_pool.calls"
+let c_jobs = Counters.create "domain_pool.jobs"
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;  (* guarded by [mutex] *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  mutable stopping : bool;  (* guarded by [mutex] *)
+}
+
+let max_domains = 64
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec take () =
+      match Queue.take_opt t.queue with
+      | Some job ->
+          Mutex.unlock t.mutex;
+          Some job
+      | None ->
+          if t.stopping then begin
+            Mutex.unlock t.mutex;
+            None
+          end
+          else begin
+            Condition.wait t.work_ready t.mutex;
+            take ()
+          end
+    in
+    match take () with
+    | None -> ()
+    | Some job ->
+        (* jobs are wrapped by run_all and never raise *)
+        job ();
+        next ()
+  in
+  next ()
+
+let create ?(domains = Domain.recommended_domain_count ()) () =
+  if domains < 1 || domains > max_domains then
+    invalid_arg
+      (Printf.sprintf "Domain_pool.create: domains must be in [1, %d]"
+         max_domains);
+  let t =
+    {
+      size = domains;
+      workers = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      stopping = false;
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_all t jobs =
+  let n = Array.length jobs in
+  if n = 0 then ()
+  else begin
+    Counters.incr c_calls;
+    Counters.add c_jobs n;
+    if t.size = 1 || n = 1 then Array.iter (fun job -> job ()) jobs
+    else begin
+      (* Per-call completion latch: jobs decrement [remaining] under
+         [done_mutex]; the caller waits for zero.  Exceptions are
+         captured (first wins) and re-raised only after the latch
+         opens, so every job has run to completion either way. *)
+      let remaining = ref n in
+      let first_exn = ref None in
+      let done_mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      let wrap job () =
+        let escaped = (try job (); None with e -> Some e) in
+        Mutex.lock done_mutex;
+        (match escaped with
+        | Some e when !first_exn = None -> first_exn := Some e
+        | Some _ | None -> ());
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock done_mutex
+      in
+      Mutex.lock t.mutex;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Domain_pool.run_all: pool is shut down"
+      end;
+      Array.iter (fun job -> Queue.add (wrap job) t.queue) jobs;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      (* the caller is a worker too: drain whatever the spawned
+         domains have not claimed yet *)
+      let rec drain () =
+        Mutex.lock t.mutex;
+        let job = Queue.take_opt t.queue in
+        Mutex.unlock t.mutex;
+        match job with
+        | Some job ->
+            job ();
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Mutex.lock done_mutex;
+      while !remaining > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      match !first_exn with Some e -> raise e | None -> ()
+    end
+  end
+
+let parallel_chunks t ~n f =
+  if n > 0 then begin
+    let parts = min t.size n in
+    let base = n / parts and extra = n mod parts in
+    let jobs =
+      Array.init parts (fun chunk ->
+          let lo = (chunk * base) + min chunk extra in
+          let hi = lo + base + if chunk < extra then 1 else 0 in
+          fun () -> f ~chunk ~lo ~hi)
+    in
+    run_all t jobs
+  end

@@ -1,0 +1,66 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel batch work.
+
+    The estimation engine's batch paths ({!Xpest_estimator} and the
+    catalog's routed batches) fan independent work units — per-query
+    plan executions, per-key query groups — across the pool's domains.
+    The pool is {e deterministic by construction}: callers submit a
+    fixed array of jobs (or a fixed chunking of an index range), every
+    job writes only to slots it owns, and {!run_all} returns only after
+    every job finished — so results never depend on scheduling order,
+    which is what lets the parallel batch paths keep their bit-identity
+    contract against the sequential ones.
+
+    A pool of size [n] holds [n - 1] spawned worker domains; the
+    calling domain is the [n]-th worker — it drains the job queue
+    itself while waiting, so a pool of size 1 spawns nothing and runs
+    everything inline (the sequential path with zero overhead).
+
+    The pool is meant to be driven by {e one} caller at a time (the
+    batch entry points take it as an argument per call); submitting
+    from two domains concurrently is safe but the calls serialize on
+    the shared queue.  Worker domains idle on a condition variable
+    between calls and cost nothing while the pool is unused.
+
+    Always {!shutdown} a pool (or use {!with_pool}): worker domains
+    are real OS threads and are only reclaimed on join. *)
+
+type t
+
+val max_domains : int
+(** 64 — a guard well under the runtime's hard domain limit (128),
+    generous for any machine this serves on. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] total workers (default
+    {!Stdlib.Domain.recommended_domain_count}, i.e. the host's cores).
+    [domains - 1] domains are spawned immediately.
+    @raise Invalid_argument unless [1 <= domains <= max_domains]. *)
+
+val size : t -> int
+(** Total worker count, the calling domain included. *)
+
+val run_all : t -> (unit -> unit) array -> unit
+(** Run every job to completion, using all the pool's domains (the
+    caller included).  Jobs must be independent: they may share
+    read-only data and thread-safe structures, and must write only to
+    disjoint slots.  If any job raises, the first captured exception is
+    re-raised after {e all} jobs finished (no job is abandoned
+    mid-flight, so owned slots are never left half-written by a
+    surviving job).  With a pool of size 1 the jobs run inline in
+    array order.
+    @raise Invalid_argument if the pool was shut down. *)
+
+val parallel_chunks :
+  t -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+(** Partition the index range [\[0, n)] into [min (size t) n] balanced
+    contiguous chunks and {!run_all} one job per chunk; the callback
+    receives its chunk number and half-open range.  The chunking
+    depends only on [n] and the pool size, never on scheduling — the
+    deterministic-partition primitive the batch paths build on. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  Only call between
+    {!run_all}s (never while one is in flight). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] (also on exceptions). *)

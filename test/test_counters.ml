@@ -59,6 +59,90 @@ let test_estimator_sites_fire () =
     (fun row -> Alcotest.(check int) "two columns" 2 (List.length row))
     (Metrics.counter_rows ())
 
+(* --- concurrency: counters are atomic and timers mutex-guarded, so
+   totals recorded from several domains at once must be exact, not
+   merely approximate *)
+
+let test_concurrent_incr_exact () =
+  let workers = 4 and per_worker = 25_000 in
+  Counters.with_enabled (fun () ->
+      Counters.reset ();
+      let ds =
+        Array.init workers (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_worker do
+                  Counters.incr c_test
+                done))
+      in
+      Array.iter Domain.join ds;
+      Alcotest.(check int) "no lost increments" (workers * per_worker)
+        (Counters.value c_test))
+
+let test_concurrent_add_exact () =
+  let workers = 4 and per_worker = 5_000 in
+  Counters.with_enabled (fun () ->
+      Counters.reset ();
+      let ds =
+        Array.init workers (fun w ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_worker do
+                  Counters.add c_test (w + 1)
+                done))
+      in
+      Array.iter Domain.join ds;
+      (* sum over workers of per_worker * (w+1) = per_worker * 10 *)
+      Alcotest.(check int) "no torn adds" (per_worker * 10)
+        (Counters.value c_test))
+
+let test_concurrent_timer_exact () =
+  let workers = 4 and per_worker = 2_000 in
+  Counters.with_enabled (fun () ->
+      Counters.reset ();
+      let ds =
+        Array.init workers (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_worker do
+                  Counters.record t_test 0.001
+                done))
+      in
+      Array.iter Domain.join ds;
+      Alcotest.(check int) "every call recorded" (workers * per_worker)
+        (Counters.timer_calls t_test);
+      (* float accumulation under the mutex: same sum as sequential,
+         up to commutativity (identical addends, so exact here) *)
+      Alcotest.(check (float 1e-6)) "seconds accumulated"
+        (float_of_int (workers * per_worker) *. 0.001)
+        (Counters.timer_seconds t_test))
+
+let test_concurrent_snapshot_consistent () =
+  (* snapshots taken mid-hammering never see values outside the range
+     actually written so far, and the final delta is exact *)
+  Counters.with_enabled (fun () ->
+      Counters.reset ();
+      let before = Counters.snapshot () in
+      let total = 40_000 in
+      let d =
+        Domain.spawn (fun () ->
+            for _ = 1 to total do
+              Counters.incr c_test
+            done)
+      in
+      let monotone = ref true in
+      let last = ref 0 in
+      for _ = 1 to 100 do
+        let v = Counters.value c_test in
+        if v < !last || v > total then monotone := false;
+        last := v
+      done;
+      Domain.join d;
+      Alcotest.(check bool) "mid-flight reads monotone and in range" true
+        !monotone;
+      let delta = Counters.delta_between before (Counters.snapshot ()) in
+      Alcotest.(check int) "final delta exact" total
+        (match List.assoc_opt "test.counter" delta with
+        | Some v -> v
+        | None -> 0))
+
 let test_estimates_unchanged_by_counting () =
   let summary = Summary.build Paper_fixture.doc in
   let q = Pattern.of_string "//A[/C/folls::{B}/D]" in
@@ -76,6 +160,17 @@ let () =
         [
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "enabled counts" `Quick test_enabled_counts;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "incr exact across domains" `Quick
+            test_concurrent_incr_exact;
+          Alcotest.test_case "add exact across domains" `Quick
+            test_concurrent_add_exact;
+          Alcotest.test_case "timer exact across domains" `Quick
+            test_concurrent_timer_exact;
+          Alcotest.test_case "snapshot consistent mid-flight" `Quick
+            test_concurrent_snapshot_consistent;
         ] );
       ( "integration",
         [

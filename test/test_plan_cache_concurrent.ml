@@ -1,0 +1,176 @@
+(* Property suite hammering a synchronized {!Plan_cache} from several
+   domains at once.  The cache's concurrency contract (plan_cache.mli):
+   under [~synchronized:true] every operation is atomic, [find_or_add]
+   computes outside the lock with a re-check (first writer wins, losers
+   counted in [races]), and the compute function runs at most once per
+   key per concurrent window — so with a pure compute the cached value
+   is always the deterministic function of its key. *)
+
+module Plan_cache = Xpest_plan.Plan_cache
+
+(* compute function: pure, key-determined, and instrumented so the
+   properties can account for every invocation *)
+let square_counted invocations k =
+  Atomic.incr invocations;
+  k * k
+
+(* [hammer ~capacity ~workers ~keys ~reps] spawns [workers] domains,
+   each folding [reps] passes of [find_or_add] over the key list in its
+   own order (worker w starts at offset w), and returns the cache plus
+   the exact number of compute invocations. *)
+let hammer ~capacity ~workers ~keys ~reps =
+  let cache = Plan_cache.create ~capacity ~synchronized:true () in
+  let invocations = Atomic.make 0 in
+  let n = Array.length keys in
+  let worker w () =
+    for r = 0 to reps - 1 do
+      for i = 0 to n - 1 do
+        let k = keys.((i + (w * 7) + r) mod n) in
+        let v = Plan_cache.find_or_add cache k (square_counted invocations) in
+        if v <> k * k then
+          failwith
+            (Printf.sprintf "key %d yielded %d (expected %d)" k v (k * k))
+      done
+    done
+  in
+  let domains =
+    Array.init workers (fun w -> Domain.spawn (worker w))
+  in
+  Array.iter Domain.join domains;
+  (cache, Atomic.get invocations)
+
+let distinct_keys l =
+  List.sort_uniq compare l
+
+(* --- property 1: below capacity, the cache converges to exactly the
+   distinct key set, every slot holds the pure compute's value, and the
+   invocation count is fully explained by insertions + lost races *)
+let prop_no_eviction =
+  QCheck.Test.make ~count:25 ~name:"hammered below capacity"
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 30) (int_range (-100) 100))
+        (int_range 2 5) (int_range 1 8))
+    (fun (key_list, workers, reps) ->
+      let keys = Array.of_list (distinct_keys key_list) in
+      let n = Array.length keys in
+      let cache, invocations =
+        hammer ~capacity:(n + 8) ~workers ~keys ~reps
+      in
+      let races = Plan_cache.races cache in
+      Plan_cache.length cache = n
+      && Plan_cache.evictions cache = 0
+      && Plan_cache.peak cache = n
+      (* every compute either landed in the cache or lost a race *)
+      && invocations = n + races
+      && races <= (workers - 1) * n
+      && Array.for_all
+           (fun k -> Plan_cache.find_opt cache k = Some (k * k))
+           keys)
+
+(* --- property 2: above capacity the LRU keeps churning, but the
+   synchronized invariants still hold: size bounded, recency list
+   duplicate-free and consistent, and every compute accounted for as
+   a cached entry, an eviction, or a lost race *)
+let prop_with_eviction =
+  QCheck.Test.make ~count:25 ~name:"hammered beyond capacity"
+    QCheck.(
+      triple
+        (list_of_size Gen.(8 -- 40) (int_range 0 60))
+        (int_range 2 4) (int_range 1 6))
+    (fun (key_list, workers, reps) ->
+      let keys = Array.of_list (distinct_keys key_list) in
+      let n = Array.length keys in
+      QCheck.assume (n >= 4);
+      let capacity = max 2 (n / 2) in
+      let cache, invocations = hammer ~capacity ~workers ~keys ~reps in
+      let recency = Plan_cache.keys_by_recency cache in
+      let len = Plan_cache.length cache in
+      len <= capacity
+      && Plan_cache.peak cache <= capacity
+      && List.length recency = len
+      && List.length (distinct_keys recency) = len
+      (* conservation: each invocation's value was inserted (then
+         possibly evicted) or discarded as a race loser *)
+      && invocations = len + Plan_cache.evictions cache
+                       + Plan_cache.races cache
+      && List.for_all
+           (fun k -> Plan_cache.find_opt cache k = Some (k * k))
+           recency)
+
+(* --- property 3: mixed mutation — concurrent find_or_add with adds,
+   removes and clears from a writer domain never corrupts the structure
+   (no crash, size within bounds, recency consistent) *)
+let prop_mixed_mutation =
+  QCheck.Test.make ~count:15 ~name:"find_or_add races adds/removes/clear"
+    QCheck.(pair (int_range 4 24) (int_range 1 4))
+    (fun (n, reps) ->
+      let capacity = n in
+      let cache = Plan_cache.create ~capacity ~synchronized:true () in
+      let invocations = Atomic.make 0 in
+      let reader () =
+        for _ = 1 to reps * 50 do
+          for k = 0 to n - 1 do
+            ignore (Plan_cache.find_or_add cache k (square_counted invocations))
+          done
+        done
+      in
+      let writer () =
+        for r = 1 to reps * 10 do
+          Plan_cache.add cache (r mod n) ((r mod n) * (r mod n));
+          Plan_cache.remove cache ((r + 1) mod n);
+          if r mod 7 = 0 then Plan_cache.clear cache
+        done
+      in
+      let ds =
+        [| Domain.spawn reader; Domain.spawn reader; Domain.spawn writer |]
+      in
+      Array.iter Domain.join ds;
+      let recency = Plan_cache.keys_by_recency cache in
+      let len = Plan_cache.length cache in
+      len <= capacity
+      && List.length recency = len
+      && List.length (distinct_keys recency) = len
+      && List.for_all
+           (fun k -> Plan_cache.find_opt cache k = Some (k * k))
+           recency)
+
+(* --- contention is observable: many domains spinning on one hot key
+   must finish with the right value, and the lock statistics stay
+   internally consistent (non-negative, races only on misses) *)
+let test_hot_key_contention () =
+  let cache = Plan_cache.create ~capacity:4 ~synchronized:true () in
+  let invocations = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to 2000 do
+      ignore (Plan_cache.find_or_add cache 42 (square_counted invocations))
+    done
+  in
+  let ds = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join ds;
+  Alcotest.(check (option int)) "hot key value" (Some 1764)
+    (Plan_cache.find_opt cache 42);
+  Alcotest.(check int) "single cached entry" 1 (Plan_cache.length cache);
+  Alcotest.(check int) "invocations = 1 + races"
+    (1 + Plan_cache.races cache)
+    (Atomic.get invocations);
+  Alcotest.(check bool) "contention counter non-negative" true
+    (Plan_cache.contention cache >= 0)
+
+let seeded_rand = Random.State.make [| 0x9e3779b9 |]
+
+let () =
+  let qsuite =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:seeded_rand)
+      [ prop_no_eviction; prop_with_eviction; prop_mixed_mutation ]
+  in
+  Alcotest.run "plan_cache_concurrent"
+    [
+      ("properties", qsuite);
+      ( "contention",
+        [
+          Alcotest.test_case "hot key hammered from 4 domains" `Quick
+            test_hot_key_contention;
+        ] );
+    ]

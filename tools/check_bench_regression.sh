@@ -12,7 +12,18 @@
 #   - resilience fault-free routed_qps: the result-typed serving path
 #     at fault rate 0, so the fault-tolerance machinery cannot quietly
 #     tax the common case (skipped while the committed baseline
-#     predates the resilience section).
+#     predates the resilience section);
+#   - parallel pool-of-1 batch_cold_qps_1d per dataset: a pool of one
+#     must stay on the sequential fast path, so handing estimate_many
+#     a pool cannot tax the single-core case (skipped while the
+#     committed baseline predates the parallel section).
+#
+# Bit-identity is gated unconditionally, baseline or not: every
+# *_bitwise_identical_* flag in the fresh file — including the parallel
+# section's — must be true.  Parallel SPEEDUPS are reported but not
+# gated against an absolute floor: host_cores in the fresh file records
+# how many cores the run actually had, and on a single-core runner the
+# honest speedup is ~1.0x.
 #
 # Independently of the baseline, the fresh file's own
 # fault_free_overhead_vs_raising ratio must stay below OVERHEAD_CAP
@@ -100,9 +111,59 @@ if fresh_ff is not None:
         if overhead > overhead_cap:
             failed = True
 
+par = fresh.get("parallel")
+if par:
+    cores = par.get("host_cores", 0)
+    base_par = baseline.get("parallel")
+    base_1d = {}
+    if base_par:
+        base_1d = {d["dataset"]: d.get("batch_cold_qps_1d")
+                   for d in base_par.get("datasets", [])}
+    for d in par.get("datasets", []):
+        name = d["dataset"]
+        new = d.get("batch_cold_qps_1d")
+        old = base_1d.get(name)
+        if old is None or old <= 0:
+            print("  %-10s pool-of-1 %7.1f qps (baseline predates parallel "
+                  "section)" % (name, new))
+        else:
+            ratio = new / old
+            status = "ok" if ratio >= threshold else "REGRESSED"
+            print("  %-10s pool-of-1 %7.1f qps vs baseline %8.1f  "
+                  "(%.2fx, floor %.2fx)  %s"
+                  % (name, new, old, ratio, threshold, status))
+            if ratio < threshold:
+                failed = True
+        print("  %-10s 4-domain speedup %.2fx on %d core(s)  [reported, "
+              "not gated]" % (name, d.get("speedup_4d", 0.0), cores))
+    cat = par.get("catalog", {})
+    if cat:
+        print("  %-10s routed 4-domain speedup %.2fx, plan-lock contention "
+              "%d, compile races %d  [reported, not gated]"
+              % ("catalog", cat.get("speedup_4d", 0.0),
+                 cat.get("plan_lock_contention", 0),
+                 cat.get("plan_compile_races", 0)))
+
+def identity_flags(doc, path=""):
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            here = "%s.%s" % (path, k) if path else k
+            if "bitwise_identical" in k:
+                yield here, v
+            else:
+                yield from identity_flags(v, here)
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            yield from identity_flags(v, "%s[%d]" % (path, i))
+
+for where, flag in identity_flags(fresh):
+    if flag is not True:
+        print("  BIT-IDENTITY VIOLATED: %s = %r" % (where, flag))
+        failed = True
+
 if failed:
     print("check_bench_regression: throughput regressed beyond "
-          "the %.0f%% floor" % (100 * threshold))
+          "the %.0f%% floor (or bit-identity violated)" % (100 * threshold))
     sys.exit(1)
-print("check_bench_regression: throughput within bounds")
+print("check_bench_regression: throughput and bit-identity within bounds")
 EOF
