@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci differential chaos stress bench bench-json clean
+.PHONY: all build test check ci differential chaos stress thrash bench bench-json clean
 
 all: build
 
@@ -43,6 +43,14 @@ stress:
 	$(DUNE) exec test/test_catalog_concurrent.exe
 	$(DUNE) exec test/test_counters.exe
 
+# Cache-core suite: the segmented-vs-LRU reference differential,
+# qcheck properties of the unified bounded cache (cost conservation,
+# pin-never-evicted, segment-size invariants), the deterministic
+# scan-resistance thrash trace, and the bit-identity differential of
+# engine estimates under either policy.
+thrash:
+	$(DUNE) exec test/test_bounded_cache.exe
+
 bench:
 	$(DUNE) exec bench/main.exe
 
@@ -53,13 +61,15 @@ bench-json:
 	$(DUNE) exec bench/main.exe -- --engine-only --scale 0.1 --engine-json BENCH_engine.json
 
 # The whole gate in one target: compile, unit + differential suites,
-# chaos suites, regenerate the engine benchmark, and fail if cold-path
-# or fault-free serving throughput regressed more than 30% against the
-# committed BENCH_engine.json.
+# chaos suites, the cache-core thrash suite, regenerate the engine
+# benchmark, and fail if cold-path or fault-free serving throughput
+# regressed more than 30% against the committed BENCH_engine.json (or
+# the segmented policy stopped out-hitting plain LRU).
 ci: build
 	$(DUNE) runtest
 	$(MAKE) chaos
 	$(MAKE) stress
+	$(MAKE) thrash
 	$(MAKE) bench-json
 	sh tools/check_bench_regression.sh BENCH_engine.json
 

@@ -22,6 +22,8 @@ module Plan_cache = Xpest_plan.Plan_cache
 module Estimator = Xpest_estimator.Estimator
 module Path_join = Xpest_estimator.Path_join
 module Catalog = Xpest_catalog.Catalog
+module Cache_config = Xpest_plan.Cache_config
+module Bounded_cache = Xpest_util.Bounded_cache
 module Counters = Xpest_util.Counters
 module Domain_pool = Xpest_util.Domain_pool
 module Fault = Xpest_util.Fault
@@ -593,21 +595,109 @@ let resilience_bench ctxs =
         (raising_qps /. Float.max fault_free_qps 1e-9)
         (String.concat ",\n" (fault_free :: injected)))
 
+(* S1 thrash: multi-tenant serving under a byte budget that cannot
+   hold every tenant's summary.  Each round touches a small hot set
+   twice in a row (a dashboard double-reading its own keys — the
+   second touch is the segmented policy's promotion signal), then
+   cycles through more cold tenants than the budget fits — plain LRU's
+   worst case.  Both policies run the identical trace at the identical
+   byte budget; only the replacement decision differs.  Plain LRU
+   flushes the hot set on every cold cycle and scores only the
+   immediate repeats; segmented LRU keeps the hot summaries protected,
+   so its hit rate must come out strictly higher (gated in
+   tools/check_bench_regression.sh). *)
+let thrash_bench ctxs =
+  Printf.printf "engine bench: s1 thrash (byte-budget residency)...\n%!";
+  let dsname, base, patterns = List.hd ctxs in
+  let hot = 2 and cold = 12 and rounds = 8 in
+  let nkeys = hot + cold in
+  (* one tenant = one variance knob; each gets its own summary *)
+  let summaries = Hashtbl.create 16 in
+  for i = 0 to nkeys - 1 do
+    let v = float_of_int i in
+    Hashtbl.add summaries v (Summary.assemble ~p_variance:v ~o_variance:v base)
+  done;
+  let loader (k : Catalog.key) = Hashtbl.find summaries k.Catalog.variance in
+  let bytes_of i =
+    Summary.size_bytes (Hashtbl.find summaries (float_of_int i))
+  in
+  let sum_bytes lo hi =
+    let t = ref 0 in
+    for i = lo to hi do t := !t + bytes_of i done;
+    !t
+  in
+  let hot_bytes = sum_bytes 0 (hot - 1) in
+  let cold_bytes = sum_bytes hot (nkeys - 1) in
+  (* half the cold set fits alongside the hot set: small enough that a
+     cold cycle overruns it, large enough that the protected segment
+     (0.8 of budget) holds the hot summaries comfortably *)
+  let budget = hot_bytes + (cold_bytes / 2) in
+  let q = patterns.(0) in
+  let run policy =
+    let config =
+      { Cache_config.default with resident_bytes = Some budget }
+    in
+    let cat = Catalog.create ~config ~resident_policy:policy ~loader () in
+    let touch i =
+      ignore
+        (Catalog.estimate cat
+           { Catalog.dataset = dsname; variance = float_of_int i }
+           q)
+    in
+    for _round = 1 to rounds do
+      for h = 0 to hot - 1 do
+        touch h;
+        touch h
+      done;
+      for c = hot to nkeys - 1 do
+        touch c
+      done
+    done;
+    let st : Catalog.stats = Catalog.stats cat in
+    let touches = st.Catalog.hits + st.Catalog.loads in
+    ( st.Catalog.hits,
+      st.Catalog.loads,
+      float_of_int st.Catalog.hits /. Float.max (float_of_int touches) 1.0 )
+  in
+  let lru_hits, lru_loads, lru_rate = run Bounded_cache.Lru in
+  let seg_hits, seg_loads, seg_rate = run Bounded_cache.segmented in
+  Printf.sprintf
+    {|  "s1_thrash": {
+    "dataset": %S,
+    "hot_keys": %d,
+    "cold_tenants": %d,
+    "rounds": %d,
+    "hot_bytes": %d,
+    "cold_bytes": %d,
+    "budget_bytes": %d,
+    "lru_hits": %d,
+    "lru_loads": %d,
+    "lru_hit_rate": %.4f,
+    "segmented_hits": %d,
+    "segmented_loads": %d,
+    "segmented_hit_rate": %.4f,
+    "segmented_advantage": %.4f
+  }|}
+    dsname hot cold rounds hot_bytes cold_bytes budget lru_hits lru_loads
+    lru_rate seg_hits seg_loads seg_rate (seg_rate -. lru_rate)
+
 let engine_bench ~scale ~out =
   let entries, ctxs =
     List.split (List.map (engine_bench_dataset ~scale) Registry.all)
   in
   let catalog_section = catalog_bench ctxs in
+  let thrash_section = thrash_bench ctxs in
   let parallel_section = parallel_bench ctxs in
   let resilience_section = resilience_bench ctxs in
   let json =
     Printf.sprintf
       {|{
-  "schema": "xpest-bench-engine/4",
+  "schema": "xpest-bench-engine/5",
   "scale": %g,
   "datasets": [
 %s
   ],
+%s,
 %s,
 %s,
 %s
@@ -615,7 +705,7 @@ let engine_bench ~scale ~out =
 |}
       scale
       (String.concat ",\n" entries)
-      catalog_section parallel_section resilience_section
+      catalog_section thrash_section parallel_section resilience_section
   in
   let oc = open_out out in
   output_string oc json;

@@ -626,6 +626,17 @@ let catalog_info_cmd =
            ~align:
              [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Left; Tablefmt.Left ]
            rows);
+      (* what full residency would cost: the wire bytes of every entry,
+         the number to size --resident-bytes against *)
+      let total_bytes =
+        List.fold_left
+          (fun acc (e : Manifest.entry) -> acc + e.Manifest.bytes)
+          0 m.Manifest.entries
+      in
+      Printf.printf
+        "catalog: %d entries, %s wire bytes if fully resident\n"
+        (List.length m.Manifest.entries)
+        (Tablefmt.fmt_bytes total_bytes);
       if !unhealthy > 0 then begin
         prerr_endline
           (Printf.sprintf "xpest: %d/%d catalog entries unhealthy" !unhealthy
@@ -721,8 +732,13 @@ let read_routed_file path =
       in
       loop 1 [])
 
-let run_catalog_estimate dir queries_file resident metrics fault_rate
-    fault_seed domains health_state =
+let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
+    fault_rate fault_seed domains health_state =
+    if domains < 1 then begin
+      prerr_endline
+        (Printf.sprintf "xpest: --domains must be at least 1 (got %d)" domains);
+      exit 1
+    end;
     let pairs = Array.of_list (read_routed_file queries_file) in
     if Array.length pairs = 0 then begin
       prerr_endline "xpest: no routed queries in the file";
@@ -739,7 +755,26 @@ let run_catalog_estimate dir queries_file resident metrics fault_rate
              (Fault.create (Fault.uniform ~seed:fault_seed ~rate:fault_rate))
              Fault.Io.default)
     in
-    let cat = Catalog.of_manifest ~resident_capacity:resident ?io ~dir m in
+    (* --resident-bytes switches the resident set from a summary count
+       to an exact wire-byte budget *)
+    let config =
+      match resident_bytes with
+      | None -> None
+      | Some b ->
+          Some { Cache_config.default with Cache_config.resident_bytes = Some b }
+    in
+    let cat =
+      Catalog.of_manifest ~resident_capacity:resident ?config ?io ~dir m
+    in
+    (* --pin: hot keys the eviction policy must never displace *)
+    List.iter
+      (fun keys ->
+        match Catalog.key_of_string keys with
+        | Ok key -> Catalog.pin cat key
+        | Error msg ->
+            prerr_endline (Printf.sprintf "xpest: --pin %s: %s" keys msg);
+            exit 1)
+      pins;
     (* --health-state: fold persisted quarantine/backoff state in before
        the batch and write the updated state back after it, so repeated
        invocations keep skipping known-bad keys without re-probing *)
@@ -791,6 +826,15 @@ let run_catalog_estimate dir queries_file resident metrics fault_rate
         s.Catalog.hits s.Catalog.evictions
         s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_peak
         s.Catalog.plan_cache.Xpest_plan.Plan_cache.s_evictions;
+      Printf.printf
+        "residency: %s resident%s; segments: %d protected, %d probationary, \
+         %d pinned\n"
+        (Tablefmt.fmt_bytes s.Catalog.resident_bytes)
+        (match resident_bytes with
+        | Some b -> Printf.sprintf " of %s budget" (Tablefmt.fmt_bytes b)
+        | None -> "")
+        s.Catalog.resident_protected s.Catalog.resident_probationary
+        s.Catalog.resident_pinned;
       if s.Catalog.failures > 0 || s.Catalog.retries > 0 then
         Printf.printf
           "resilience: %d failures, %d retries, %d quarantines, %d degraded \
@@ -836,11 +880,11 @@ let run_catalog_estimate dir queries_file resident metrics fault_rate
     else work ()
 
 let catalog_estimate_cmd =
-  let run dir queries_file resident metrics fault_rate fault_seed domains
-      health_state =
+  let run dir queries_file resident resident_bytes pins metrics fault_rate
+      fault_seed domains health_state =
     try
-      run_catalog_estimate dir queries_file resident metrics fault_rate
-        fault_seed domains health_state
+      run_catalog_estimate dir queries_file resident resident_bytes pins
+        metrics fault_rate fault_seed domains health_state
     with Invalid_argument msg | Sys_error msg ->
       (* non-serving failures: unparseable queries, unreadable files
          (the serving path itself reports per-query typed errors) *)
@@ -863,7 +907,25 @@ let catalog_estimate_cmd =
       & opt int Catalog.default_resident_capacity
       & info [ "resident" ] ~docv:"N"
           ~doc:"Resident-set capacity: how many summaries stay loaded at \
-                once (LRU beyond that).")
+                once (scan-resistant segmented LRU beyond that).  Ignored \
+                when $(b,--resident-bytes) sets a byte budget instead.")
+  in
+  let resident_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "resident-bytes" ] ~docv:"BYTES"
+          ~doc:"Bound the resident set by exact wire bytes instead of \
+                summary count: summaries stay loaded while their encoded \
+                sizes fit the budget, evicting probationary entries first.")
+  in
+  let pins =
+    Arg.(
+      value & opt_all string []
+      & info [ "pin" ] ~docv:"KEY"
+          ~doc:"Pin a summary key (repeatable): never evicted while the \
+                process runs, whatever the budget pressure.  Pinned \
+                summaries still count toward the budget.")
   in
   let metrics =
     Arg.(
@@ -915,8 +977,8 @@ let catalog_estimate_cmd =
              their own queries; use $(b,--fault-rate) to watch the \
              degradation behavior under injected storage faults.")
     Term.(
-      const run $ catalog_dir_arg $ queries_file $ resident $ metrics
-      $ fault_rate $ fault_seed $ domains $ health_state)
+      const run $ catalog_dir_arg $ queries_file $ resident $ resident_bytes
+      $ pins $ metrics $ fault_rate $ fault_seed $ domains $ health_state)
 
 let catalog_clear_quarantine_cmd =
   let run dir keys health_file =

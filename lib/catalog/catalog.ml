@@ -7,6 +7,7 @@ module Manifest = Xpest_synopsis.Manifest
 module Synopsis_io = Xpest_synopsis.Synopsis_io
 module Pattern = Xpest_xpath.Pattern
 module Plan_cache = Xpest_plan.Plan_cache
+module Bounded_cache = Xpest_util.Bounded_cache
 module Cache_config = Xpest_plan.Cache_config
 module Estimator = Xpest_estimator.Estimator
 
@@ -214,10 +215,28 @@ type key_health = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* The catalog: a bounded LRU of resident summaries, each paired with
+(* The catalog: a bounded set of resident summaries, each paired with
    its pooled estimator.  The estimator pool shares one compiled-plan
    cache: plans are summary-independent, so a query compiled for one
-   summary is a plan-cache hit when routed to any other.               *)
+   summary is a plan-cache hit when routed to any other.
+
+   Residency runs on the segmented (scan-resistant) policy by default:
+   a cyclic scan over more tenants than fit resident is LRU's worst
+   case — every access evicts the summary it will need next round —
+   while under the segmented policy the re-used (twice-touched)
+   summaries sit in the protected segment and survive the scan (the
+   eviction-policy item in ROADMAP.md, measured by the s1_thrash bench
+   section).  [~resident_policy] restores plain LRU for comparison.
+
+   The bound is either the historical entry count
+   ([resident_capacity]) or, when [config.resident_bytes] is set, a
+   byte budget costed by the exact wire size of each resident summary
+   ([Summary.size_bytes]) — tenants' summaries differ by an order of
+   magnitude, so counting entries either wastes memory on small ones
+   or blows the budget on big ones.  Hot keys can be pinned
+   ([pin]/[unpin]): pinned summaries still count against the budget
+   but are never evicted.  Which summaries are resident never affects
+   estimates — values are pure functions of (summary, plan).           *)
 
 type resident = { summary : Summary.t; estimator : Estimator.t }
 
@@ -228,7 +247,7 @@ type t = {
   chain_pruning : bool option;
   resilience : resilience;
   plans : (Pattern.t, Xpest_plan.Plan.t) Plan_cache.t;  (* pool-shared *)
-  residents : (key, resident) Plan_cache.t;
+  residents : (key, resident) Bounded_cache.t;
   health_tbl : (key, hstate) Hashtbl.t;
   mutable clock : int;
   mutable loads : int;
@@ -242,9 +261,9 @@ type t = {
 
 let default_resident_capacity = 8
 
-let create_r ?(resident_capacity = default_resident_capacity) ?config
-    ?chain_pruning ?(resilience = default_resilience)
-    ?(verify = fun _ -> Ok ()) ~loader () =
+let create_r ?(resident_capacity = default_resident_capacity)
+    ?(resident_policy = Bounded_cache.segmented) ?config ?chain_pruning
+    ?(resilience = default_resilience) ?(verify = fun _ -> Ok ()) ~loader () =
   if resident_capacity < 1 then
     invalid_arg "Catalog.create: resident_capacity must be >= 1";
   if
@@ -254,6 +273,16 @@ let create_r ?(resident_capacity = default_resident_capacity) ?config
     || resilience.max_tracked < 1
   then invalid_arg "Catalog.create: malformed resilience policy";
   let config = match config with Some c -> c | None -> Cache_config.default in
+  (* [config.resident_bytes] switches the resident bound from entry
+     count to a byte budget: each resident costs its exact wire size. *)
+  let resident_budget, resident_cost =
+    match config.Cache_config.resident_bytes with
+    | None -> (resident_capacity, None)
+    | Some bytes ->
+        if bytes < 1 then
+          invalid_arg "Catalog.create: resident_bytes must be >= 1";
+        (bytes, Some (fun _ r -> Summary.size_bytes r.summary))
+  in
   {
     loader;
     verify;
@@ -267,8 +296,9 @@ let create_r ?(resident_capacity = default_resident_capacity) ?config
       Estimator.create_plan_cache ~capacity:config.Cache_config.plan
         ~synchronized:true ();
     residents =
-      Plan_cache.create ~capacity:resident_capacity ~synchronized:true
-        ~hit:c_hit ~miss:c_load ~evict:c_evict ();
+      Bounded_cache.create ~capacity:resident_budget ~policy:resident_policy
+        ?cost:resident_cost ~synchronized:true ~hit:c_hit ~miss:c_load
+        ~evict:c_evict ();
     health_tbl = Hashtbl.create 16;
     clock = 0;
     loads = 0;
@@ -282,7 +312,8 @@ let create_r ?(resident_capacity = default_resident_capacity) ?config
 
 (* Raising-loader form, for in-memory sources: escaped exceptions are
    classified so legacy loaders still flow through the typed machinery. *)
-let create ?resident_capacity ?config ?chain_pruning ?resilience ~loader () =
+let create ?resident_capacity ?resident_policy ?config ?chain_pruning
+    ?resilience ~loader () =
   let typed_loader k =
     match loader k with
     | s -> Ok s
@@ -292,8 +323,8 @@ let create ?resident_capacity ?config ?chain_pruning ?resilience ~loader () =
     | exception Invalid_argument reason | exception Failure reason ->
         Error (E.Internal reason)
   in
-  create_r ?resident_capacity ?config ?chain_pruning ?resilience
-    ~loader:typed_loader ()
+  create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
+    ?resilience ~loader:typed_loader ()
 
 (* -------------------- health bookkeeping -------------------- *)
 
@@ -394,7 +425,7 @@ let load_with_retries t key (h : hstate) =
 
 let acquire_r t key =
   t.clock <- t.clock + 1;
-  match Plan_cache.find_opt t.residents key with
+  match Bounded_cache.find_opt t.residents key with
   | Some r ->
       t.hits <- t.hits + 1;
       if not t.resilience.verify_resident then Ok r.estimator
@@ -420,7 +451,7 @@ let acquire_r t key =
               Ok r.estimator
             end
             else begin
-              Plan_cache.remove t.residents key;
+              Bounded_cache.remove t.residents key;
               note_failure t h e;
               Error e
             end)
@@ -441,7 +472,7 @@ let acquire_r t key =
                 in
                 t.loads <- t.loads + 1;
                 note_success t h;
-                Plan_cache.add t.residents key { summary; estimator };
+                Bounded_cache.add t.residents key { summary; estimator };
                 Ok estimator
             | Error e ->
                 note_failure t h e;
@@ -527,9 +558,10 @@ let manifest_loader ?io ~dir manifest key =
       | Error e -> Error e
       | Ok path -> Synopsis_io.load_typed ?io path)
 
-let of_manifest ?resident_capacity ?config ?chain_pruning ?resilience ?io ~dir
-    manifest =
-  create_r ?resident_capacity ?config ?chain_pruning ?resilience
+let of_manifest ?resident_capacity ?resident_policy ?config ?chain_pruning
+    ?resilience ?io ~dir manifest =
+  create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
+    ?resilience
     ~verify:(manifest_verify ?io ~dir manifest)
     ~loader:(manifest_loader ?io ~dir manifest)
     ()
@@ -650,6 +682,11 @@ let estimate_batch ?pool t pairs =
 type stats = {
   resident : int;
   resident_capacity : int;
+  resident_cost : int;
+  resident_bytes : int;
+  resident_probationary : int;
+  resident_protected : int;
+  resident_pinned : int;
   loads : int;
   hits : int;
   evictions : int;
@@ -663,12 +700,25 @@ type stats = {
 }
 
 let stats t =
+  let rs = Bounded_cache.stats t.residents in
   {
-    resident = Plan_cache.length t.residents;
-    resident_capacity = Plan_cache.capacity t.residents;
+    resident = rs.Bounded_cache.s_length;
+    resident_capacity = rs.Bounded_cache.s_capacity;
+    resident_cost = rs.Bounded_cache.s_cost;
+    (* exact bytes regardless of the cost unit: under a byte budget
+       this equals [resident_cost]; under the count bound it is still
+       the honest memory figure (size_bytes is memoized, so the fold
+       costs one encode per summary, once) *)
+    resident_bytes =
+      Bounded_cache.fold
+        (fun _ r acc -> acc + Summary.size_bytes r.summary)
+        t.residents 0;
+    resident_probationary = rs.Bounded_cache.s_probationary;
+    resident_protected = rs.Bounded_cache.s_protected;
+    resident_pinned = rs.Bounded_cache.s_pinned;
     loads = t.loads;
     hits = t.hits;
-    evictions = Plan_cache.evictions t.residents;
+    evictions = rs.Bounded_cache.s_evictions;
     failures = t.failures;
     retries = t.retries;
     quarantines = t.quarantines;
@@ -715,7 +765,13 @@ let clear_quarantine t key =
       Some prior
 
 let last_batch_metrics t = t.last_metrics
-let keys_by_recency t = Plan_cache.keys_by_recency t.residents
+let keys_by_recency t = Bounded_cache.keys_by_recency t.residents
+
+(* Pins are sticky on the key (they survive eviction and apply to the
+   next load), so pinning never needs the summary resident yet. *)
+let pin t key = Bounded_cache.pin t.residents key
+let unpin t key = Bounded_cache.unpin t.residents key
+let pinned t key = Bounded_cache.pinned t.residents key
 
 (* ------------------------------------------------------------------ *)
 (* Health persistence.

@@ -12,13 +12,19 @@
     single-summary [Estimator.estimate] — caching, pooling, eviction
     and reloading never change a float, only when it is recomputed.
 
-    Summaries enter the resident set on first use and leave it LRU
-    when the set exceeds its capacity; their estimators (and per-
-    summary join caches) leave with them, but the pool-shared plan
-    cache survives evictions, so a query estimated against one summary
-    is already compiled when it hits the next.  Loads, hits and
-    evictions are counted unconditionally ({!stats}) and mirrored in
-    the global observability counters ([catalog.summary.*]).
+    Summaries enter the resident set on first use and are evicted by a
+    scan-resistant segmented LRU ({!Xpest_util.Bounded_cache}) when
+    the set exceeds its budget; their estimators (and per-summary join
+    caches) leave with them, but the pool-shared plan cache survives
+    evictions, so a query estimated against one summary is already
+    compiled when it hits the next.  The budget is an entry count by
+    default ([resident_capacity]) or an exact byte budget when
+    [config.resident_bytes] is set (each resident costs
+    [Summary.size_bytes]); hot keys can be pinned against eviction
+    ({!pin}).  Replacement policy, budget unit and pinning only decide
+    {e which} summaries stay resident — never a value.  Loads, hits
+    and evictions are counted unconditionally ({!stats}) and mirrored
+    in the global observability counters ([catalog.summary.*]).
 
     {2 Fault tolerance}
 
@@ -134,6 +140,7 @@ type t
 
 val create :
   ?resident_capacity:int ->
+  ?resident_policy:Xpest_util.Bounded_cache.policy ->
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
   ?resilience:resilience ->
@@ -143,9 +150,15 @@ val create :
 (** A catalog over an arbitrary summary source.  [loader] is called
     once per non-resident key on demand; [resident_capacity] bounds
     how many summaries (and their estimators) stay in memory at once
-    (default {!default_resident_capacity}); [config] sets the
-    per-cache capacities of the shared plan cache ([config.plan]) and
-    of every pooled estimator's join caches.  Loader escapes are
+    (default {!default_resident_capacity}) — unless
+    [config.resident_bytes] is set, which replaces the count bound
+    with a byte budget costed by each summary's exact wire size
+    ({!Summary.size_bytes}).  [resident_policy] (default
+    {!Xpest_util.Bounded_cache.segmented}) picks the resident set's
+    replacement policy; pass [Lru] to compare against plain LRU (the
+    s1_thrash bench section does).  [config] also sets the per-cache
+    capacities of the shared plan cache ([config.plan]) and of every
+    pooled estimator's join caches.  Loader escapes are
     classified into the typed taxonomy ([Sys_error] → [Io_failure],
     [Xpest_error.Error e] → [e], [Invalid_argument] / [Failure] →
     [Internal]) and flow through the same retry/quarantine machinery
@@ -153,10 +166,12 @@ val create :
     @raise Invalid_argument if [resident_capacity < 1] or the
     resilience policy is malformed ([max_retries < 0],
     [failure_threshold < 1], [backoff_base < 1],
-    [backoff_max < backoff_base], or [max_tracked < 1]). *)
+    [backoff_max < backoff_base], or [max_tracked < 1]), or if
+    [config.resident_bytes] is [Some b] with [b < 1]. *)
 
 val create_r :
   ?resident_capacity:int ->
+  ?resident_policy:Xpest_util.Bounded_cache.policy ->
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
   ?resilience:resilience ->
@@ -174,6 +189,7 @@ val default_resident_capacity : int
 
 val of_manifest :
   ?resident_capacity:int ->
+  ?resident_policy:Xpest_util.Bounded_cache.policy ->
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
   ?resilience:resilience ->
@@ -278,6 +294,20 @@ val estimate_batch :
 type stats = {
   resident : int;  (** summaries currently in memory *)
   resident_capacity : int;
+      (** resident budget, in cost units: entries by default, bytes
+          when [config.resident_bytes] set the budget *)
+  resident_cost : int;
+      (** used budget, in the same units as [resident_capacity] *)
+  resident_bytes : int;
+      (** exact wire bytes of the resident summaries (equals
+          [resident_cost] under a byte budget) *)
+  resident_probationary : int;
+      (** residents in the probationary segment (all of them under a
+          plain-LRU [resident_policy]) *)
+  resident_protected : int;
+      (** residents promoted to the protected segment (touched at
+          least twice; survive cold scans) *)
+  resident_pinned : int;  (** residents currently pinned *)
   loads : int;  (** successful loader calls (cold + reloads) *)
   hits : int;  (** estimator-pool hits (summary already resident) *)
   evictions : int;
@@ -371,4 +401,20 @@ val last_batch_metrics : t -> (key * (string * int) list) list
     batch, or before any batch ran. *)
 
 val keys_by_recency : t -> key list
-(** Resident keys, most-recently used first (test/debug aid). *)
+(** Resident keys in retention order: under the default segmented
+    policy the protected segment first (most-recent first), then
+    probationary — the reverse of eviction order; under a plain-LRU
+    [resident_policy], most-recently used first (test/debug aid). *)
+
+(** {1 Pinning}
+
+    A pinned key's summary is never evicted (it still counts against
+    the resident budget).  Pins are sticky on the {e key}: pinning a
+    key that is not resident yet takes effect when it is next loaded,
+    and a pin survives [remove]/eviction of the entry.  The CLI's
+    [catalog estimate --pin KEY] uses this to keep hot tenants'
+    summaries resident across cold scans. *)
+
+val pin : t -> key -> unit
+val unpin : t -> key -> unit
+val pinned : t -> key -> bool

@@ -4,12 +4,13 @@ module Pattern = Xpest_xpath.Pattern
 module Summary = Xpest_synopsis.Summary
 module Encoding_table = Xpest_encoding.Encoding_table
 module Plan = Xpest_plan.Plan
-module Plan_cache = Xpest_plan.Plan_cache
+module Bounded_cache = Xpest_util.Bounded_cache
 module Cache_config = Xpest_plan.Cache_config
 
 (* Observability: cache effectiveness and pruning volume of the join.
    All no-ops unless [Counters.set_enabled true].  Created once here
-   and handed to the per-estimator LRU caches (see Plan_cache). *)
+   and handed to the per-estimator bounded caches (see
+   Xpest_util.Bounded_cache). *)
 let c_rel_hit = Counters.create "path_join.rel_cache.hit"
 let c_rel_miss = Counters.create "path_join.rel_cache.miss"
 let c_rel_evict = Counters.create "path_join.rel_cache.evict"
@@ -42,36 +43,43 @@ type t = {
   summary : Summary.t;
   chain_pruning : bool;
   (* (encoding, child?, anc tag, desc tag) -> axis holds on that path *)
-  rel_cache : (rel_key, bool) Plan_cache.t;
+  rel_cache : (rel_key, bool) Bounded_cache.t;
   (* (anchored, steps, encoding) -> per-chain-node feasibility of a
      full ordered embedding of the chain into that root-to-leaf path *)
-  chain_cache : (chain_key, bool array) Plan_cache.t;
+  chain_cache : (chain_key, bool array) Bounded_cache.t;
   (* one estimate joins the same shape repeatedly (counterpart,
      simplified counterpart, Q'), and join output only depends on the
      shape given a fixed summary *)
-  run_cache : (Pattern.shape, result) Plan_cache.t;
+  run_cache : (Pattern.shape, result) Bounded_cache.t;
 }
 
 let create ?(chain_pruning = true) ?(config = Cache_config.default) summary =
+  (* Cached values are pure functions of (summary, key), so the
+     replacement policy only decides which entries stay resident —
+     estimates are bit-identical under either policy. *)
+  let policy =
+    if config.Cache_config.segmented then Bounded_cache.segmented
+    else Bounded_cache.Lru
+  in
   {
     summary;
     chain_pruning;
     rel_cache =
-      Plan_cache.create ~capacity:config.Cache_config.rel ~hit:c_rel_hit
-        ~miss:c_rel_miss ~evict:c_rel_evict ();
+      Bounded_cache.create ~capacity:config.Cache_config.rel ~policy
+        ~hit:c_rel_hit ~miss:c_rel_miss ~evict:c_rel_evict ();
     chain_cache =
-      Plan_cache.create ~capacity:config.Cache_config.chain ~hit:c_chain_hit
-        ~miss:c_chain_miss ~evict:c_chain_evict ();
+      Bounded_cache.create ~capacity:config.Cache_config.chain ~policy
+        ~hit:c_chain_hit ~miss:c_chain_miss ~evict:c_chain_evict ();
     run_cache =
-      Plan_cache.create ~capacity:config.Cache_config.run ~hit:c_run_hit
-        ~miss:c_run_miss ~evict:c_run_evict ();
+      Bounded_cache.create ~capacity:config.Cache_config.run ~policy
+        ~hit:c_run_hit ~miss:c_run_miss ~evict:c_run_evict ();
   }
 
 let cache_stats t =
   [
-    ("rel", Plan_cache.stats t.rel_cache);
-    ("chain", Plan_cache.stats t.chain_cache);
-    ("run", Plan_cache.stats t.run_cache);
+    ("rel", Bounded_cache.stats t.rel_cache);
+    ("chain", Bounded_cache.stats t.chain_cache);
+    ("run", Bounded_cache.stats t.run_cache);
   ]
 
 (* Can the whole chain embed into the path type [encoding], and if so
@@ -140,13 +148,13 @@ let chain_feasibility_uncached t ~anchored ~steps encoding =
       any 0)
 
 let chain_feasibility t (c : Plan.chain) encoding =
-  Plan_cache.find_or_add t.chain_cache
+  Bounded_cache.find_or_add t.chain_cache
     (c.Plan.anchored, c.Plan.steps, encoding)
     (fun (anchored, steps, encoding) ->
       chain_feasibility_uncached t ~anchored ~steps encoding)
 
 let axis_on_path t ~encoding ~child ~anc ~desc =
-  Plan_cache.find_or_add t.rel_cache (encoding, child, anc, desc)
+  Bounded_cache.find_or_add t.rel_cache (encoding, child, anc, desc)
     (fun (encoding, child, anc, desc) ->
       Encoding_table.axis_holds
         (Summary.encoding_table t.summary)
@@ -265,21 +273,21 @@ let run_uncached t (spec : Plan.join_spec) =
   { nodes }
 
 let exec t (spec : Plan.join_spec) =
-  match Plan_cache.find_opt t.run_cache spec.Plan.shape with
+  match Bounded_cache.find_opt t.run_cache spec.Plan.shape with
   | Some r -> r
   | None ->
       let r = Counters.time t_run (fun () -> run_uncached t spec) in
-      Plan_cache.add t.run_cache spec.Plan.shape r;
+      Bounded_cache.add t.run_cache spec.Plan.shape r;
       r
 
 let run t shape =
-  match Plan_cache.find_opt t.run_cache shape with
+  match Bounded_cache.find_opt t.run_cache shape with
   | Some r -> r
   | None ->
       let r =
         Counters.time t_run (fun () -> run_uncached t (Plan.join_of_shape shape))
       in
-      Plan_cache.add t.run_cache shape r;
+      Bounded_cache.add t.run_cache shape r;
       r
 
 let find result position =

@@ -1,4 +1,4 @@
-(** Per-cache capacity knobs for the estimation engine's bounded LRU
+(** Capacity and policy knobs for the estimation engine's bounded
     caches.
 
     The engine keeps four caches per estimator: the compiled-plan
@@ -10,26 +10,48 @@
     single shared capacity either wastes memory or thrashes the
     smallest cache.  This record gives each cache its own capacity;
     {!default} preserves the historical shared default
-    ({!Plan_cache.default_capacity} for every cache). *)
+    ({!Plan_cache.default_capacity} for every cache).
+
+    Two policy knobs ride along for the {!Xpest_util.Bounded_cache}
+    core: [segmented] switches the engine caches from plain LRU to the
+    scan-resistant segmented policy (estimates are bit-identical
+    either way — the policy only changes which entries stay resident),
+    and [resident_bytes] gives the catalog's resident summary set a
+    byte budget (costed by [Summary.size_bytes]) instead of the
+    count-based bound. *)
 
 type t = {
   plan : int;  (** compiled-plan cache ([Estimator]) *)
   rel : int;  (** tag-relationship cache ([Path_join]) *)
   chain : int;  (** chain-feasibility cache ([Path_join]) *)
   run : int;  (** join-result cache ([Path_join]) *)
+  segmented : bool;
+      (** segmented-LRU policy for the four engine caches (default
+          [false]: historical plain LRU) *)
+  resident_bytes : int option;
+      (** catalog resident-set byte budget; [None] (default) keeps the
+          count-based [resident_capacity] bound *)
 }
 
 val default : t
-(** Every capacity = {!Plan_cache.default_capacity} (4096). *)
+(** Every capacity = {!Plan_cache.default_capacity} (4096), plain LRU,
+    no byte budget. *)
 
 val uniform : int -> t
 (** One capacity for all four caches — the old [?cache_capacity]
     behavior.  @raise Invalid_argument if [capacity < 1]. *)
 
-val for_dataset : string -> t
+val for_dataset : ?bench_json:string -> string -> t
 (** Tuned capacities for the benchmark datasets ([ssplays], [dblp],
     [xmark]; case-insensitive), sized from the cache working-set peaks
     recorded in [BENCH_engine.json] — each capacity is the next power
-    of two above the observed peak, with extra headroom for the chain
-    cache, which thrashed at the shared default on every dataset.
-    Unknown names get {!default}. *)
+    of two above twice the observed peak (floored at 512), with extra
+    headroom for the chain cache, which thrashed at the shared default
+    on every dataset.
+
+    With [?bench_json] the peaks are read from that live bench file
+    and the capacities derived from them; when the file is missing,
+    malformed, or lacks the dataset's cache peaks, the built-in table
+    (frozen from the scale-0.1 run) is the fallback — a half-parsed
+    file never produces half-tuned capacities.  Unknown names get
+    {!default}. *)

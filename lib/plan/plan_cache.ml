@@ -1,201 +1,49 @@
-module Counters = Xpest_util.Counters
+module Bounded_cache = Xpest_util.Bounded_cache
 
-(* Bounded LRU cache: a hash table over an intrusive doubly-linked
-   recency list.  [find_opt] promotes to most-recent; inserting past
-   capacity evicts the least-recent entry.  All operations are O(1).
+(* Thin instantiation of the generic cost-aware cache core: unit cost
+   (capacity in entries) and plain-LRU replacement by default, which
+   is bit-identical to the historical standalone implementation this
+   module used to carry — same eviction order, same counters, same
+   ~synchronized / find_or_add contract.  The whole API is a
+   re-export; [t] and [stats] are transparently [Bounded_cache]'s, so
+   call sites can mix the two modules freely. *)
 
-   Counters are passed in by the instrumentation site (created once at
-   its module initialization) rather than created here: caches are
-   instantiated per estimator, and registering fresh counters per
-   instance would grow the global registry and duplicate report rows.
+type ('k, 'v) t = ('k, 'v) Bounded_cache.t
 
-   A cache created with [~synchronized:true] guards every operation
-   with one mutex so it can be shared across domains (the catalog's
-   pool-shared plan cache under parallel batches).  Lock acquisitions
-   that had to wait are counted ([contention]); [find_or_add] computes
-   misses OUTSIDE the lock, so a slow compute never serializes the
-   other domains — the price is a bounded duplicate-compute window
-   when two domains miss the same key at once ([races], first writer
-   wins).  The default is unsynchronized: per-estimator caches are
-   owned by one domain and pay nothing. *)
-
-type ('k, 'v) node = {
-  key : 'k;
-  value : 'v;
-  mutable prev : ('k, 'v) node option;  (* towards most-recent *)
-  mutable next : ('k, 'v) node option;  (* towards least-recent *)
+type stats = Bounded_cache.stats = {
+  s_capacity : int;
+  s_length : int;
+  s_peak : int;
+  s_evictions : int;
+  s_cost : int;
+  s_peak_cost : int;
+  s_hits : int;
+  s_misses : int;
+  s_probationary : int;
+  s_protected : int;
+  s_pinned : int;
 }
 
-type ('k, 'v) t = {
-  capacity : int;
-  table : ('k, ('k, 'v) node) Hashtbl.t;
-  mutable head : ('k, 'v) node option;  (* most recently used *)
-  mutable tail : ('k, 'v) node option;  (* least recently used *)
-  hit : Counters.t option;
-  miss : Counters.t option;
-  evict : Counters.t option;
-  mutable evictions : int;
-  mutable peak : int;  (* largest occupancy ever reached *)
-  lock : Mutex.t option;  (* Some iff synchronized *)
-  contention : int Atomic.t;  (* lock acquisitions that had to wait *)
-  mutable races : int;  (* duplicate computes in find_or_add *)
-}
+let default_capacity = Bounded_cache.default_capacity
 
-let default_capacity = 4096
-
-let create ?(capacity = default_capacity) ?(synchronized = false) ?hit ?miss
-    ?evict () =
+let create ?(capacity = default_capacity) ?(policy = Bounded_cache.Lru)
+    ?(synchronized = false) ?hit ?miss ?evict () =
+  (* validated here too so callers keep seeing this module's name in
+     the historical error message *)
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
-  {
-    capacity;
-    table = Hashtbl.create (min capacity 1024);
-    head = None;
-    tail = None;
-    hit;
-    miss;
-    evict;
-    evictions = 0;
-    peak = 0;
-    lock = (if synchronized then Some (Mutex.create ()) else None);
-    contention = Atomic.make 0;
-    races = 0;
-  }
+  Bounded_cache.create ~capacity ~policy ~synchronized ?hit ?miss ?evict ()
 
-let synchronized t = t.lock <> None
-let contention t = Atomic.get t.contention
-
-(* [with_lock] is the only lock path: try_lock first so contended
-   acquisitions are visible in the contention counter. *)
-let with_lock t f =
-  match t.lock with
-  | None -> f ()
-  | Some m ->
-      if not (Mutex.try_lock m) then begin
-        Atomic.incr t.contention;
-        Mutex.lock m
-      end;
-      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
-let capacity t = t.capacity
-let length t = with_lock t (fun () -> Hashtbl.length t.table)
-let evictions t = with_lock t (fun () -> t.evictions)
-let peak t = with_lock t (fun () -> t.peak)
-let races t = with_lock t (fun () -> t.races)
-
-type stats = { s_capacity : int; s_length : int; s_peak : int; s_evictions : int }
-
-let stats t =
-  with_lock t (fun () ->
-      {
-        s_capacity = t.capacity;
-        s_length = Hashtbl.length t.table;
-        s_peak = t.peak;
-        s_evictions = t.evictions;
-      })
-
-let bump = function Some c -> Counters.incr c | None -> ()
-
-(* Unlink a node from the recency list (it stays in the table). *)
-let unlink t node =
-  (match node.prev with
-  | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
-  (match node.next with
-  | Some n -> n.prev <- node.prev
-  | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
-
-let push_front t node =
-  node.next <- t.head;
-  node.prev <- None;
-  (match t.head with Some h -> h.prev <- Some node | None -> ());
-  t.head <- Some node;
-  if t.tail = None then t.tail <- Some node
-
-let promote t node =
-  match t.head with
-  | Some h when h == node -> ()
-  | _ ->
-      unlink t node;
-      push_front t node
-
-let evict_lru t =
-  match t.tail with
-  | None -> ()
-  | Some lru ->
-      unlink t lru;
-      Hashtbl.remove t.table lru.key;
-      t.evictions <- t.evictions + 1;
-      bump t.evict
-
-let find_opt_unlocked t key =
-  match Hashtbl.find_opt t.table key with
-  | Some node ->
-      bump t.hit;
-      promote t node;
-      Some node.value
-  | None ->
-      bump t.miss;
-      None
-
-let find_opt t key = with_lock t (fun () -> find_opt_unlocked t key)
-
-let add_unlocked t key value =
-  (match Hashtbl.find_opt t.table key with
-  | Some old ->
-      unlink t old;
-      Hashtbl.remove t.table key
-  | None -> ());
-  if Hashtbl.length t.table >= t.capacity then evict_lru t;
-  let node = { key; value; prev = None; next = None } in
-  Hashtbl.replace t.table key node;
-  push_front t node;
-  if Hashtbl.length t.table > t.peak then t.peak <- Hashtbl.length t.table
-
-let add t key value = with_lock t (fun () -> add_unlocked t key value)
-
-let find_or_add t key compute =
-  match with_lock t (fun () -> find_opt_unlocked t key) with
-  | Some v -> v
-  | None ->
-      (* compute outside the lock: a miss must not serialize the other
-         domains on a potentially slow compute.  Two domains missing
-         the same key race to insert; the first insert wins and the
-         loser's compute is discarded (counted in [races]) — harmless
-         because computes are pure functions of the key. *)
-      let v = compute key in
-      with_lock t (fun () ->
-          match Hashtbl.find_opt t.table key with
-          | Some node ->
-              t.races <- t.races + 1;
-              promote t node;
-              node.value
-          | None ->
-              add_unlocked t key v;
-              v)
-
-(* Explicit removal (catalog resident-set invalidation); not an
-   eviction, so the eviction counters stay untouched. *)
-let remove t key =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | None -> ()
-      | Some node ->
-          unlink t node;
-          Hashtbl.remove t.table key)
-
-let clear t =
-  with_lock t (fun () ->
-      Hashtbl.reset t.table;
-      t.head <- None;
-      t.tail <- None)
-
-(* Keys from most- to least-recently used; test/debug aid. *)
-let keys_by_recency t =
-  with_lock t (fun () ->
-      let rec walk acc = function
-        | None -> List.rev acc
-        | Some node -> walk (node.key :: acc) node.next
-      in
-      walk [] t.head)
+let capacity = Bounded_cache.capacity
+let length = Bounded_cache.length
+let synchronized = Bounded_cache.synchronized
+let contention = Bounded_cache.contention
+let races = Bounded_cache.races
+let evictions = Bounded_cache.evictions
+let peak = Bounded_cache.peak
+let stats = Bounded_cache.stats
+let find_opt = Bounded_cache.find_opt
+let add = Bounded_cache.add
+let find_or_add = Bounded_cache.find_or_add
+let remove = Bounded_cache.remove
+let clear = Bounded_cache.clear
+let keys_by_recency = Bounded_cache.keys_by_recency

@@ -1,10 +1,18 @@
-(** Bounded LRU cache for the estimation engine.
+(** Bounded cache for the estimation engine — a thin instantiation of
+    {!Xpest_util.Bounded_cache} with unit cost (capacity in entries)
+    and plain-LRU replacement by default.
 
-    Replaces the previously unbounded per-estimator hashtables of the
-    path join (tag-relationship, chain-feasibility and join-result
-    caches) and backs the estimator's compiled-plan cache.  Lookups
-    promote an entry to most-recently-used; inserting past capacity
-    evicts the least-recently-used entry.  All operations are O(1).
+    Backs the estimator's compiled-plan cache and historically also
+    the path join's rel/chain/run caches (which now instantiate
+    [Bounded_cache] directly).  With the default policy, lookups
+    promote an entry to most-recently-used and inserting past capacity
+    evicts the least-recently-used entry — bit-identical to the
+    standalone LRU this module used to carry.  All operations are
+    O(1).
+
+    [t] and [stats] are transparently [Bounded_cache]'s, so call sites
+    can mix the two modules freely (e.g. the catalog's byte-budgeted
+    resident set reports through the same stats record).
 
     Hit/miss/evict observability counters are supplied by the caller
     (created once at its module initialization, see
@@ -22,20 +30,22 @@
     computed values are interchangeable.  The default is
     unsynchronized: a single-domain cache pays no locking at all. *)
 
-type ('k, 'v) t
+type ('k, 'v) t = ('k, 'v) Xpest_util.Bounded_cache.t
 
 val default_capacity : int
 (** 4096 entries — documented in DESIGN.md ("Estimation engine"). *)
 
 val create :
   ?capacity:int ->
+  ?policy:Xpest_util.Bounded_cache.policy ->
   ?synchronized:bool ->
   ?hit:Xpest_util.Counters.t ->
   ?miss:Xpest_util.Counters.t ->
   ?evict:Xpest_util.Counters.t ->
   unit ->
   ('k, 'v) t
-(** [synchronized] defaults to [false].
+(** [policy] defaults to [Lru] (the historical behaviour),
+    [synchronized] to [false].
     @raise Invalid_argument if [capacity < 1]. *)
 
 val capacity : ('k, 'v) t -> int
@@ -63,14 +73,23 @@ val peak : ('k, 'v) t -> int
     capacity must cover to avoid evictions (reported per cache in
     [BENCH_engine.json]). *)
 
-type stats = {
+type stats = Xpest_util.Bounded_cache.stats = {
   s_capacity : int;
   s_length : int;
   s_peak : int;
   s_evictions : int;
+  s_cost : int;
+  s_peak_cost : int;
+  s_hits : int;
+  s_misses : int;
+  s_probationary : int;
+  s_protected : int;
+  s_pinned : int;
 }
-(** One cache's working-set report; all fields are tracked
-    unconditionally (no counter enablement needed). *)
+(** One cache's working-set report, re-exported from
+    {!Xpest_util.Bounded_cache.stats}; all fields are tracked
+    unconditionally (no counter enablement needed).  Under the default
+    unit cost [s_cost] equals [s_length]. *)
 
 val stats : ('k, 'v) t -> stats
 
@@ -85,7 +104,7 @@ val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
 
 val remove : ('k, 'v) t -> 'k -> unit
 (** Drop one entry (no-op if absent).  Deliberate invalidation — the
-    catalog unpinning a resident summary it no longer trusts — so it
+    catalog dropping a resident summary it no longer trusts — so it
     does not count as an eviction. *)
 
 val clear : ('k, 'v) t -> unit

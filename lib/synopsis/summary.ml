@@ -43,7 +43,12 @@ type core = {
   o_histos : (string, O_histogram.t) Hashtbl.t;
 }
 
-type t = { core : core; b : base option }
+(* [wire_bytes] memoizes the exact encoded size (0 = not yet known):
+   [decode] learns it for free from the input, [encode]/[size_bytes]
+   fill it in on first use.  The write is idempotent (the codec is
+   canonical, so every computation yields the same int), which makes
+   the benign race of two domains memoizing at once harmless. *)
+type t = { core : core; b : base option; mutable wire_bytes : int }
 
 let collect_with ~order doc =
   let table = Encoding_table.build doc in
@@ -117,6 +122,7 @@ let assemble ?(p_variance = 0.0) ?(o_variance = 0.0) (b : base) =
         o_histos;
       };
     b = Some b;
+    wire_bytes = 0;
   }
 
 let build ?p_variance ?o_variance doc =
@@ -348,15 +354,28 @@ let of_sections sections =
         o_histos;
       };
     b = None;
+    wire_bytes = 0;
   }
 
-let encode t = Wire.encode_container (to_sections t)
+let encode t =
+  let data = Wire.encode_container (to_sections t) in
+  t.wire_bytes <- String.length data;
+  data
 
 let decode data =
   (* Decode failures past the container layer would indicate a bug in
      the codec itself (the checksum has already vouched for the bytes),
      but still surface them as a clean error. *)
-  of_sections (Wire.decode_container data)
+  let t = of_sections (Wire.decode_container data) in
+  t.wire_bytes <- String.length data;
+  t
+
+(* Exact residency cost in bytes: the canonical wire size.  Loaded
+   summaries know it for free; built summaries pay one [encode] on
+   first call and memoize. *)
+let size_bytes t =
+  if t.wire_bytes = 0 then ignore (encode t);
+  t.wire_bytes
 
 let save t path =
   Counters.time t_save (fun () ->

@@ -101,6 +101,14 @@ val total_bytes : t -> int
 (** encoding table + pid binary tree + p-histograms (the paper's
     "total memory usage" in Figure 11). *)
 
+val size_bytes : t -> int
+(** Exact wire size of the summary — [String.length (encode t)],
+    derived from the codec rather than modeled, so it is the number a
+    byte-budgeted resident set should charge.  Memoized: {!decode}
+    records it for free, a built summary pays one {!encode} on first
+    call.  (Contrast {!total_bytes}, which models the paper's
+    in-memory structures for the Figure 11 replication.) *)
+
 (** {1 Persistence}
 
     A synopsis file holds exactly the document-independent core —

@@ -171,7 +171,7 @@ let test_manifest_corruption () =
   | _ -> Alcotest.fail "unknown key served"
 
 (* ------------------------------------------------------------------ *)
-(* Resident-set LRU behavior.                                          *)
+(* Resident-set eviction behavior (segmented policy, the default).     *)
 
 let test_lru_behavior () =
   let loads = ref [] in
@@ -186,17 +186,22 @@ let test_lru_behavior () =
   let q = Pattern.of_string "//SPEECH" in
   ignore (Catalog.estimate cat k1 q);
   ignore (Catalog.estimate cat k2 q);
-  ignore (Catalog.estimate cat k1 q) (* hit, refreshes k1's recency *);
-  ignore (Catalog.estimate cat k3 q) (* evicts k2, the LRU *);
-  ignore (Catalog.estimate cat k2 q) (* reload *);
+  ignore (Catalog.estimate cat k1 q) (* hit: promotes k1 to protected *);
+  ignore (Catalog.estimate cat k3 q) (* evicts k2, the probationary LRU *);
+  ignore (Catalog.estimate cat k2 q) (* reload; evicts one-shot k3 *);
   let st : Catalog.stats = Catalog.stats cat in
   Alcotest.(check int) "loads" 4 st.Catalog.loads;
   Alcotest.(check int) "hits" 1 st.Catalog.hits;
   Alcotest.(check int) "evictions" 2 st.Catalog.evictions;
   Alcotest.(check int) "resident" 2 st.Catalog.resident;
   Alcotest.(check int) "resident capacity" 2 st.Catalog.resident_capacity;
+  (* scan resistance: twice-touched k1 sits protected and survives the
+     k3/k2 churn (plain LRU would have evicted it for k2); one segment
+     slot each *)
+  Alcotest.(check int) "protected" 1 st.Catalog.resident_protected;
+  Alcotest.(check int) "probationary" 1 st.Catalog.resident_probationary;
   Alcotest.(check (list string))
-    "recency order" [ "ssplays@2"; "dblp@0" ]
+    "retention order (protected first)" [ "ssplays@0"; "ssplays@2" ]
     (List.map Catalog.key_to_string (Catalog.keys_by_recency cat));
   Alcotest.(check (list string))
     "load order"
@@ -209,6 +214,100 @@ let test_lru_behavior () =
   match Catalog.create ~resident_capacity:0 ~loader () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "resident_capacity 0 accepted"
+
+(* The policy knob restores the historical plain-LRU trace: same
+   sequence as above, but the twice-touched k1 is NOT protected and
+   the k3/k2 churn evicts it. *)
+let test_lru_policy_knob () =
+  let k1 = key "ssplays" 0.0
+  and k2 = key "ssplays" 2.0
+  and k3 = key "dblp" 0.0 in
+  let cat =
+    Catalog.create ~resident_capacity:2
+      ~resident_policy:Xpest_util.Bounded_cache.Lru ~loader:summary_for ()
+  in
+  let q = Pattern.of_string "//SPEECH" in
+  List.iter (fun k -> ignore (Catalog.estimate cat k q)) [ k1; k2; k1; k3; k2 ];
+  let st : Catalog.stats = Catalog.stats cat in
+  Alcotest.(check int) "loads" 4 st.Catalog.loads;
+  Alcotest.(check int) "hits" 1 st.Catalog.hits;
+  Alcotest.(check int) "evictions" 2 st.Catalog.evictions;
+  Alcotest.(check int) "nothing protected under Lru" 0
+    st.Catalog.resident_protected;
+  Alcotest.(check (list string))
+    "recency order" [ "ssplays@2"; "dblp@0" ]
+    (List.map Catalog.key_to_string (Catalog.keys_by_recency cat))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-budgeted residency.                                            *)
+
+let test_byte_budget () =
+  let k1 = key "ssplays" 0.0
+  and k2 = key "ssplays" 2.0
+  and k3 = key "dblp" 0.0 in
+  let size k = Summary.size_bytes (summary_for k) in
+  (* exact wire size: decode knows it, and an encode round-trip agrees *)
+  Alcotest.(check int) "size_bytes is the wire size" (size k1)
+    (String.length (Summary.encode (summary_for k1)));
+  let s = Summary.decode (Summary.encode (summary_for k1)) in
+  Alcotest.(check int) "decode records the size" (size k1)
+    (Summary.size_bytes s);
+  (* a budget one byte short of all three forces exactly one eviction *)
+  let budget = size k1 + size k2 + size k3 - 1 in
+  let config =
+    { Xpest_plan.Cache_config.default with resident_bytes = Some budget }
+  in
+  let cat = Catalog.create ~config ~loader:summary_for () in
+  let q = Pattern.of_string "//SPEECH" in
+  List.iter (fun k -> ignore (Catalog.estimate cat k q)) [ k1; k2; k3 ];
+  let st : Catalog.stats = Catalog.stats cat in
+  Alcotest.(check int) "budget reported as capacity" budget
+    st.Catalog.resident_capacity;
+  Alcotest.(check int) "one eviction" 1 st.Catalog.evictions;
+  Alcotest.(check int) "two resident" 2 st.Catalog.resident;
+  Alcotest.(check int) "cost is the resident bytes"
+    (size k2 + size k3) st.Catalog.resident_cost;
+  Alcotest.(check int) "resident_bytes equals cost" st.Catalog.resident_cost
+    st.Catalog.resident_bytes;
+  match
+    Catalog.create
+      ~config:{ config with resident_bytes = Some 0 }
+      ~loader:summary_for ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "resident_bytes 0 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Pinning.                                                            *)
+
+let test_pinning () =
+  let k1 = key "ssplays" 0.0
+  and k2 = key "ssplays" 2.0
+  and k3 = key "dblp" 0.0 in
+  let cat = Catalog.create ~resident_capacity:1 ~loader:summary_for () in
+  let q = Pattern.of_string "//SPEECH" in
+  (* pin before the key is even resident: pins stick to the key *)
+  Catalog.pin cat k1;
+  Alcotest.(check bool) "pinned before load" true (Catalog.pinned cat k1);
+  ignore (Catalog.estimate cat k1 q);
+  ignore (Catalog.estimate cat k2 q);
+  let st : Catalog.stats = Catalog.stats cat in
+  (* nothing evictable: the pinned k1 is admitted alongside k2, over
+     budget rather than dropped *)
+  Alcotest.(check int) "pinned entry never evicted" 0 st.Catalog.evictions;
+  Alcotest.(check int) "both resident (over budget)" 2 st.Catalog.resident;
+  Alcotest.(check int) "one resident pin" 1 st.Catalog.resident_pinned;
+  ignore (Catalog.estimate cat k1 q);
+  let st = Catalog.stats cat in
+  Alcotest.(check int) "pinned key hits, no reload" 2 st.Catalog.loads;
+  (* unpin: the next insert pressure evicts k1 like anyone else *)
+  Catalog.unpin cat k1;
+  ignore (Catalog.estimate cat k3 q);
+  ignore (Catalog.estimate cat k1 q);
+  let st = Catalog.stats cat in
+  Alcotest.(check bool) "unpinned key evicts again" true
+    (st.Catalog.evictions > 0);
+  Alcotest.(check int) "k1 reloaded after unpin+evict" 4 st.Catalog.loads
 
 (* ------------------------------------------------------------------ *)
 (* Per-key metric attribution.                                         *)
@@ -263,7 +362,14 @@ let () =
             test_manifest_corruption;
         ] );
       ( "resident_set",
-        [ Alcotest.test_case "LRU loads/hits/evictions" `Quick test_lru_behavior ]
+        [
+          Alcotest.test_case "segmented loads/hits/evictions" `Quick
+            test_lru_behavior;
+          Alcotest.test_case "plain-LRU policy knob" `Quick
+            test_lru_policy_knob;
+          Alcotest.test_case "byte-budgeted residency" `Quick test_byte_budget;
+          Alcotest.test_case "pinning" `Quick test_pinning;
+        ]
       );
       ( "metrics",
         [

@@ -30,6 +30,17 @@
 # (default 1.25): estimate_batch_r at rate 0 within 25% of the raising
 # estimate_batch on the same batches.
 #
+# Schema handling: the fresh file must carry exactly the schema this
+# gate was written for (xpest-bench-engine/5) — an unknown or newer
+# schema fails loudly instead of silently gating the wrong fields.  An
+# OLDER baseline schema only degrades: sections the baseline predates
+# are reported without a comparison, as above.
+#
+# The fresh file's s1_thrash section is gated absolutely: the
+# segmented policy's hit rate must come out strictly above plain
+# LRU's at the same byte budget, or the scan-resistant residency
+# claim is broken.
+#
 # Usage: tools/check_bench_regression.sh [fresh.json] [threshold]
 
 set -eu
@@ -58,6 +69,37 @@ baseline_path, fresh_path = sys.argv[1], sys.argv[2]
 threshold, overhead_cap = float(sys.argv[3]), float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
+
+EXPECTED_SCHEMA = "xpest-bench-engine/5"
+fresh_schema = fresh.get("schema")
+if fresh_schema != EXPECTED_SCHEMA:
+    print("check_bench_regression: fresh %s has schema %r but this gate "
+          "understands only %r — update tools/check_bench_regression.sh "
+          "alongside the bench emitter" % (fresh_path, fresh_schema,
+                                           EXPECTED_SCHEMA))
+    sys.exit(1)
+baseline_schema = baseline.get("schema")
+if baseline_schema != EXPECTED_SCHEMA:
+    print("check_bench_regression: baseline schema %r predates %r; "
+          "sections it lacks are reported without comparison"
+          % (baseline_schema, EXPECTED_SCHEMA))
+
+# fresh-only absolute gate, checked before any baseline skip: the
+# segmented policy must strictly out-hit plain LRU on the thrash trace
+thrash = fresh.get("s1_thrash")
+if thrash is None:
+    print("check_bench_regression: fresh file carries schema %s but no "
+          "s1_thrash section" % EXPECTED_SCHEMA)
+    sys.exit(1)
+lru_rate = thrash.get("lru_hit_rate")
+seg_rate = thrash.get("segmented_hit_rate")
+if not (isinstance(lru_rate, (int, float))
+        and isinstance(seg_rate, (int, float)) and seg_rate > lru_rate):
+    print("  s1_thrash  segmented hit rate %r vs lru %r  SCAN RESISTANCE "
+          "BROKEN (segmented must be strictly higher)" % (seg_rate, lru_rate))
+    sys.exit(1)
+print("  s1_thrash  segmented hit rate %.4f > lru %.4f at %d budget "
+      "bytes  ok" % (seg_rate, lru_rate, thrash.get("budget_bytes", 0)))
 
 if baseline.get("scale") != fresh.get("scale"):
     print("check_bench_regression: scale mismatch (baseline %s, fresh %s); "
