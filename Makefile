@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci differential chaos stress thrash bench bench-json clean
+.PHONY: all build test check ci differential chaos stress thrash pipeline bench bench-json clean
 
 all: build
 
@@ -51,6 +51,17 @@ stress:
 thrash:
 	$(DUNE) exec test/test_bounded_cache.exe
 
+# Serving-pipeline suites: the loader-pool future seam's unit tests,
+# the pipeline differentials (blocking loads vs loader pools of 1/2/4
+# — bit-identical results, errors, stats and clock, including keyed
+# chaos twins; looped inside test_parallel_differential's pipeline
+# group), and the loader-raises-mid-flight chaos twin.  All seeds are
+# fixed, so this target is deterministic and reproducible in CI.
+pipeline:
+	$(DUNE) exec test/test_loader_pool.exe
+	$(DUNE) exec test/test_parallel_differential.exe
+	$(DUNE) exec test/test_catalog_chaos.exe
+
 bench:
 	$(DUNE) exec bench/main.exe
 
@@ -61,15 +72,18 @@ bench-json:
 	$(DUNE) exec bench/main.exe -- --engine-only --scale 0.1 --engine-json BENCH_engine.json
 
 # The whole gate in one target: compile, unit + differential suites,
-# chaos suites, the cache-core thrash suite, regenerate the engine
-# benchmark, and fail if cold-path or fault-free serving throughput
-# regressed more than 30% against the committed BENCH_engine.json (or
-# the segmented policy stopped out-hitting plain LRU).
+# chaos suites, the cache-core thrash suite, the serving-pipeline
+# suites, regenerate the engine benchmark, and fail if cold-path or
+# fault-free serving throughput regressed more than 30% against the
+# committed BENCH_engine.json (or the segmented policy stopped
+# out-hitting plain LRU, or the pipelined cold batch stopped beating
+# the blocking one under loader latency).
 ci: build
 	$(DUNE) runtest
 	$(MAKE) chaos
 	$(MAKE) stress
 	$(MAKE) thrash
+	$(MAKE) pipeline
 	$(MAKE) bench-json
 	sh tools/check_bench_regression.sh BENCH_engine.json
 

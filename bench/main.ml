@@ -26,6 +26,7 @@ module Cache_config = Xpest_plan.Cache_config
 module Bounded_cache = Xpest_util.Bounded_cache
 module Counters = Xpest_util.Counters
 module Domain_pool = Xpest_util.Domain_pool
+module Loader_pool = Xpest_util.Loader_pool
 module Fault = Xpest_util.Fault
 module Pattern = Xpest_xpath.Pattern
 module Truth = Xpest_xpath.Truth
@@ -681,22 +682,114 @@ let thrash_bench ctxs =
     dsname hot cold rounds hot_bytes cold_bytes budget lru_hits lru_loads
     lru_rate seg_hits seg_loads seg_rate (seg_rate -. lru_rate)
 
+(* S1 pipeline: a cold-miss batch against slow storage.  Every key's
+   summary must be loaded, and the loader carries an injected per-read
+   latency (modeling remote or cold storage).  The blocking path pays
+   the latencies one after another inside the acquire scan; the staged
+   pipeline starts the provably needed loads ahead of their acquire
+   turn on a loader pool and executes each group while the remaining
+   loads are still in flight.  Results and serving stats are
+   bit-identical by contract (checked here, flagged in the JSON, gated
+   unconditionally in tools/check_bench_regression.sh); the pipelined
+   qps must beat the blocking baseline (also gated). *)
+let pipeline_bench ctxs =
+  Printf.printf "engine bench: s1 pipeline (overlapped loading)...\n%!";
+  let dsname, base, patterns = List.hd ctxs in
+  let nkeys = 8 in
+  let per_key = 24 in
+  let latency = 0.004 in
+  let summaries = Hashtbl.create 16 in
+  for i = 0 to nkeys - 1 do
+    let v = float_of_int i in
+    Hashtbl.add summaries v (Summary.assemble ~p_variance:v ~o_variance:v base)
+  done;
+  (* per-key deterministic and thread-safe — the concurrent-loads
+     contract (reads of a frozen table, a fixed sleep) *)
+  let loader (k : Catalog.key) =
+    Unix.sleepf latency;
+    Hashtbl.find summaries k.Catalog.variance
+  in
+  (* interleave keys so routing, not input order, does the grouping *)
+  let pairs =
+    Array.init (nkeys * per_key) (fun i ->
+        ( { Catalog.dataset = dsname; variance = float_of_int (i mod nkeys) },
+          patterns.(i / nkeys mod Array.length patterns) ))
+  in
+  let n = Array.length pairs in
+  let run loads =
+    let cat = Catalog.create ~resident_capacity:nkeys ~loader () in
+    let results, secs =
+      Env.time (fun () -> Catalog.estimate_batch_r ?loads cat pairs)
+    in
+    (results, Catalog.stats cat, secs)
+  in
+  let blocking, blocking_st, blocking_s = run None in
+  let pipelined d =
+    Domain_pool.with_pool ~domains:d (fun p ->
+        run (Some (Loader_pool.over p)))
+  in
+  let p2, p2_st, p2_s = pipelined 2 in
+  let p4, p4_st, p4_s = pipelined 4 in
+  let same_cell a b =
+    match (a, b) with
+    | Ok x, Ok y -> Int64.bits_of_float x = Int64.bits_of_float y
+    | Error e, Error f ->
+        Xpest_util.Xpest_error.to_string e = Xpest_util.Xpest_error.to_string f
+    | _ -> false
+  in
+  let same_results a b =
+    Array.length a = Array.length b && Array.for_all2 same_cell a b
+  in
+  let same_stats (a : Catalog.stats) (b : Catalog.stats) =
+    a.Catalog.loads = b.Catalog.loads
+    && a.Catalog.hits = b.Catalog.hits
+    && a.Catalog.evictions = b.Catalog.evictions
+    && a.Catalog.failures = b.Catalog.failures
+    && a.Catalog.retries = b.Catalog.retries
+    && a.Catalog.quarantines = b.Catalog.quarantines
+    && a.Catalog.degraded_hits = b.Catalog.degraded_hits
+  in
+  let identical =
+    same_results blocking p2 && same_results blocking p4
+    && same_stats blocking_st p2_st
+    && same_stats blocking_st p4_st
+  in
+  let qps s = float_of_int n /. Float.max s 1e-9 in
+  Printf.sprintf
+    {|  "s1_pipeline": {
+    "dataset": %S,
+    "keys": %d,
+    "routed_queries": %d,
+    "loader_latency_ms": %.1f,
+    "blocking_qps": %.1f,
+    "pipelined_2_qps": %.1f,
+    "pipelined_4_qps": %.1f,
+    "speedup_4": %.3f,
+    "prefetched_loads_4": %d,
+    "pipelined_bitwise_identical_to_blocking": %b
+  }|}
+    dsname nkeys n (latency *. 1000.0) (qps blocking_s) (qps p2_s) (qps p4_s)
+    (qps p4_s /. Float.max (qps blocking_s) 1e-9)
+    p4_st.Catalog.prefetched_loads identical
+
 let engine_bench ~scale ~out =
   let entries, ctxs =
     List.split (List.map (engine_bench_dataset ~scale) Registry.all)
   in
   let catalog_section = catalog_bench ctxs in
   let thrash_section = thrash_bench ctxs in
+  let pipeline_section = pipeline_bench ctxs in
   let parallel_section = parallel_bench ctxs in
   let resilience_section = resilience_bench ctxs in
   let json =
     Printf.sprintf
       {|{
-  "schema": "xpest-bench-engine/5",
+  "schema": "xpest-bench-engine/6",
   "scale": %g,
   "datasets": [
 %s
   ],
+%s,
 %s,
 %s,
 %s,
@@ -705,7 +798,8 @@ let engine_bench ~scale ~out =
 |}
       scale
       (String.concat ",\n" entries)
-      catalog_section thrash_section parallel_section resilience_section
+      catalog_section thrash_section pipeline_section parallel_section
+      resilience_section
   in
   let oc = open_out out in
   output_string oc json;

@@ -22,6 +22,7 @@ module Workload = Xpest_workload.Workload
 module Tablefmt = Xpest_util.Tablefmt
 module Counters = Xpest_util.Counters
 module Domain_pool = Xpest_util.Domain_pool
+module Loader_pool = Xpest_util.Loader_pool
 module Cache_config = Xpest_plan.Cache_config
 module Fault = Xpest_util.Fault
 module E = Xpest_util.Xpest_error
@@ -733,27 +734,37 @@ let read_routed_file path =
       loop 1 [])
 
 let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
-    fault_rate fault_seed domains health_state =
-    if domains < 1 then begin
-      prerr_endline
-        (Printf.sprintf "xpest: --domains must be at least 1 (got %d)" domains);
-      exit 1
-    end;
+    fault_rate fault_seed domains load_domains health_state =
+    (* one typed one-line error contract for every count-valued knob *)
+    let require_at_least_1 flag v =
+      if v < 1 then begin
+        prerr_endline
+          (Printf.sprintf "xpest: --%s must be at least 1 (got %d)" flag v);
+        exit 1
+      end
+    in
+    require_at_least_1 "domains" domains;
+    require_at_least_1 "load-domains" load_domains;
+    Option.iter (require_at_least_1 "resident-bytes") resident_bytes;
     let pairs = Array.of_list (read_routed_file queries_file) in
     if Array.length pairs = 0 then begin
       prerr_endline "xpest: no routed queries in the file";
       exit 1
     end;
     let m = load_manifest dir in
-    (* --fault-rate substitutes a fault-injecting storage interface:
-       a reproducible chaos demo of the quarantine/degraded machinery *)
+    (* --fault-rate substitutes a fault-injecting storage interface: a
+       reproducible chaos demo of the quarantine/degraded machinery.
+       With loads fanned out, the schedule must not depend on cross-key
+       read order — the keyed injector (per-path deterministic) keeps
+       the demo reproducible at any --load-domains. *)
     let io =
       if fault_rate <= 0.0 then None
       else
-        Some
-          (Fault.io
-             (Fault.create (Fault.uniform ~seed:fault_seed ~rate:fault_rate))
-             Fault.Io.default)
+        let cfg = Fault.uniform ~seed:fault_seed ~rate:fault_rate in
+        let injector =
+          if load_domains > 1 then Fault.create_keyed cfg else Fault.create cfg
+        in
+        Some (Fault.io injector Fault.Io.default)
     in
     (* --resident-bytes switches the resident set from a summary count
        to an exact wire-byte budget *)
@@ -787,9 +798,18 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
       if domains <= 1 then f None
       else Domain_pool.with_pool ~domains (fun p -> f (Some p))
     in
+    (* --load-domains > 1 adds the pipeline's loader pool: provable
+       cold misses start loading before their acquire turn *)
+    let with_optional_loads f =
+      if load_domains <= 1 then f None
+      else
+        Domain_pool.with_pool ~domains:load_domains (fun p ->
+            f (Some (Loader_pool.over p)))
+    in
     with_optional_pool @@ fun pool ->
+    with_optional_loads @@ fun loads ->
     let work () =
-      let results = Catalog.estimate_batch_r ?pool cat pairs in
+      let results = Catalog.estimate_batch_r ?pool ?loads cat pairs in
       let failed = ref 0 in
       let first_error = ref None in
       let rows =
@@ -844,6 +864,11 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
       if s.Catalog.plan_contention > 0 || s.Catalog.plan_races > 0 then
         Printf.printf "parallel: %d plan-lock contentions, %d compile races\n"
           s.Catalog.plan_contention s.Catalog.plan_races;
+      if load_domains > 1 then
+        Printf.printf
+          "pipeline: %d loads started ahead of their acquire turn (%d load \
+           domains)\n"
+          s.Catalog.prefetched_loads load_domains;
       (* persist updated failure history even when queries failed —
          especially then: the failures are what the next run must know *)
       (match health_state with
@@ -881,10 +906,10 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
 
 let catalog_estimate_cmd =
   let run dir queries_file resident resident_bytes pins metrics fault_rate
-      fault_seed domains health_state =
+      fault_seed domains load_domains health_state =
     try
       run_catalog_estimate dir queries_file resident resident_bytes pins
-        metrics fault_rate fault_seed domains health_state
+        metrics fault_rate fault_seed domains load_domains health_state
     with Invalid_argument msg | Sys_error msg ->
       (* non-serving failures: unparseable queries, unreadable files
          (the serving path itself reports per-query typed errors) *)
@@ -959,6 +984,19 @@ let catalog_estimate_cmd =
                 1).  Per-summary $(b,--metrics) attribution is unavailable \
                 in parallel runs.")
   in
+  let load_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "load-domains" ] ~docv:"N"
+          ~doc:"Fan summary loads out across $(docv) domains: cold misses \
+                the pipeline can prove necessary start loading before their \
+                acquire turn and overlap estimation, while eviction, \
+                retry and quarantine decisions stay single-owner — results \
+                are bit-identical to $(b,--load-domains 1).  Pays off when \
+                a batch touches several non-resident summaries.  \
+                Per-summary $(b,--metrics) attribution is unavailable in \
+                pipelined runs.")
+  in
   let health_state =
     Arg.(
       value
@@ -978,7 +1016,8 @@ let catalog_estimate_cmd =
              degradation behavior under injected storage faults.")
     Term.(
       const run $ catalog_dir_arg $ queries_file $ resident $ resident_bytes
-      $ pins $ metrics $ fault_rate $ fault_seed $ domains $ health_state)
+      $ pins $ metrics $ fault_rate $ fault_seed $ domains $ load_domains
+      $ health_state)
 
 let catalog_clear_quarantine_cmd =
   let run dir keys health_file =

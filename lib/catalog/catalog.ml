@@ -1,6 +1,7 @@
 module Counters = Xpest_util.Counters
 module Fault = Xpest_util.Fault
 module Domain_pool = Xpest_util.Domain_pool
+module Loader_pool = Xpest_util.Loader_pool
 module E = Xpest_util.Xpest_error
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
@@ -26,6 +27,7 @@ let c_fail = Counters.create "catalog.load_failures"
 let c_quarantine = Counters.create "catalog.quarantined"
 let c_quarantine_skip = Counters.create "catalog.quarantine_skips"
 let c_degraded = Counters.create "catalog.degraded_hits"
+let c_prefetch = Counters.create "catalog.prefetched_loads"
 let t_load = Counters.create_timer "catalog.summary.load"
 
 (* ------------------------------------------------------------------ *)
@@ -256,6 +258,7 @@ type t = {
   mutable retries : int;
   mutable quarantines : int;
   mutable degraded_hits : int;
+  mutable prefetches : int;
   mutable last_metrics : (key * (string * int) list) list;
 }
 
@@ -307,6 +310,7 @@ let create_r ?(resident_capacity = default_resident_capacity)
     retries = 0;
     quarantines = 0;
     degraded_hits = 0;
+    prefetches = 0;
     last_metrics = [];
   }
 
@@ -408,22 +412,41 @@ let note_failure t (h : hstate) e =
     Counters.incr c_quarantine
   end
 
-let load_with_retries t key (h : hstate) =
-  let rec go attempt =
+(* The retry loop, split from its bookkeeping so the loop itself is
+   pure serving-state-wise: it only calls the loader.  That is what
+   lets the pipeline run it on a loader domain ahead of the key's
+   acquire turn — the consumed-retry count travels with the result and
+   is booked at the single-owner commit point. *)
+let load_with_policy t key =
+  let rec go attempt retries =
     match t.loader key with
-    | Ok s -> Ok s
+    | Ok s -> (Ok s, retries)
     | Error e when E.transient e && attempt < t.resilience.max_retries ->
-        h.retries <- h.retries + 1;
-        t.retries <- t.retries + 1;
-        Counters.incr c_retry;
-        go (attempt + 1)
-    | Error e -> Error e
+        go (attempt + 1) (retries + 1)
+    | Error e -> (Error e, retries)
   in
-  go 0
+  go 0 0
+
+(* One load, timed; safe on any domain (Counters are atomic, the timer
+   is mutex-guarded). *)
+let load_job t key () = Counters.time t_load (fun () -> load_with_policy t key)
+
+let book_retries t (h : hstate) retries =
+  if retries > 0 then begin
+    h.retries <- h.retries + retries;
+    t.retries <- t.retries + retries;
+    Counters.add c_retry retries
+  end
 
 (* -------------------- acquisition -------------------- *)
 
-let acquire_r t key =
+(* One acquire step.  [prefetched] is the pipeline's seam: when the
+   load stage already has this key's load in flight (or deferred), the
+   commit awaits it here — at exactly the point the blocking path would
+   have called the loader — and books the outcome; otherwise the load
+   runs inline.  Everything else (clock, residency, health) is
+   identical either way. *)
+let acquire_with t ~prefetched key =
   t.clock <- t.clock + 1;
   match Bounded_cache.find_opt t.residents key with
   | Some r ->
@@ -463,8 +486,14 @@ let acquire_r t key =
             Counters.incr c_quarantine_skip;
             Error (E.Quarantined { key = key_to_string key; until = h.until })
           end
-          else (
-            match Counters.time t_load (fun () -> load_with_retries t key h) with
+          else begin
+            let result, retries =
+              match prefetched with
+              | Some fut -> Loader_pool.await fut
+              | None -> load_job t key ()
+            in
+            book_retries t h retries;
+            match result with
             | Ok summary ->
                 let estimator =
                   Estimator.create ?chain_pruning:t.chain_pruning
@@ -476,7 +505,10 @@ let acquire_r t key =
                 Ok estimator
             | Error e ->
                 note_failure t h e;
-                Error e))
+                Error e
+          end)
+
+let acquire_r t key = acquire_with t ~prefetched:None key
 
 let acquire t key =
   match acquire_r t key with
@@ -576,105 +608,120 @@ let estimate_r t key q =
 
 let estimate t key q = Estimator.estimate (acquire t key) q
 
-let estimate_batch_sequential t pairs out order groups =
-  let metrics = ref [] in
-  List.iter
-    (fun k ->
-      let idxs = Array.of_list (List.rev !(Hashtbl.find groups k)) in
-      let qs = Array.map (fun i -> snd pairs.(i)) idxs in
-      (* bracket the whole group — load included — with counter
-         snapshots, so the delta is attributable to this summary *)
-      let before = Counters.snapshot () in
-      (match acquire_r t k with
-      | Ok est ->
-          let vs = Estimator.try_estimate_many est qs in
-          Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs
-      | Error e ->
-          (* one poisoned key fails its own queries, nobody else's *)
-          Array.iter (fun i -> out.(i) <- Error e) idxs);
-      let after = Counters.snapshot () in
-      match Counters.delta_between before after with
-      | [] -> ()
-      | delta -> metrics := (k, delta) :: !metrics)
-    order;
-  t.last_metrics <- List.rev !metrics
+(* Routed batches run the staged pipeline (see pipeline.mli): route,
+   then a single-owner acquire scan in route order, with loads fanned
+   out ahead of their turn when a concurrent [Loader_pool] policy is
+   given and execution fanned out when a domain pool is.  The acquire
+   scan is [acquire_with] — the same state machine as [acquire_r] —
+   so clock ticks, LRU probes and evictions, loader outcomes, retries
+   and quarantine transitions happen in exactly the sequential order,
+   and acquire-side [Error]s and {!stats} are identical to the blocking
+   path at any load/execute fan-out.  An acquired estimator stays valid
+   even if a later acquire evicts its key: the resident set drops its
+   reference, not the object. *)
 
-(* Parallel routing splits each batch into two phases.  The {e acquire}
-   phase stays sequential in the calling domain, in group order: clock
-   ticks, LRU probes and evictions, loader calls (and therefore any
-   fault injector's PRNG draws), retries and quarantine transitions all
-   happen in exactly the sequential order — so acquire-side [Error]s
-   and {!stats} are identical to the sequential path.  An acquired
-   estimator stays valid even if a later acquire evicts its key: the
-   resident set drops its reference, not the object.  The {e execute}
-   phase then runs one job per successfully acquired group across the
-   pool; groups have distinct keys, hence distinct estimators and
-   disjoint output slots, so only the pool-shared (synchronized) plan
-   cache is touched concurrently.  Values are bit-identical either way
-   because estimates never depend on cache state.  Per-group counter
-   attribution needs sequential execution (see counters.mli), so
-   [last_metrics] is cleared instead of lying. *)
-let estimate_batch_parallel t pool pairs out order groups =
-  let acquired =
-    List.filter_map
-      (fun k ->
-        let idxs = Array.of_list (List.rev !(Hashtbl.find groups k)) in
-        let qs = Array.map (fun i -> snd pairs.(i)) idxs in
-        match acquire_r t k with
-        | Ok est -> Some (est, idxs, qs)
-        | Error e ->
-            Array.iter (fun i -> out.(i) <- Error e) idxs;
-            None)
-      order
-  in
-  (match acquired with
-  | [ (est, idxs, qs) ] ->
-      (* one group: no per-group parallelism to mine, so chunk the
-         group's own plans across the pool instead *)
-      let vs = Estimator.try_estimate_many ~pool est qs in
-      Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs
-  | acquired ->
-      let jobs =
-        Array.of_list
-          (List.map
-             (fun (est, idxs, qs) () ->
-               let vs = Estimator.try_estimate_many est qs in
-               Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs)
-             acquired)
-      in
-      Domain_pool.run_all pool jobs);
-  t.last_metrics <- []
+(* Planning predicate for the load stage (concurrent loader policies
+   only; route order).  [true] must {e prove} the key's acquire will
+   call the loader with an outcome independent of the commits before
+   it:
 
-let estimate_batch_r ?pool t pairs =
+   - non-resident keys stay non-resident until their own commit
+     (nothing else in the batch adds them), so a miss is certain;
+   - quarantine is exactly predictable: the key's acquire runs at
+     clock [t.clock + position + 1] (one tick per routed key), and only
+     the key's own acquire mutates its health state — batch keys are
+     distinct;
+   - the health-table capacity guard over-counts possible additions
+     (any key without an entry may add one, and re-additions of pruned
+     entries never exceed their removals), so a [true] can never meet
+     a [Capacity] refusal at commit.
+
+   Resident keys are never prefetched: an earlier commit may evict
+   them, in which case their own commit loads inline — still the exact
+   sequential schedule for that key.  Under-approximation is the safe
+   direction throughout: a skipped prefetch only costs overlap. *)
+let prefetch_planner t =
+  let pos = ref 0 in
+  let will_add = ref 0 in
+  fun key ->
+    incr pos;
+    let clock_at_turn = t.clock + !pos in
+    let has_entry = Hashtbl.mem t.health_tbl key in
+    let decision =
+      (not (Bounded_cache.mem t.residents key))
+      && (match Hashtbl.find_opt t.health_tbl key with
+         | Some h -> clock_at_turn >= h.until
+         | None -> true)
+      && Hashtbl.length t.health_tbl + !will_add < t.resilience.max_tracked
+    in
+    if not has_entry then incr will_add;
+    if decision then begin
+      t.prefetches <- t.prefetches + 1;
+      Counters.incr c_prefetch
+    end;
+    decision
+
+let estimate_batch_r ?pool ?loads t pairs =
   Counters.incr c_batch;
   Counters.add c_routed (Array.length pairs);
   let out =
     Array.make (Array.length pairs)
       (Error (E.Internal "catalog: unrouted query slot") : (float, E.t) result)
   in
-  (* group indices by key, keeping the keys' first-appearance order *)
-  let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 16 in
-  let order = ref [] in
-  Array.iteri
-    (fun i (k, _) ->
-      match Hashtbl.find_opt groups k with
-      | Some l -> l := i :: !l
-      | None ->
-          Hashtbl.add groups k (ref [ i ]);
-          order := k :: !order)
-    pairs;
-  let order = List.rev !order in
-  Counters.add c_groups (List.length order);
-  (match pool with
-  | Some pool when Domain_pool.size pool > 1 && order <> [] ->
-      estimate_batch_parallel t pool pairs out order groups
-  | Some _ | None -> estimate_batch_sequential t pairs out order groups);
+  let routed = Pipeline.route pairs in
+  Counters.add c_groups (Pipeline.group_count routed);
+  let loads = match loads with Some l -> l | None -> Loader_pool.blocking in
+  (* Per-group counter attribution needs commit and execute inline, in
+     order, with nothing else running (see counters.mli) — only the
+     fully sequential shape qualifies; pipelined or pooled batches
+     clear [last_metrics] instead of lying. *)
+  let seq_metrics =
+    (not (Loader_pool.concurrent loads))
+    && (match pool with Some p -> Domain_pool.size p <= 1 | None -> true)
+  in
+  let metrics = ref [] in
+  let group_begin, group_end =
+    if seq_metrics then (
+      let before = ref (Counters.snapshot ()) in
+      ( (fun _ -> before := Counters.snapshot ()),
+        fun k ->
+          (* bracket the whole group — load included — with counter
+             snapshots, so the delta is attributable to this summary *)
+          match Counters.delta_between !before (Counters.snapshot ()) with
+          | [] -> ()
+          | delta -> metrics := (k, delta) :: !metrics ))
+    else ((fun _ -> ()), fun _ -> ())
+  in
+  let ops =
+    {
+      Pipeline.prefetchable = prefetch_planner t;
+      load = (fun k -> load_job t k ());
+      commit = (fun k ~prefetched -> acquire_with t ~prefetched k);
+      group_begin;
+      group_end;
+    }
+  in
+  let slot idxs vs = Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs in
+  let execute est idxs =
+    slot idxs
+      (Estimator.try_estimate_many est (Array.map (fun i -> snd pairs.(i)) idxs))
+  in
+  let execute_chunked pool est idxs =
+    (* one surviving group: chunk its own plans across the pool *)
+    slot idxs
+      (Estimator.try_estimate_many ~pool est
+         (Array.map (fun i -> snd pairs.(i)) idxs))
+  in
+  (* one poisoned key fails its own queries, nobody else's *)
+  let fail e idxs = Array.iter (fun i -> out.(i) <- Error e) idxs in
+  Pipeline.run ?pool ~loads ~ops ~fail ~execute ~execute_chunked routed;
+  t.last_metrics <- (if seq_metrics then List.rev !metrics else []);
   out
 
-let estimate_batch ?pool t pairs =
+let estimate_batch ?pool ?loads t pairs =
   Array.map
     (function Ok v -> v | Error e -> invalid_arg (E.to_string e))
-    (estimate_batch_r ?pool t pairs)
+    (estimate_batch_r ?pool ?loads t pairs)
 
 (* ------------------------------------------------------------------ *)
 (* Observability.                                                      *)
@@ -694,6 +741,7 @@ type stats = {
   retries : int;
   quarantines : int;
   degraded_hits : int;
+  prefetched_loads : int;
   plan_cache : Plan_cache.stats;
   plan_contention : int;
   plan_races : int;
@@ -723,6 +771,7 @@ let stats t =
     retries = t.retries;
     quarantines = t.quarantines;
     degraded_hits = t.degraded_hits;
+    prefetched_loads = t.prefetches;
     plan_cache = Plan_cache.stats t.plans;
     plan_contention = Plan_cache.contention t.plans;
     plan_races = Plan_cache.races t.plans;

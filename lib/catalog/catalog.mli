@@ -54,19 +54,45 @@
     [Invalid_argument (Xpest_error.to_string e)] — CLI and legacy
     call sites keep working, new serving paths should use [_r].
 
-    {2 Parallel batches}
+    {2 The serving pipeline}
 
-    {!estimate_batch_r} takes an optional {!Xpest_util.Domain_pool.t}:
-    per-key groups then execute across the pool's domains while the
-    acquire side — clock ticks, eviction, loading, retries, quarantine
-    — stays sequential in the calling domain.  Results (values {e and}
-    errors) and {!stats} are identical to the sequential run; only
-    {!last_batch_metrics} is unavailable (cleared), because per-group
-    counter attribution requires sequential execution.  The shared
-    plan cache and the resident set are internally synchronized, so a
-    catalog is safe to drive with or without a pool; what is {e not}
-    supported is driving one catalog from several domains at once —
-    the acquire machinery belongs to one caller at a time. *)
+    Routed batches run a four-stage pipeline (control flow in
+    {!Xpest_catalog.Pipeline}): {b route} groups queries by key in
+    first-appearance order; {b acquire} — clock ticks, eviction,
+    retry/quarantine — stays single-owner in the calling domain,
+    strictly in route order; {b load}, the only stage that touches
+    I/O, fans distinct-key loads out on an optional
+    {!Xpest_util.Loader_pool} ahead of their acquire turn; {b execute}
+    runs per-key groups on an optional {!Xpest_util.Domain_pool} (or
+    eagerly on the caller, overlapping the remaining loads).
+
+    The ordering contract: every stateful decision — clock value, LRU
+    probe and eviction, loader outcome and fault-injector draw, retry
+    count, quarantine transition — happens in exactly the order the
+    sequential loop makes it, at {e any} load/execute fan-out.  Loads
+    are only started early when the planner can prove the acquire will
+    need them (non-resident keys cannot become resident mid-batch, and
+    quarantine deadlines are exactly predictable from the logical
+    clock); a prediction the planner cannot prove just loads inline at
+    its turn, exactly like the blocking path.  Consequently results
+    (values {e and} errors) and {!stats} are bit-identical to the
+    sequential run; only {!last_batch_metrics} is unavailable
+    (cleared) outside the fully sequential shape, because per-group
+    counter attribution requires inline execution.
+
+    Loader requirements: with a concurrent [loads] policy the loader
+    runs on pool domains, so it must be thread-safe and per-key
+    deterministic (its outcome must not depend on cross-key call
+    order).  File-backed loaders ({!of_manifest}) qualify; a
+    {!Xpest_util.Fault} injector must then be the keyed kind
+    ([Fault.create_keyed]) — the stream kind is only deterministic
+    under the blocking policy.
+
+    The shared plan cache and the resident set are internally
+    synchronized, so a catalog is safe to drive with or without pools;
+    what is {e not} supported is driving one catalog from several
+    domains at once — the acquire machinery belongs to one caller at a
+    time. *)
 
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
@@ -253,6 +279,7 @@ val estimate : t -> key -> Pattern.t -> float
 
 val estimate_batch_r :
   ?pool:Xpest_util.Domain_pool.t ->
+  ?loads:Xpest_util.Loader_pool.t ->
   t ->
   (key * Pattern.t) array ->
   (float, E.t) result array
@@ -270,21 +297,39 @@ val estimate_batch_r :
     capacity, in which case summaries evict and reload mid-batch
     (results still do not change).
 
-    With [pool] (size > 1): acquisition runs first, sequentially, in
+    With [pool] (size > 1): acquisition runs first, single-owner, in
     group order — every clock tick, LRU decision, loader call, retry
     and quarantine transition happens exactly as in the sequential
     path, so acquire-side [Error]s and {!stats} match it — then the
     acquired groups execute one-per-job across the pool (a
     single-group batch instead chunks its plans via
-    [Estimator.estimate_many ~pool]).  {b Bit-identity holds}: the
-    returned array equals the sequential one result-for-result,
-    including under mid-batch eviction and fault injection.
-    {!last_batch_metrics} is cleared (see the preamble); the shared
-    plan cache's own hit/miss/eviction trace may differ, its contents
-    never affect values. *)
+    [Estimator.estimate_many ~pool]).
+
+    With [loads] (a {!Xpest_util.Loader_pool} over a pool of size >
+    1): loads the planner can prove necessary start before their
+    acquire turn and are awaited at the in-order commit point; without
+    an execute [pool], each group executes on the caller right after
+    its commit, overlapping the remaining loads.  The loader must then
+    be thread-safe and per-key deterministic (see the preamble).  A
+    blocking [loads] policy (the default, or a size-1 pool) defers
+    every load to its acquire turn — the exact sequential schedule for
+    {e any} loader.
+
+    {b Bit-identity holds} across all combinations: the returned array
+    equals the sequential one result-for-result, including under
+    mid-batch eviction and fault injection, and {!stats} (clock
+    included) match field-for-field (only [prefetched_loads] counts
+    pipeline planning).  {!last_batch_metrics} is cleared outside the
+    fully sequential shape (see the preamble); the shared plan cache's
+    own hit/miss/eviction trace may differ, its contents never affect
+    values. *)
 
 val estimate_batch :
-  ?pool:Xpest_util.Domain_pool.t -> t -> (key * Pattern.t) array -> float array
+  ?pool:Xpest_util.Domain_pool.t ->
+  ?loads:Xpest_util.Loader_pool.t ->
+  t ->
+  (key * Pattern.t) array ->
+  float array
 (** {!estimate_batch_r} for callers that treat any failure as fatal.
     @raise Invalid_argument with the first failed query's rendered
     typed error. *)
@@ -315,6 +360,11 @@ type stats = {
   retries : int;  (** transient-failure retries across all keys *)
   quarantines : int;  (** quarantine entries across all keys *)
   degraded_hits : int;  (** stale-if-error serves across all keys *)
+  prefetched_loads : int;
+      (** loads the pipeline started ahead of their acquire turn
+          (0 without a concurrent [loads] policy); counts submissions,
+          including the rare prefetch a commit-side refusal then
+          discards *)
   plan_cache : Xpest_plan.Plan_cache.stats;
       (** the pool-shared compiled-plan cache *)
   plan_contention : int;

@@ -427,12 +427,18 @@ let estimate_many_parallel pool t qs =
   Array.map (fun i -> values.(i)) index
 
 let estimate_many ?pool t qs =
-  Counters.incr c_batch;
-  Counters.add c_batch_queries (Array.length qs);
-  match pool with
-  | Some pool when Domain_pool.size pool > 1 && Array.length qs > 1 ->
-      estimate_many_parallel pool t qs
-  | Some _ | None -> estimate_many_sequential t qs
+  if Array.length qs = 0 then
+    (* strict no-op: no counters, no pool activity — pipeline stages
+       may re-enter with empty groups and must leave no trace *)
+    [||]
+  else begin
+    Counters.incr c_batch;
+    Counters.add c_batch_queries (Array.length qs);
+    match pool with
+    | Some pool when Domain_pool.size pool > 1 && Array.length qs > 1 ->
+        estimate_many_parallel pool t qs
+    | Some _ | None -> estimate_many_sequential t qs
+  end
 
 (* Error-safe pool entry points: the catalog's serving path must never
    let one poisoned query abort a batch, so exceptions escaping the

@@ -109,7 +109,12 @@ val estimate_many :
     results equal the sequential ones float-for-float, in input order,
     for any pool size — estimates are deterministic functions of
     (summary, plan), never of cache state.  Omitting [pool] (or a pool
-    of size 1) is exactly the sequential path. *)
+    of size 1) is exactly the sequential path.
+
+    An empty batch is a strict no-op — no counters bumped, no pool
+    activity, [[||]] back — so serving-pipeline stages may re-enter
+    with empty groups without leaving a trace (same for
+    {!try_estimate_many}). *)
 
 val try_estimate :
   t -> Xpest_xpath.Pattern.t -> (float, Xpest_util.Xpest_error.t) result

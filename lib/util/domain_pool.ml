@@ -85,6 +85,30 @@ let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Fire-and-forget submission: the promise layer (Loader_pool) wraps
+   its jobs so they never raise, which keeps worker_loop's no-raise
+   assumption intact. *)
+let async t job =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.async: pool is shut down"
+  end;
+  Counters.incr c_jobs;
+  Queue.add job t.queue;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.mutex
+
+let try_run_one t =
+  Mutex.lock t.mutex;
+  let job = Queue.take_opt t.queue in
+  Mutex.unlock t.mutex;
+  match job with
+  | Some job ->
+      job ();
+      true
+  | None -> false
+
 let run_all t jobs =
   let n = Array.length jobs in
   if n = 0 then ()

@@ -58,6 +58,22 @@ val parallel_chunks :
     depends only on [n] and the pool size, never on scheduling — the
     deterministic-partition primitive the batch paths build on. *)
 
+val async : t -> (unit -> unit) -> unit
+(** Enqueue one job and return immediately (no completion latch).  The
+    job runs on whichever domain dequeues it first — a spawned worker,
+    a concurrent {!run_all} caller draining the queue, or a
+    {!try_run_one} caller.  Jobs must never raise: there is no caller
+    left to receive the exception, and a raise would kill the worker
+    domain.  Wrap the body ({!Xpest_util.Loader_pool} stores outcomes
+    in promise cells for exactly this reason).
+    @raise Invalid_argument if the pool was shut down. *)
+
+val try_run_one : t -> bool
+(** Dequeue one pending job, if any, and run it inline on the calling
+    domain; [false] when the queue was empty.  This is how a caller
+    blocked on an {!async} result makes progress instead of idling —
+    the work-stealing half of the promise layer. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent.  Only call between
     {!run_all}s (never while one is in flight). *)

@@ -46,14 +46,50 @@ let uniform ~seed ~rate =
 let fault_free c =
   c.read_error = 0.0 && c.truncate = 0.0 && c.bit_flip = 0.0 && c.stall = 0.0
 
-type t = { cfg : config; rng : Prng.t; mutable injected : int }
+(* Two variate-sourcing disciplines:
 
-let create cfg = { cfg; rng = Prng.create cfg.seed; injected = 0 }
+   - [Stream]: one shared PRNG stream consumed in call order — the
+     historical injector.  Schedules are reproducible only when the
+     global read order is, which holds for the sequential serving loop
+     but not once loads fan out on a loader pool.
+
+   - [Keyed]: each read gets a fresh PRNG seeded from
+     [(seed, path, per-path attempt index)].  The schedule for a path
+     depends only on how many times that path was read before — a
+     per-key-deterministic quantity under the catalog's single-owner
+     acquire machinery — never on cross-path interleaving, so keyed
+     injectors stay bit-reproducible under concurrent loads. *)
+type mode =
+  | Stream of Prng.t
+  | Keyed of { attempts : (string, int) Hashtbl.t; m : Mutex.t }
+
+type t = { cfg : config; mode : mode; injected : int Atomic.t }
+
+let create cfg =
+  { cfg; mode = Stream (Prng.create cfg.seed); injected = Atomic.make 0 }
+
+let create_keyed cfg =
+  {
+    cfg;
+    mode = Keyed { attempts = Hashtbl.create 16; m = Mutex.create () };
+    injected = Atomic.make 0;
+  }
+
 let config t = t.cfg
-let injected t = t.injected
+let injected t = Atomic.get t.injected
+
+let call_rng t path =
+  match t.mode with
+  | Stream rng -> rng
+  | Keyed k ->
+      Mutex.lock k.m;
+      let n = Option.value (Hashtbl.find_opt k.attempts path) ~default:0 in
+      Hashtbl.replace k.attempts path (n + 1);
+      Mutex.unlock k.m;
+      Prng.create (Hashtbl.hash (t.cfg.seed, path, n))
 
 let hit t kind_counter =
-  t.injected <- t.injected + 1;
+  Atomic.incr t.injected;
   Counters.incr c_injected;
   Counters.incr kind_counter
 
@@ -62,9 +98,10 @@ let io t base =
   else
     let c = t.cfg in
     let read_file path =
+      let rng = call_rng t path in
       (* One variate picks the fault; cumulative thresholds keep the
          stream consumption identical whichever branch fires. *)
-      let u = Prng.float t.rng 1.0 in
+      let u = Prng.float rng 1.0 in
       if u < c.read_error then begin
         hit t c_read_error;
         raise
@@ -74,7 +111,7 @@ let io t base =
         hit t c_truncate;
         let data = base.Io.read_file path in
         let n = String.length data in
-        if n = 0 then data else String.sub data 0 (Prng.int t.rng n)
+        if n = 0 then data else String.sub data 0 (Prng.int rng n)
       end
       else if u < c.read_error +. c.truncate +. c.bit_flip then begin
         hit t c_bit_flip;
@@ -83,9 +120,9 @@ let io t base =
         if n = 0 then data
         else begin
           let b = Bytes.of_string data in
-          let pos = Prng.int t.rng n in
+          let pos = Prng.int rng n in
           Bytes.set b pos
-            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Prng.int t.rng 8)));
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Prng.int rng 8)));
           Bytes.unsafe_to_string b
         end
       end

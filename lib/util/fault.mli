@@ -46,7 +46,20 @@ val uniform : seed:int -> rate:float -> config
 type t
 
 val create : config -> t
-(** A fresh injector with its own PRNG stream. *)
+(** A fresh injector with one shared PRNG stream, consumed in call
+    order: reproducible exactly when the global read order is (the
+    sequential serving loop; a {!Loader_pool.blocking} pipeline).  Not
+    suitable under concurrent loads — use {!create_keyed} there. *)
+
+val create_keyed : config -> t
+(** A fresh injector whose fault schedule for each read depends only on
+    [(seed, path, per-path attempt index)] — never on how reads of
+    {e different} paths interleave.  This is the injector to use when
+    summary loads fan out on a {!Loader_pool}: as long as each path's
+    own read sequence is deterministic (which the catalog's
+    single-owner acquire machinery guarantees), the schedule is
+    bit-reproducible at any load-domain count, and identical between
+    the blocking and pipelined serving paths.  Thread-safe. *)
 
 val config : t -> config
 

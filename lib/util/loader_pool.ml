@@ -1,0 +1,115 @@
+(* Futures for the catalog's load stage.
+
+   The serving pipeline wants to start summary loads before their
+   acquire turn comes up, without giving up the acquire state machine's
+   single-owner ordering.  A [Loader_pool.t] is the seam: [submit]
+   hands a load thunk to the pool and returns a future, [await]
+   produces its outcome at the commit point.
+
+   Two shapes, one API:
+
+   - [blocking]: the thunk is stored and runs at the *first [await]*,
+     on the awaiting domain.  Submission order is irrelevant; execution
+     order is exactly await order — i.e. exactly the order the
+     sequential serving loop would have run the loads in.  This is the
+     bit-identity anchor: any loader, even one drawing from a shared
+     order-sensitive PRNG stream, behaves as if no pipeline existed.
+
+   - [over pool] with pool size > 1: the thunk is enqueued on the
+     domain pool at submission, so distinct loads overlap each other
+     and whatever the submitter does next.  Awaiting a still-pending
+     future steals other queued jobs ([Domain_pool.try_run_one]) before
+     parking on the cell's condition variable, so the caller is never
+     idle while work exists.  [over pool] with pool size 1 degrades to
+     [blocking] (a size-1 pool has no spare domain to overlap on).
+
+   Outcome capture: the job wraps the thunk and stores [Done v] or
+   [Raised e] in the cell, so pool workers never raise
+   (Domain_pool.async's contract) and [await] re-raises exactly what
+   the thunk raised — a raising loader is observationally identical to
+   the blocking path. *)
+
+type 'a outcome = Pending | Done of 'a | Raised of exn
+
+type 'a cell = {
+  m : Mutex.t;
+  cond : Condition.t;
+  mutable state : 'a outcome;  (* guarded by [m] *)
+}
+
+type 'a deferred = {
+  mutable thunk : (unit -> 'a) option;
+  mutable memo : 'a outcome;  (* single-owner: no lock needed *)
+}
+
+type 'a future =
+  | Deferred of 'a deferred
+  | Queued of Domain_pool.t * 'a cell
+
+type t = Blocking | Pool of Domain_pool.t
+
+let blocking = Blocking
+let over pool = Pool pool
+
+let domains = function Blocking -> 1 | Pool p -> Domain_pool.size p
+let concurrent t = domains t > 1
+
+let c_submit = Counters.create "loader_pool.submits"
+let c_stolen = Counters.create "loader_pool.steals"
+
+let submit t f =
+  match t with
+  | Pool pool when Domain_pool.size pool > 1 ->
+      Counters.incr c_submit;
+      let cell = { m = Mutex.create (); cond = Condition.create (); state = Pending } in
+      Domain_pool.async pool (fun () ->
+          let st = try Done (f ()) with e -> Raised e in
+          Mutex.lock cell.m;
+          cell.state <- st;
+          Condition.broadcast cell.cond;
+          Mutex.unlock cell.m);
+      Queued (pool, cell)
+  | Blocking | Pool _ -> Deferred { thunk = Some f; memo = Pending }
+
+let of_outcome = function
+  | Done v -> v
+  | Raised e -> raise e
+  | Pending -> assert false
+
+let await fut =
+  match fut with
+  | Deferred d -> (
+      match d.memo with
+      | Done _ | Raised _ -> of_outcome d.memo
+      | Pending ->
+          (* first await runs the load, right here, right now — the
+             exact moment the sequential path would have *)
+          let f = Option.get d.thunk in
+          d.thunk <- None;
+          let st = try Done (f ()) with e -> Raised e in
+          d.memo <- st;
+          of_outcome st)
+  | Queued (pool, cell) ->
+      let pending () =
+        Mutex.lock cell.m;
+        let p = match cell.state with Pending -> true | _ -> false in
+        Mutex.unlock cell.m;
+        p
+      in
+      let rec help () =
+        if pending () then
+          if Domain_pool.try_run_one pool then begin
+            Counters.incr c_stolen;
+            help ()
+          end
+          else begin
+            (* queue empty: the job is in flight on another domain *)
+            Mutex.lock cell.m;
+            while (match cell.state with Pending -> true | _ -> false) do
+              Condition.wait cell.cond cell.m
+            done;
+            Mutex.unlock cell.m
+          end
+      in
+      help ();
+      of_outcome cell.state

@@ -1,0 +1,67 @@
+(** Futures over {!Domain_pool} — the serving pipeline's async load seam.
+
+    The catalog's staged batch path ({!Xpest_catalog.Catalog.estimate_batch_r})
+    wants to start summary loads {e before} their acquire turn comes up,
+    while the acquire state machine (clock, health, eviction) stays
+    single-owner and strictly ordered.  A [Loader_pool.t] is that seam:
+    {!submit} registers a load thunk and returns a future; {!await}
+    produces its outcome at the in-order commit point.
+
+    Two shapes behind one API:
+
+    - {!blocking} (and [over pool] when the pool has size 1): the thunk
+      is merely stored and runs at the {e first await}, on the awaiting
+      domain.  Since the pipeline awaits in acquire order, loads
+      execute exactly where the sequential loop would have run them —
+      bit-identical for {e any} loader, including loaders drawing from
+      a shared order-sensitive fault-injection PRNG stream.
+
+    - [over pool] with pool size > 1: the thunk is enqueued on the
+      domain pool at submission, so distinct loads overlap each other
+      and the submitter's own work.  This requires the thunk to be
+      thread-safe and {e per-key deterministic} (its outcome must not
+      depend on cross-key execution order); the catalog documents which
+      loaders qualify.  Awaiting a still-pending future work-steals
+      other queued jobs before parking, so the caller never idles while
+      the queue is non-empty.
+
+    Exception transparency: a thunk that raises has the exception
+    captured in the future and re-raised by {!await} on the awaiting
+    domain — pool workers never see it, and the awaiting caller
+    observes exactly what a direct call would have raised. *)
+
+type t
+(** A load-execution policy: {!blocking} or {!over} a domain pool. *)
+
+type 'a future
+(** The pending/complete outcome of one submitted thunk. *)
+
+val blocking : t
+(** Loads run lazily at first {!await}, on the awaiting domain, in
+    await order — the sequential serving path, packaged as a policy. *)
+
+val over : Domain_pool.t -> t
+(** Loads run on [pool]'s domains, submitted eagerly — unless the pool
+    has size 1, in which case this is {!blocking} (no spare domain
+    exists to overlap on). *)
+
+val domains : t -> int
+(** 1 for {!blocking}; the pool size for {!over}. *)
+
+val concurrent : t -> bool
+(** [domains t > 1] — whether {!submit} actually starts work early.
+    The pipeline uses this to decide whether planning a prefetch is
+    worth anything (and whether per-group metric attribution is still
+    meaningful). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Register a thunk.  Under {!concurrent} policies it is enqueued
+    immediately and must be thread-safe; otherwise nothing runs until
+    {!await}.
+    @raise Invalid_argument if the underlying pool was shut down. *)
+
+val await : 'a future -> 'a
+(** The thunk's result: runs it now (blocking futures, first await),
+    steals queued work then parks until done (queued futures), or
+    returns the memoized outcome (subsequent awaits).  Re-raises the
+    thunk's exception if it raised. *)

@@ -238,6 +238,47 @@ let test_lru_policy_knob () =
     "recency order" [ "ssplays@2"; "dblp@0" ]
     (List.map Catalog.key_to_string (Catalog.keys_by_recency cat))
 
+(* A retired estimator must keep serving.  [acquire_r]'s contract only
+   guarantees the handle until the next acquire — eviction may retire
+   it from the resident set — but retirement severs pooling, not the
+   estimator: it owns its summary and caches, so a held handle must
+   stay bit-identical, and a re-acquire of the same key must load a
+   fresh estimator serving the same floats. *)
+let test_retired_estimator_still_serves () =
+  let k1 = key "ssplays" 0.0 and k2 = key "dblp" 0.0 in
+  let cat = Catalog.create ~resident_capacity:1 ~loader:summary_for () in
+  let q = Pattern.of_string "//SPEECH/LINE" in
+  let acquire k =
+    match Catalog.acquire_r cat k with
+    | Ok e -> e
+    | Error e ->
+        Alcotest.failf "acquire %s: %s" (Catalog.key_to_string k)
+          (Xpest_util.Xpest_error.to_string e)
+  in
+  let serve label est =
+    match Xpest_estimator.Estimator.try_estimate est q with
+    | Ok v -> Int64.bits_of_float v
+    | Error e ->
+        Alcotest.failf "%s: %s" label (Xpest_util.Xpest_error.to_string e)
+  in
+  let est1 = acquire k1 in
+  let before = serve "live estimator" est1 in
+  (* capacity 1: acquiring k2 retires k1's estimator *)
+  ignore (acquire k2);
+  let st : Catalog.stats = Catalog.stats cat in
+  Alcotest.(check int) "k1 evicted" 1 st.Catalog.evictions;
+  Alcotest.(check int64) "retired handle serves bit-identically" before
+    (serve "retired estimator" est1);
+  (* re-acquire reloads: a fresh estimator, same floats *)
+  let est1' = acquire k1 in
+  Alcotest.(check bool) "re-acquire built a fresh estimator" false
+    (est1' == est1);
+  Alcotest.(check int64) "re-acquired estimator serves bit-identically"
+    before
+    (serve "re-acquired estimator" est1');
+  let st : Catalog.stats = Catalog.stats cat in
+  Alcotest.(check int) "three loads (k1, k2, k1 again)" 3 st.Catalog.loads
+
 (* ------------------------------------------------------------------ *)
 (* Byte-budgeted residency.                                            *)
 
@@ -367,6 +408,8 @@ let () =
             test_lru_behavior;
           Alcotest.test_case "plain-LRU policy knob" `Quick
             test_lru_policy_knob;
+          Alcotest.test_case "retired estimator still serves" `Quick
+            test_retired_estimator_still_serves;
           Alcotest.test_case "byte-budgeted residency" `Quick test_byte_budget;
           Alcotest.test_case "pinning" `Quick test_pinning;
         ]

@@ -375,6 +375,75 @@ let test_per_query_isolation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "estimate_batch should raise on a failed key"
 
+(* A loader that *raises* mid-flight — not returns Error — now runs on
+   a loader-pool domain.  The raise must surface as exactly the typed
+   error the blocking path produces (Catalog.create classifies escaped
+   exceptions before the pool ever sees them), attributed to the
+   raising key's queries only: healthy keys loaded concurrently with
+   the raising one stay Ok and bit-identical, with identical stats. *)
+let test_raising_loader_through_pipeline () =
+  let module Domain_pool = Xpest_util.Domain_pool in
+  let module Loader_pool = Xpest_util.Loader_pool in
+  let bad = key "ssplays" 2.0 in
+  (* prefill: concurrent loaders must be pure readers of the fixture *)
+  List.iter
+    (fun k -> ignore (summary_for k))
+    [ key "ssplays" 0.0; bad; key "dblp" 0.0 ];
+  let loader k =
+    Unix.sleepf 0.002;
+    if k = bad then
+      raise (Sys_error "injected: summary store unreachable mid-flight")
+    else summary_for k
+  in
+  let pairs = routed_pairs () in
+  let make () = Catalog.create ~resident_capacity:2 ~loader () in
+  let seq_cat = make () in
+  let reference = Catalog.estimate_batch_r seq_cat pairs in
+  List.iter
+    (fun load_domains ->
+      let pipe_cat = make () in
+      Domain_pool.with_pool ~domains:load_domains (fun lp ->
+          let loads = Loader_pool.over lp in
+          let results = Catalog.estimate_batch_r ~loads pipe_cat pairs in
+          Array.iteri
+            (fun i r ->
+              let label =
+                Printf.sprintf "%d load domains, query %d" load_domains i
+              in
+              let k, _ = pairs.(i) in
+              match (r, reference.(i)) with
+              | Ok a, Ok b ->
+                  Alcotest.(check bool)
+                    (label ^ ": healthy key unaffected by the raising one")
+                    true
+                    (k <> bad
+                    && Int64.equal (Int64.bits_of_float a)
+                         (Int64.bits_of_float b))
+              | Error (E.Io_failure _ as a), Error (E.Io_failure _ as b) ->
+                  Alcotest.(check bool)
+                    (label ^ ": raise landed on the raising key only")
+                    true (k = bad);
+                  Alcotest.(check string)
+                    (label ^ ": same typed error as blocking")
+                    (E.to_string b) (E.to_string a)
+              | _ ->
+                  Alcotest.failf "%s: outcome diverged from the blocking twin"
+                    label)
+            results;
+          let a = Catalog.stats seq_cat and b = Catalog.stats pipe_cat in
+          List.iter
+            (fun (field, x, y) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%d load domains: same %s" load_domains field)
+                x y)
+            [
+              ("loads", a.Catalog.loads, b.Catalog.loads);
+              ("failures", a.Catalog.failures, b.Catalog.failures);
+              ("retries", a.Catalog.retries, b.Catalog.retries);
+              ("quarantines", a.Catalog.quarantines, b.Catalog.quarantines);
+            ]))
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "catalog_chaos"
     [
@@ -383,6 +452,8 @@ let () =
           Alcotest.test_case "batches under injection" `Quick test_chaos_batches;
           Alcotest.test_case "service survives 10% faults" `Quick
             test_chaos_service_survives;
+          Alcotest.test_case "raising loader through the pipeline" `Quick
+            test_raising_loader_through_pipeline;
         ] );
       ( "state_machine",
         [

@@ -1,0 +1,174 @@
+(* Unit tests for the loader-pool future seam underneath the serving
+   pipeline: the blocking policy's lazy run-at-first-await semantics
+   (the bit-identity anchor), the pool policy's completion and
+   work-stealing, exception transparency through await, and the size-1
+   degradation that makes --load-domains 1 always safe. *)
+
+module Domain_pool = Xpest_util.Domain_pool
+module Loader_pool = Xpest_util.Loader_pool
+
+let test_blocking_lazy_await_order () =
+  let loads = Loader_pool.blocking in
+  Alcotest.(check int) "blocking reports one domain" 1
+    (Loader_pool.domains loads);
+  Alcotest.(check bool) "blocking is not concurrent" false
+    (Loader_pool.concurrent loads);
+  let trace = ref [] in
+  let mk tag = Loader_pool.submit loads (fun () -> trace := tag :: !trace; tag) in
+  let fa = mk "a" and fb = mk "b" and fc = mk "c" in
+  (* nothing runs at submission *)
+  Alcotest.(check (list string)) "submit runs nothing" [] !trace;
+  (* execution order is await order, not submission order *)
+  Alcotest.(check string) "await c" "c" (Loader_pool.await fc);
+  Alcotest.(check string) "await a" "a" (Loader_pool.await fa);
+  Alcotest.(check string) "await b" "b" (Loader_pool.await fb);
+  Alcotest.(check (list string))
+    "thunks ran in await order" [ "c"; "a"; "b" ]
+    (List.rev !trace);
+  (* re-await is memoized: no second run *)
+  Alcotest.(check string) "re-await a" "a" (Loader_pool.await fa);
+  Alcotest.(check int) "no re-execution" 3 (List.length !trace)
+
+let test_blocking_exception_memoized () =
+  let runs = ref 0 in
+  let fut =
+    Loader_pool.submit Loader_pool.blocking (fun () ->
+        incr runs;
+        failwith "load exploded")
+  in
+  let boom label =
+    match Loader_pool.await fut with
+    | _ -> Alcotest.failf "%s: exception was swallowed" label
+    | exception Failure msg ->
+        Alcotest.(check string) (label ^ ": the thunk's exception")
+          "load exploded" msg
+  in
+  boom "first await";
+  (* a raised outcome is memoized too: re-await re-raises, no re-run *)
+  boom "second await";
+  Alcotest.(check int) "thunk ran once" 1 !runs
+
+let test_pool_completion () =
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      let loads = Loader_pool.over p in
+      Alcotest.(check int) "domains is the pool size" 4
+        (Loader_pool.domains loads);
+      Alcotest.(check bool) "a pool of 4 is concurrent" true
+        (Loader_pool.concurrent loads);
+      let futs =
+        Array.init 32 (fun i -> Loader_pool.submit loads (fun () -> i * i))
+      in
+      (* await in reverse order: completion must not depend on it *)
+      for i = 31 downto 0 do
+        Alcotest.(check int)
+          (Printf.sprintf "future %d" i)
+          (i * i)
+          (Loader_pool.await futs.(i))
+      done)
+
+let test_pool_exception_per_future () =
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      let loads = Loader_pool.over p in
+      let futs =
+        Array.init 16 (fun i ->
+            Loader_pool.submit loads (fun () ->
+                if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i)
+                else i))
+      in
+      (* each future carries exactly its own outcome: raises stay with
+         the raising load, neighbours are untouched *)
+      Array.iteri
+        (fun i fut ->
+          if i mod 3 = 0 then
+            match Loader_pool.await fut with
+            | _ -> Alcotest.failf "future %d: exception was swallowed" i
+            | exception Failure msg ->
+                Alcotest.(check string)
+                  (Printf.sprintf "future %d re-raises its own failure" i)
+                  (Printf.sprintf "boom %d" i)
+                  msg
+          else
+            Alcotest.(check int)
+              (Printf.sprintf "future %d unaffected" i)
+              i (Loader_pool.await fut))
+        futs;
+      (* the pool survives raising loads *)
+      Alcotest.(check int) "pool still serves" 7
+        (Loader_pool.await (Loader_pool.submit loads (fun () -> 7))))
+
+let test_await_steals_queued_work () =
+  (* a pool of 2 has one worker domain; submit more jobs than it can
+     have started, then await the last one — the awaiting domain must
+     work-steal the queue dry rather than park behind it *)
+  Domain_pool.with_pool ~domains:2 (fun p ->
+      let loads = Loader_pool.over p in
+      let ran = Atomic.make 0 in
+      let futs =
+        Array.init 24 (fun i ->
+            Loader_pool.submit loads (fun () ->
+                ignore (Atomic.fetch_and_add ran 1);
+                i))
+      in
+      Alcotest.(check int) "await of the last future" 23
+        (Loader_pool.await futs.(23));
+      (* the steal loop only guarantees the awaited future's outcome;
+         drain the rest normally *)
+      Array.iteri
+        (fun i fut ->
+          Alcotest.(check int) (Printf.sprintf "future %d" i) i
+            (Loader_pool.await fut))
+        futs;
+      Alcotest.(check int) "every thunk ran exactly once" 24 (Atomic.get ran))
+
+let test_size1_pool_is_blocking () =
+  Domain_pool.with_pool ~domains:1 (fun p ->
+      let loads = Loader_pool.over p in
+      Alcotest.(check bool) "a size-1 pool is not concurrent" false
+        (Loader_pool.concurrent loads);
+      let trace = ref [] in
+      let mk tag =
+        Loader_pool.submit loads (fun () -> trace := tag :: !trace; tag)
+      in
+      let fa = mk "a" and fb = mk "b" in
+      Alcotest.(check (list string)) "submit runs nothing" [] !trace;
+      Alcotest.(check string) "await b" "b" (Loader_pool.await fb);
+      Alcotest.(check string) "await a" "a" (Loader_pool.await fa);
+      (* degraded to the blocking policy: lazy, await-ordered *)
+      Alcotest.(check (list string))
+        "await order, like blocking" [ "b"; "a" ]
+        (List.rev !trace))
+
+let test_submit_after_shutdown_raises () =
+  let escaped = ref None in
+  Domain_pool.with_pool ~domains:2 (fun p -> escaped := Some p);
+  match !escaped with
+  | None -> Alcotest.fail "pool did not escape"
+  | Some p -> (
+      match Loader_pool.submit (Loader_pool.over p) (fun () -> 0) with
+      | _ -> Alcotest.fail "submit on a shut-down pool should raise"
+      | exception Invalid_argument _ -> ())
+
+let () =
+  Alcotest.run "loader_pool"
+    [
+      ( "blocking",
+        [
+          Alcotest.test_case "lazy, await-ordered, memoized" `Quick
+            test_blocking_lazy_await_order;
+          Alcotest.test_case "exception memoized" `Quick
+            test_blocking_exception_memoized;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "completion at any await order" `Quick
+            test_pool_completion;
+          Alcotest.test_case "exceptions stay per-future" `Quick
+            test_pool_exception_per_future;
+          Alcotest.test_case "await work-steals the queue" `Quick
+            test_await_steals_queued_work;
+          Alcotest.test_case "size-1 pool degrades to blocking" `Quick
+            test_size1_pool_is_blocking;
+          Alcotest.test_case "submit after shutdown raises" `Quick
+            test_submit_after_shutdown_raises;
+        ] );
+    ]

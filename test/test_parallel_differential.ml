@@ -13,6 +13,7 @@
 
 module Counters = Xpest_util.Counters
 module Domain_pool = Xpest_util.Domain_pool
+module Loader_pool = Xpest_util.Loader_pool
 module Fault = Xpest_util.Fault
 module E = Xpest_util.Xpest_error
 module Pattern = Xpest_xpath.Pattern
@@ -24,6 +25,7 @@ module Workload = Xpest_workload.Workload
 module Catalog = Xpest_catalog.Catalog
 
 let domain_counts = [ 1; 2; 4; 8 ]
+let load_domain_counts = [ 1; 2; 4 ]
 let fault_seeds = [ 11; 23 ]
 let fault_rates = [ 0.01; 0.1 ]
 
@@ -311,6 +313,173 @@ let test_chaos_differential () =
     domain_counts
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline twins: blocking loads vs loader-pool fan-out.              *)
+
+(* Injected per-key loader latency makes the overlap real: with a
+   concurrent loader pool the summary loads genuinely run ahead of
+   their acquire turn on other domains, yet results, typed errors,
+   acquire-side stats and the logical clock must stay bit-identical to
+   the blocking twin — including under mid-batch eviction (three keys
+   against resident capacity 2, so residency flips round after
+   round). *)
+let test_pipeline_latency_differential () =
+  let keys = [ key "ssplays" 0.0; key "ssplays" 2.0; key "dblp" 0.0 ] in
+  (* prefill the summary fixture: a concurrent loader must be a pure
+     reader of shared state *)
+  List.iter (fun k -> ignore (summary_for k)) keys;
+  let loader (k : Catalog.key) =
+    Unix.sleepf (0.001 *. (1.0 +. k.Catalog.variance));
+    summary_for k
+  in
+  let pairs = routed_pairs () in
+  let make () = Catalog.create ~resident_capacity:2 ~loader () in
+  List.iter
+    (fun load_domains ->
+      let seq_cat = make () in
+      let pipe_cat = make () in
+      Domain_pool.with_pool ~domains:load_domains (fun lp ->
+          let loads = Loader_pool.over lp in
+          for round = 1 to 4 do
+            let label =
+              Printf.sprintf "%d load domains, round %d" load_domains round
+            in
+            let reference = Catalog.estimate_batch_r seq_cat pairs in
+            let results = Catalog.estimate_batch_r ~loads pipe_cat pairs in
+            compare_results label reference results;
+            check_same_stats label (Catalog.stats seq_cat)
+              (Catalog.stats pipe_cat);
+            Alcotest.(check int)
+              (label ^ ": same clock")
+              (Catalog.clock seq_cat) (Catalog.clock pipe_cat)
+          done))
+    load_domain_counts
+
+(* Load fan-out and execute fan-out composed: loads overlap each other
+   while acquired groups execute across a second pool. *)
+let test_pipeline_with_execute_pool_differential () =
+  let keys = [ key "ssplays" 0.0; key "ssplays" 2.0; key "dblp" 0.0 ] in
+  List.iter (fun k -> ignore (summary_for k)) keys;
+  let loader (k : Catalog.key) =
+    Unix.sleepf (0.001 *. (1.0 +. k.Catalog.variance));
+    summary_for k
+  in
+  let pairs = routed_pairs () in
+  let make () = Catalog.create ~resident_capacity:2 ~loader () in
+  List.iter
+    (fun load_domains ->
+      let seq_cat = make () in
+      let pipe_cat = make () in
+      Domain_pool.with_pool ~domains:load_domains (fun lp ->
+          Domain_pool.with_pool ~domains:4 (fun pool ->
+              let loads = Loader_pool.over lp in
+              for round = 1 to 4 do
+                let label =
+                  Printf.sprintf
+                    "%d load domains + 4 execute domains, round %d"
+                    load_domains round
+                in
+                let reference = Catalog.estimate_batch_r seq_cat pairs in
+                let results =
+                  Catalog.estimate_batch_r ~pool ~loads pipe_cat pairs
+                in
+                compare_results label reference results;
+                check_same_stats label (Catalog.stats seq_cat)
+                  (Catalog.stats pipe_cat);
+                Alcotest.(check int)
+                  (label ^ ": same clock")
+                  (Catalog.clock seq_cat) (Catalog.clock pipe_cat)
+              done)))
+    load_domain_counts
+
+(* Chaos twins through the pipeline: the keyed fault injector's
+   schedule depends only on (seed, path, per-path attempt), so a
+   keyed-injector catalog served through a concurrent loader pool must
+   match a keyed-injector catalog served blocking — same injected
+   faults, same retries, same quarantine transitions, same degraded
+   serves, at every load-domain count. *)
+let test_pipeline_chaos_keyed_differential () =
+  let dir = Lazy.force catalog_dir in
+  let m = load_manifest dir in
+  let pairs = routed_pairs () in
+  let make_cat seed rate =
+    let io =
+      Fault.io (Fault.create_keyed (Fault.uniform ~seed ~rate)) Fault.Io.default
+    in
+    Catalog.of_manifest ~resident_capacity:2 ~io ~dir m
+  in
+  List.iter
+    (fun load_domains ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun rate ->
+              let seq_cat = make_cat seed rate in
+              let pipe_cat = make_cat seed rate in
+              Domain_pool.with_pool ~domains:load_domains (fun lp ->
+                  let loads = Loader_pool.over lp in
+                  for round = 1 to 4 do
+                    let label =
+                      Printf.sprintf
+                        "%d load domains, keyed fault seed %d, rate %g, \
+                         round %d"
+                        load_domains seed rate round
+                    in
+                    let reference = Catalog.estimate_batch_r seq_cat pairs in
+                    let results =
+                      Catalog.estimate_batch_r ~loads pipe_cat pairs
+                    in
+                    compare_results label reference results;
+                    check_same_stats label (Catalog.stats seq_cat)
+                      (Catalog.stats pipe_cat);
+                    Alcotest.(check int)
+                      (label ^ ": same clock")
+                      (Catalog.clock seq_cat) (Catalog.clock pipe_cat)
+                  done))
+            fault_rates)
+        fault_seeds)
+    load_domain_counts
+
+(* A size-1 loader pool must degrade to exactly the blocking schedule:
+   loads run at their acquire turn, in order — so even the shared
+   order-sensitive *stream* injector stays bit-identical (the anchor
+   that makes --load-domains 1 always safe, whatever the loader). *)
+let test_pipeline_stream_injector_size1 () =
+  let dir = Lazy.force catalog_dir in
+  let m = load_manifest dir in
+  let pairs = routed_pairs () in
+  let make_cat seed rate =
+    let io =
+      Fault.io (Fault.create (Fault.uniform ~seed ~rate)) Fault.Io.default
+    in
+    Catalog.of_manifest ~resident_capacity:2 ~io ~dir m
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun rate ->
+          let seq_cat = make_cat seed rate in
+          let pipe_cat = make_cat seed rate in
+          Domain_pool.with_pool ~domains:1 (fun lp ->
+              let loads = Loader_pool.over lp in
+              Alcotest.(check bool)
+                "a size-1 loader pool is not concurrent" false
+                (Loader_pool.concurrent loads);
+              for round = 1 to 4 do
+                let label =
+                  Printf.sprintf
+                    "1 load domain, stream fault seed %d, rate %g, round %d"
+                    seed rate round
+                in
+                let reference = Catalog.estimate_batch_r seq_cat pairs in
+                let results = Catalog.estimate_batch_r ~loads pipe_cat pairs in
+                compare_results label reference results;
+                check_same_stats label (Catalog.stats seq_cat)
+                  (Catalog.stats pipe_cat)
+              done))
+        fault_rates)
+    fault_seeds
+
+(* ------------------------------------------------------------------ *)
 (* Domain pool mechanics the contract rests on.                        *)
 
 let test_pool_chunking_deterministic () =
@@ -375,6 +544,17 @@ let () =
             test_catalog_single_group_differential;
           Alcotest.test_case "chaos: injected faults" `Quick
             test_chaos_differential;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "loader latency, loads 1/2/4 vs blocking" `Quick
+            test_pipeline_latency_differential;
+          Alcotest.test_case "load pool composed with execute pool" `Quick
+            test_pipeline_with_execute_pool_differential;
+          Alcotest.test_case "chaos: keyed faults through the pipeline" `Quick
+            test_pipeline_chaos_keyed_differential;
+          Alcotest.test_case "size-1 loader pool equals blocking (stream)"
+            `Quick test_pipeline_stream_injector_size1;
         ] );
       ( "pool",
         [

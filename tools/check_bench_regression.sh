@@ -31,7 +31,7 @@
 # estimate_batch on the same batches.
 #
 # Schema handling: the fresh file must carry exactly the schema this
-# gate was written for (xpest-bench-engine/5) — an unknown or newer
+# gate was written for (xpest-bench-engine/6) — an unknown or newer
 # schema fails loudly instead of silently gating the wrong fields.  An
 # OLDER baseline schema only degrades: sections the baseline predates
 # are reported without a comparison, as above.
@@ -40,6 +40,12 @@
 # segmented policy's hit rate must come out strictly above plain
 # LRU's at the same byte budget, or the scan-resistant residency
 # claim is broken.
+#
+# The fresh file's s1_pipeline section is gated absolutely too: the
+# pipelined cold-miss batch (4 load domains) must beat the blocking
+# baseline under the injected loader latency, or overlapping loads
+# with estimation buys nothing; its bit-identity flag is covered by
+# the unconditional *_bitwise_identical_* sweep.
 #
 # Usage: tools/check_bench_regression.sh [fresh.json] [threshold]
 
@@ -70,7 +76,7 @@ threshold, overhead_cap = float(sys.argv[3]), float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
-EXPECTED_SCHEMA = "xpest-bench-engine/5"
+EXPECTED_SCHEMA = "xpest-bench-engine/6"
 fresh_schema = fresh.get("schema")
 if fresh_schema != EXPECTED_SCHEMA:
     print("check_bench_regression: fresh %s has schema %r but this gate "
@@ -100,6 +106,28 @@ if not (isinstance(lru_rate, (int, float))
     sys.exit(1)
 print("  s1_thrash  segmented hit rate %.4f > lru %.4f at %d budget "
       "bytes  ok" % (seg_rate, lru_rate, thrash.get("budget_bytes", 0)))
+
+# fresh-only absolute gate: the pipelined cold-miss batch must beat the
+# blocking one under injected loader latency (the identity flag is
+# covered by the unconditional bitwise sweep below)
+pipeline = fresh.get("s1_pipeline")
+if pipeline is None:
+    print("check_bench_regression: fresh file carries schema %s but no "
+          "s1_pipeline section" % EXPECTED_SCHEMA)
+    sys.exit(1)
+blocking_qps = pipeline.get("blocking_qps")
+pipelined_qps = pipeline.get("pipelined_4_qps")
+if not (isinstance(blocking_qps, (int, float))
+        and isinstance(pipelined_qps, (int, float))
+        and pipelined_qps > blocking_qps):
+    print("  s1_pipeline  pipelined %r qps vs blocking %r  PIPELINE WIN "
+          "BROKEN (pipelined must beat blocking under loader latency)"
+          % (pipelined_qps, blocking_qps))
+    sys.exit(1)
+print("  s1_pipeline  pipelined %.1f qps > blocking %.1f at %.1f ms "
+      "loader latency (%.2fx)  ok"
+      % (pipelined_qps, blocking_qps, pipeline.get("loader_latency_ms", 0.0),
+         pipelined_qps / max(blocking_qps, 1e-9)))
 
 if baseline.get("scale") != fresh.get("scale"):
     print("check_bench_regression: scale mismatch (baseline %s, fresh %s); "
