@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci differential chaos stress thrash pipeline bench bench-json clean
+.PHONY: all build test check ci differential chaos stress thrash pipeline overload bench bench-json clean
 
 all: build
 
@@ -62,6 +62,17 @@ pipeline:
 	$(DUNE) exec test/test_parallel_differential.exe
 	$(DUNE) exec test/test_catalog_chaos.exe
 
+# Overload-protection suites: the admission controller's unit tests
+# (deadline budgets, queue bound, circuit-breaker transitions, the
+# planner's provability predicate) and the catalog-level overload
+# differentials (infinite-budget bit-identity twins, deterministic
+# shedding across domain counts 1/2/4, the degraded fallback tier,
+# breaker persistence in the v2 health file).  All seeds fixed,
+# deterministic in CI.
+overload:
+	$(DUNE) exec test/test_admission.exe
+	$(DUNE) exec test/test_catalog_overload.exe
+
 bench:
 	$(DUNE) exec bench/main.exe
 
@@ -84,6 +95,7 @@ ci: build
 	$(MAKE) stress
 	$(MAKE) thrash
 	$(MAKE) pipeline
+	$(MAKE) overload
 	$(MAKE) bench-json
 	sh tools/check_bench_regression.sh BENCH_engine.json
 

@@ -22,6 +22,7 @@ module Plan_cache = Xpest_plan.Plan_cache
 module Estimator = Xpest_estimator.Estimator
 module Path_join = Xpest_estimator.Path_join
 module Catalog = Xpest_catalog.Catalog
+module Admission = Xpest_catalog.Admission
 module Cache_config = Xpest_plan.Cache_config
 module Bounded_cache = Xpest_util.Bounded_cache
 module Counters = Xpest_util.Counters
@@ -772,6 +773,123 @@ let pipeline_bench ctxs =
     (qps p4_s /. Float.max (qps blocking_s) 1e-9)
     p4_st.Catalog.prefetched_loads identical
 
+(* S1 overload: a saturating cold burst against a tight admission
+   budget.  Twelve tenants hammer a four-slot resident set, so an
+   uncontrolled batch pays a cold load per group, round after round.
+   The admission-controlled twin gets a per-batch deadline budget and
+   a cold-load bound: once the budget is spent, the remaining groups
+   are shed at the stage boundary — no I/O, no clock ticks — and
+   under the Degrade policy answered from an already-resident sibling
+   variance.  Gated in tools/check_bench_regression.sh: the
+   controlled twin's worst batch must spend strictly fewer logical
+   ticks than the uncontrolled one (the bounded-worst-case claim),
+   and the shed schedule must be bit-identical across load-domain
+   counts 1/2/4 (shedding is a pure function of input order, clock
+   and configuration — never of scheduling). *)
+let overload_bench ctxs =
+  Printf.printf "engine bench: s1 overload (admission control)...\n%!";
+  let dsname, base, patterns = List.hd ctxs in
+  let nkeys = 12 in
+  let per_key = 8 in
+  let latency = 0.002 in
+  let rounds = 3 in
+  let summaries = Hashtbl.create 16 in
+  for i = 0 to nkeys - 1 do
+    let v = float_of_int i in
+    Hashtbl.add summaries v (Summary.assemble ~p_variance:v ~o_variance:v base)
+  done;
+  let loader (k : Catalog.key) =
+    Unix.sleepf latency;
+    Hashtbl.find summaries k.Catalog.variance
+  in
+  let pairs =
+    Array.init (nkeys * per_key) (fun i ->
+        ( { Catalog.dataset = dsname; variance = float_of_int (i mod nkeys) },
+          patterns.(i / nkeys mod Array.length patterns) ))
+  in
+  let n = Array.length pairs in
+  let deadline = 40 and max_queued = 3 in
+  let admission =
+    {
+      Admission.unlimited with
+      Admission.deadline = Some deadline;
+      max_queued_loads = Some max_queued;
+    }
+  in
+  let run ?admission ?loads () =
+    let cat = Catalog.create ?admission ~resident_capacity:4 ~loader () in
+    let worst = ref 0 in
+    let batches =
+      Array.init rounds (fun _ ->
+          let before = Catalog.clock cat in
+          let r = Catalog.estimate_batch_r ?loads cat pairs in
+          worst := max !worst (Catalog.clock cat - before);
+          r)
+    in
+    (batches, Catalog.last_batch_statuses cat, Catalog.stats cat,
+     Catalog.clock cat, !worst)
+  in
+  let (_, _, _, _, un_worst), un_secs = Env.time (fun () -> run ()) in
+  let (ctrl_batches, ctrl_statuses, ctrl_st, ctrl_clock, ctrl_worst), ctrl_secs
+      =
+    Env.time (fun () -> run ~admission ())
+  in
+  (* the shed schedule must not depend on load fan-out: fresh twins at
+     1/2/4 load domains replay the identical batches *)
+  let same_cell a b =
+    match (a, b) with
+    | Ok x, Ok y -> Int64.bits_of_float x = Int64.bits_of_float y
+    | Error e, Error f ->
+        Xpest_util.Xpest_error.to_string e = Xpest_util.Xpest_error.to_string f
+    | _ -> false
+  in
+  let same_status a b =
+    match (a, b) with
+    | Catalog.Served, Catalog.Served | Catalog.Shed, Catalog.Shed -> true
+    | Catalog.Fallback x, Catalog.Fallback y ->
+        Catalog.key_to_string x = Catalog.key_to_string y
+    | _ -> false
+  in
+  let identical =
+    List.for_all
+      (fun d ->
+        Domain_pool.with_pool ~domains:d (fun p ->
+            let loads = Loader_pool.over p in
+            let batches, statuses, st, clock, worst = run ~admission ~loads ()
+            in
+            Array.for_all2
+              (fun a b ->
+                Array.length a = Array.length b && Array.for_all2 same_cell a b)
+              ctrl_batches batches
+            && Array.for_all2 same_status ctrl_statuses statuses
+            && st.Catalog.shed_queries = ctrl_st.Catalog.shed_queries
+            && st.Catalog.fallback_queries = ctrl_st.Catalog.fallback_queries
+            && st.Catalog.loads = ctrl_st.Catalog.loads
+            && clock = ctrl_clock && worst = ctrl_worst))
+      [ 1; 2; 4 ]
+  in
+  let qps s = float_of_int (n * rounds) /. Float.max s 1e-9 in
+  Printf.sprintf
+    {|  "s1_overload": {
+    "dataset": %S,
+    "keys": %d,
+    "routed_queries_per_batch": %d,
+    "rounds": %d,
+    "deadline_ticks": %d,
+    "max_queued_loads": %d,
+    "loader_latency_ms": %.1f,
+    "uncontrolled_worst_batch_ticks": %d,
+    "controlled_worst_batch_ticks": %d,
+    "shed_queries": %d,
+    "fallback_queries": %d,
+    "uncontrolled_qps": %.1f,
+    "controlled_qps": %.1f,
+    "shed_schedule_bitwise_identical_across_load_domains": %b
+  }|}
+    dsname nkeys n rounds deadline max_queued (latency *. 1000.0) un_worst
+    ctrl_worst ctrl_st.Catalog.shed_queries ctrl_st.Catalog.fallback_queries
+    (qps un_secs) (qps ctrl_secs) identical
+
 let engine_bench ~scale ~out =
   let entries, ctxs =
     List.split (List.map (engine_bench_dataset ~scale) Registry.all)
@@ -779,16 +897,18 @@ let engine_bench ~scale ~out =
   let catalog_section = catalog_bench ctxs in
   let thrash_section = thrash_bench ctxs in
   let pipeline_section = pipeline_bench ctxs in
+  let overload_section = overload_bench ctxs in
   let parallel_section = parallel_bench ctxs in
   let resilience_section = resilience_bench ctxs in
   let json =
     Printf.sprintf
       {|{
-  "schema": "xpest-bench-engine/6",
+  "schema": "xpest-bench-engine/7",
   "scale": %g,
   "datasets": [
 %s
   ],
+%s,
 %s,
 %s,
 %s,
@@ -798,8 +918,8 @@ let engine_bench ~scale ~out =
 |}
       scale
       (String.concat ",\n" entries)
-      catalog_section thrash_section pipeline_section parallel_section
-      resilience_section
+      catalog_section thrash_section pipeline_section overload_section
+      parallel_section resilience_section
   in
   let oc = open_out out in
   output_string oc json;

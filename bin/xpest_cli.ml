@@ -29,6 +29,7 @@ module E = Xpest_util.Xpest_error
 module Synopsis_io = Xpest_synopsis.Synopsis_io
 module Manifest = Xpest_synopsis.Manifest
 module Catalog = Xpest_catalog.Catalog
+module Admission = Xpest_catalog.Admission
 module Env = Xpest_harness.Env
 module Experiments = Xpest_harness.Experiments
 module Metrics = Xpest_harness.Metrics
@@ -597,6 +598,16 @@ let catalog_build_cmd =
              write/extend the catalog manifest.")
     Term.(const run $ catalog_dir_arg $ keys $ scale $ seed)
 
+(* One rendering of the loader circuit breaker's state, shared by
+   `catalog estimate` stats output and `catalog info --health`. *)
+let render_breaker (bv : Admission.breaker_view) =
+  match bv.Admission.state with
+  | `Closed -> "closed"
+  | `Half_open -> "half-open (probe in flight)"
+  | `Open ->
+      Printf.sprintf "OPEN (probe in %d tick(s), cooldown %d)"
+        bv.Admission.remaining_ticks bv.Admission.cooldown
+
 let catalog_info_cmd =
   let run dir health =
     let m = load_manifest dir in
@@ -638,6 +649,18 @@ let catalog_info_cmd =
         "catalog: %d entries, %s wire bytes if fully resident\n"
         (List.length m.Manifest.entries)
         (Tablefmt.fmt_bytes total_bytes);
+      (* persisted serving health, breaker included, when present *)
+      let hpath = Filename.concat dir Catalog.health_filename in
+      if Sys.file_exists hpath then begin
+        let cat = Catalog.of_manifest ~dir m in
+        match Catalog.load_health cat hpath with
+        | Ok n ->
+            Printf.printf "health state: %d tracked key(s); loader breaker %s\n"
+              n
+              (render_breaker (Catalog.breaker cat))
+        | Error e ->
+            Printf.printf "health state: unreadable (%s)\n" (E.to_string e)
+      end;
       if !unhealthy > 0 then begin
         prerr_endline
           (Printf.sprintf "xpest: %d/%d catalog entries unhealthy" !unhealthy
@@ -734,7 +757,8 @@ let read_routed_file path =
       loop 1 [])
 
 let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
-    fault_rate fault_seed domains load_domains health_state =
+    fault_rate fault_seed domains load_domains health_state deadline
+    max_queued_loads breaker_threshold shed_policy =
     (* one typed one-line error contract for every count-valued knob *)
     let require_at_least_1 flag v =
       if v < 1 then begin
@@ -746,6 +770,29 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
     require_at_least_1 "domains" domains;
     require_at_least_1 "load-domains" load_domains;
     Option.iter (require_at_least_1 "resident-bytes") resident_bytes;
+    Option.iter (require_at_least_1 "deadline") deadline;
+    Option.iter (require_at_least_1 "breaker-threshold") breaker_threshold;
+    (* --max-queued-loads 0 is meaningful: resident-only serving *)
+    Option.iter
+      (fun v ->
+        if v < 0 then begin
+          prerr_endline
+            (Printf.sprintf "xpest: --max-queued-loads must be >= 0 (got %d)" v);
+          exit 1
+        end)
+      max_queued_loads;
+    let admission =
+      {
+        Admission.unlimited with
+        Admission.deadline;
+        max_queued_loads;
+        breaker_threshold;
+        policy = shed_policy;
+      }
+    in
+    let admission_active =
+      deadline <> None || max_queued_loads <> None || breaker_threshold <> None
+    in
     let pairs = Array.of_list (read_routed_file queries_file) in
     if Array.length pairs = 0 then begin
       prerr_endline "xpest: no routed queries in the file";
@@ -775,7 +822,8 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
           Some { Cache_config.default with Cache_config.resident_bytes = Some b }
     in
     let cat =
-      Catalog.of_manifest ~resident_capacity:resident ?config ?io ~dir m
+      Catalog.of_manifest ~resident_capacity:resident ?config ?io ~admission
+        ~dir m
     in
     (* --pin: hot keys the eviction policy must never displace *)
     List.iter
@@ -810,6 +858,7 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
     with_optional_loads @@ fun loads ->
     let work () =
       let results = Catalog.estimate_batch_r ?pool ?loads cat pairs in
+      let statuses = Catalog.last_batch_statuses cat in
       let failed = ref 0 in
       let first_error = ref None in
       let rows =
@@ -818,7 +867,15 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
              (fun i (key, q) ->
                let estimate, status =
                  match results.(i) with
-                 | Ok v -> (Tablefmt.fmt_float v, "ok")
+                 | Ok v -> (
+                     ( Tablefmt.fmt_float v,
+                       (* a shed query answered by a resident sibling is an
+                          approximation, not the asked-for summary — say so *)
+                       match statuses.(i) with
+                       | Catalog.Fallback sib ->
+                           Printf.sprintf "DEGRADED (via %s)"
+                             (Catalog.key_to_string sib)
+                       | Catalog.Served | Catalog.Shed -> "ok" ))
                  | Error e ->
                      incr failed;
                      if !first_error = None then first_error := Some e;
@@ -864,6 +921,19 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
       if s.Catalog.plan_contention > 0 || s.Catalog.plan_races > 0 then
         Printf.printf "parallel: %d plan-lock contentions, %d compile races\n"
           s.Catalog.plan_contention s.Catalog.plan_races;
+      if admission_active then begin
+        let a = Catalog.admission_stats cat in
+        Printf.printf
+          "admission: %d shed (%d deadline, %d overload, %d breaker), %d \
+           served degraded\n"
+          (Admission.total_sheds a)
+          a.Admission.s_deadline_sheds a.Admission.s_overload_sheds
+          a.Admission.s_breaker_sheds s.Catalog.fallback_queries;
+        if breaker_threshold <> None then
+          Printf.printf "breaker: %s; %d open(s), %d probe(s)\n"
+            (render_breaker (Catalog.breaker cat))
+            a.Admission.s_breaker_opens a.Admission.s_probes
+      end;
       if load_domains > 1 then
         Printf.printf
           "pipeline: %d loads started ahead of their acquire turn (%d load \
@@ -906,10 +976,12 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
 
 let catalog_estimate_cmd =
   let run dir queries_file resident resident_bytes pins metrics fault_rate
-      fault_seed domains load_domains health_state =
+      fault_seed domains load_domains health_state deadline max_queued_loads
+      breaker_threshold shed_policy =
     try
       run_catalog_estimate dir queries_file resident resident_bytes pins
         metrics fault_rate fault_seed domains load_domains health_state
+        deadline max_queued_loads breaker_threshold shed_policy
     with Invalid_argument msg | Sys_error msg ->
       (* non-serving failures: unparseable queries, unreadable files
          (the serving path itself reports per-query typed errors) *)
@@ -1008,6 +1080,57 @@ let catalog_estimate_cmd =
                 the updated state back after.  Conventionally \
                 $(i,DIR)/catalog.health.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"TICKS"
+          ~doc:"Per-batch deadline budget in logical ticks: a resident hit \
+                costs 1 tick, a cold load costs 8.  Queries whose modeled \
+                cost no longer fits the remaining budget are shed with a \
+                typed DEADLINE-EXCEEDED error before any I/O happens (see \
+                $(b,--shed-policy)).  Unset means unbounded.")
+  in
+  let max_queued_loads =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queued-loads" ] ~docv:"N"
+          ~doc:"Bound the cold summary loads one batch may admit; queries \
+                beyond the bound are shed with a typed OVERLOADED error.  \
+                $(b,0) means resident-only serving.  Shedding is a \
+                deterministic function of input order and the logical \
+                clock, identical at any $(b,--load-domains).")
+  in
+  let breaker_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "breaker-threshold" ] ~docv:"K"
+          ~doc:"Open a circuit breaker over the loader after $(docv) \
+                consecutive load failures (or 4 consecutive \
+                queue-saturated batches): cold loads are refused while \
+                open, resident keys keep serving, and a half-open probe \
+                after a doubling cooldown (base 16 ticks, cap 256) decides \
+                whether to close it.  Unset disables the breaker.")
+  in
+  let shed_policy =
+    let policy_conv =
+      Arg.enum
+        [
+          ("degrade", Admission.Degrade);
+          ("reject", Admission.Reject);
+        ]
+    in
+    Arg.(
+      value
+      & opt policy_conv Admission.Degrade
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:"What happens to a shed query: $(b,degrade) (default) \
+                answers it from an already-resident sibling variance of \
+                the same dataset when one exists (status DEGRADED), \
+                $(b,reject) always fails it with the typed error.")
+  in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Route a batch of (key, query) pairs across the catalog's \
@@ -1017,11 +1140,22 @@ let catalog_estimate_cmd =
     Term.(
       const run $ catalog_dir_arg $ queries_file $ resident $ resident_bytes
       $ pins $ metrics $ fault_rate $ fault_seed $ domains $ load_domains
-      $ health_state)
+      $ health_state $ deadline $ max_queued_loads $ breaker_threshold
+      $ shed_policy)
 
 let catalog_clear_quarantine_cmd =
-  let run dir keys health_file =
+  let run dir keys all health_file =
     try
+      (match (keys, all) with
+      | [], false ->
+          prerr_endline
+            "xpest: clear-quarantine needs at least one KEY (or --all)";
+          exit 1
+      | _ :: _, true ->
+          prerr_endline
+            "xpest: --all discards every tracked key; do not also name keys";
+          exit 1
+      | _ -> ());
       let path =
         match health_file with
         | Some p -> p
@@ -1036,27 +1170,35 @@ let catalog_clear_quarantine_cmd =
       let m = load_manifest dir in
       let cat = Catalog.of_manifest ~dir m in
       ignore (or_die_e (Catalog.load_health cat path));
-      List.iter
-        (fun key ->
-          match Catalog.clear_quarantine cat key with
-          | None ->
-              Printf.printf "%s: not tracked (already clear)\n"
-                (Catalog.key_to_string key)
-          | Some h ->
-              let state =
-                match h.Catalog.h_state with
-                | Catalog.Quarantined { until } ->
-                    Printf.sprintf "quarantined until tick %d" until
-                | Catalog.Degraded -> "degraded"
-                | Catalog.Healthy -> "healthy"
-              in
-              Printf.printf
-                "%s: cleared (was %s; %d lifetime failures, %d quarantines, \
-                 next backoff %d)\n"
-                (Catalog.key_to_string key)
-                state h.Catalog.h_failures h.Catalog.h_quarantines
-                h.Catalog.h_next_backoff)
-        keys;
+      let describe (h : Catalog.key_health) =
+        let state =
+          match h.Catalog.h_state with
+          | Catalog.Quarantined { until } ->
+              Printf.sprintf "quarantined until tick %d" until
+          | Catalog.Degraded -> "degraded"
+          | Catalog.Healthy -> "healthy"
+        in
+        Printf.printf
+          "%s: cleared (was %s; %d lifetime failures, %d quarantines, next \
+           backoff %d)\n"
+          (Catalog.key_to_string h.Catalog.h_key)
+          state h.Catalog.h_failures h.Catalog.h_quarantines
+          h.Catalog.h_next_backoff
+      in
+      if all then begin
+        match Catalog.clear_all_quarantine cat with
+        | [] -> print_endline "no tracked keys (already clear)"
+        | cleared -> List.iter describe cleared
+      end
+      else
+        List.iter
+          (fun key ->
+            match Catalog.clear_quarantine cat key with
+            | None ->
+                Printf.printf "%s: not tracked (already clear)\n"
+                  (Catalog.key_to_string key)
+            | Some h -> describe h)
+          keys;
       Catalog.save_health cat path;
       Printf.printf "wrote %s (%d tracked key(s) remain)\n" path
         (List.length (Catalog.health cat))
@@ -1066,11 +1208,19 @@ let catalog_clear_quarantine_cmd =
   in
   let keys =
     Arg.(
-      non_empty
+      value
       & pos_right 0 key_conv []
       & info [] ~docv:"KEY"
           ~doc:"Catalog keys as $(i,dataset)[@$(i,variance)] whose failure \
                 history should be discarded.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Discard the failure history of every tracked key (the \
+                circuit breaker's state, if any, is kept — it guards the \
+                loader as a whole, not any one key).")
   in
   let health_file =
     Arg.(
@@ -1086,7 +1236,7 @@ let catalog_clear_quarantine_cmd =
              persisted failure history of the given keys — quarantine \
              deadline, doubled backoff, lifetime counts — so the next \
              serving run probes their storage immediately.")
-    Term.(const run $ catalog_dir_arg $ keys $ health_file)
+    Term.(const run $ catalog_dir_arg $ keys $ all $ health_file)
 
 let catalog_cmd =
   Cmd.group

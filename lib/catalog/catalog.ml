@@ -28,6 +28,8 @@ let c_quarantine = Counters.create "catalog.quarantined"
 let c_quarantine_skip = Counters.create "catalog.quarantine_skips"
 let c_degraded = Counters.create "catalog.degraded_hits"
 let c_prefetch = Counters.create "catalog.prefetched_loads"
+let c_shed = Counters.create "catalog.shed_queries"
+let c_fallback = Counters.create "catalog.fallback_queries"
 let t_load = Counters.create_timer "catalog.summary.load"
 
 (* ------------------------------------------------------------------ *)
@@ -242,12 +244,18 @@ type key_health = {
 
 type resident = { summary : Summary.t; estimator : Estimator.t }
 
+(* How each query slot of the last batch was answered, parallel to the
+   result array: served normally, served degraded from a resident
+   sibling variance after its own key was shed, or shed outright. *)
+type slot_status = Served | Fallback of key | Shed
+
 type t = {
   loader : key -> (Summary.t, E.t) result;
   verify : key -> (unit, E.t) result;
   config : Cache_config.t;
   chain_pruning : bool option;
   resilience : resilience;
+  admission : Admission.t;
   plans : (Pattern.t, Xpest_plan.Plan.t) Plan_cache.t;  (* pool-shared *)
   residents : (key, resident) Bounded_cache.t;
   health_tbl : (key, hstate) Hashtbl.t;
@@ -259,14 +267,18 @@ type t = {
   mutable quarantines : int;
   mutable degraded_hits : int;
   mutable prefetches : int;
+  mutable sheds : int;  (* queries refused by admission control *)
+  mutable fallbacks : int;  (* shed queries served by a resident sibling *)
   mutable last_metrics : (key * (string * int) list) list;
+  mutable last_statuses : slot_status array;
 }
 
 let default_resident_capacity = 8
 
 let create_r ?(resident_capacity = default_resident_capacity)
     ?(resident_policy = Bounded_cache.segmented) ?config ?chain_pruning
-    ?(resilience = default_resilience) ?(verify = fun _ -> Ok ()) ~loader () =
+    ?(resilience = default_resilience) ?(admission = Admission.unlimited)
+    ?(verify = fun _ -> Ok ()) ~loader () =
   if resident_capacity < 1 then
     invalid_arg "Catalog.create: resident_capacity must be >= 1";
   if
@@ -292,6 +304,7 @@ let create_r ?(resident_capacity = default_resident_capacity)
     config;
     chain_pruning;
     resilience;
+    admission = Admission.create admission;
     (* both shared caches are synchronized: parallel batches compile
        plans from worker domains, and synchronization on the resident
        set costs one uncontended try_lock per acquire otherwise *)
@@ -311,13 +324,16 @@ let create_r ?(resident_capacity = default_resident_capacity)
     quarantines = 0;
     degraded_hits = 0;
     prefetches = 0;
+    sheds = 0;
+    fallbacks = 0;
     last_metrics = [];
+    last_statuses = [||];
   }
 
 (* Raising-loader form, for in-memory sources: escaped exceptions are
    classified so legacy loaders still flow through the typed machinery. *)
 let create ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ~loader () =
+    ?resilience ?admission ~loader () =
   let typed_loader k =
     match loader k with
     | s -> Ok s
@@ -328,7 +344,7 @@ let create ?resident_capacity ?resident_policy ?config ?chain_pruning
         Error (E.Internal reason)
   in
   create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ~loader:typed_loader ()
+    ?resilience ?admission ~loader:typed_loader ()
 
 (* -------------------- health bookkeeping -------------------- *)
 
@@ -591,9 +607,9 @@ let manifest_loader ?io ~dir manifest key =
       | Ok path -> Synopsis_io.load_typed ?io path)
 
 let of_manifest ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ?io ~dir manifest =
+    ?resilience ?admission ?io ~dir manifest =
   create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience
+    ?resilience ?admission
     ~verify:(manifest_verify ?io ~dir manifest)
     ~loader:(manifest_loader ?io ~dir manifest)
     ()
@@ -607,6 +623,50 @@ let estimate_r t key q =
   | Error e -> Error e
 
 let estimate t key q = Estimator.estimate (acquire t key) q
+
+(* -------------------- admission support -------------------- *)
+
+(* Exact prediction of whether acquiring [key] right now would call
+   the loader — [acquire_with]'s decision tree evaluated one tick
+   ahead (acquire ticks the clock before anything else).  Admission
+   charges [load_cost] only when this is [true]; a quarantine or
+   capacity refusal costs a plain tick like a hit.  Uses only
+   non-mutating probes ([Bounded_cache.mem], table lookups), so a
+   prediction for a group that ends up shed leaves no trace. *)
+let would_load t key =
+  (not (Bounded_cache.mem t.residents key))
+  && (match Hashtbl.find_opt t.health_tbl key with
+     | Some h -> t.clock + 1 >= h.until
+     | None ->
+         (* mirror [hstate_tracked]: room in the table, or the prune
+            it triggers would free at least one fully-healthy slot *)
+         Hashtbl.length t.health_tbl < t.resilience.max_tracked
+         || Hashtbl.fold
+              (fun _ h free ->
+                free
+                || (h.consecutive = 0 && h.until <= t.clock + 1
+                   && not h.is_degraded))
+              t.health_tbl false)
+
+(* The degraded fallback tier: an already-resident summary of the same
+   dataset, nearest by |Δvariance| (ties broken toward the smaller
+   variance), chosen with a non-promoting fold so the probe neither
+   touches recency nor depends on the fold's visit order — the
+   comparator is a strict total order over the dataset's resident
+   variances, so the winner is a pure function of the resident set. *)
+let resident_sibling t key =
+  Bounded_cache.fold
+    (fun k r best ->
+      if not (String.equal k.dataset key.dataset) then best
+      else
+        match best with
+        | None -> Some (k, r)
+        | Some (bk, _) ->
+            let d = Float.abs (k.variance -. key.variance)
+            and bd = Float.abs (bk.variance -. key.variance) in
+            if d < bd || (d = bd && k.variance < bk.variance) then Some (k, r)
+            else best)
+    t.residents None
 
 (* Routed batches run the staged pipeline (see pipeline.mli): route,
    then a single-owner acquire scan in route order, with loads fanned
@@ -639,13 +699,25 @@ let estimate t key q = Estimator.estimate (acquire t key) q
    Resident keys are never prefetched: an earlier commit may evict
    them, in which case their own commit loads inline — still the exact
    sequential schedule for that key.  Under-approximation is the safe
-   direction throughout: a skipped prefetch only costs overlap. *)
+   direction throughout: a skipped prefetch only costs overlap.
+
+   Admission control adds two proof obligations.  First, a prefetched
+   group must be provably admitted at its commit ([Admission.provable]
+   against the worst case of every earlier group): a prefetched load
+   whose group is then shed would consume keyed-injector attempts for
+   a discarded result and break bit-identity across load-domain
+   counts.  Second, shed groups do not tick the clock, so the exact
+   clock-at-turn prediction degrades to a range; the quarantine check
+   then uses the earliest possible clock (every earlier group shed) —
+   conservative, never wrong. *)
 let prefetch_planner t =
   let pos = ref 0 in
   let will_add = ref 0 in
   fun key ->
     incr pos;
-    let clock_at_turn = t.clock + !pos in
+    let clock_at_turn =
+      if Admission.active t.admission then t.clock + 1 else t.clock + !pos
+    in
     let has_entry = Hashtbl.mem t.health_tbl key in
     let decision =
       (not (Bounded_cache.mem t.residents key))
@@ -653,6 +725,7 @@ let prefetch_planner t =
          | Some h -> clock_at_turn >= h.until
          | None -> true)
       && Hashtbl.length t.health_tbl + !will_add < t.resilience.max_tracked
+      && Admission.provable t.admission ~groups_before:(!pos - 1)
     in
     if not has_entry then incr will_add;
     if decision then begin
@@ -664,6 +737,7 @@ let prefetch_planner t =
 let estimate_batch_r ?pool ?loads t pairs =
   Counters.incr c_batch;
   Counters.add c_routed (Array.length pairs);
+  Admission.batch_begin t.admission;
   let out =
     Array.make (Array.length pairs)
       (Error (E.Internal "catalog: unrouted query slot") : (float, E.t) result)
@@ -692,11 +766,54 @@ let estimate_batch_r ?pool ?loads t pairs =
           | delta -> metrics := (k, delta) :: !metrics ))
     else ((fun _ -> ()), fun _ -> ())
   in
+  (* Per-group statuses, recorded on the single-owner commit path and
+     materialized per slot after the run (only exceptional statuses
+     are stored; everything else is [Served]). *)
+  let gstatus : (key, slot_status) Hashtbl.t = Hashtbl.create 4 in
+  (* The stage-boundary admission check wraps the acquire step.  A
+     shed consults nothing downstream: no clock tick, no I/O, no
+     per-key health mutation — the refusal is about the system, not
+     the key.  Admitted cold loads report their final outcome to the
+     breaker at this same single-owner point, in route order, which is
+     what keeps breaker transitions deterministic at any fan-out. *)
+  let commit k ~prefetched =
+    if not (Admission.active t.admission) then acquire_with t ~prefetched k
+    else begin
+      let wl = would_load t k in
+      match
+        Admission.decide t.admission ~clock:t.clock ~key:(key_to_string k)
+          ~would_load:wl
+      with
+      | Admission.Admit { probe = _ } ->
+          let r = acquire_with t ~prefetched k in
+          if wl then
+            Admission.note_load_result t.admission ~clock:t.clock
+              ~ok:(Result.is_ok r);
+          r
+      | Admission.Shed e -> (
+          let n = Array.length (Pipeline.group_indices routed k) in
+          t.sheds <- t.sheds + n;
+          Counters.add c_shed n;
+          match
+            if Admission.policy t.admission = Admission.Degrade then
+              resident_sibling t k
+            else None
+          with
+          | Some (sib, r) ->
+              t.fallbacks <- t.fallbacks + n;
+              Counters.add c_fallback n;
+              Hashtbl.replace gstatus k (Fallback sib);
+              Ok r.estimator
+          | None ->
+              Hashtbl.replace gstatus k Shed;
+              Error e)
+    end
+  in
   let ops =
     {
       Pipeline.prefetchable = prefetch_planner t;
       load = (fun k -> load_job t k ());
-      commit = (fun k ~prefetched -> acquire_with t ~prefetched k);
+      commit;
       group_begin;
       group_end;
     }
@@ -715,7 +832,14 @@ let estimate_batch_r ?pool ?loads t pairs =
   (* one poisoned key fails its own queries, nobody else's *)
   let fail e idxs = Array.iter (fun i -> out.(i) <- Error e) idxs in
   Pipeline.run ?pool ~loads ~ops ~fail ~execute ~execute_chunked routed;
+  Admission.batch_end t.admission ~clock:t.clock;
   t.last_metrics <- (if seq_metrics then List.rev !metrics else []);
+  let statuses = Array.make (Array.length pairs) Served in
+  Hashtbl.iter
+    (fun k st ->
+      Array.iter (fun i -> statuses.(i) <- st) (Pipeline.group_indices routed k))
+    gstatus;
+  t.last_statuses <- statuses;
   out
 
 let estimate_batch ?pool ?loads t pairs =
@@ -742,6 +866,8 @@ type stats = {
   quarantines : int;
   degraded_hits : int;
   prefetched_loads : int;
+  shed_queries : int;
+  fallback_queries : int;
   plan_cache : Plan_cache.stats;
   plan_contention : int;
   plan_races : int;
@@ -772,6 +898,8 @@ let stats t =
     quarantines = t.quarantines;
     degraded_hits = t.degraded_hits;
     prefetched_loads = t.prefetches;
+    shed_queries = t.sheds;
+    fallback_queries = t.fallbacks;
     plan_cache = Plan_cache.stats t.plans;
     plan_contention = Plan_cache.contention t.plans;
     plan_races = Plan_cache.races t.plans;
@@ -813,7 +941,21 @@ let clear_quarantine t key =
       Hashtbl.remove t.health_tbl key;
       Some prior
 
+(* The --all form: forget every tracked key at once.  Returns the
+   discarded states (sorted, like [health]) so the CLI can show what
+   was cleared.  The circuit breaker is deliberately left alone — it
+   guards the loader seam, not any key, and has its own half-open
+   recovery path. *)
+let clear_all_quarantine t =
+  let prior = health t in
+  Hashtbl.reset t.health_tbl;
+  prior
+
 let last_batch_metrics t = t.last_metrics
+let last_batch_statuses t = t.last_statuses
+let admission_config t = Admission.config t.admission
+let admission_stats t = Admission.stats t.admission
+let breaker t = Admission.breaker t.admission ~clock:t.clock
 let keys_by_recency t = Bounded_cache.keys_by_recency t.residents
 
 (* Pins are sticky on the key (they survive eviction and apply to the
@@ -838,26 +980,46 @@ let pinned t key = Bounded_cache.pinned t.residents key
    the counts and the deadline, not the stale diagnosis. *)
 
 let health_filename = "catalog.health"
-let health_magic = "xpest-catalog-health/1"
+let health_magic = "xpest-catalog-health/2"
+let health_magic_v1 = "xpest-catalog-health/1"
 
-let save_health t path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (health_magic ^ "\n");
-      Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.health_tbl []
-      |> List.sort (fun (a, _) (b, _) ->
-             String.compare (key_to_string a) (key_to_string b))
-      |> List.iter (fun (k, (h : hstate)) ->
-             Printf.fprintf oc "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n"
-               (escape_dataset (key_to_string k))
-               h.consecutive h.failures h.retries h.quarantines
-               h.degraded_hits h.backoff
-               (max 0 (h.until - t.clock))
-               (if h.is_degraded then 1 else 0)));
-  Sys.rename tmp path
+(* v2 adds one optional directive line right after the magic —
+   "!breaker<TAB>state<TAB>remaining<TAB>failures<TAB>cooldown" — for
+   the circuit breaker over the loader seam.  '!' cannot start a key
+   row (escape_dataset %-encodes it), so the directive space is
+   unambiguous.  v1 files load unchanged (breaker starts closed). *)
+let breaker_state_to_string = function
+  | `Closed -> "closed"
+  | `Open -> "open"
+  | `Half_open -> "half-open"
+
+let breaker_state_of_string = function
+  | "closed" -> Some `Closed
+  | "open" -> Some `Open
+  | "half-open" -> Some `Half_open
+  | _ -> None
+
+let save_health ?io t path =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (health_magic ^ "\n");
+  let bv = Admission.breaker t.admission ~clock:t.clock in
+  Buffer.add_string buf
+    (Printf.sprintf "!breaker\t%s\t%d\t%d\t%d\n"
+       (breaker_state_to_string bv.Admission.state)
+       bv.Admission.remaining_ticks bv.Admission.consecutive_failures
+       bv.Admission.cooldown);
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.health_tbl []
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (key_to_string a) (key_to_string b))
+  |> List.iter (fun (k, (h : hstate)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n"
+              (escape_dataset (key_to_string k))
+              h.consecutive h.failures h.retries h.quarantines h.degraded_hits
+              h.backoff
+              (max 0 (h.until - t.clock))
+              (if h.is_degraded then 1 else 0)));
+  Fault.atomic_write ?io path (Buffer.contents buf)
 
 let load_health t path =
   let corrupt reason = Error (E.Corrupt { path; section = "health"; reason }) in
@@ -899,6 +1061,27 @@ let load_health t path =
         | Ok _, _ -> Error "malformed counters")
     | _ -> Error "wrong field count"
   in
+  let parse_breaker line =
+    match String.split_on_char '\t' line with
+    | [ "!breaker"; state; remaining; failures; cooldown ] -> (
+        match
+          ( breaker_state_of_string state,
+            int_of_string_opt remaining,
+            int_of_string_opt failures,
+            int_of_string_opt cooldown )
+        with
+        | Some state, Some remaining, Some failures, Some cooldown
+          when remaining >= 0 && failures >= 0 && cooldown >= 1 ->
+            Ok
+              {
+                Admission.state;
+                remaining_ticks = remaining;
+                consecutive_failures = failures;
+                cooldown;
+              }
+        | _ -> Error "malformed !breaker directive")
+    | _ -> Error "malformed !breaker directive"
+  in
   match open_in path with
   | exception Sys_error reason -> Error (E.Io_failure { path; reason })
   | ic ->
@@ -907,13 +1090,26 @@ let load_health t path =
         (fun () ->
           match input_line ic with
           | exception End_of_file -> corrupt "empty file"
-          | magic when magic <> health_magic ->
+          | magic when magic <> health_magic && magic <> health_magic_v1 ->
               corrupt (Printf.sprintf "bad magic %S (want %S)" magic health_magic)
-          | _ ->
+          | magic ->
+              (* v2 adds '!'-prefixed directives; under v1 no line can
+                 start with '!' (escape_dataset %-encodes it), so a
+                 directive there is plain corruption *)
+              let directives_ok = magic = health_magic in
+              let breaker = ref None in
               let rec rows acc lineno =
                 match input_line ic with
                 | exception End_of_file -> Ok (List.rev acc)
                 | "" -> rows acc (lineno + 1)
+                | line when directives_ok && String.length line > 0 && line.[0] = '!'
+                  -> (
+                    match parse_breaker line with
+                    | Ok view ->
+                        breaker := Some view;
+                        rows acc (lineno + 1)
+                    | Error reason ->
+                        corrupt (Printf.sprintf "line %d: %s" lineno reason))
                 | line -> (
                     match parse_row line with
                     | Ok row -> rows (row :: acc) (lineno + 1)
@@ -928,4 +1124,7 @@ let load_health t path =
                   List.iter
                     (fun (key, h) -> Hashtbl.replace t.health_tbl key h)
                     rows;
+                  Option.iter
+                    (Admission.restore_breaker t.admission ~clock:t.clock)
+                    !breaker;
                   Ok (List.length rows)))

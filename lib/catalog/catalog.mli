@@ -54,6 +54,29 @@
     [Invalid_argument (Xpest_error.to_string e)] — CLI and legacy
     call sites keep working, new serving paths should use [_r].
 
+    {2 Overload protection}
+
+    Batches can additionally run under admission control
+    ({!Xpest_catalog.Admission}, configured per catalog with
+    [?admission]): each routed group passes a stage-boundary check
+    before its acquire — deadline budget (modeled ticks per batch),
+    load-queue bound (cold loads admitted per batch), and a circuit
+    breaker over the loader seam.  A query group that fails the check
+    is {e shed}: refused with a typed [Deadline_exceeded] or
+    [Overloaded] error before any I/O, without ticking the clock or
+    touching per-key health.  Under the [Degrade] shed policy, a shed
+    group whose dataset has an already-resident sibling variance is
+    served from that sibling instead and marked
+    {!slot_status.Fallback} in {!last_batch_statuses} — a degraded
+    answer beats no answer, and the caller can tell them apart.
+
+    Admission decisions are a pure function of (configuration,
+    logical clock, route order): shedding reproduces bit-identically
+    at any domain count, and with admission inactive (the default
+    {!Admission.unlimited}) — or any configuration whose limits never
+    bind — results, errors, stats and clock are byte-identical to an
+    uncontrolled catalog.
+
     {2 The serving pipeline}
 
     Routed batches run a four-stage pipeline (control flow in
@@ -170,6 +193,7 @@ val create :
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
   ?resilience:resilience ->
+  ?admission:Admission.config ->
   loader:(key -> Summary.t) ->
   unit ->
   t
@@ -193,7 +217,11 @@ val create :
     resilience policy is malformed ([max_retries < 0],
     [failure_threshold < 1], [backoff_base < 1],
     [backoff_max < backoff_base], or [max_tracked < 1]), or if
-    [config.resident_bytes] is [Some b] with [b < 1]. *)
+    [config.resident_bytes] is [Some b] with [b < 1], or if the
+    [admission] configuration is malformed (see
+    {!Admission.create}).  [admission] (default
+    {!Admission.unlimited}, a no-op) enables overload protection on
+    the batch entry points — see the preamble. *)
 
 val create_r :
   ?resident_capacity:int ->
@@ -201,6 +229,7 @@ val create_r :
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
   ?resilience:resilience ->
+  ?admission:Admission.config ->
   ?verify:(key -> (unit, E.t) result) ->
   loader:(key -> (Summary.t, E.t) result) ->
   unit ->
@@ -219,6 +248,7 @@ val of_manifest :
   ?config:Xpest_plan.Cache_config.t ->
   ?chain_pruning:bool ->
   ?resilience:resilience ->
+  ?admission:Admission.config ->
   ?io:Xpest_util.Fault.Io.t ->
   dir:string ->
   Manifest.t ->
@@ -365,6 +395,13 @@ type stats = {
           (0 without a concurrent [loads] policy); counts submissions,
           including the rare prefetch a commit-side refusal then
           discards *)
+  shed_queries : int;
+      (** queries refused by admission control (deadline, queue bound
+          or breaker) — each one got a typed error or a fallback
+          answer, never silence *)
+  fallback_queries : int;
+      (** the subset of [shed_queries] served degraded from a
+          resident sibling variance (the [Degrade] shed policy) *)
   plan_cache : Xpest_plan.Plan_cache.stats;
       (** the pool-shared compiled-plan cache *)
   plan_contention : int;
@@ -409,6 +446,42 @@ val clear_quarantine : t -> key -> key_health option
     not tracked).  Does not touch the resident set: a resident,
     serving summary stays resident. *)
 
+val clear_all_quarantine : t -> key_health list
+(** {!clear_quarantine} over every tracked key at once (the CLI's
+    [clear-quarantine --all]).  Returns the discarded states, sorted
+    like {!health}.  The circuit breaker is {e not} reset — it guards
+    the loader seam, not any key, and recovers through its own
+    half-open probe. *)
+
+(** {1 Overload observability}
+
+    See the preamble's overload-protection section and
+    {!Xpest_catalog.Admission} for the model. *)
+
+type slot_status =
+  | Served  (** answered normally *)
+  | Fallback of key
+      (** shed, then answered degraded from this resident sibling
+          variance of the same dataset ([Degrade] policy); the result
+          array holds the sibling's estimate *)
+  | Shed
+      (** refused outright; the result array holds the typed error *)
+
+val last_batch_statuses : t -> slot_status array
+(** How each query slot of the most recent {!estimate_batch_r} was
+    answered, parallel to its result array (empty before any batch).
+    All-[Served] whenever admission is inactive or nothing was
+    shed. *)
+
+val admission_config : t -> Admission.config
+val admission_stats : t -> Admission.stats
+(** Lifetime shed/breaker counters of the catalog's admission
+    controller (all zero when admission is inactive). *)
+
+val breaker : t -> Admission.breaker_view
+(** The circuit breaker's current state, anchored on {!clock} (for
+    stats output and [catalog info --health]). *)
+
 (** {1 Health persistence}
 
     The failure history can outlive the process: {!save_health} writes
@@ -424,14 +497,22 @@ val health_filename : string
 (** ["catalog.health"] — the conventional file name inside a catalog
     directory (next to {!manifest_filename}). *)
 
-val save_health : t -> string -> unit
-(** Write the health table to [path], atomically (temp file + rename).
-    @raise Sys_error on I/O failure. *)
+val save_health : ?io:Xpest_util.Fault.Io.t -> t -> string -> unit
+(** Write the health table to [path], crash-safely
+    ({!Xpest_util.Fault.atomic_write}: temp file + atomic rename, a
+    killed process never leaves a torn file).  Format v2 also carries
+    the circuit breaker's state as a [!breaker] directive line, with
+    its probe deadline stored as remaining ticks like quarantine
+    deadlines.  [io] substitutes the write interface (write-abort
+    injection under test).
+    @raise Sys_error on I/O failure (the temp file is cleaned up). *)
 
 val load_health : t -> string -> (int, E.t) result
 (** Merge the health file at [path] into the catalog
-    ([Hashtbl.replace] per key — on-file state wins) and return how
-    many keys were loaded.  All-or-nothing: a malformed file is
+    ([Hashtbl.replace] per key — on-file state wins; a persisted
+    breaker state is re-anchored on this catalog's {!clock}) and
+    return how many keys were loaded.  Accepts v1 files (no breaker
+    line).  All-or-nothing: a malformed file is
     [Error (Corrupt {section = "health"; _})] and changes nothing; an
     unreadable one is [Error (Io_failure _)]. *)
 

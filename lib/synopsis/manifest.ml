@@ -63,12 +63,9 @@ let decode data =
       expect_end r;
       { entries }
 
-let save t path =
-  let data = encode t in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc data)
+(* Same crash-safety discipline as Summary.save: temp file + atomic
+   rename, so a manifest rewrite can never tear the catalog's index. *)
+let save t path = Fault.atomic_write path (encode t)
 
 let load path = decode (Fault.Io.default.Fault.Io.read_file path)
 

@@ -42,6 +42,11 @@ val decode : string -> t
     checksum, or payload). *)
 
 val save : t -> string -> unit
+(** Crash-safe: temp file + atomic rename
+    ({!Xpest_util.Fault.atomic_write}), so a manifest rewrite never
+    leaves a torn index behind.
+    @raise Sys_error on I/O failure. *)
+
 val load : string -> t
 
 val load_typed :

@@ -1,6 +1,7 @@
 module Doc = Xpest_xml.Doc
 module Bitvec = Xpest_util.Bitvec
 module Counters = Xpest_util.Counters
+module Fault = Xpest_util.Fault
 module Encoding_table = Xpest_encoding.Encoding_table
 module Labeler = Xpest_encoding.Labeler
 module Pid_tree = Xpest_encoding.Pid_tree
@@ -377,13 +378,12 @@ let size_bytes t =
   if t.wire_bytes = 0 then ignore (encode t);
   t.wire_bytes
 
-let save t path =
-  Counters.time t_save (fun () ->
-      let data = encode t in
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc data))
+(* Crash-safe: the encoded bytes land via temp-file + atomic rename,
+   so a process killed mid-save never leaves a torn synopsis behind —
+   the previous file (if any) survives byte-identical.  [io] is the
+   write-abort injection seam for the chaos suites. *)
+let save ?io t path =
+  Counters.time t_save (fun () -> Fault.atomic_write ?io path (encode t))
 
 let read_file path =
   let ic = open_in_bin path in

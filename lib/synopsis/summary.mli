@@ -131,8 +131,14 @@ val decode : string -> t
 (** Inverse of {!encode}.
     @raise Invalid_argument on malformed input. *)
 
-val save : t -> string -> unit
-(** @raise Sys_error on I/O failure. *)
+val save : ?io:Xpest_util.Fault.Io.t -> t -> string -> unit
+(** Crash-safe persistence: the bytes are written to a same-directory
+    temp file and atomically renamed over [path]
+    ({!Xpest_util.Fault.atomic_write}), so a killed process never
+    leaves a torn synopsis — [path] is either absent, its previous
+    complete contents, or the new complete contents.  [io] substitutes
+    the write interface (write-abort injection under test).
+    @raise Sys_error on I/O failure (the temp file is cleaned up). *)
 
 val load : string -> t
 (** @raise Invalid_argument on malformed input, [Sys_error] on I/O

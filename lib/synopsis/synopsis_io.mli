@@ -39,8 +39,8 @@ val overhead_bytes : info -> int
 (** Container overhead: file size minus the summed section payloads
     (magic, version, checksum, section table). *)
 
-val save : Summary.t -> string -> unit
-(** Alias of {!Summary.save}. *)
+val save : ?io:Xpest_util.Fault.Io.t -> Summary.t -> string -> unit
+(** Alias of {!Summary.save} (crash-safe: temp file + atomic rename). *)
 
 val load : string -> Summary.t
 (** Alias of {!Summary.load}. *)

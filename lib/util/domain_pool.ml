@@ -19,6 +19,7 @@ type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   mutable stopping : bool;  (* guarded by [mutex] *)
+  mutable terminated : bool;  (* guarded by [mutex]: workers joined *)
 }
 
 let max_domains = 64
@@ -63,6 +64,7 @@ let create ?(domains = Domain.recommended_domain_count ()) () =
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       stopping = false;
+      terminated = false;
     }
   in
   t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
@@ -78,8 +80,17 @@ let shutdown t =
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
     Array.iter Domain.join t.workers;
-    t.workers <- [||]
+    t.workers <- [||];
+    Mutex.lock t.mutex;
+    t.terminated <- true;
+    Mutex.unlock t.mutex
   end
+
+let stopped t =
+  Mutex.lock t.mutex;
+  let s = t.terminated in
+  Mutex.unlock t.mutex;
+  s
 
 let with_pool ?domains f =
   let t = create ?domains () in

@@ -76,7 +76,16 @@ val try_run_one : t -> bool
 
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent.  Only call between
-    {!run_all}s (never while one is in flight). *)
+    {!run_all}s (never while one is in flight).  Jobs already queued
+    at shutdown are {e not} abandoned: workers drain the queue before
+    exiting, so every {!async} job submitted before shutdown runs to
+    completion. *)
+
+val stopped : t -> bool
+(** The pool has fully shut down: {!shutdown} completed and every
+    worker domain is joined.  Once [true], no job can be queued or in
+    flight — which is what lets {!Loader_pool.await} tell a lost
+    future from one still being computed. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [create], run the function, [shutdown] (also on exceptions). *)

@@ -1,5 +1,8 @@
 module Io = struct
-  type t = { read_file : string -> string }
+  type t = {
+    read_file : string -> string;
+    write_file : string -> string -> unit;
+  }
 
   let read_file path =
     let ic = open_in_bin path in
@@ -7,8 +10,27 @@ module Io = struct
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
 
-  let default = { read_file }
+  let write_file path data =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc data)
+
+  let default = { read_file; write_file }
 end
+
+(* Crash-safe persistence: write the whole payload to a same-directory
+   temp file, then atomically rename over the target — a reader (or a
+   restart) sees either the old complete file or the new complete file,
+   never a torn prefix.  An aborted write (crash, injected fault) is
+   cleaned up and leaves the target untouched. *)
+let atomic_write ?(io = Io.default) path data =
+  let tmp = path ^ ".tmp" in
+  (try io.Io.write_file tmp data
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (* Observability: one counter per fault kind plus the total the
    resilience report surfaces.  No-ops unless [Counters.set_enabled]. *)
@@ -17,6 +39,7 @@ let c_read_error = Counters.create "fault.read_error"
 let c_truncate = Counters.create "fault.truncate"
 let c_bit_flip = Counters.create "fault.bit_flip"
 let c_stall = Counters.create "fault.stall"
+let c_write_abort = Counters.create "fault.write_abort"
 
 type config = {
   seed : int;
@@ -25,6 +48,7 @@ type config = {
   bit_flip : float;
   stall : float;
   stall_seconds : float;
+  write_abort : float;
 }
 
 let none =
@@ -35,6 +59,7 @@ let none =
     bit_flip = 0.0;
     stall = 0.0;
     stall_seconds = 0.0;
+    write_abort = 0.0;
   }
 
 let uniform ~seed ~rate =
@@ -45,6 +70,7 @@ let uniform ~seed ~rate =
 
 let fault_free c =
   c.read_error = 0.0 && c.truncate = 0.0 && c.bit_flip = 0.0 && c.stall = 0.0
+  && c.write_abort = 0.0
 
 (* Two variate-sourcing disciplines:
 
@@ -133,4 +159,22 @@ let io t base =
       end
       else base.Io.read_file path
     in
-    { Io.read_file }
+    (* Write-abort: the process "dies" mid-write — a strict prefix of
+       the payload lands on disk, then the write raises.  What makes
+       this worth injecting is the atomic-rename discipline
+       ([atomic_write]): the torn prefix only ever hits the temp file,
+       so the target must survive byte-identical.  One variate picks
+       abort-or-not, a second picks the tear point. *)
+    let write_file path data =
+      let rng = call_rng t path in
+      let u = Prng.float rng 1.0 in
+      if u < c.write_abort then begin
+        hit t c_write_abort;
+        let n = String.length data in
+        let torn = if n = 0 then 0 else Prng.int rng n in
+        base.Io.write_file path (String.sub data 0 torn);
+        raise (Sys_error (Printf.sprintf "%s: injected write abort" path))
+      end
+      else base.Io.write_file path data
+    in
+    { Io.read_file; write_file }

@@ -16,14 +16,30 @@
     [Io.t] physically unchanged, so the disabled fault layer costs
     nothing on the hot path. *)
 
-(** The read interface the serving stack loads files through. *)
+(** The storage interface the serving stack reads and persists files
+    through. *)
 module Io : sig
-  type t = { read_file : string -> string }
+  type t = {
+    read_file : string -> string;
+    write_file : string -> string -> unit;
+        (** Replace the file's contents with the payload (not atomic
+            on its own — see {!atomic_write}). *)
+  }
 
   val default : t
-  (** Reads the whole file with stdlib binary I/O.
+  (** Reads/writes the whole file with stdlib binary I/O.
       @raise Sys_error on I/O failure. *)
 end
+
+val atomic_write : ?io:Io.t -> string -> string -> unit
+(** [atomic_write path data] writes [data] to [path ^ ".tmp"] (same
+    directory) and atomically renames it over [path] — a crash or an
+    injected {!config.write_abort} mid-write leaves the target either
+    absent or byte-identical to its previous contents, never torn.  An
+    aborted temp file is removed before the exception propagates.
+    [io] defaults to {!Io.default}; the health/synopsis savers thread
+    an injected one through here under test.
+    @raise Sys_error on I/O failure (after cleaning up the temp). *)
 
 type config = {
   seed : int;  (** PRNG seed; equal seeds give equal fault schedules *)
@@ -32,6 +48,11 @@ type config = {
   bit_flip : float;  (** probability a read returns one flipped bit *)
   stall : float;  (** probability a read sleeps [stall_seconds] first *)
   stall_seconds : float;
+  write_abort : float;
+      (** probability a write lands a strict prefix then raises
+          [Sys_error] — the process "dying" mid-write.  Injected on the
+          {!Io.t.write_file} seam, so only writers routed through it
+          (e.g. {!atomic_write}) are exercised. *)
 }
 
 val none : config
@@ -69,8 +90,12 @@ val injected : t -> int
     enabled). *)
 
 val io : t -> Io.t -> Io.t
-(** Wrap a base reader.  Physically the same [Io.t] when the config is
-    fault-free ([== base]); otherwise each [read_file] call draws one
-    uniform variate to pick a fault (or none) plus, for truncation /
-    bit flips, the variates selecting the damage site — so the
-    schedule depends only on the seed and the call order. *)
+(** Wrap a base interface.  Physically the same [Io.t] when the config
+    is fault-free ([== base]); otherwise each [read_file] /
+    [write_file] call draws one uniform variate to pick a fault (or
+    none) plus, for truncation / bit flips / write aborts, the
+    variates selecting the damage site — so the schedule depends only
+    on the seed and the call order.  (Writes share the read's variate
+    discipline: under a keyed injector a write counts as one attempt
+    of its own path; under a stream injector it consumes one draw from
+    the shared stream.) *)

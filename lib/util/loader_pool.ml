@@ -27,7 +27,14 @@
    [Raised e] in the cell, so pool workers never raise
    (Domain_pool.async's contract) and [await] re-raises exactly what
    the thunk raised — a raising loader is observationally identical to
-   the blocking path. *)
+   the blocking path.
+
+   Shutdown discipline: Domain_pool.shutdown drains the queue, so a
+   future pending at shutdown still completes and awaits normally.
+   Submitting against an already shut-down pool yields a poisoned
+   future whose await raises a typed [Overloaded] error — callers see
+   the same error taxonomy the admission layer speaks, never a hang or
+   a bare Invalid_argument from deep inside the pool. *)
 
 type 'a outcome = Pending | Done of 'a | Raised of exn
 
@@ -45,30 +52,56 @@ type 'a deferred = {
 type 'a future =
   | Deferred of 'a deferred
   | Queued of Domain_pool.t * 'a cell
+  | Poisoned of exn
 
-type t = Blocking | Pool of Domain_pool.t
+type t = Blocking | Pool of { pool : Domain_pool.t; pending : int Atomic.t }
 
 let blocking = Blocking
-let over pool = Pool pool
+let over pool = Pool { pool; pending = Atomic.make 0 }
 
-let domains = function Blocking -> 1 | Pool p -> Domain_pool.size p
+let domains = function
+  | Blocking -> 1
+  | Pool { pool; _ } -> Domain_pool.size pool
+
 let concurrent t = domains t > 1
+
+(* Submitted-but-not-yet-completed queued jobs — the pool's live queue
+   depth as seen from the submitting domain.  Observability only: the
+   admission layer keeps its own deterministic ledger (this number
+   depends on worker scheduling). *)
+let pending = function
+  | Blocking -> 0
+  | Pool { pending; _ } -> Atomic.get pending
 
 let c_submit = Counters.create "loader_pool.submits"
 let c_stolen = Counters.create "loader_pool.steals"
+let c_poisoned = Counters.create "loader_pool.poisoned"
+
+let shutdown_error () =
+  Xpest_error.Error (Xpest_error.Overloaded "loader pool is shut down")
 
 let submit t f =
   match t with
-  | Pool pool when Domain_pool.size pool > 1 ->
-      Counters.incr c_submit;
+  | Pool { pool; pending } when Domain_pool.size pool > 1 -> (
       let cell = { m = Mutex.create (); cond = Condition.create (); state = Pending } in
-      Domain_pool.async pool (fun () ->
-          let st = try Done (f ()) with e -> Raised e in
-          Mutex.lock cell.m;
-          cell.state <- st;
-          Condition.broadcast cell.cond;
-          Mutex.unlock cell.m);
-      Queued (pool, cell)
+      Atomic.incr pending;
+      let job () =
+        let st = try Done (f ()) with e -> Raised e in
+        Mutex.lock cell.m;
+        cell.state <- st;
+        Condition.broadcast cell.cond;
+        Mutex.unlock cell.m;
+        Atomic.decr pending
+      in
+      match Domain_pool.async pool job with
+      | () ->
+          Counters.incr c_submit;
+          Queued (pool, cell)
+      | exception Invalid_argument _ ->
+          (* the pool refused the job: it was never queued *)
+          Atomic.decr pending;
+          Counters.incr c_poisoned;
+          Poisoned (shutdown_error ()))
   | Blocking | Pool _ -> Deferred { thunk = Some f; memo = Pending }
 
 let of_outcome = function
@@ -78,6 +111,7 @@ let of_outcome = function
 
 let await fut =
   match fut with
+  | Poisoned e -> raise e
   | Deferred d -> (
       match d.memo with
       | Done _ | Raised _ -> of_outcome d.memo
@@ -101,6 +135,13 @@ let await fut =
           if Domain_pool.try_run_one pool then begin
             Counters.incr c_stolen;
             help ()
+          end
+          else if Domain_pool.stopped pool then begin
+            (* workers joined and the queue is dry: nothing can ever
+               complete this future.  Shutdown drains the queue, so
+               this is unreachable unless a job was lost — turn that
+               would-be hang into a typed error. *)
+            if pending () then raise (shutdown_error ())
           end
           else begin
             (* queue empty: the job is in flight on another domain *)

@@ -54,14 +54,31 @@ val concurrent : t -> bool
     worth anything (and whether per-group metric attribution is still
     meaningful). *)
 
+val pending : t -> int
+(** Queued jobs submitted but not yet completed — the pool's live
+    queue depth as seen from the submitting domain; always 0 for
+    {!blocking}.  Observability only: the value depends on worker
+    scheduling, so determinism-bound callers (admission control) must
+    keep their own ledger rather than branch on it. *)
+
 val submit : t -> (unit -> 'a) -> 'a future
 (** Register a thunk.  Under {!concurrent} policies it is enqueued
     immediately and must be thread-safe; otherwise nothing runs until
-    {!await}.
-    @raise Invalid_argument if the underlying pool was shut down. *)
+    {!await}.  Submitting against a pool that was already shut down
+    does not raise: it returns a {e poisoned} future whose {!await}
+    raises [Xpest_error.Error (Overloaded _)] — the caller sees a
+    typed refusal at the commit point instead of an [Invalid_argument]
+    escaping from inside the pool. *)
 
 val await : 'a future -> 'a
 (** The thunk's result: runs it now (blocking futures, first await),
     steals queued work then parks until done (queued futures), or
     returns the memoized outcome (subsequent awaits).  Re-raises the
-    thunk's exception if it raised. *)
+    thunk's exception if it raised.
+
+    Shutdown safety: futures pending when {!Domain_pool.shutdown} runs
+    still complete (workers drain the queue before exiting) and await
+    normally afterwards.  A future that provably can never complete —
+    the pool is {!Domain_pool.stopped}, its queue is dry, and the
+    outcome is still pending — raises
+    [Xpest_error.Error (Overloaded _)] rather than parking forever. *)

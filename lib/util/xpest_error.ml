@@ -5,6 +5,8 @@ type t =
   | Unknown_key of string
   | Quarantined of { key : string; until : int }
   | Capacity of string
+  | Deadline_exceeded of { key : string; needed : int; remaining : int }
+  | Overloaded of string
   | Internal of string
 
 let kind = function
@@ -14,6 +16,8 @@ let kind = function
   | Unknown_key _ -> "unknown-key"
   | Quarantined _ -> "quarantined"
   | Capacity _ -> "capacity"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Overloaded _ -> "overloaded"
   | Internal _ -> "internal"
 
 let to_string = function
@@ -27,12 +31,24 @@ let to_string = function
   | Quarantined { key; until } ->
       Printf.sprintf "quarantined: %s (backing off until tick %d)" key until
   | Capacity reason -> Printf.sprintf "capacity: %s" reason
+  | Deadline_exceeded { key; needed; remaining } ->
+      Printf.sprintf
+        "deadline-exceeded: %s (needs %d tick(s), %d remaining in the batch \
+         budget)"
+        key needed remaining
+  | Overloaded reason -> Printf.sprintf "overloaded: %s" reason
   | Internal reason -> Printf.sprintf "internal: %s" reason
 
+(* Shed refusals ([Deadline_exceeded], [Overloaded]) are deliberately
+   NOT transient: transiency drives the in-attempt retry loop, and
+   retrying into an exhausted budget or an open breaker would spin on
+   exactly the work the admission layer just refused.  Overload is
+   resolved by time (the next batch gets a fresh budget; the breaker
+   half-opens on the clock), not by retrying the same call. *)
 let transient = function
   | Io_failure _ | Corrupt _ -> true
-  | Stale_manifest _ | Unknown_key _ | Quarantined _ | Capacity _ | Internal _
-    ->
+  | Stale_manifest _ | Unknown_key _ | Quarantined _ | Capacity _
+  | Deadline_exceeded _ | Overloaded _ | Internal _ ->
       false
 
 exception Error of t

@@ -37,6 +37,18 @@ type t =
           attempted. *)
   | Capacity of string
       (** A resource bound refused the work (resident set, queue). *)
+  | Deadline_exceeded of { key : string; needed : int; remaining : int }
+      (** The admission layer shed the query: the batch's remaining
+          deadline budget ([remaining] logical-clock ticks) provably
+          cannot cover what serving [key] would cost ([needed] ticks —
+          the configured cold-load cost, or 1 for a resident hit).  No
+          I/O was attempted, and the key's health state is untouched:
+          shedding is about the {e system's} budget, not the key. *)
+  | Overloaded of string
+      (** The admission layer refused the work to protect the system:
+          the batch hit its cold-load bound, or the loader circuit
+          breaker is open.  Like {!Deadline_exceeded}, no I/O was
+          attempted and per-key health is untouched. *)
   | Internal of string
       (** An unexpected exception escaped a component; the payload is
           its message.  Seeing this is a bug report, not an
@@ -45,7 +57,8 @@ type t =
 val kind : t -> string
 (** Stable lower-kebab class name (["io-failure"], ["corrupt"],
     ["stale-manifest"], ["unknown-key"], ["quarantined"],
-    ["capacity"], ["internal"]) — what CLIs print and logs grep. *)
+    ["capacity"], ["deadline-exceeded"], ["overloaded"],
+    ["internal"]) — what CLIs print and logs grep. *)
 
 val to_string : t -> string
 (** One line: [kind: path [section s]: reason]. *)
@@ -55,7 +68,11 @@ val transient : t -> bool
     operator intervention: true for {!Io_failure} and {!Corrupt}
     (read-level faults — a flaky disk or an injected fault — heal on
     re-read; genuinely damaged files just fail again), false for
-    everything else. *)
+    everything else.  {!Deadline_exceeded} and {!Overloaded} are
+    deliberately non-transient even though overload subsides with
+    time: transiency drives the {e immediate} in-attempt retry loop,
+    and retrying into an exhausted budget or an open breaker would
+    spin on exactly the work the admission layer just refused. *)
 
 exception Error of t
 (** For the rare edge where a [result] cannot flow (callbacks with

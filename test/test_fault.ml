@@ -15,7 +15,12 @@ let seeds = [ 11; 23; 47 ]
 (* A base reader serving fixed in-memory content: the injector's
    behavior is then observable without touching the filesystem. *)
 let content = String.init 256 (fun i -> Char.chr (i * 7 mod 256))
-let mem_io = { Fault.Io.read_file = (fun _ -> content) }
+
+let mem_io =
+  {
+    Fault.Io.read_file = (fun _ -> content);
+    write_file = (fun _ _ -> ());
+  }
 
 type outcome = Read of string | Failed of string
 
@@ -106,6 +111,80 @@ let test_counters () =
       Alcotest.(check int) "fault.injected counter" 5 (v "fault.injected");
       Alcotest.(check int) "fault.read_error counter" 5 (v "fault.read_error"))
 
+(* Write aborts against the atomic-rename discipline: however often a
+   write dies mid-payload, the target file is always either absent or
+   a complete previous generation — never a torn prefix — and no temp
+   file survives the abort. *)
+let test_atomic_write_survives_aborts () =
+  let file = Filename.temp_file "xpest_atomic" ".dat" in
+  let tmp = file ^ ".tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ file; tmp ])
+    (fun () ->
+      let read p = Fault.Io.default.Fault.Io.read_file p in
+      (* generation 0 lands fault-free *)
+      Fault.atomic_write file "generation-0";
+      Alcotest.(check string) "initial write" "generation-0" (read file);
+      let inj =
+        Fault.create { Fault.none with seed = 7; write_abort = 0.5 }
+      in
+      let io = Fault.io inj Fault.Io.default in
+      let committed = ref "generation-0" in
+      for i = 1 to 100 do
+        let payload = Printf.sprintf "generation-%d" i in
+        (match Fault.atomic_write ~io file payload with
+        | () -> committed := payload
+        | exception Sys_error _ -> ());
+        Alcotest.(check string)
+          (Printf.sprintf "write %d: target is a complete generation" i)
+          !committed (read file);
+        Alcotest.(check bool)
+          (Printf.sprintf "write %d: no torn temp file left" i)
+          false (Sys.file_exists tmp)
+      done;
+      (* rate 0.5 over 100 writes: both outcomes must occur *)
+      Alcotest.(check bool) "some writes aborted" true (Fault.injected inj > 0);
+      Alcotest.(check bool) "some writes committed" true
+        (!committed <> "generation-0"))
+
+(* The same property through the real saver: Summary.save under
+   write_abort=1 must raise and leave the previously saved synopsis
+   loadable and byte-identical. *)
+let test_summary_save_crash_safe () =
+  let doc = Registry.generate ~scale:0.01 Registry.Ssplays in
+  let s = Summary.build ~p_variance:0.0 ~o_variance:0.0 doc in
+  let s2 = Summary.build ~p_variance:2.0 ~o_variance:2.0 doc in
+  let file = Filename.temp_file "xpest_fault_save" ".syn" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ file; file ^ ".tmp" ])
+    (fun () ->
+      Summary.save s file;
+      let reference = Fault.Io.default.Fault.Io.read_file file in
+      let io =
+        Fault.io
+          (Fault.create { Fault.none with seed = 3; write_abort = 1.0 })
+          Fault.Io.default
+      in
+      (match Summary.save ~io s2 file with
+      | () -> Alcotest.fail "write_abort=1 save reported success"
+      | exception Sys_error _ -> ());
+      Alcotest.(check bool) "no torn temp file" false
+        (Sys.file_exists (file ^ ".tmp"));
+      Alcotest.(check bool) "previous synopsis survives byte-identical" true
+        (String.equal reference (Fault.Io.default.Fault.Io.read_file file));
+      (* and it still loads *)
+      match Synopsis_io.load_typed file with
+      | Ok loaded ->
+          Alcotest.(check bool) "survivor re-encodes byte-identical" true
+            (String.equal (Summary.encode loaded) (Summary.encode s))
+      | Error e -> Alcotest.failf "survivor failed to load: %s" (E.to_string e))
+
 (* The safety property: load a real synopsis through heavy injection;
    whatever comes back Ok must be byte-identical to the fault-free
    summary, and whatever fails must be a typed transient error. *)
@@ -161,5 +240,12 @@ let () =
         [
           Alcotest.test_case "Ok loads are bit-identical" `Quick
             test_ok_is_bit_identical;
+        ] );
+      ( "writes",
+        [
+          Alcotest.test_case "atomic_write survives aborts" `Quick
+            test_atomic_write_survives_aborts;
+          Alcotest.test_case "Summary.save is crash-safe" `Quick
+            test_summary_save_crash_safe;
         ] );
     ]

@@ -6,6 +6,7 @@
 
 module Domain_pool = Xpest_util.Domain_pool
 module Loader_pool = Xpest_util.Loader_pool
+module E = Xpest_util.Xpest_error
 
 let test_blocking_lazy_await_order () =
   let loads = Loader_pool.blocking in
@@ -138,15 +139,67 @@ let test_size1_pool_is_blocking () =
         "await order, like blocking" [ "b"; "a" ]
         (List.rev !trace))
 
-let test_submit_after_shutdown_raises () =
+let test_submit_after_shutdown_is_typed () =
   let escaped = ref None in
   Domain_pool.with_pool ~domains:2 (fun p -> escaped := Some p);
   match !escaped with
   | None -> Alcotest.fail "pool did not escape"
   | Some p -> (
-      match Loader_pool.submit (Loader_pool.over p) (fun () -> 0) with
-      | _ -> Alcotest.fail "submit on a shut-down pool should raise"
-      | exception Invalid_argument _ -> ())
+      Alcotest.(check bool) "pool reports stopped" true (Domain_pool.stopped p);
+      (* submit itself must not raise: the refusal is typed and
+         surfaces at the commit point, through await *)
+      let fut = Loader_pool.submit (Loader_pool.over p) (fun () -> 0) in
+      match Loader_pool.await fut with
+      | _ -> Alcotest.fail "await of a poisoned future should raise"
+      | exception E.Error (E.Overloaded _) -> ()
+      | exception e ->
+          Alcotest.failf "expected a typed Overloaded error, got %s"
+            (Printexc.to_string e))
+
+let test_pending_futures_survive_shutdown () =
+  (* futures still pending when the pool shuts down must complete —
+     shutdown drains the queue — and await must return their real
+     outcomes afterwards, values and exceptions alike *)
+  let p = Domain_pool.create ~domains:2 () in
+  let loads = Loader_pool.over p in
+  let futs =
+    Array.init 16 (fun i ->
+        Loader_pool.submit loads (fun () ->
+            if i mod 5 = 4 then failwith (Printf.sprintf "late boom %d" i)
+            else i * 3))
+  in
+  Domain_pool.shutdown p;
+  Alcotest.(check bool) "stopped after shutdown" true (Domain_pool.stopped p);
+  Alcotest.(check int) "no job left pending" 0 (Loader_pool.pending loads);
+  Array.iteri
+    (fun i fut ->
+      if i mod 5 = 4 then
+        match Loader_pool.await fut with
+        | _ -> Alcotest.failf "future %d: exception was swallowed" i
+        | exception Failure msg ->
+            Alcotest.(check string)
+              (Printf.sprintf "future %d kept its own failure" i)
+              (Printf.sprintf "late boom %d" i)
+              msg
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "future %d completed across shutdown" i)
+          (i * 3)
+          (Loader_pool.await fut))
+    futs
+
+let test_pending_accounting () =
+  Alcotest.(check int) "blocking has no queue" 0
+    (Loader_pool.pending Loader_pool.blocking);
+  Domain_pool.with_pool ~domains:2 (fun p ->
+      let loads = Loader_pool.over p in
+      let futs =
+        Array.init 8 (fun i -> Loader_pool.submit loads (fun () -> i))
+      in
+      Array.iter (fun fut -> ignore (Loader_pool.await fut)) futs;
+      (* every await returned, so every job completed and decremented *)
+      Alcotest.(check int) "queue drains back to zero" 0
+        (Loader_pool.pending loads))
 
 let () =
   Alcotest.run "loader_pool"
@@ -168,7 +221,14 @@ let () =
             test_await_steals_queued_work;
           Alcotest.test_case "size-1 pool degrades to blocking" `Quick
             test_size1_pool_is_blocking;
-          Alcotest.test_case "submit after shutdown raises" `Quick
-            test_submit_after_shutdown_raises;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "submit after shutdown is typed" `Quick
+            test_submit_after_shutdown_is_typed;
+          Alcotest.test_case "pending futures survive shutdown" `Quick
+            test_pending_futures_survive_shutdown;
+          Alcotest.test_case "pending accounting drains to zero" `Quick
+            test_pending_accounting;
         ] );
     ]

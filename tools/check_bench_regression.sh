@@ -31,7 +31,7 @@
 # estimate_batch on the same batches.
 #
 # Schema handling: the fresh file must carry exactly the schema this
-# gate was written for (xpest-bench-engine/6) — an unknown or newer
+# gate was written for (xpest-bench-engine/7) — an unknown or newer
 # schema fails loudly instead of silently gating the wrong fields.  An
 # OLDER baseline schema only degrades: sections the baseline predates
 # are reported without a comparison, as above.
@@ -46,6 +46,14 @@
 # baseline under the injected loader latency, or overlapping loads
 # with estimation buys nothing; its bit-identity flag is covered by
 # the unconditional *_bitwise_identical_* sweep.
+#
+# The fresh file's s1_overload section is gated absolutely as well:
+# under the saturating cold burst, the admission-controlled twin's
+# worst batch must spend strictly fewer logical-clock ticks than the
+# uncontrolled one (shed groups spend nothing), or the bounded
+# worst-case claim is broken; the shed schedule's determinism flag
+# across load-domain counts is covered by the same
+# *_bitwise_identical_* sweep.
 #
 # Usage: tools/check_bench_regression.sh [fresh.json] [threshold]
 
@@ -76,7 +84,7 @@ threshold, overhead_cap = float(sys.argv[3]), float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
-EXPECTED_SCHEMA = "xpest-bench-engine/6"
+EXPECTED_SCHEMA = "xpest-bench-engine/7"
 fresh_schema = fresh.get("schema")
 if fresh_schema != EXPECTED_SCHEMA:
     print("check_bench_regression: fresh %s has schema %r but this gate "
@@ -128,6 +136,28 @@ print("  s1_pipeline  pipelined %.1f qps > blocking %.1f at %.1f ms "
       "loader latency (%.2fx)  ok"
       % (pipelined_qps, blocking_qps, pipeline.get("loader_latency_ms", 0.0),
          pipelined_qps / max(blocking_qps, 1e-9)))
+
+# fresh-only absolute gate: under the saturating burst the admission-
+# controlled worst batch must spend strictly fewer logical ticks than
+# the uncontrolled one (determinism of the shed schedule is covered by
+# the unconditional bitwise sweep below)
+overload = fresh.get("s1_overload")
+if overload is None:
+    print("check_bench_regression: fresh file carries schema %s but no "
+          "s1_overload section" % EXPECTED_SCHEMA)
+    sys.exit(1)
+un_ticks = overload.get("uncontrolled_worst_batch_ticks")
+ctrl_ticks = overload.get("controlled_worst_batch_ticks")
+if not (isinstance(un_ticks, int) and isinstance(ctrl_ticks, int)
+        and ctrl_ticks < un_ticks):
+    print("  s1_overload  controlled worst batch %r ticks vs uncontrolled "
+          "%r  OVERLOAD BOUND BROKEN (controlled must be strictly lower "
+          "under the saturating burst)" % (ctrl_ticks, un_ticks))
+    sys.exit(1)
+print("  s1_overload  controlled worst batch %d ticks < uncontrolled %d "
+      "(%d shed, %d served degraded)  ok"
+      % (ctrl_ticks, un_ticks, overload.get("shed_queries", 0),
+         overload.get("fallback_queries", 0)))
 
 if baseline.get("scale") != fresh.get("scale"):
     print("check_bench_regression: scale mismatch (baseline %s, fresh %s); "
