@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci differential chaos stress thrash pipeline overload bench bench-json clean
+.PHONY: all build test check ci differential chaos stress thrash pipeline overload degrade bench bench-json clean
 
 all: build
 
@@ -73,6 +73,18 @@ overload:
 	$(DUNE) exec test/test_admission.exe
 	$(DUNE) exec test/test_catalog_overload.exe
 
+# Degradation-ladder suites: the three-rung answer tier (Exact ->
+# resident-sibling Fallback -> pinned Sketch), total-blackout coverage
+# with bit-identity twins across domain counts 1/2/4, the pinned
+# region's hard byte budget, chaos twins proving every injected fault
+# lands on a rung, and the v3 health file's unknown-directive
+# skipping.  The chaos suite rides along: it shares the fault
+# machinery the ladder degrades over.  All seeds fixed, deterministic
+# in CI.
+degrade:
+	$(DUNE) exec test/test_catalog_degrade.exe
+	$(DUNE) exec test/test_catalog_chaos.exe
+
 bench:
 	$(DUNE) exec bench/main.exe
 
@@ -88,7 +100,8 @@ bench-json:
 # fault-free serving throughput regressed more than 30% against the
 # committed BENCH_engine.json (or the segmented policy stopped
 # out-hitting plain LRU, or the pipelined cold batch stopped beating
-# the blocking one under loader latency).
+# the blocking one under loader latency, or the sketch tier stopped
+# answering 100% of a blacked-out dataset's queries).
 ci: build
 	$(DUNE) runtest
 	$(MAKE) chaos
@@ -96,6 +109,7 @@ ci: build
 	$(MAKE) thrash
 	$(MAKE) pipeline
 	$(MAKE) overload
+	$(MAKE) degrade
 	$(MAKE) bench-json
 	sh tools/check_bench_regression.sh BENCH_engine.json
 

@@ -33,6 +33,7 @@ module Pattern = Xpest_xpath.Pattern
 module Truth = Xpest_xpath.Truth
 module Workload = Xpest_workload.Workload
 module Xsketch = Xpest_baseline.Xsketch
+module Sketch = Xpest_synopsis.Sketch
 module Env = Xpest_harness.Env
 module Experiments = Xpest_harness.Experiments
 module Tablefmt = Xpest_util.Tablefmt
@@ -890,6 +891,144 @@ let overload_bench ctxs =
     ctrl_worst ctrl_st.Catalog.shed_queries ctrl_st.Catalog.fallback_queries
     (qps un_secs) (qps ctrl_secs) identical
 
+(* S1 degrade: total storage blackout against the degradation ladder's
+   last rung.  Every summary load fails (the dataset is effectively
+   100% quarantined and the loader breaker opens), yet a catalog armed
+   with the dataset's always-resident fallback sketch answers every
+   well-formed query from the Sketch tier.  Gated in
+   tools/check_bench_regression.sh: the sketch-tier answer rate must
+   be exactly 1.0 (the ladder never leaks an error), and the answer
+   schedule must be bit-identical across load-domain counts 1/2/4.
+   The mean relative error against the exact tier quantifies what the
+   last rung's answers cost in accuracy. *)
+let degrade_bench ~scale ctxs =
+  Printf.printf "engine bench: s1 degrade (fallback sketch tier)...\n%!";
+  let dsname, base, patterns = List.hd ctxs in
+  let name =
+    match Registry.of_string dsname with
+    | Some n -> n
+    | None -> failwith ("unknown bench dataset " ^ dsname)
+  in
+  let sketch = Sketch.build (Registry.generate ~scale name) in
+  let nkeys = 4 in
+  let per_key = 8 in
+  let rounds = 3 in
+  let summaries = Hashtbl.create 8 in
+  for i = 0 to nkeys - 1 do
+    let v = float_of_int i in
+    Hashtbl.add summaries v (Summary.assemble ~p_variance:v ~o_variance:v base)
+  done;
+  let healthy_loader (k : Catalog.key) = Hashtbl.find summaries k.Catalog.variance in
+  let dead_loader (_ : Catalog.key) : Summary.t =
+    raise
+      (Xpest_util.Xpest_error.Error
+         (Xpest_util.Xpest_error.Io_failure
+            { path = "(blackout)"; reason = "injected: storage offline" }))
+  in
+  let pairs =
+    Array.init (nkeys * per_key) (fun i ->
+        ( { Catalog.dataset = dsname; variance = float_of_int (i mod nkeys) },
+          patterns.(i / nkeys mod Array.length patterns) ))
+  in
+  let n = Array.length pairs in
+  let admission =
+    { Admission.unlimited with Admission.breaker_threshold = Some 2 }
+  in
+  (* the exact tier's answers, for the accuracy cost of the last rung *)
+  let exact_cat =
+    Catalog.create ~resident_capacity:nkeys ~loader:healthy_loader ()
+  in
+  let exact = Catalog.estimate_batch_r exact_cat pairs in
+  let run ?loads () =
+    let cat =
+      Catalog.create ~admission ~resident_capacity:nkeys ~loader:dead_loader ()
+    in
+    (match Catalog.install_sketch cat dsname sketch with
+    | Ok () -> ()
+    | Error e ->
+        failwith ("sketch install failed: " ^ Xpest_util.Xpest_error.to_string e));
+    let batches =
+      Array.init rounds (fun _ -> Catalog.estimate_batch_r ?loads cat pairs)
+    in
+    ( batches,
+      Catalog.last_batch_statuses cat,
+      Catalog.stats cat,
+      Catalog.clock cat,
+      (Catalog.admission_stats cat).Admission.s_breaker_opens )
+  in
+  let (batches, statuses, st, clock, breaker_opens), secs =
+    Env.time (fun () -> run ())
+  in
+  let answered =
+    Array.fold_left
+      (fun acc b ->
+        Array.fold_left
+          (fun acc r -> match r with Ok _ -> acc + 1 | Error _ -> acc)
+          acc b)
+      0 batches
+  in
+  let sketch_answer_rate =
+    if st.Catalog.sketch_queries = answered && answered = n * rounds then 1.0
+    else float_of_int st.Catalog.sketch_queries /. float_of_int (n * rounds)
+  in
+  let rel_err_sum = ref 0.0 and rel_err_n = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match (exact.(i), r) with
+      | Ok e, Ok s ->
+          rel_err_sum := !rel_err_sum +. (Float.abs (s -. e) /. Float.max e 1.0);
+          incr rel_err_n
+      | _ -> ())
+    batches.(0);
+  let mean_rel_err = !rel_err_sum /. float_of_int (max !rel_err_n 1) in
+  let same_cell a b =
+    match (a, b) with
+    | Ok x, Ok y -> Int64.bits_of_float x = Int64.bits_of_float y
+    | Error e, Error f ->
+        Xpest_util.Xpest_error.to_string e = Xpest_util.Xpest_error.to_string f
+    | _ -> false
+  in
+  let status_name = function
+    | Catalog.Served -> "served"
+    | Catalog.Shed -> "shed"
+    | Catalog.Fallback k -> "fallback:" ^ Catalog.key_to_string k
+    | Catalog.Sketch -> "sketch"
+  in
+  let identical =
+    List.for_all
+      (fun d ->
+        Domain_pool.with_pool ~domains:d (fun p ->
+            let loads = Loader_pool.over p in
+            let batches', statuses', st', clock', _ = run ~loads () in
+            Array.for_all2
+              (fun a b ->
+                Array.length a = Array.length b && Array.for_all2 same_cell a b)
+              batches batches'
+            && Array.for_all2
+                 (fun a b -> status_name a = status_name b)
+                 statuses statuses'
+            && st'.Catalog.sketch_queries = st.Catalog.sketch_queries
+            && st'.Catalog.failures = st.Catalog.failures
+            && clock' = clock))
+      [ 1; 2; 4 ]
+  in
+  Printf.sprintf
+    {|  "s1_degrade": {
+    "dataset": %S,
+    "keys": %d,
+    "routed_queries_per_batch": %d,
+    "rounds": %d,
+    "sketch_wire_bytes": %d,
+    "sketch_answer_rate": %.4f,
+    "sketch_mean_relative_error": %.4f,
+    "breaker_opens": %d,
+    "blackout_qps": %.1f,
+    "answer_schedule_bitwise_identical_across_load_domains": %b
+  }|}
+    dsname nkeys n rounds (Sketch.size_bytes sketch) sketch_answer_rate
+    mean_rel_err breaker_opens
+    (qps (n * rounds) secs) identical
+
 let engine_bench ~scale ~out =
   let entries, ctxs =
     List.split (List.map (engine_bench_dataset ~scale) Registry.all)
@@ -898,16 +1037,18 @@ let engine_bench ~scale ~out =
   let thrash_section = thrash_bench ctxs in
   let pipeline_section = pipeline_bench ctxs in
   let overload_section = overload_bench ctxs in
+  let degrade_section = degrade_bench ~scale ctxs in
   let parallel_section = parallel_bench ctxs in
   let resilience_section = resilience_bench ctxs in
   let json =
     Printf.sprintf
       {|{
-  "schema": "xpest-bench-engine/7",
+  "schema": "xpest-bench-engine/8",
   "scale": %g,
   "datasets": [
 %s
   ],
+%s,
 %s,
 %s,
 %s,
@@ -919,7 +1060,7 @@ let engine_bench ~scale ~out =
       scale
       (String.concat ",\n" entries)
       catalog_section thrash_section pipeline_section overload_section
-      parallel_section resilience_section
+      degrade_section parallel_section resilience_section
   in
   let oc = open_out out in
   output_string oc json;

@@ -28,6 +28,7 @@ module Fault = Xpest_util.Fault
 module E = Xpest_util.Xpest_error
 module Synopsis_io = Xpest_synopsis.Synopsis_io
 module Manifest = Xpest_synopsis.Manifest
+module Sketch = Xpest_synopsis.Sketch
 module Catalog = Xpest_catalog.Catalog
 module Admission = Xpest_catalog.Admission
 module Env = Xpest_harness.Env
@@ -262,6 +263,7 @@ let synopsis_info_cmd =
           (match kind with
           | `Synopsis -> "synopsis"
           | `Catalog_manifest -> "catalog manifest"
+          | `Sketch -> "fallback sketch"
           | `Unknown -> "unknown");
         ];
         [ "wire format version"; string_of_int i.Synopsis_io.version ];
@@ -286,7 +288,13 @@ let synopsis_info_cmd =
       match kind with
       | `Synopsis when decodable ->
           histogram_rows (or_die_e (Synopsis_io.load_typed file))
-      | `Synopsis | `Catalog_manifest | `Unknown -> []
+      | `Sketch when decodable ->
+          let sk = or_die_e (Sketch.load_typed file) in
+          [
+            [ "distinct tags"; string_of_int (Sketch.num_tags sk) ];
+            [ "total elements"; string_of_int (Sketch.total_elements sk) ];
+          ]
+      | `Synopsis | `Catalog_manifest | `Sketch | `Unknown -> []
     in
     print_endline
       (Tablefmt.render_table ~header:[ "field"; "value" ]
@@ -301,7 +309,7 @@ let synopsis_info_cmd =
              ~header:[ "key"; "file"; "size"; "checksum" ]
              ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right ]
              (manifest_entry_rows m))
-    | `Synopsis | `Catalog_manifest | `Unknown -> ());
+    | `Synopsis | `Catalog_manifest | `Sketch | `Unknown -> ());
     if not i.Synopsis_io.checksum_ok then begin
       prerr_endline "xpest: checksum mismatch - file is corrupted or truncated";
       exit 1
@@ -578,9 +586,30 @@ let catalog_build_cmd =
           e.Manifest.file
           (Tablefmt.fmt_bytes e.Manifest.bytes))
       keys;
+    (* one fallback sketch per distinct dataset — the degradation
+       ladder's last rung, built from the same generated document the
+       summaries came from *)
+    let datasets =
+      List.sort_uniq String.compare
+        (List.map (fun (k : Catalog.key) -> k.Catalog.dataset) keys)
+    in
+    List.iter
+      (fun dataset ->
+        let sketch = Sketch.build (doc_of dataset) in
+        manifest := Catalog.save_sketch ~dir !manifest dataset sketch;
+        let e =
+          match Manifest.find_sketch !manifest ~dataset with
+          | Some e -> e
+          | None -> assert false
+        in
+        Printf.printf "built %s sketch -> %s (%s)\n%!" dataset
+          e.Manifest.s_file
+          (Tablefmt.fmt_bytes e.Manifest.s_bytes))
+      datasets;
     Manifest.save !manifest (manifest_path dir);
-    Printf.printf "wrote %s (%d entries)\n" (manifest_path dir)
+    Printf.printf "wrote %s (%d entries, %d sketches)\n" (manifest_path dir)
       (List.length !manifest.Manifest.entries)
+      (List.length !manifest.Manifest.sketches)
   in
   let keys =
     Arg.(
@@ -631,6 +660,18 @@ let catalog_info_cmd =
             in
             [ Catalog.key_to_string key; e.Manifest.file; status; detail ])
           m.Manifest.entries
+        @ List.map
+            (fun (e : Manifest.sketch_entry) ->
+              let status, detail =
+                match Catalog.sketch_check ~dir e with
+                | Ok _ -> ("ok", "")
+                | Error err ->
+                    incr unhealthy;
+                    (String.uppercase_ascii (E.kind err), E.to_string err)
+              in
+              [ e.Manifest.s_dataset ^ " (sketch)"; e.Manifest.s_file;
+                status; detail ])
+            m.Manifest.sketches
       in
       print_endline
         (Tablefmt.render_table
@@ -693,6 +734,28 @@ let catalog_info_cmd =
               status;
             ])
           m.Manifest.entries
+        @ List.map
+            (fun (e : Manifest.sketch_entry) ->
+              let path = Filename.concat dir e.Manifest.s_file in
+              let status =
+                match Synopsis_io.info_result path with
+                | Error _ -> "MISSING"
+                | Ok i ->
+                    if
+                      i.Synopsis_io.total_bytes = e.Manifest.s_bytes
+                      && Int64.equal i.Synopsis_io.checksum
+                           e.Manifest.s_checksum
+                    then "ok"
+                    else "STALE"
+              in
+              [
+                e.Manifest.s_dataset ^ " (sketch)";
+                e.Manifest.s_file;
+                Tablefmt.fmt_bytes e.Manifest.s_bytes;
+                Printf.sprintf "%016Lx" e.Manifest.s_checksum;
+                status;
+              ])
+            m.Manifest.sketches
       in
       print_endline
         (Tablefmt.render_table
@@ -756,9 +819,9 @@ let read_routed_file path =
       in
       loop 1 [])
 
-let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
-    fault_rate fault_seed domains load_domains health_state deadline
-    max_queued_loads breaker_threshold shed_policy =
+let run_catalog_estimate dir queries_file resident resident_bytes sketch_bytes
+    pins metrics fault_rate fault_seed domains load_domains health_state
+    deadline max_queued_loads breaker_threshold shed_policy =
     (* one typed one-line error contract for every count-valued knob *)
     let require_at_least_1 flag v =
       if v < 1 then begin
@@ -769,18 +832,12 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
     in
     require_at_least_1 "domains" domains;
     require_at_least_1 "load-domains" load_domains;
+    require_at_least_1 "resident" resident;
     Option.iter (require_at_least_1 "resident-bytes") resident_bytes;
+    Option.iter (require_at_least_1 "sketch-bytes") sketch_bytes;
     Option.iter (require_at_least_1 "deadline") deadline;
+    Option.iter (require_at_least_1 "max-queued-loads") max_queued_loads;
     Option.iter (require_at_least_1 "breaker-threshold") breaker_threshold;
-    (* --max-queued-loads 0 is meaningful: resident-only serving *)
-    Option.iter
-      (fun v ->
-        if v < 0 then begin
-          prerr_endline
-            (Printf.sprintf "xpest: --max-queued-loads must be >= 0 (got %d)" v);
-          exit 1
-        end)
-      max_queued_loads;
     let admission =
       {
         Admission.unlimited with
@@ -822,8 +879,8 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
           Some { Cache_config.default with Cache_config.resident_bytes = Some b }
     in
     let cat =
-      Catalog.of_manifest ~resident_capacity:resident ?config ?io ~admission
-        ~dir m
+      Catalog.of_manifest ~resident_capacity:resident ?config ?io ?sketch_bytes
+        ~admission ~dir m
     in
     (* --pin: hot keys the eviction policy must never displace *)
     List.iter
@@ -869,13 +926,15 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
                  match results.(i) with
                  | Ok v -> (
                      ( Tablefmt.fmt_float v,
-                       (* a shed query answered by a resident sibling is an
-                          approximation, not the asked-for summary — say so *)
+                       (* name the answer's tier: anything below EXACT is
+                          an approximation, not the asked-for summary *)
                        match statuses.(i) with
+                       | Catalog.Served -> "EXACT"
                        | Catalog.Fallback sib ->
-                           Printf.sprintf "DEGRADED (via %s)"
+                           Printf.sprintf "FALLBACK (via %s)"
                              (Catalog.key_to_string sib)
-                       | Catalog.Served | Catalog.Shed -> "ok" ))
+                       | Catalog.Sketch -> "SKETCH"
+                       | Catalog.Shed -> "EXACT" ))
                  | Error e ->
                      incr failed;
                      if !first_error = None then first_error := Some e;
@@ -918,6 +977,27 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
            hits\n"
           s.Catalog.failures s.Catalog.retries s.Catalog.quarantines
           s.Catalog.degraded_hits;
+      (* the degradation ladder's answer mix: how many queries each
+         rung actually served this run *)
+      let answered = Array.length pairs - !failed in
+      let exact_queries =
+        answered - s.Catalog.fallback_queries - s.Catalog.sketch_queries
+      in
+      if s.Catalog.fallback_queries > 0 || s.Catalog.sketch_queries > 0 then
+        Printf.printf "tiers: %d EXACT, %d FALLBACK, %d SKETCH\n"
+          exact_queries s.Catalog.fallback_queries s.Catalog.sketch_queries;
+      if s.Catalog.sketch_resident > 0 || s.Catalog.sketch_failures > 0 then
+        Printf.printf
+          "sketch tier: %d resident sketch(es), %s of %s pinned budget, %d \
+           unavailable\n"
+          s.Catalog.sketch_resident
+          (Tablefmt.fmt_bytes s.Catalog.sketch_bytes)
+          (Tablefmt.fmt_bytes s.Catalog.sketch_budget)
+          s.Catalog.sketch_failures;
+      if s.Catalog.skipped_directives > 0 then
+        Printf.printf
+          "health: %d unknown directive line(s) skipped on load\n"
+          s.Catalog.skipped_directives;
       if s.Catalog.plan_contention > 0 || s.Catalog.plan_races > 0 then
         Printf.printf "parallel: %d plan-lock contentions, %d compile races\n"
           s.Catalog.plan_contention s.Catalog.plan_races;
@@ -975,13 +1055,13 @@ let run_catalog_estimate dir queries_file resident resident_bytes pins metrics
     else work ()
 
 let catalog_estimate_cmd =
-  let run dir queries_file resident resident_bytes pins metrics fault_rate
-      fault_seed domains load_domains health_state deadline max_queued_loads
-      breaker_threshold shed_policy =
+  let run dir queries_file resident resident_bytes sketch_bytes pins metrics
+      fault_rate fault_seed domains load_domains health_state deadline
+      max_queued_loads breaker_threshold shed_policy =
     try
-      run_catalog_estimate dir queries_file resident resident_bytes pins
-        metrics fault_rate fault_seed domains load_domains health_state
-        deadline max_queued_loads breaker_threshold shed_policy
+      run_catalog_estimate dir queries_file resident resident_bytes
+        sketch_bytes pins metrics fault_rate fault_seed domains load_domains
+        health_state deadline max_queued_loads breaker_threshold shed_policy
     with Invalid_argument msg | Sys_error msg ->
       (* non-serving failures: unparseable queries, unreadable files
          (the serving path itself reports per-query typed errors) *)
@@ -1015,6 +1095,17 @@ let catalog_estimate_cmd =
           ~doc:"Bound the resident set by exact wire bytes instead of \
                 summary count: summaries stay loaded while their encoded \
                 sizes fit the budget, evicting probationary entries first.")
+  in
+  let sketch_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sketch-bytes" ] ~docv:"BYTES"
+          ~doc:"Byte budget for the pinned fallback-sketch region (default \
+                256 KiB).  A hard ceiling: a manifest sketch that does not \
+                fit is refused at install (counted unavailable), never \
+                admitted over budget, and the resident-set evictor can \
+                never reclaim the region.")
   in
   let pins =
     Arg.(
@@ -1096,11 +1187,11 @@ let catalog_estimate_cmd =
       value
       & opt (some int) None
       & info [ "max-queued-loads" ] ~docv:"N"
-          ~doc:"Bound the cold summary loads one batch may admit; queries \
-                beyond the bound are shed with a typed OVERLOADED error.  \
-                $(b,0) means resident-only serving.  Shedding is a \
-                deterministic function of input order and the logical \
-                clock, identical at any $(b,--load-domains).")
+          ~doc:"Bound the cold summary loads one batch may admit (at least \
+                1); queries beyond the bound are shed with a typed \
+                OVERLOADED error.  Shedding is a deterministic function of \
+                input order and the logical clock, identical at any \
+                $(b,--load-domains).")
   in
   let breaker_threshold =
     Arg.(
@@ -1126,9 +1217,11 @@ let catalog_estimate_cmd =
       value
       & opt policy_conv Admission.Degrade
       & info [ "shed-policy" ] ~docv:"POLICY"
-          ~doc:"What happens to a shed query: $(b,degrade) (default) \
-                answers it from an already-resident sibling variance of \
-                the same dataset when one exists (status DEGRADED), \
+          ~doc:"What happens to a shed query: $(b,degrade) (default) walks \
+                the degradation ladder — an already-resident sibling \
+                variance of the same dataset when one exists (status \
+                FALLBACK), else the dataset's always-resident fallback \
+                sketch when the catalog has one (status SKETCH); \
                 $(b,reject) always fails it with the typed error.")
   in
   Cmd.v
@@ -1139,9 +1232,9 @@ let catalog_estimate_cmd =
              degradation behavior under injected storage faults.")
     Term.(
       const run $ catalog_dir_arg $ queries_file $ resident $ resident_bytes
-      $ pins $ metrics $ fault_rate $ fault_seed $ domains $ load_domains
-      $ health_state $ deadline $ max_queued_loads $ breaker_threshold
-      $ shed_policy)
+      $ sketch_bytes $ pins $ metrics $ fault_rate $ fault_seed $ domains
+      $ load_domains $ health_state $ deadline $ max_queued_loads
+      $ breaker_threshold $ shed_policy)
 
 let catalog_clear_quarantine_cmd =
   let run dir keys all health_file =

@@ -202,6 +202,77 @@ let build ?(budget_bytes = 16384) doc =
 let num_classes t = Array.length t.classes
 let refinement_steps t = t.steps
 
+(* ------------------------------------------------------------------ *)
+(* Label-split export: the budget-0 graph (one class per tag) is plain
+   order-1 Markov data — tag counts plus counted parent-child tag
+   pairs — which is what the serving layer's fallback sketches persist.
+   Edges are sorted by child tag so the exported form (and anything
+   serialized from it) is deterministic regardless of hash order.      *)
+
+type export = {
+  x_doc_max_depth : int;
+  x_root_tag : int;
+  x_tags : string array;  (* tag code -> name *)
+  x_counts : int array;  (* tag code -> element count *)
+  x_edges : (int * int) array array;
+      (* parent tag -> (child tag, #children), child-tag ascending *)
+}
+
+let export_label_split t =
+  let n = Array.length t.classes in
+  if n <> Array.length t.by_tag then
+    invalid_arg "Xsketch.export_label_split: refined synopsis (build with \
+                 ~budget_bytes:0)";
+  Array.iteri
+    (fun c (cl : cls) ->
+      if cl.tag <> c then
+        invalid_arg "Xsketch.export_label_split: refined synopsis (build \
+                     with ~budget_bytes:0)")
+    t.classes;
+  let tags = Array.make n "" in
+  Hashtbl.iter (fun name code -> tags.(code) <- name) t.tag_of_name;
+  {
+    x_doc_max_depth = t.doc_max_depth;
+    x_root_tag = t.classes.(t.root_class).tag;
+    x_tags = tags;
+    x_counts = Array.map (fun (cl : cls) -> cl.count) t.classes;
+    x_edges =
+      Array.map
+        (fun (cl : cls) ->
+          let e = Array.copy cl.edges in
+          Array.sort (fun (a, _) (b, _) -> compare a b) e;
+          e)
+        t.classes;
+  }
+
+let of_export (x : export) =
+  let n = Array.length x.x_tags in
+  if Array.length x.x_counts <> n || Array.length x.x_edges <> n then
+    invalid_arg "Xsketch.of_export: mismatched array lengths";
+  if n = 0 then invalid_arg "Xsketch.of_export: empty tag set";
+  if x.x_root_tag < 0 || x.x_root_tag >= n then
+    invalid_arg "Xsketch.of_export: root tag out of range";
+  let classes =
+    Array.init n (fun c ->
+        Array.iter
+          (fun (w, k) ->
+            if w < 0 || w >= n || k < 0 then
+              invalid_arg "Xsketch.of_export: malformed edge")
+          x.x_edges.(c);
+        { tag = c; count = x.x_counts.(c); edges = x.x_edges.(c) })
+  in
+  let by_tag = Array.init n (fun c -> [ c ]) in
+  let tag_of_name = Hashtbl.create (2 * n) in
+  Array.iteri (fun code name -> Hashtbl.replace tag_of_name name code) x.x_tags;
+  {
+    doc_max_depth = x.x_doc_max_depth;
+    root_class = x.x_root_tag;
+    classes;
+    by_tag;
+    tag_of_name;
+    steps = 0;
+  }
+
 let byte_size t =
   let num_edges =
     Array.fold_left (fun acc (c : cls) -> acc + Array.length c.edges) 0 t.classes

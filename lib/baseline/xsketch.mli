@@ -40,3 +40,33 @@ val estimate : t -> Xpest_xpath.Pattern.t -> float
 (** Estimated selectivity of the pattern's target node.  Order axes
     carry no information in an XSketch, so [Ordered] patterns are
     estimated through their order-free counterpart (an upper bound). *)
+
+(** {1 Label-split export}
+
+    A budget-0 build never refines, so its class graph {e is} the
+    label-split graph: one class per tag, counted parent-child tag
+    edges — plain order-1 Markov path statistics.  That form is small,
+    flat, and deterministic, which makes it the persistence format for
+    the serving layer's last-resort fallback sketches. *)
+
+type export = {
+  x_doc_max_depth : int;  (** maximum element depth in the document *)
+  x_root_tag : int;  (** tag code of the document root *)
+  x_tags : string array;  (** tag code -> tag name *)
+  x_counts : int array;  (** tag code -> element count *)
+  x_edges : (int * int) array array;
+      (** parent tag code -> [(child tag code, #children)], sorted by
+          child tag code ascending so the export is deterministic
+          regardless of construction hash order *)
+}
+
+val export_label_split : t -> export
+(** Export a budget-0 (label-split) synopsis.  Raises [Invalid_argument]
+    if the synopsis was refined ([num_classes t] differs from the tag
+    count), since a refined graph cannot be represented tag-per-class. *)
+
+val of_export : export -> t
+(** Rebuild an estimating synopsis from an export.  The result
+    estimates bit-identically to the budget-0 build it was exported
+    from.  Raises [Invalid_argument] on malformed data (mismatched
+    array lengths, out-of-range tag codes, negative edge counts). *)

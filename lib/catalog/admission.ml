@@ -213,6 +213,14 @@ let decide t ~clock ~key ~would_load =
     end
   end
 
+(* A sketch-tier answer costs what a resident hit costs: one budget
+   tick.  It never occupies the load queue and never consults the
+   breaker, so the last rung of the degradation ladder can itself
+   never be shed — the budget may go (deterministically) negative,
+   which only makes later decides refuse sooner. *)
+let charge_sketch_answer t =
+  if active t then t.remaining <- t.remaining - 1
+
 let note_load_result t ~clock ~ok =
   if active t && breaker_enabled t then
     if ok then begin

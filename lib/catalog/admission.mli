@@ -120,6 +120,14 @@ val decide : t -> clock:int -> key:string -> would_load:bool -> decision
     breaker.  Admission spends the modeled cost from the batch
     budget; shedding spends nothing. *)
 
+val charge_sketch_answer : t -> unit
+(** Spend one budget tick for a query answered from the catalog's
+    sketch tier — the same cost as a resident hit.  Sketch answers
+    never occupy the load queue and never consult the breaker, so the
+    degradation ladder's last rung can never itself be shed; the
+    budget may go (deterministically) negative, which only makes later
+    {!decide}s refuse sooner.  No-op when admission is inactive. *)
+
 val note_load_result : t -> clock:int -> ok:bool -> unit
 (** Feed every admitted cold load's outcome (after retries) to the
     breaker: failures count toward {!config.breaker_threshold},

@@ -6,11 +6,14 @@ module E = Xpest_util.Xpest_error
 module Summary = Xpest_synopsis.Summary
 module Manifest = Xpest_synopsis.Manifest
 module Synopsis_io = Xpest_synopsis.Synopsis_io
+module Sketch = Xpest_synopsis.Sketch
 module Pattern = Xpest_xpath.Pattern
+module Plan = Xpest_plan.Plan
 module Plan_cache = Xpest_plan.Plan_cache
 module Bounded_cache = Xpest_util.Bounded_cache
 module Cache_config = Xpest_plan.Cache_config
 module Estimator = Xpest_estimator.Estimator
+module Sketch_exec = Xpest_estimator.Sketch_exec
 
 (* Observability: resident-set behavior of the catalog, routing volume,
    and the fault-tolerance state machine.  No-ops unless
@@ -30,6 +33,10 @@ let c_degraded = Counters.create "catalog.degraded_hits"
 let c_prefetch = Counters.create "catalog.prefetched_loads"
 let c_shed = Counters.create "catalog.shed_queries"
 let c_fallback = Counters.create "catalog.fallback_queries"
+let c_sketch = Counters.create "catalog.sketch_queries"
+let c_sketch_hit = Counters.create "catalog.sketch.hit"
+let c_sketch_miss = Counters.create "catalog.sketch.miss"
+let c_sketch_evict = Counters.create "catalog.sketch.evict"
 let t_load = Counters.create_timer "catalog.summary.load"
 
 (* ------------------------------------------------------------------ *)
@@ -244,10 +251,21 @@ type key_health = {
 
 type resident = { summary : Summary.t; estimator : Estimator.t }
 
+(* One rung below the resident set: a pinned per-dataset fallback
+   sketch paired with its executor (built once at install). *)
+type sketch_resident = { sketch : Sketch.t; sexec : Sketch_exec.t }
+
 (* How each query slot of the last batch was answered, parallel to the
-   result array: served normally, served degraded from a resident
-   sibling variance after its own key was shed, or shed outright. *)
-type slot_status = Served | Fallback of key | Shed
+   result array — the degradation ladder's rungs: served exactly
+   (Served), served degraded from a resident sibling variance
+   (Fallback), served coarsely from the dataset's fallback sketch
+   (Sketch), or shed outright. *)
+type slot_status = Served | Fallback of key | Sketch | Shed
+
+(* What the execute stage runs a group against: the exact tier's
+   pooled estimator, or the sketch tier's executor.  The pipeline is
+   polymorphic in this type, so tiering never touches pipeline.ml. *)
+type served = Exact of Estimator.t | Via_sketch of Sketch_exec.t
 
 type t = {
   loader : key -> (Summary.t, E.t) result;
@@ -256,8 +274,11 @@ type t = {
   chain_pruning : bool option;
   resilience : resilience;
   admission : Admission.t;
-  plans : (Pattern.t, Xpest_plan.Plan.t) Plan_cache.t;  (* pool-shared *)
+  plans : (Pattern.t, Plan.t) Plan_cache.t;  (* pool-shared *)
   residents : (key, resident) Bounded_cache.t;
+  (* the ladder's last rung: per-dataset fallback sketches, pinned in
+     their own byte-budgeted region the resident evictor never sees *)
+  sketches : (string, sketch_resident) Bounded_cache.t;
   health_tbl : (key, hstate) Hashtbl.t;
   mutable clock : int;
   mutable loads : int;
@@ -268,19 +289,33 @@ type t = {
   mutable degraded_hits : int;
   mutable prefetches : int;
   mutable sheds : int;  (* queries refused by admission control *)
-  mutable fallbacks : int;  (* shed queries served by a resident sibling *)
+  mutable fallbacks : int;
+      (* shed or load-failed queries served by a resident sibling *)
+  mutable sketch_served : int;  (* queries answered from the sketch tier *)
+  mutable sketch_failures : int;
+      (* sketches that could not be installed: over budget, unreadable,
+         corrupt, or stale against the manifest *)
+  mutable skipped_directives : int;
+      (* unknown !directive lines skipped by v3 health-state loads *)
   mutable last_metrics : (key * (string * int) list) list;
   mutable last_statuses : slot_status array;
 }
 
 let default_resident_capacity = 8
 
+(* Sketches are hundreds of bytes to a few KiB each; 256 KiB pins a
+   last-resort answer tier for hundreds of datasets. *)
+let default_sketch_bytes = 262144
+
 let create_r ?(resident_capacity = default_resident_capacity)
     ?(resident_policy = Bounded_cache.segmented) ?config ?chain_pruning
     ?(resilience = default_resilience) ?(admission = Admission.unlimited)
-    ?(verify = fun _ -> Ok ()) ~loader () =
+    ?(sketch_bytes = default_sketch_bytes) ?(verify = fun _ -> Ok ()) ~loader
+    () =
   if resident_capacity < 1 then
     invalid_arg "Catalog.create: resident_capacity must be >= 1";
+  if sketch_bytes < 1 then
+    invalid_arg "Catalog.create: sketch_bytes must be >= 1";
   if
     resilience.max_retries < 0 || resilience.failure_threshold < 1
     || resilience.backoff_base < 1
@@ -315,6 +350,14 @@ let create_r ?(resident_capacity = default_resident_capacity)
       Bounded_cache.create ~capacity:resident_budget ~policy:resident_policy
         ?cost:resident_cost ~synchronized:true ~hit:c_hit ~miss:c_load
         ~evict:c_evict ();
+    (* the sketch region is byte-budgeted by exact wire size and only
+       ever touched from the single-owner commit path, so it needs no
+       synchronization; entries are pinned at install and admission is
+       pre-checked, so it can neither evict nor overshoot *)
+    sketches =
+      Bounded_cache.create ~capacity:sketch_bytes
+        ~cost:(fun _ sr -> Sketch.size_bytes sr.sketch)
+        ~hit:c_sketch_hit ~miss:c_sketch_miss ~evict:c_sketch_evict ();
     health_tbl = Hashtbl.create 16;
     clock = 0;
     loads = 0;
@@ -326,14 +369,48 @@ let create_r ?(resident_capacity = default_resident_capacity)
     prefetches = 0;
     sheds = 0;
     fallbacks = 0;
+    sketch_served = 0;
+    sketch_failures = 0;
+    skipped_directives = 0;
     last_metrics = [];
     last_statuses = [||];
   }
 
+(* Install one dataset's fallback sketch into the pinned region.
+   Admission is pre-checked against the byte budget: [Bounded_cache]
+   admits a pinned entry over budget when nothing is evictable (by
+   design — see bounded_cache.mli), and a last-resort tier that could
+   silently outgrow its budget would defeat the point of having one.
+   Re-installing a dataset replaces its sketch.  The executor is built
+   here, once, not per query. *)
+let install_sketch t dataset sketch =
+  Bounded_cache.remove t.sketches dataset;
+  let size = max 1 (Sketch.size_bytes sketch) in
+  let st = Bounded_cache.stats t.sketches in
+  if st.Bounded_cache.s_cost + size > st.Bounded_cache.s_capacity then begin
+    t.sketch_failures <- t.sketch_failures + 1;
+    Error
+      (E.Capacity
+         (Printf.sprintf
+            "catalog sketch region full (%d + %d > %d bytes); refusing \
+             sketch for %s"
+            st.Bounded_cache.s_cost size st.Bounded_cache.s_capacity dataset))
+  end
+  else begin
+    Bounded_cache.pin t.sketches dataset;
+    Bounded_cache.add t.sketches dataset
+      { sketch; sexec = Sketch_exec.create sketch };
+    Ok ()
+  end
+
+(* The ladder is armed by provisioning: a catalog holding at least one
+   fallback sketch opts its failure paths into degraded answers. *)
+let ladder_armed t = Bounded_cache.length t.sketches > 0
+
 (* Raising-loader form, for in-memory sources: escaped exceptions are
    classified so legacy loaders still flow through the typed machinery. *)
 let create ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ?admission ~loader () =
+    ?resilience ?admission ?sketch_bytes ~loader () =
   let typed_loader k =
     match loader k with
     | s -> Ok s
@@ -344,7 +421,7 @@ let create ?resident_capacity ?resident_policy ?config ?chain_pruning
         Error (E.Internal reason)
   in
   create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ?admission ~loader:typed_loader ()
+    ?resilience ?admission ?sketch_bytes ~loader:typed_loader ()
 
 (* -------------------- health bookkeeping -------------------- *)
 
@@ -550,6 +627,25 @@ let save_entry ~dir manifest key summary =
       checksum = i.Synopsis_io.checksum;
     }
 
+let sketch_suffix = ".sketch"
+let sketch_filename dataset = escape_dataset dataset ^ sketch_suffix
+
+(* One fallback sketch per dataset, next to its summaries, registered
+   in the manifest's sketch table with the same size+checksum
+   discipline as synopsis entries. *)
+let save_sketch ~dir manifest dataset sketch =
+  let file = sketch_filename dataset in
+  let path = Filename.concat dir file in
+  Sketch.save sketch path;
+  let i = Synopsis_io.info path in
+  Manifest.add_sketch manifest
+    {
+      Manifest.s_dataset = dataset;
+      s_file = file;
+      s_bytes = i.Synopsis_io.total_bytes;
+      s_checksum = i.Synopsis_io.checksum;
+    }
+
 (* Re-verification of one manifest entry against the on-disk file:
    shared by the lazy loader, resident re-validation and the CLI's
    health report. *)
@@ -606,13 +702,65 @@ let manifest_loader ?io ~dir manifest key =
       | Error e -> Error e
       | Ok path -> Synopsis_io.load_typed ?io path)
 
+(* Sketch files get the same re-verification discipline as synopsis
+   files: size + body checksum against the manifest before decoding. *)
+let sketch_check ?io ~dir (e : Manifest.sketch_entry) =
+  let path = Filename.concat dir e.Manifest.s_file in
+  match Synopsis_io.info_typed ?io path with
+  | Error err -> Error err
+  | Ok i ->
+      if not i.Synopsis_io.checksum_ok then
+        Error
+          (E.Corrupt
+             {
+               path;
+               section = "body";
+               reason = "checksum mismatch (corrupted or truncated read)";
+             })
+      else if
+        i.Synopsis_io.total_bytes <> e.Manifest.s_bytes
+        || not (Int64.equal i.Synopsis_io.checksum e.Manifest.s_checksum)
+      then
+        Error
+          (E.Stale_manifest
+             {
+               path;
+               reason =
+                 Printf.sprintf
+                   "expected %d bytes, checksum %016Lx; found %d bytes, \
+                    checksum %016Lx — rebuild the catalog"
+                   e.Manifest.s_bytes e.Manifest.s_checksum
+                   i.Synopsis_io.total_bytes i.Synopsis_io.checksum;
+             })
+      else Ok path
+
+let load_sketch ?io ~dir (e : Manifest.sketch_entry) =
+  match sketch_check ?io ~dir e with
+  | Error e -> Error e
+  | Ok path -> Sketch.load_typed ?io path
+
 let of_manifest ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ?admission ?io ~dir manifest =
-  create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
-    ?resilience ?admission
-    ~verify:(manifest_verify ?io ~dir manifest)
-    ~loader:(manifest_loader ?io ~dir manifest)
-    ()
+    ?resilience ?admission ?sketch_bytes ?io ~dir manifest =
+  let t =
+    create_r ?resident_capacity ?resident_policy ?config ?chain_pruning
+      ?resilience ?admission ?sketch_bytes
+      ~verify:(manifest_verify ?io ~dir manifest)
+      ~loader:(manifest_loader ?io ~dir manifest)
+      ()
+  in
+  (* The sketch tier is always-resident by construction: every
+     manifest sketch is read eagerly here, while storage is presumed
+     healthy, never lazily on the failure path it exists to cover.  A
+     sketch that cannot be installed (unreadable, corrupt, stale, or
+     over budget) is counted, not fatal — it only narrows the ladder
+     back to PR-era behavior for its dataset. *)
+  List.iter
+    (fun (e : Manifest.sketch_entry) ->
+      match load_sketch ?io ~dir e with
+      | Error _ -> t.sketch_failures <- t.sketch_failures + 1
+      | Ok sketch -> ignore (install_sketch t e.Manifest.s_dataset sketch))
+    manifest.Manifest.sketches;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Routing.                                                            *)
@@ -667,6 +815,21 @@ let resident_sibling t key =
             if d < bd || (d = bd && k.variance < bk.variance) then Some (k, r)
             else best)
     t.residents None
+
+(* Which acquire failures the ladder may absorb: unhealthy-storage and
+   pressure refusals.  [Unknown_key] stays an error (the query is
+   malformed, not the storage) and so does [Internal] (a bug must
+   surface, not be papered over with a coarse estimate). *)
+let rung_eligible = function
+  | E.Io_failure _ | E.Corrupt _ | E.Stale_manifest _ | E.Quarantined _
+  | E.Capacity _ | E.Deadline_exceeded _ | E.Overloaded _ ->
+      true
+  | E.Unknown_key _ | E.Internal _ -> false
+
+(* [find_opt] promotes and counts hits, but the sketch region is
+   all-pinned so recency is inert — the lookup is effect-free on
+   eviction order. *)
+let sketch_of t dataset = Bounded_cache.find_opt t.sketches dataset
 
 (* Routed batches run the staged pipeline (see pipeline.mli): route,
    then a single-owner acquire scan in route order, with loads fanned
@@ -770,6 +933,42 @@ let estimate_batch_r ?pool ?loads t pairs =
      materialized per slot after the run (only exceptional statuses
      are stored; everything else is [Served]). *)
   let gstatus : (key, slot_status) Hashtbl.t = Hashtbl.create 4 in
+  let group_size k = Array.length (Pipeline.group_indices routed k) in
+  (* The ladder's lower rungs, shared by both failure paths (admission
+     shed, failed acquire): a resident sibling variance first, the
+     dataset's pinned sketch second.  Both run at the single-owner
+     commit point, so rung choice is a pure function of sequential
+     catalog state — deterministic at any fan-out. *)
+  let fallback_rung k =
+    match resident_sibling t k with
+    | Some (sib, r) ->
+        let n = group_size k in
+        t.fallbacks <- t.fallbacks + n;
+        Counters.add c_fallback n;
+        Hashtbl.replace gstatus k (Fallback sib);
+        Some (Exact r.estimator)
+    | None -> (
+        match sketch_of t k.dataset with
+        | Some sr ->
+            let n = group_size k in
+            t.sketch_served <- t.sketch_served + n;
+            Counters.add c_sketch n;
+            Hashtbl.replace gstatus k Sketch;
+            Some (Via_sketch sr.sexec)
+        | None -> None)
+  in
+  (* The exact tier, with the ladder under it: an acquire failure of an
+     eligible kind (unhealthy storage or pressure — never Unknown_key
+     or Internal) degrades instead of erroring, but only when the
+     catalog was provisioned with sketches; an unprovisioned catalog
+     keeps the historical fail-fast contract bit-for-bit. *)
+  let acquire_tiered ~prefetched k =
+    match acquire_with t ~prefetched k with
+    | Ok est -> Ok (Exact est)
+    | Error e -> (
+        if not (ladder_armed t && rung_eligible e) then Error e
+        else match fallback_rung k with Some s -> Ok s | None -> Error e)
+  in
   (* The stage-boundary admission check wraps the acquire step.  A
      shed consults nothing downstream: no clock tick, no I/O, no
      per-key health mutation — the refusal is about the system, not
@@ -777,7 +976,7 @@ let estimate_batch_r ?pool ?loads t pairs =
      breaker at this same single-owner point, in route order, which is
      what keeps breaker transitions deterministic at any fan-out. *)
   let commit k ~prefetched =
-    if not (Admission.active t.admission) then acquire_with t ~prefetched k
+    if not (Admission.active t.admission) then acquire_tiered ~prefetched k
     else begin
       let wl = would_load t k in
       match
@@ -789,21 +988,27 @@ let estimate_batch_r ?pool ?loads t pairs =
           if wl then
             Admission.note_load_result t.admission ~clock:t.clock
               ~ok:(Result.is_ok r);
-          r
+          (match r with
+          | Ok est -> Ok (Exact est)
+          | Error e -> (
+              if not (ladder_armed t && rung_eligible e) then Error e
+              else
+                match fallback_rung k with Some s -> Ok s | None -> Error e))
       | Admission.Shed e -> (
-          let n = Array.length (Pipeline.group_indices routed k) in
+          let n = group_size k in
           t.sheds <- t.sheds + n;
           Counters.add c_shed n;
           match
             if Admission.policy t.admission = Admission.Degrade then
-              resident_sibling t k
+              fallback_rung k
             else None
           with
-          | Some (sib, r) ->
-              t.fallbacks <- t.fallbacks + n;
-              Counters.add c_fallback n;
-              Hashtbl.replace gstatus k (Fallback sib);
-              Ok r.estimator
+          | Some (Via_sketch _ as s) ->
+              (* a sketch answer costs what a resident hit costs, and
+                 is never queued — the last rung cannot be shed *)
+              Admission.charge_sketch_answer t.admission;
+              Ok s
+          | Some s -> Ok s
           | None ->
               Hashtbl.replace gstatus k Shed;
               Error e)
@@ -819,15 +1024,37 @@ let estimate_batch_r ?pool ?loads t pairs =
     }
   in
   let slot idxs vs = Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs in
+  (* Sketch-tier execution reuses the pool-shared plan IR: the same
+     compile (and cache entry) the exact tier would use, so routing
+     and dedupe are tier-independent.  Estimation over the label-split
+     synopsis is pure, so no fan-out is needed for bit-identity —
+     sketch groups always run inline. *)
+  let sketch_one sx q =
+    match
+      Sketch_exec.estimate_plan sx (Plan_cache.find_or_add t.plans q Plan.compile)
+    with
+    | v -> Ok v
+    | exception E.Error e -> Error e
+    | exception exn -> Error (E.Internal (Printexc.to_string exn))
+  in
   let execute est idxs =
-    slot idxs
-      (Estimator.try_estimate_many est (Array.map (fun i -> snd pairs.(i)) idxs))
+    match est with
+    | Exact est ->
+        slot idxs
+          (Estimator.try_estimate_many est
+             (Array.map (fun i -> snd pairs.(i)) idxs))
+    | Via_sketch sx ->
+        slot idxs (Array.map (fun i -> sketch_one sx (snd pairs.(i))) idxs)
   in
   let execute_chunked pool est idxs =
     (* one surviving group: chunk its own plans across the pool *)
-    slot idxs
-      (Estimator.try_estimate_many ~pool est
-         (Array.map (fun i -> snd pairs.(i)) idxs))
+    match est with
+    | Exact est ->
+        slot idxs
+          (Estimator.try_estimate_many ~pool est
+             (Array.map (fun i -> snd pairs.(i)) idxs))
+    | Via_sketch sx ->
+        slot idxs (Array.map (fun i -> sketch_one sx (snd pairs.(i))) idxs)
   in
   (* one poisoned key fails its own queries, nobody else's *)
   let fail e idxs = Array.iter (fun i -> out.(i) <- Error e) idxs in
@@ -868,6 +1095,12 @@ type stats = {
   prefetched_loads : int;
   shed_queries : int;
   fallback_queries : int;
+  sketch_queries : int;
+  sketch_resident : int;
+  sketch_bytes : int;
+  sketch_budget : int;
+  sketch_failures : int;
+  skipped_directives : int;
   plan_cache : Plan_cache.stats;
   plan_contention : int;
   plan_races : int;
@@ -900,6 +1133,12 @@ let stats t =
     prefetched_loads = t.prefetches;
     shed_queries = t.sheds;
     fallback_queries = t.fallbacks;
+    sketch_queries = t.sketch_served;
+    sketch_resident = Bounded_cache.length t.sketches;
+    sketch_bytes = (Bounded_cache.stats t.sketches).Bounded_cache.s_cost;
+    sketch_budget = Bounded_cache.capacity t.sketches;
+    sketch_failures = t.sketch_failures;
+    skipped_directives = t.skipped_directives;
     plan_cache = Plan_cache.stats t.plans;
     plan_contention = Plan_cache.contention t.plans;
     plan_races = Plan_cache.races t.plans;
@@ -980,14 +1219,22 @@ let pinned t key = Bounded_cache.pinned t.residents key
    the counts and the deadline, not the stale diagnosis. *)
 
 let health_filename = "catalog.health"
-let health_magic = "xpest-catalog-health/2"
+let health_magic = "xpest-catalog-health/3"
+let health_magic_v2 = "xpest-catalog-health/2"
 let health_magic_v1 = "xpest-catalog-health/1"
 
-(* v2 adds one optional directive line right after the magic —
+(* v2 added one optional directive line right after the magic —
    "!breaker<TAB>state<TAB>remaining<TAB>failures<TAB>cooldown" — for
    the circuit breaker over the loader seam.  '!' cannot start a key
    row (escape_dataset %-encodes it), so the directive space is
-   unambiguous.  v1 files load unchanged (breaker starts closed). *)
+   unambiguous.  v3 makes that space forward-compatible: an unknown
+   "!name..." directive is skipped (counted in the skipped_directives
+   stat) instead of corrupting the whole file, so a binary at this
+   version survives state written by a newer one.  A malformed
+   "!breaker" is still corruption — a directive we do understand must
+   parse.  v2 keeps its stricter all-or-nothing contract ('!' lines
+   must be well-formed !breaker directives) and v1 files load
+   unchanged (no directives, breaker starts closed). *)
 let breaker_state_to_string = function
   | `Closed -> "closed"
   | `Open -> "open"
@@ -1090,26 +1337,44 @@ let load_health t path =
         (fun () ->
           match input_line ic with
           | exception End_of_file -> corrupt "empty file"
-          | magic when magic <> health_magic && magic <> health_magic_v1 ->
+          | magic
+            when magic <> health_magic
+                 && magic <> health_magic_v2
+                 && magic <> health_magic_v1 ->
               corrupt (Printf.sprintf "bad magic %S (want %S)" magic health_magic)
           | magic ->
-              (* v2 adds '!'-prefixed directives; under v1 no line can
-                 start with '!' (escape_dataset %-encodes it), so a
-                 directive there is plain corruption *)
-              let directives_ok = magic = health_magic in
+              (* v2/v3 add '!'-prefixed directives; under v1 no line
+                 can start with '!' (escape_dataset %-encodes it), so
+                 a directive there is plain corruption.  Under v3 an
+                 unknown directive name is skipped and counted, so
+                 newer writers don't brick older readers; a known
+                 directive ("!breaker") must still parse. *)
+              let directives_ok = magic <> health_magic_v1 in
+              let skip_unknown = magic = health_magic in
+              let is_breaker line =
+                match String.index_opt line '\t' with
+                | Some i -> String.sub line 0 i = "!breaker"
+                | None -> line = "!breaker"
+              in
               let breaker = ref None in
+              let skipped = ref 0 in
               let rec rows acc lineno =
                 match input_line ic with
                 | exception End_of_file -> Ok (List.rev acc)
                 | "" -> rows acc (lineno + 1)
                 | line when directives_ok && String.length line > 0 && line.[0] = '!'
-                  -> (
-                    match parse_breaker line with
-                    | Ok view ->
-                        breaker := Some view;
-                        rows acc (lineno + 1)
-                    | Error reason ->
-                        corrupt (Printf.sprintf "line %d: %s" lineno reason))
+                  ->
+                    if skip_unknown && not (is_breaker line) then begin
+                      incr skipped;
+                      rows acc (lineno + 1)
+                    end
+                    else (
+                      match parse_breaker line with
+                      | Ok view ->
+                          breaker := Some view;
+                          rows acc (lineno + 1)
+                      | Error reason ->
+                          corrupt (Printf.sprintf "line %d: %s" lineno reason))
                 | line -> (
                     match parse_row line with
                     | Ok row -> rows (row :: acc) (lineno + 1)
@@ -1127,4 +1392,5 @@ let load_health t path =
                   Option.iter
                     (Admission.restore_breaker t.admission ~clock:t.clock)
                     !breaker;
+                  t.skipped_directives <- t.skipped_directives + !skipped;
                   Ok (List.length rows)))

@@ -70,6 +70,32 @@
     {!slot_status.Fallback} in {!last_batch_statuses} — a degraded
     answer beats no answer, and the caller can tell them apart.
 
+    {2 The degradation ladder}
+
+    Batch answers come from a three-rung ladder: {b Exact} (the key's
+    own summary, as always) → {b Fallback} (a resident sibling
+    variance of the same dataset) → {b Sketch} (the dataset's
+    always-resident fallback sketch, {!Xpest_synopsis.Sketch}: order-1
+    Markov path counts, a few hundred bytes, coarse but never
+    unavailable).  Sketches live in their own tiny byte-budgeted
+    region ([?sketch_bytes]), pinned so the resident-set evictor can
+    never reclaim them, and are loaded eagerly at construction
+    ({!of_manifest}) — never lazily on the failure path they exist to
+    cover.  The lower rungs engage on two paths: an admission shed
+    under the [Degrade] policy (as above, now with Sketch below
+    Fallback), and — {e only when the catalog holds at least one
+    sketch} — a failed acquire of an eligible error kind (unhealthy
+    storage or pressure: [Io_failure], [Corrupt], [Stale_manifest],
+    [Quarantined], [Capacity], [Deadline_exceeded], [Overloaded]; a
+    malformed query's [Unknown_key] and bugs' [Internal] still fail).
+    A catalog without sketches keeps the historical fail-fast contract
+    bit-for-bit.  Sketch answers cost one admission tick (a resident
+    hit's price) and are never queued, so the last rung cannot itself
+    be shed; rung choice happens at the single-owner commit point, so
+    the ladder is deterministic at any domain fan-out.  Each slot's
+    rung is reported in {!last_batch_statuses} and the per-tier totals
+    in {!stats}.
+
     Admission decisions are a pure function of (configuration,
     logical clock, route order): shedding reproduces bit-identically
     at any domain count, and with admission inactive (the default
@@ -194,6 +220,7 @@ val create :
   ?chain_pruning:bool ->
   ?resilience:resilience ->
   ?admission:Admission.config ->
+  ?sketch_bytes:int ->
   loader:(key -> Summary.t) ->
   unit ->
   t
@@ -230,6 +257,7 @@ val create_r :
   ?chain_pruning:bool ->
   ?resilience:resilience ->
   ?admission:Admission.config ->
+  ?sketch_bytes:int ->
   ?verify:(key -> (unit, E.t) result) ->
   loader:(key -> (Summary.t, E.t) result) ->
   unit ->
@@ -237,10 +265,27 @@ val create_r :
 (** Result-typed form of {!create}: the loader reports failures as
     values, and [verify] (default: always [Ok]) re-validates a
     resident key when [resilience.verify_resident] is set.
-    @raise Invalid_argument as {!create}. *)
+    [sketch_bytes] (default {!default_sketch_bytes}) budgets the
+    pinned fallback-sketch region; sketches are installed with
+    {!install_sketch} (or automatically by {!of_manifest}).
+    @raise Invalid_argument as {!create}, or if [sketch_bytes < 1]. *)
 
 val default_resident_capacity : int
 (** 8 resident summaries. *)
+
+val default_sketch_bytes : int
+(** 256 KiB — the fallback-sketch region's default byte budget.
+    Sketches are hundreds of bytes to a few KiB each, so the default
+    pins a last-resort tier for hundreds of datasets. *)
+
+val install_sketch : t -> string -> Xpest_synopsis.Sketch.t -> (unit, E.t) result
+(** Install (or replace) [dataset]'s fallback sketch in the pinned
+    region, arming the degradation ladder (see the preamble).  The
+    sketch executor is built here, once.  Fails with [Capacity] —
+    without installing anything — when the sketch would push the
+    region past its byte budget: the region's budget is a hard bound,
+    pre-checked because pinned entries otherwise admit over budget.
+    Counted in [stats.sketch_failures] on refusal. *)
 
 val of_manifest :
   ?resident_capacity:int ->
@@ -249,6 +294,7 @@ val of_manifest :
   ?chain_pruning:bool ->
   ?resilience:resilience ->
   ?admission:Admission.config ->
+  ?sketch_bytes:int ->
   ?io:Xpest_util.Fault.Io.t ->
   dir:string ->
   Manifest.t ->
@@ -262,7 +308,15 @@ val of_manifest :
     file damage surfaces as [Io_failure] or [Corrupt].  [io]
     substitutes the storage interface (fault injection under test,
     see {!Xpest_util.Fault.io}); it is threaded through both loading
-    and resident re-verification. *)
+    and resident re-verification.
+
+    Every sketch in the manifest's sketch table is loaded {e eagerly}
+    here (verified against its recorded size and checksum, through the
+    same [io]) and installed in the pinned region — the sketch tier
+    must be resident before storage degrades, not fetched through the
+    failing storage it exists to cover.  A sketch that cannot be
+    installed is counted in [stats.sketch_failures], not fatal: it
+    only narrows the ladder for its dataset. *)
 
 val manifest_filename : string
 (** ["catalog.manifest"] — the manifest's conventional file name
@@ -273,6 +327,28 @@ val save_entry : dir:string -> Manifest.t -> key -> Summary.t -> Manifest.t
     manifest with that entry added (replacing any previous entry of
     the key).  The caller decides when to {!Manifest.save} the result.
     @raise Sys_error on I/O failure. *)
+
+val sketch_filename : string -> string
+(** Canonical sketch file name of a dataset inside a catalog
+    directory, e.g. ["dblp.sketch"] (dataset %XX-escaped like
+    {!key_filename}). *)
+
+val save_sketch :
+  dir:string -> Manifest.t -> string -> Xpest_synopsis.Sketch.t -> Manifest.t
+(** Persist [dataset]'s fallback sketch as
+    [dir ^ "/" ^ sketch_filename dataset] and return the manifest with
+    its sketch entry added (replacing any previous one) — the
+    [catalog build] counterpart of {!save_entry} for the sketch tier.
+    @raise Sys_error on I/O failure. *)
+
+val sketch_check :
+  ?io:Xpest_util.Fault.Io.t ->
+  dir:string ->
+  Manifest.sketch_entry ->
+  (string, E.t) result
+(** {!manifest_verify}'s analogue for one sketch entry: header parse +
+    size + stored checksum against the manifest record, returning the
+    sketch file's path on success (used by [catalog info --health]). *)
 
 val manifest_verify :
   ?io:Xpest_util.Fault.Io.t ->
@@ -400,8 +476,23 @@ type stats = {
           or breaker) — each one got a typed error or a fallback
           answer, never silence *)
   fallback_queries : int;
-      (** the subset of [shed_queries] served degraded from a
-          resident sibling variance (the [Degrade] shed policy) *)
+      (** queries served degraded from a resident sibling variance —
+          shed ones under the [Degrade] policy, plus acquire failures
+          the ladder absorbed (sketch-armed catalogs only) *)
+  sketch_queries : int;
+      (** queries answered from the sketch tier (the ladder's last
+          rung) *)
+  sketch_resident : int;  (** fallback sketches installed *)
+  sketch_bytes : int;
+      (** exact wire bytes pinned in the sketch region; never exceeds
+          [sketch_budget] (pre-checked at install) *)
+  sketch_budget : int;  (** the region's byte budget ([?sketch_bytes]) *)
+  sketch_failures : int;
+      (** sketches that could not be installed: over budget,
+          unreadable, corrupt, or stale against the manifest *)
+  skipped_directives : int;
+      (** unknown [!directive] lines skipped by {!load_health} from v3
+          health files (forward compatibility with newer writers) *)
   plan_cache : Xpest_plan.Plan_cache.stats;
       (** the pool-shared compiled-plan cache *)
   plan_contention : int;
@@ -459,19 +550,25 @@ val clear_all_quarantine : t -> key_health list
     {!Xpest_catalog.Admission} for the model. *)
 
 type slot_status =
-  | Served  (** answered normally *)
+  | Served  (** answered exactly, from the key's own summary *)
   | Fallback of key
-      (** shed, then answered degraded from this resident sibling
-          variance of the same dataset ([Degrade] policy); the result
-          array holds the sibling's estimate *)
+      (** answered degraded from this resident sibling variance of the
+          same dataset — after a shed ([Degrade] policy) or an
+          eligible acquire failure on a sketch-armed catalog; the
+          result array holds the sibling's estimate *)
+  | Sketch
+      (** answered coarsely from the dataset's pinned fallback sketch,
+          the ladder's last rung; the result array holds the sketch
+          estimate *)
   | Shed
       (** refused outright; the result array holds the typed error *)
 
 val last_batch_statuses : t -> slot_status array
 (** How each query slot of the most recent {!estimate_batch_r} was
     answered, parallel to its result array (empty before any batch).
-    All-[Served] whenever admission is inactive or nothing was
-    shed. *)
+    All-[Served] whenever the ladder never engaged (admission inactive
+    or nothing shed, and no eligible acquire failure on a
+    sketch-armed catalog). *)
 
 val admission_config : t -> Admission.config
 val admission_stats : t -> Admission.stats
@@ -500,21 +597,27 @@ val health_filename : string
 val save_health : ?io:Xpest_util.Fault.Io.t -> t -> string -> unit
 (** Write the health table to [path], crash-safely
     ({!Xpest_util.Fault.atomic_write}: temp file + atomic rename, a
-    killed process never leaves a torn file).  Format v2 also carries
-    the circuit breaker's state as a [!breaker] directive line, with
-    its probe deadline stored as remaining ticks like quarantine
-    deadlines.  [io] substitutes the write interface (write-abort
-    injection under test).
+    killed process never leaves a torn file).  The format (v3) also
+    carries the circuit breaker's state as a [!breaker] directive
+    line, with its probe deadline stored as remaining ticks like
+    quarantine deadlines.  [io] substitutes the write interface
+    (write-abort injection under test).
     @raise Sys_error on I/O failure (the temp file is cleaned up). *)
 
 val load_health : t -> string -> (int, E.t) result
 (** Merge the health file at [path] into the catalog
     ([Hashtbl.replace] per key — on-file state wins; a persisted
     breaker state is re-anchored on this catalog's {!clock}) and
-    return how many keys were loaded.  Accepts v1 files (no breaker
-    line).  All-or-nothing: a malformed file is
-    [Error (Corrupt {section = "health"; _})] and changes nothing; an
-    unreadable one is [Error (Io_failure _)]. *)
+    return how many keys were loaded.  Accepts v2 and v1 files (v1:
+    no breaker line).  Forward compatibility (v3 files only): an
+    unknown [!directive] line — one whose first tab-field is not
+    [!breaker] — is skipped and counted in
+    [stats.skipped_directives], so state written by a newer binary
+    still loads; a malformed [!breaker] is still corruption.
+    Otherwise all-or-nothing: a malformed file is
+    [Error (Corrupt {section = "health"; _})] and changes nothing
+    (skipped-directive counts included); an unreadable one is
+    [Error (Io_failure _)]. *)
 
 val clock : t -> int
 (** The catalog's logical clock: one tick per acquire attempt (each

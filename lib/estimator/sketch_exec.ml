@@ -1,0 +1,9 @@
+module Sketch = Xpest_synopsis.Sketch
+module Xsketch = Xpest_baseline.Xsketch
+module Plan = Xpest_plan.Plan
+
+type t = { xs : Xsketch.t }
+
+let create sketch = { xs = Xsketch.of_export (Sketch.export sketch) }
+let estimate t pattern = Xsketch.estimate t.xs pattern
+let estimate_plan t plan = Xsketch.estimate t.xs (Plan.pattern plan)

@@ -9,23 +9,47 @@ type entry = {
   checksum : int64;
 }
 
-type t = { entries : entry list }
+type sketch_entry = {
+  s_dataset : string;
+  s_file : string;
+  s_bytes : int;
+  s_checksum : int64;
+}
 
-let empty = { entries = [] }
+type t = { entries : entry list; sketches : sketch_entry list }
+
+let empty = { entries = []; sketches = [] }
 
 let same_key a b = String.equal a.dataset b.dataset && a.variance = b.variance
 
 let add t entry =
   if List.exists (same_key entry) t.entries then
-    { entries = List.map (fun e -> if same_key entry e then entry else e) t.entries }
-  else { entries = t.entries @ [ entry ] }
+    {
+      t with
+      entries =
+        List.map (fun e -> if same_key entry e then entry else e) t.entries;
+    }
+  else { t with entries = t.entries @ [ entry ] }
 
 let find t ~dataset ~variance =
   List.find_opt
     (fun e -> String.equal e.dataset dataset && e.variance = variance)
     t.entries
 
+let add_sketch t entry =
+  let same e = String.equal e.s_dataset entry.s_dataset in
+  if List.exists same t.sketches then
+    {
+      t with
+      sketches = List.map (fun e -> if same e then entry else e) t.sketches;
+    }
+  else { t with sketches = t.sketches @ [ entry ] }
+
+let find_sketch t ~dataset =
+  List.find_opt (fun e -> String.equal e.s_dataset dataset) t.sketches
+
 let section_name = "catalog_manifest"
+let sketch_section_name = "catalog_sketches"
 
 let encode t =
   let open Wire in
@@ -38,7 +62,26 @@ let encode t =
       put_int buf e.bytes;
       put_int64 buf e.checksum)
     t.entries;
-  encode_container [ (section_name, Buffer.contents buf) ]
+  let sections = [ (section_name, Buffer.contents buf) ] in
+  (* The sketch table rides in its own section, emitted only when
+     non-empty: a sketch-free manifest stays byte-identical to the
+     pre-sketch format, and older readers that look up sections by
+     name skip the new one untouched. *)
+  let sections =
+    if t.sketches = [] then sections
+    else begin
+      let sbuf = Buffer.create 128 in
+      put_list sbuf
+        (fun buf e ->
+          put_string buf e.s_dataset;
+          put_string buf e.s_file;
+          put_int buf e.s_bytes;
+          put_int64 buf e.s_checksum)
+        t.sketches;
+      sections @ [ (sketch_section_name, Buffer.contents sbuf) ]
+    end
+  in
+  encode_container sections
 
 let decode data =
   let open Wire in
@@ -61,7 +104,23 @@ let decode data =
             { dataset; variance; file; bytes; checksum })
       in
       expect_end r;
-      { entries }
+      let sketches =
+        match List.assoc_opt sketch_section_name sections with
+        | None -> []
+        | Some payload ->
+            let r = reader ~context:"catalog sketch table" payload in
+            let sketches =
+              get_list r (fun r ->
+                  let s_dataset = get_string r in
+                  let s_file = get_string r in
+                  let s_bytes = get_int r in
+                  let s_checksum = get_int64 r in
+                  { s_dataset; s_file; s_bytes; s_checksum })
+            in
+            expect_end r;
+            sketches
+      in
+      { entries; sketches }
 
 (* Same crash-safety discipline as Summary.save: temp file + atomic
    rename, so a manifest rewrite can never tear the catalog's index. *)

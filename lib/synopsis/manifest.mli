@@ -22,7 +22,17 @@ type entry = {
   checksum : int64;  (** the synopsis file's stored body checksum *)
 }
 
-type t = { entries : entry list }
+type sketch_entry = {
+  s_dataset : string;
+  s_file : string;  (** sketch file name, relative to the manifest *)
+  s_bytes : int;  (** sketch file size at save time *)
+  s_checksum : int64;  (** the sketch file's stored body checksum *)
+}
+(** One fallback sketch ({!Sketch}) per dataset — the last rung of the
+    catalog's degradation ladder.  Sketches are keyed by dataset
+    alone: one sketch covers every variance of its dataset. *)
+
+type t = { entries : entry list; sketches : sketch_entry list }
 
 val empty : t
 
@@ -32,9 +42,20 @@ val add : t -> entry -> t
 
 val find : t -> dataset:string -> variance:float -> entry option
 
+val add_sketch : t -> sketch_entry -> t
+(** Append, replacing any sketch entry with the same dataset. *)
+
+val find_sketch : t -> dataset:string -> sketch_entry option
+
 val section_name : string
 (** ["catalog_manifest"] — how {!Synopsis_io.kind} tells a manifest
     from a synopsis. *)
+
+val sketch_section_name : string
+(** ["catalog_sketches"] — the manifest's optional sketch table.  Only
+    emitted when sketches exist, so a sketch-free manifest stays
+    byte-identical to the pre-sketch wire format, and decoding a
+    pre-sketch manifest yields an empty sketch table. *)
 
 val encode : t -> string
 val decode : string -> t

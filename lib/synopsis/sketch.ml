@@ -1,0 +1,96 @@
+module Fault = Xpest_util.Fault
+module E = Xpest_util.Xpest_error
+module Xsketch = Xpest_baseline.Xsketch
+
+type t = { x : Xsketch.export; mutable wire_bytes : int }
+
+let of_export x = { x; wire_bytes = 0 }
+let export t = t.x
+
+let build doc =
+  of_export (Xsketch.export_label_split (Xsketch.build ~budget_bytes:0 doc))
+
+let num_tags t = Array.length t.x.Xsketch.x_tags
+
+let total_elements t =
+  Array.fold_left ( + ) 0 t.x.Xsketch.x_counts
+
+let section_name = "sketch"
+
+let encode t =
+  let open Wire in
+  let open Xsketch in
+  let buf = Buffer.create 256 in
+  put_int buf t.x.x_doc_max_depth;
+  put_int buf t.x.x_root_tag;
+  put_array buf put_string t.x.x_tags;
+  put_array buf put_int t.x.x_counts;
+  put_array buf
+    (fun buf edges ->
+      put_array buf
+        (fun buf (child, k) ->
+          put_int buf child;
+          put_int buf k)
+        edges)
+    t.x.x_edges;
+  let data = encode_container [ (section_name, Buffer.contents buf) ] in
+  t.wire_bytes <- String.length data;
+  data
+
+let decode data =
+  let open Wire in
+  let sections = decode_container data in
+  match List.assoc_opt section_name sections with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "fallback sketch: missing section %S (is this a synopsis file?)"
+           section_name)
+  | Some payload ->
+      let r = reader ~context:"fallback sketch" payload in
+      let x_doc_max_depth = get_int r in
+      let x_root_tag = get_int r in
+      let x_tags = get_array r get_string in
+      let x_counts = get_array r get_int in
+      let x_edges =
+        get_array r (fun r ->
+            get_array r (fun r ->
+                let child = get_int r in
+                let k = get_int r in
+                (child, k)))
+      in
+      expect_end r;
+      let n = Array.length x_tags in
+      if Array.length x_counts <> n || Array.length x_edges <> n then
+        fail r "mismatched tag/count/edge table lengths";
+      if n = 0 then fail r "empty tag set";
+      if x_root_tag >= n then fail r "root tag out of range";
+      Array.iter
+        (Array.iter (fun (child, _) ->
+             if child >= n then fail r "edge child tag out of range"))
+        x_edges;
+      let t =
+        of_export
+          Xsketch.{ x_doc_max_depth; x_root_tag; x_tags; x_counts; x_edges }
+      in
+      t.wire_bytes <- String.length data;
+      t
+
+let size_bytes t =
+  if t.wire_bytes > 0 then t.wire_bytes
+  else begin
+    ignore (encode t);
+    t.wire_bytes
+  end
+
+(* Same crash-safety discipline as Summary.save / Manifest.save: temp
+   file + atomic rename through the fault-injectable seam. *)
+let save ?io t path = Fault.atomic_write ?io path (encode t)
+
+let load_typed ?(io = Fault.Io.default) path =
+  match decode (io.Fault.Io.read_file path) with
+  | v -> Ok v
+  | exception Sys_error reason -> Error (E.Io_failure { path; reason })
+  | exception Invalid_argument reason ->
+      Error (E.Corrupt { path; section = section_name; reason })
+  | exception E.Error e -> Error e

@@ -1,0 +1,55 @@
+(** Fallback sketches: the last rung of the serving layer's
+    degradation ladder.
+
+    A sketch is the label-split (budget-0) form of
+    {!Xpest_baseline.Xsketch} — per-tag element counts plus counted
+    parent-child tag edges, i.e. order-1 Markov path statistics — for
+    one dataset.  It is built by [catalog build] alongside the full
+    summary, persisted in the same versioned, checksummed {!Wire}
+    container under its own ["sketch"] section (so
+    {!Synopsis_io.kind} tells the three file kinds apart), and pinned
+    resident by {!Xpest_catalog.Catalog} so that a query whose
+    summaries are quarantined or shed can still be answered.
+
+    Sketches are hundreds of bytes to a few KiB where summaries are
+    tens to hundreds of KiB; the estimates they back are coarse
+    (independence + uniformity over tag transitions) but never
+    unavailable. *)
+
+type t
+
+val build : Xpest_xml.Doc.t -> t
+(** Build the label-split sketch of a document (a budget-0
+    {!Xpest_baseline.Xsketch.build} export). *)
+
+val of_export : Xpest_baseline.Xsketch.export -> t
+val export : t -> Xpest_baseline.Xsketch.export
+
+val num_tags : t -> int
+val total_elements : t -> int
+
+val section_name : string
+(** ["sketch"] — how {!Synopsis_io.kind} tells a sketch from a
+    summary or a manifest. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Invalid_argument on malformed input (bad magic, version,
+    checksum, payload, or out-of-range tag codes). *)
+
+val size_bytes : t -> int
+(** Exact wire size in bytes, memoized like {!Summary.size_bytes}:
+    recorded by [encode]/[decode], computed by a throwaway encode the
+    first time otherwise.  This is the cost function of the catalog's
+    pinned sketch region. *)
+
+val save : ?io:Xpest_util.Fault.Io.t -> t -> string -> unit
+(** Crash-safe: temp file + atomic rename
+    ({!Xpest_util.Fault.atomic_write}).
+    @raise Sys_error on I/O failure. *)
+
+val load_typed :
+  ?io:Xpest_util.Fault.Io.t -> string -> (t, Xpest_util.Xpest_error.t) result
+(** Typed-error load for the serving stack: [Io_failure] when the file
+    cannot be read, [Corrupt] when it is not a well-formed sketch.
+    Reads through [?io] (fault-injectable); never raises. *)

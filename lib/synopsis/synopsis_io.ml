@@ -24,11 +24,12 @@ let info ?(io = Fault.Io.default) path =
     sections = h.Wire.sections;
   }
 
-(* The two file kinds share Wire's container; the section names tell
+(* The three file kinds share Wire's container; the section names tell
    them apart without decoding any payload. *)
 let kind i =
   if List.mem_assoc Manifest.section_name i.sections then `Catalog_manifest
   else if List.mem_assoc "encoding_table" i.sections then `Synopsis
+  else if List.mem_assoc Sketch.section_name i.sections then `Sketch
   else `Unknown
 
 let overhead_bytes i =

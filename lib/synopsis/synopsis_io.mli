@@ -29,11 +29,11 @@ val info : ?io:Xpest_util.Fault.Io.t -> string -> info
     (bad magic, legacy format, truncated header); [Sys_error] on I/O
     failure. *)
 
-val kind : info -> [ `Synopsis | `Catalog_manifest | `Unknown ]
+val kind : info -> [ `Synopsis | `Catalog_manifest | `Sketch | `Unknown ]
 (** What the file holds, judged from its section names alone:
-    a synopsis, a catalog manifest ({!Manifest}), or — when the
-    checksum failed and the section table is untrustworthy —
-    [`Unknown]. *)
+    a synopsis, a catalog manifest ({!Manifest}), a fallback sketch
+    ({!Sketch}), or — when the checksum failed and the section table
+    is untrustworthy — [`Unknown]. *)
 
 val overhead_bytes : info -> int
 (** Container overhead: file size minus the summed section payloads

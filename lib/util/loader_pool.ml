@@ -34,7 +34,18 @@
    Submitting against an already shut-down pool yields a poisoned
    future whose await raises a typed [Overloaded] error — callers see
    the same error taxonomy the admission layer speaks, never a hang or
-   a bare Invalid_argument from deep inside the pool. *)
+   a bare Invalid_argument from deep inside the pool.
+
+   Await is single-shot: a future is consumed by its first [await],
+   and a second [await] raises a typed [Internal] error instead of
+   replaying a memoized outcome.  The pipeline awaits each prefetched
+   load exactly once at its commit point; a double await is a caller
+   bug (two owners for one load), and silently replaying the first
+   outcome would mask it — in particular a replayed loader result
+   would not re-draw from a keyed fault injector, so the replay could
+   diverge from what a real second load would have seen.  ([Poisoned]
+   futures stay repeatable: poisoning is a property of the future, not
+   an outcome that can go stale.) *)
 
 type 'a outcome = Pending | Done of 'a | Raised of exn
 
@@ -46,12 +57,12 @@ type 'a cell = {
 
 type 'a deferred = {
   mutable thunk : (unit -> 'a) option;
-  mutable memo : 'a outcome;  (* single-owner: no lock needed *)
+      (* single-owner: no lock needed; [None] = consumed *)
 }
 
 type 'a future =
   | Deferred of 'a deferred
-  | Queued of Domain_pool.t * 'a cell
+  | Queued of { pool : Domain_pool.t; cell : 'a cell; mutable consumed : bool }
   | Poisoned of exn
 
 type t = Blocking | Pool of { pool : Domain_pool.t; pending : int Atomic.t }
@@ -96,34 +107,39 @@ let submit t f =
       match Domain_pool.async pool job with
       | () ->
           Counters.incr c_submit;
-          Queued (pool, cell)
+          Queued { pool; cell; consumed = false }
       | exception Invalid_argument _ ->
           (* the pool refused the job: it was never queued *)
           Atomic.decr pending;
           Counters.incr c_poisoned;
           Poisoned (shutdown_error ()))
-  | Blocking | Pool _ -> Deferred { thunk = Some f; memo = Pending }
+  | Blocking | Pool _ -> Deferred { thunk = Some f }
 
 let of_outcome = function
   | Done v -> v
   | Raised e -> raise e
   | Pending -> assert false
 
+let consumed_error () =
+  Xpest_error.Error
+    (Xpest_error.Internal
+       "Loader_pool.await: future already consumed (await is single-shot)")
+
 let await fut =
   match fut with
   | Poisoned e -> raise e
   | Deferred d -> (
-      match d.memo with
-      | Done _ | Raised _ -> of_outcome d.memo
-      | Pending ->
-          (* first await runs the load, right here, right now — the
-             exact moment the sequential path would have *)
-          let f = Option.get d.thunk in
+      match d.thunk with
+      | None -> raise (consumed_error ())
+      | Some f ->
+          (* the single await runs the load, right here, right now —
+             the exact moment the sequential path would have; whatever
+             [f] raises propagates as-is *)
           d.thunk <- None;
-          let st = try Done (f ()) with e -> Raised e in
-          d.memo <- st;
-          of_outcome st)
-  | Queued (pool, cell) ->
+          f ())
+  | Queued q ->
+      if q.consumed then raise (consumed_error ());
+      let cell = q.cell in
       let pending () =
         Mutex.lock cell.m;
         let p = match cell.state with Pending -> true | _ -> false in
@@ -132,11 +148,11 @@ let await fut =
       in
       let rec help () =
         if pending () then
-          if Domain_pool.try_run_one pool then begin
+          if Domain_pool.try_run_one q.pool then begin
             Counters.incr c_stolen;
             help ()
           end
-          else if Domain_pool.stopped pool then begin
+          else if Domain_pool.stopped q.pool then begin
             (* workers joined and the queue is dry: nothing can ever
                complete this future.  Shutdown drains the queue, so
                this is unreachable unless a job was lost — turn that
@@ -153,4 +169,5 @@ let await fut =
           end
       in
       help ();
+      q.consumed <- true;
       of_outcome cell.state

@@ -71,10 +71,21 @@ val submit : t -> (unit -> 'a) -> 'a future
     escaping from inside the pool. *)
 
 val await : 'a future -> 'a
-(** The thunk's result: runs it now (blocking futures, first await),
-    steals queued work then parks until done (queued futures), or
-    returns the memoized outcome (subsequent awaits).  Re-raises the
+(** The thunk's result: runs it now (blocking futures), or steals
+    queued work then parks until done (queued futures).  Re-raises the
     thunk's exception if it raised.
+
+    {b Single-shot:} a future is consumed by its first [await]; a
+    second [await] of the same future raises
+    [Xpest_error.Error (Internal _)].  The pipeline awaits each
+    prefetched load exactly once at its commit point, so a double
+    await is a caller bug (two owners for one load) — replaying a
+    memoized outcome would mask it, and a replayed result would not
+    re-draw from a keyed fault injector, so it could diverge from what
+    a real second load would have seen.  Poisoned futures (submitted
+    after shutdown) are the exception: their typed [Overloaded] error
+    is a property of the future, not a stale outcome, and raises on
+    {e every} await.
 
     Shutdown safety: futures pending when {!Domain_pool.shutdown} runs
     still complete (workers drain the queue before exiting) and await

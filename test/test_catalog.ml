@@ -94,7 +94,8 @@ let test_manifest_roundtrip () =
   (* the manifest file is itself a recognized wire container *)
   (match Synopsis_io.kind (Synopsis_io.info path) with
   | `Catalog_manifest -> ()
-  | `Synopsis | `Unknown -> Alcotest.fail "manifest not recognized as manifest");
+  | `Synopsis | `Sketch | `Unknown ->
+      Alcotest.fail "manifest not recognized as manifest");
   let m' = Manifest.load path in
   Alcotest.(check int) "entries survive" 2 (List.length m'.Manifest.entries);
   (match Manifest.find m' ~dataset:"ssplays" ~variance:2.0 with

@@ -142,6 +142,7 @@ let status_to_string = function
   | Catalog.Served -> "served"
   | Catalog.Shed -> "shed"
   | Catalog.Fallback k -> "fallback:" ^ Catalog.key_to_string k
+  | Catalog.Sketch -> "sketch"
 
 let compare_statuses label a b =
   Alcotest.(check (array string))
@@ -485,12 +486,12 @@ let test_health_v2_roundtrip_with_breaker () =
   Alcotest.(check bool) "breaker open at save" true (v.Admission.state = `Open);
   let path = health_path "roundtrip" in
   Catalog.save_health cat path;
-  (* the file leads with the v2 magic and carries the directive *)
+  (* the file leads with the current (v3) magic and carries the directive *)
   let ic = open_in path in
   let magic = input_line ic in
   let directive = input_line ic in
   close_in ic;
-  Alcotest.(check string) "v2 magic" "xpest-catalog-health/2" magic;
+  Alcotest.(check string) "v3 magic" "xpest-catalog-health/3" magic;
   Alcotest.(check bool)
     "breaker directive" true
     (String.length directive > 0 && directive.[0] = '!');
@@ -533,6 +534,7 @@ let test_health_v1_still_accepted () =
     List.rev !lines
     |> List.filter (fun l ->
            l <> "xpest-catalog-health/2"
+           && l <> "xpest-catalog-health/3"
            && (String.length l = 0 || l.[0] <> '!'))
   in
   let oc = open_out path in
@@ -625,7 +627,7 @@ let () =
         ] );
       ( "health",
         [
-          Alcotest.test_case "v2 round-trips the breaker" `Quick
+          Alcotest.test_case "v3 round-trips the breaker" `Quick
             test_health_v2_roundtrip_with_breaker;
           Alcotest.test_case "v1 files still load" `Quick
             test_health_v1_still_accepted;

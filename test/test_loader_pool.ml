@@ -1,12 +1,23 @@
 (* Unit tests for the loader-pool future seam underneath the serving
    pipeline: the blocking policy's lazy run-at-first-await semantics
    (the bit-identity anchor), the pool policy's completion and
-   work-stealing, exception transparency through await, and the size-1
-   degradation that makes --load-domains 1 always safe. *)
+   work-stealing, exception transparency through await, single-shot
+   await (a consumed future raises typed, never replays), and the
+   size-1 degradation that makes --load-domains 1 always safe. *)
 
 module Domain_pool = Xpest_util.Domain_pool
 module Loader_pool = Xpest_util.Loader_pool
 module E = Xpest_util.Xpest_error
+
+(* A second await of the same future must raise the typed single-shot
+   error — never hang, never hand back a stale replay. *)
+let check_consumed label fut =
+  match Loader_pool.await fut with
+  | _ -> Alcotest.failf "%s: consumed future returned a value" label
+  | exception E.Error (E.Internal _) -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected a typed Internal error, got %s" label
+        (Printexc.to_string e)
 
 let test_blocking_lazy_await_order () =
   let loads = Loader_pool.blocking in
@@ -26,27 +37,25 @@ let test_blocking_lazy_await_order () =
   Alcotest.(check (list string))
     "thunks ran in await order" [ "c"; "a"; "b" ]
     (List.rev !trace);
-  (* re-await is memoized: no second run *)
-  Alcotest.(check string) "re-await a" "a" (Loader_pool.await fa);
+  (* await is single-shot: a re-await raises typed and runs nothing *)
+  check_consumed "re-await a" fa;
   Alcotest.(check int) "no re-execution" 3 (List.length !trace)
 
-let test_blocking_exception_memoized () =
+let test_blocking_exception_once () =
   let runs = ref 0 in
   let fut =
     Loader_pool.submit Loader_pool.blocking (fun () ->
         incr runs;
         failwith "load exploded")
   in
-  let boom label =
-    match Loader_pool.await fut with
-    | _ -> Alcotest.failf "%s: exception was swallowed" label
-    | exception Failure msg ->
-        Alcotest.(check string) (label ^ ": the thunk's exception")
-          "load exploded" msg
-  in
-  boom "first await";
-  (* a raised outcome is memoized too: re-await re-raises, no re-run *)
-  boom "second await";
+  (match Loader_pool.await fut with
+  | _ -> Alcotest.fail "first await: exception was swallowed"
+  | exception Failure msg ->
+      Alcotest.(check string) "first await: the thunk's exception"
+        "load exploded" msg);
+  (* a raising thunk consumes the future too: the second await raises
+     the single-shot error, not a replay of the original exception *)
+  check_consumed "second await" fut;
   Alcotest.(check int) "thunk ran once" 1 !runs
 
 let test_pool_completion () =
@@ -113,13 +122,16 @@ let test_await_steals_queued_work () =
       Alcotest.(check int) "await of the last future" 23
         (Loader_pool.await futs.(23));
       (* the steal loop only guarantees the awaited future's outcome;
-         drain the rest normally *)
+         drain the rest normally (each exactly once: await is
+         single-shot) *)
       Array.iteri
         (fun i fut ->
-          Alcotest.(check int) (Printf.sprintf "future %d" i) i
-            (Loader_pool.await fut))
+          if i <> 23 then
+            Alcotest.(check int) (Printf.sprintf "future %d" i) i
+              (Loader_pool.await fut))
         futs;
-      Alcotest.(check int) "every thunk ran exactly once" 24 (Atomic.get ran))
+      Alcotest.(check int) "every thunk ran exactly once" 24 (Atomic.get ran);
+      check_consumed "re-await of the stolen future" futs.(23))
 
 let test_size1_pool_is_blocking () =
   Domain_pool.with_pool ~domains:1 (fun p ->
@@ -149,12 +161,40 @@ let test_submit_after_shutdown_is_typed () =
       (* submit itself must not raise: the refusal is typed and
          surfaces at the commit point, through await *)
       let fut = Loader_pool.submit (Loader_pool.over p) (fun () -> 0) in
-      match Loader_pool.await fut with
+      (match Loader_pool.await fut with
       | _ -> Alcotest.fail "await of a poisoned future should raise"
       | exception E.Error (E.Overloaded _) -> ()
       | exception e ->
           Alcotest.failf "expected a typed Overloaded error, got %s"
+            (Printexc.to_string e));
+      (* poisoning is a property of the future, not a consumed
+         outcome: every await raises the same typed refusal *)
+      match Loader_pool.await fut with
+      | _ -> Alcotest.fail "second await of a poisoned future should raise"
+      | exception E.Error (E.Overloaded _) -> ()
+      | exception e ->
+          Alcotest.failf "poisoned futures stay Overloaded, got %s"
             (Printexc.to_string e))
+
+let test_double_await_is_typed () =
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      let loads = Loader_pool.over p in
+      let fut = Loader_pool.submit loads (fun () -> 41) in
+      Alcotest.(check int) "first await" 41 (Loader_pool.await fut);
+      check_consumed "queued future, second await" fut;
+      (* consumption is permanent, not a one-time trip *)
+      check_consumed "queued future, third await" fut)
+
+let test_await_after_shutdown_consumed_is_typed () =
+  let p = Domain_pool.create ~domains:2 () in
+  let loads = Loader_pool.over p in
+  let fut = Loader_pool.submit loads (fun () -> 5) in
+  Alcotest.(check int) "await before shutdown" 5 (Loader_pool.await fut);
+  Domain_pool.shutdown p;
+  (* the workers are gone: a re-await of the consumed future must
+     raise the typed single-shot error immediately — not park in the
+     steal loop, and not hand back the stale 5 *)
+  check_consumed "consumed future awaited after shutdown" fut
 
 let test_pending_futures_survive_shutdown () =
   (* futures still pending when the pool shuts down must complete —
@@ -206,10 +246,10 @@ let () =
     [
       ( "blocking",
         [
-          Alcotest.test_case "lazy, await-ordered, memoized" `Quick
+          Alcotest.test_case "lazy, await-ordered, single-shot" `Quick
             test_blocking_lazy_await_order;
-          Alcotest.test_case "exception memoized" `Quick
-            test_blocking_exception_memoized;
+          Alcotest.test_case "exception propagates exactly once" `Quick
+            test_blocking_exception_once;
         ] );
       ( "pool",
         [
@@ -226,6 +266,10 @@ let () =
         [
           Alcotest.test_case "submit after shutdown is typed" `Quick
             test_submit_after_shutdown_is_typed;
+          Alcotest.test_case "double await is typed" `Quick
+            test_double_await_is_typed;
+          Alcotest.test_case "await after shutdown is typed" `Quick
+            test_await_after_shutdown_consumed_is_typed;
           Alcotest.test_case "pending futures survive shutdown" `Quick
             test_pending_futures_survive_shutdown;
           Alcotest.test_case "pending accounting drains to zero" `Quick

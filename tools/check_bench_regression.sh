@@ -31,7 +31,7 @@
 # estimate_batch on the same batches.
 #
 # Schema handling: the fresh file must carry exactly the schema this
-# gate was written for (xpest-bench-engine/7) — an unknown or newer
+# gate was written for (xpest-bench-engine/8) — an unknown or newer
 # schema fails loudly instead of silently gating the wrong fields.  An
 # OLDER baseline schema only degrades: sections the baseline predates
 # are reported without a comparison, as above.
@@ -54,6 +54,13 @@
 # worst-case claim is broken; the shed schedule's determinism flag
 # across load-domain counts is covered by the same
 # *_bitwise_identical_* sweep.
+#
+# The fresh file's s1_degrade section is gated absolutely and exactly:
+# under the total storage blackout the sketch-tier answer rate must be
+# 1.0 — every well-formed query answered from the always-resident
+# fallback sketch, no typed error leaking through the degradation
+# ladder; the answer schedule's determinism across load-domain counts
+# is covered by the same *_bitwise_identical_* sweep.
 #
 # Usage: tools/check_bench_regression.sh [fresh.json] [threshold]
 
@@ -84,7 +91,7 @@ threshold, overhead_cap = float(sys.argv[3]), float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
-EXPECTED_SCHEMA = "xpest-bench-engine/7"
+EXPECTED_SCHEMA = "xpest-bench-engine/8"
 fresh_schema = fresh.get("schema")
 if fresh_schema != EXPECTED_SCHEMA:
     print("check_bench_regression: fresh %s has schema %r but this gate "
@@ -158,6 +165,26 @@ print("  s1_overload  controlled worst batch %d ticks < uncontrolled %d "
       "(%d shed, %d served degraded)  ok"
       % (ctrl_ticks, un_ticks, overload.get("shed_queries", 0),
          overload.get("fallback_queries", 0)))
+
+# fresh-only absolute gate: under the total blackout every well-formed
+# query must be answered from the sketch tier — an answer rate below
+# exactly 1.0 means the degradation ladder leaked a typed error
+# (determinism of the answer schedule is covered by the unconditional
+# bitwise sweep below)
+degrade = fresh.get("s1_degrade")
+if degrade is None:
+    print("check_bench_regression: fresh file carries schema %s but no "
+          "s1_degrade section" % EXPECTED_SCHEMA)
+    sys.exit(1)
+answer_rate = degrade.get("sketch_answer_rate")
+if not (isinstance(answer_rate, (int, float)) and answer_rate == 1.0):
+    print("  s1_degrade  sketch answer rate %r  LADDER LEAKED (must be "
+          "exactly 1.0 under the total blackout)" % (answer_rate,))
+    sys.exit(1)
+print("  s1_degrade  sketch answer rate %.4f, mean relative error %.4f "
+      "over %d queries/batch  ok"
+      % (answer_rate, degrade.get("sketch_mean_relative_error", 0.0),
+         degrade.get("routed_queries_per_batch", 0)))
 
 if baseline.get("scale") != fresh.get("scale"):
     print("check_bench_regression: scale mismatch (baseline %s, fresh %s); "
